@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks over the hot paths of the stack:
+//! TLB lookups, MEMIF streaming (burst-length ablation), page-table walks,
+//! HLS scheduling, and a small end-to-end system simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use svmsyn::platform::Platform;
+use svmsyn_bench::{hw_design, run_checked};
+use svmsyn_hls::fsmd::{compile, HlsConfig};
+use svmsyn_hls::ir::Width;
+use svmsyn_hls::sched::list_schedule;
+use svmsyn_hls::resource::FuBudget;
+use svmsyn_hwt::memif::{Memif, MemifConfig};
+use svmsyn_mem::{MasterId, MemConfig, MemorySystem, PhysAddr, VirtAddr};
+use svmsyn_sim::Cycle;
+use svmsyn_vm::pte::{DirEntry, Pte, PteFlags};
+use svmsyn_vm::tlb::{Asid, Replacement, Tlb, TlbConfig};
+use svmsyn_vm::walker::{PageTableWalker, WalkerConfig};
+use svmsyn_workloads::streaming::vecadd;
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_lookup");
+    for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let mut tlb = Tlb::new(TlbConfig {
+                    entries: 32,
+                    ways: 32,
+                    replacement: policy,
+                    hit_cycles: 1,
+                });
+                for vpn in 0..32u64 {
+                    tlb.insert(Asid(1), vpn, vpn + 100, PteFlags::default());
+                }
+                let mut vpn = 0u64;
+                b.iter(|| {
+                    vpn = (vpn + 7) % 48; // mix of hits and misses
+                    black_box(tlb.lookup(Asid(1), vpn))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn setup_mapped_memory() -> (MemorySystem, PhysAddr) {
+    let mut mem = MemorySystem::new(MemConfig::default());
+    let root = PhysAddr::from_frame(5);
+    mem.poke_u32(root, DirEntry::table(6).encode());
+    let flags = PteFlags {
+        writable: true,
+        user: true,
+        ..PteFlags::default()
+    };
+    for p in 0..64u64 {
+        mem.poke_u32(
+            PhysAddr::from_frame(6).offset(4 * p),
+            Pte::leaf(100 + p, flags).encode(),
+        );
+    }
+    (mem, root)
+}
+
+fn bench_memif_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memif_stream_read");
+    for line in [32u64, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(line), &line, |b, &line| {
+            let (mut mem, root) = setup_mapped_memory();
+            let mut memif = Memif::new(
+                MemifConfig {
+                    line_bytes: line,
+                    ..MemifConfig::default()
+                },
+                MasterId(1),
+            );
+            memif.set_context(Asid(1), root);
+            let mut addr = 0u64;
+            let mut now = Cycle(0);
+            b.iter(|| {
+                let (v, t) = memif
+                    .read(&mut mem, VirtAddr(addr), Width::W32, now)
+                    .expect("mapped");
+                addr = (addr + 4) % (64 * 4096);
+                now = t;
+                black_box(v)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_walker(c: &mut Criterion) {
+    c.bench_function("page_table_walk", |b| {
+        let (mut mem, root) = setup_mapped_memory();
+        let mut walker = PageTableWalker::new(WalkerConfig { walk_cache_entries: 0 });
+        let mut now = Cycle(0);
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 1) % 64;
+            let r = walker.walk(
+                &mut mem,
+                MasterId(0),
+                root,
+                Asid(1),
+                VirtAddr(page << 12),
+                now,
+            );
+            now = r.done;
+            black_box(r.outcome.unwrap().pte)
+        });
+    });
+}
+
+fn bench_hls(c: &mut Criterion) {
+    let kernel = svmsyn_workloads::matmul::matmul_kernel();
+    c.bench_function("hls_compile_matmul", |b| {
+        b.iter(|| black_box(compile(&kernel, &HlsConfig::default())))
+    });
+    c.bench_function("list_schedule_matmul_body", |b| {
+        let budget = FuBudget::default();
+        b.iter(|| {
+            for blk in kernel.block_ids() {
+                black_box(list_schedule(&kernel, blk, &budget));
+            }
+        })
+    });
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_system");
+    group.sample_size(10);
+    group.bench_function("vecadd_1k_hw", |b| {
+        let w = vecadd(1024, 5);
+        let platform = Platform::default();
+        let design = hw_design(&w, &platform);
+        b.iter(|| black_box(run_checked(&w, &design).makespan));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tlb,
+    bench_memif_stream,
+    bench_walker,
+    bench_hls,
+    bench_system
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! **Figure 3** — speedup of one SVM hardware thread over one software
+//! thread, per kernel (outputs verified against the reference on both
+//! sides before any number is printed).
+//!
+//! Run with `cargo run --release -p svmsyn-bench --bin fig3_speedup`.
+
+use svmsyn::platform::Platform;
+use svmsyn::report::{fmt_cycles, fmt_ratio, Table};
+use svmsyn_bench::{hw_design, run_checked, sw_design};
+use svmsyn_workloads::default_suite;
+
+fn main() {
+    let platform = Platform::default();
+    let mut t = Table::new(
+        "Figure 3: HW (SVM) vs SW runtime per kernel",
+        &[
+            "kernel",
+            "SW cycles",
+            "HW cycles",
+            "speedup",
+            "HW wall us",
+            "HW TLB hit%",
+            "HW faults",
+        ],
+    );
+    for w in default_suite(42) {
+        let sw = run_checked(&w, &sw_design(&w, &platform));
+        let hw_d = hw_design(&w, &platform);
+        let hw = run_checked(&w, &hw_d);
+        // Compare wall time (the HW design may close below the platform
+        // clock); SW runs at the full platform clock.
+        let sw_us = sw.makespan.as_micros(platform.fabric_mhz);
+        let hw_us = hw.wall_micros(&hw_d);
+        let tlb_hit = hw.threads[0]
+            .stats
+            .get("memif.mmu.tlb.hit_rate")
+            .unwrap_or(0.0);
+        t.row_owned(vec![
+            w.name.clone(),
+            fmt_cycles(sw.makespan.0),
+            fmt_cycles(hw.makespan.0),
+            fmt_ratio(sw_us / hw_us),
+            format!("{hw_us:.1}"),
+            format!("{:.1}", tlb_hit * 100.0),
+            format!("{:.0}", hw.stats.get("os.hw_faults").unwrap_or(0.0)),
+        ]);
+    }
+    println!("{t}");
+}

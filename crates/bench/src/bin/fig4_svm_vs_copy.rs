@@ -1,0 +1,60 @@
+//! **Figure 4** — SVM (zero-copy) vs the classical copy-based DMA flow:
+//! end-to-end time vs data size, with the copy breakdown. The crossover is
+//! where the O(n) copies overtake the O(n/page) translation overhead.
+//!
+//! Run with `cargo run --release -p svmsyn-bench --bin fig4_svm_vs_copy`.
+
+use svmsyn::baseline::{run_copy_flow, run_svm_flow};
+use svmsyn::platform::Platform;
+use svmsyn::report::{fmt_cycles, fmt_ratio, Table};
+use svmsyn_sim::Xoshiro256ss;
+use svmsyn_workloads::streaming::vecadd_kernel;
+
+fn main() {
+    let platform = Platform::default();
+    let mut t = Table::new(
+        "Figure 4: SVM vs copy-based DMA (vecadd, i32 elements)",
+        &[
+            "n",
+            "copy-in",
+            "compute",
+            "copy-out",
+            "copy total",
+            "SVM total",
+            "SVM/copy",
+        ],
+    );
+    // vecadd reads two arrays; pack them adjacently in one input payload.
+    let kernel = vecadd_kernel();
+    for n in [256u64, 1024, 4096, 16384, 65536] {
+        let mut rng = Xoshiro256ss::new(n);
+        let bytes_per_array = n * 4;
+        let input: Vec<u8> = (0..2 * n)
+            .flat_map(|_| ((rng.next_u32() >> 8) as i32).to_le_bytes())
+            .collect();
+        let args = move |in_base: u64, out_base: u64| {
+            vec![
+                in_base as i64,
+                (in_base + bytes_per_array) as i64,
+                out_base as i64,
+                n as i64,
+            ]
+        };
+        let (ct, copy_out) =
+            run_copy_flow(&kernel, &platform, &input, bytes_per_array, &args).expect("copy flow");
+        let (svm_time, svm_out) =
+            run_svm_flow(&kernel, &platform, &input, bytes_per_array, &args).expect("svm flow");
+        assert_eq!(copy_out, svm_out, "flows must agree on every byte");
+        t.row_owned(vec![
+            n.to_string(),
+            fmt_cycles(ct.copy_in.0),
+            fmt_cycles(ct.compute.0),
+            fmt_cycles(ct.copy_out.0),
+            fmt_cycles(ct.total().0),
+            fmt_cycles(svm_time.0),
+            fmt_ratio(svm_time.0 as f64 / ct.total().0 as f64),
+        ]);
+    }
+    println!("{t}");
+    println!("(SVM/copy < 1.00x means the SVM flow wins)");
+}

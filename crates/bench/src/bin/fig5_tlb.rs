@@ -1,0 +1,61 @@
+//! **Figure 5** — TLB-size sensitivity: runtime and hit rate for a
+//! streaming kernel (vecadd) vs a pointer-chasing kernel, sweeping the TLB
+//! from 2 to 64 entries; plus the walk-cache ablation.
+//!
+//! Run with `cargo run --release -p svmsyn-bench --bin fig5_tlb`
+//! (add `--no-walk-cache` for the ablation series).
+
+use svmsyn::platform::Platform;
+use svmsyn::report::{fmt_cycles, Table};
+use svmsyn_bench::{hw_design, run_checked};
+use svmsyn_vm::tlb::TlbConfig;
+use svmsyn_workloads::{chase::chase, streaming::vecadd, Workload};
+
+fn run_series(w: &Workload, entries: usize, walk_cache: usize) -> (u64, f64, f64) {
+    let mut platform = Platform::default();
+    platform.memif.mmu.tlb = TlbConfig::fully_associative(entries);
+    platform.memif.mmu.walker.walk_cache_entries = walk_cache;
+    let design = hw_design(w, &platform);
+    let outcome = run_checked(w, &design);
+    let stats = &outcome.threads[0].stats;
+    (
+        outcome.makespan.0,
+        stats.get("memif.mmu.tlb.hit_rate").unwrap_or(0.0),
+        stats.get("memif.mmu.walker.walks").unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    let walk_cache = if std::env::args().any(|a| a == "--no-walk-cache") {
+        0
+    } else {
+        4
+    };
+    println!("walk cache entries: {walk_cache}");
+    let streaming = vecadd(8192, 42);
+    let pointer = chase(4096, 8192, 42);
+    let mut t = Table::new(
+        "Figure 5: runtime & TLB hit rate vs TLB entries (fully assoc.)",
+        &[
+            "entries",
+            "vecadd cycles",
+            "vecadd hit%",
+            "chase cycles",
+            "chase hit%",
+            "chase walks",
+        ],
+    );
+    for entries in [2usize, 4, 8, 16, 32, 64] {
+        let (vc, vh, _) = run_series(&streaming, entries, walk_cache);
+        let (cc, ch, cw) = run_series(&pointer, entries, walk_cache);
+        t.row_owned(vec![
+            entries.to_string(),
+            fmt_cycles(vc),
+            format!("{:.1}", vh * 100.0),
+            fmt_cycles(cc),
+            format!("{:.1}", ch * 100.0),
+            format!("{cw:.0}"),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,89 @@
+//! **Figure 6** — scalability: aggregate throughput of 1–8 concurrent
+//! hardware threads sharing the bus (vecadd replicas). Streaming saturates
+//! the shared bus; the curve's knee is the platform's bandwidth ceiling.
+//!
+//! Run with `cargo run --release -p svmsyn-bench --bin fig6_scaling`.
+
+use svmsyn::app::{ApplicationBuilder, ArgSpec};
+use svmsyn::flow::{synthesize, Placement};
+use svmsyn::platform::Platform;
+use svmsyn::report::{fmt_cycles, Table};
+use svmsyn::sim::{simulate, SimConfig};
+use svmsyn_sim::Xoshiro256ss;
+use svmsyn_workloads::common::i32s_to_bytes;
+use svmsyn_workloads::streaming::vecadd_kernel;
+
+fn main() {
+    // A fabric large enough that the bus — not area — is the bottleneck.
+    let mut platform = Platform::default();
+    platform.fabric = platform.fabric * 4;
+    platform.max_hw_threads = 8;
+
+    let n: u64 = 4096;
+    let mut rng = Xoshiro256ss::new(6);
+    let a: Vec<i32> = (0..n).map(|_| rng.next_u32() as i32 >> 8).collect();
+    let b: Vec<i32> = (0..n).map(|_| rng.next_u32() as i32 >> 8).collect();
+    let expected: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_add(*y)).collect();
+    let expected_bytes = i32s_to_bytes(&expected);
+
+    let mut t = Table::new(
+        "Figure 6: aggregate throughput vs concurrent HW threads (vecadd)",
+        &[
+            "threads",
+            "makespan",
+            "bytes moved",
+            "B/cycle",
+            "bus util%",
+            "speedup vs 1",
+        ],
+    );
+    let mut base = 0.0f64;
+    for k in 1..=8usize {
+        let mut builder = ApplicationBuilder::new("scale");
+        for i in 0..k {
+            builder = builder
+                .buffer(format!("a{i}"), n * 4, i32s_to_bytes(&a), false)
+                .buffer(format!("b{i}"), n * 4, i32s_to_bytes(&b), false)
+                .buffer(format!("d{i}"), n * 4, vec![], false);
+        }
+        for i in 0..k {
+            builder = builder.thread(
+                format!("t{i}"),
+                vecadd_kernel(),
+                vec![
+                    ArgSpec::Buffer(3 * i, 0),
+                    ArgSpec::Buffer(3 * i + 1, 0),
+                    ArgSpec::Buffer(3 * i + 2, 0),
+                    ArgSpec::Value(n as i64),
+                ],
+                true,
+            );
+        }
+        let app = builder.build().expect("scaling app");
+        let design =
+            synthesize(&app, &platform, &vec![Placement::Hardware; k]).expect("synthesis");
+        let outcome = simulate(&design, &SimConfig::default()).expect("simulation");
+        for i in 0..k {
+            let mut out = vec![0u8; (n * 4) as usize];
+            outcome.read_buffer(3 * i + 2, &mut out);
+            assert_eq!(out, expected_bytes, "thread {i} output");
+        }
+        // Each thread streams 3 arrays of n*4 bytes.
+        let bytes = (k as u64) * 3 * n * 4;
+        let tput = bytes as f64 / outcome.makespan.0 as f64;
+        if k == 1 {
+            base = tput;
+        }
+        let util = outcome.stats.get("mem.bus.busy_cycles").unwrap_or(0.0)
+            / outcome.makespan.0 as f64;
+        t.row_owned(vec![
+            k.to_string(),
+            fmt_cycles(outcome.makespan.0),
+            bytes.to_string(),
+            format!("{tput:.2}"),
+            format!("{:.1}", util.min(1.0) * 100.0),
+            format!("{:.2}x", tput / base),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,71 @@
+//! **Table 1** — fabric cost of the per-thread VM infrastructure vs TLB
+//! geometry (MMU = TLB + walker + control; plus burst engine and OSIF).
+//!
+//! Run with `cargo run -p svmsyn-bench --bin table1_resources`.
+
+use svmsyn::report::Table;
+use svmsyn_hwt::cost::{memif_cost, osif_cost, vm_infrastructure_cost};
+use svmsyn_hwt::memif::MemifConfig;
+use svmsyn_vm::cost::{mmu_cost, mmu_fmax_mhz};
+use svmsyn_vm::mmu::MmuConfig;
+use svmsyn_vm::tlb::{Replacement, TlbConfig};
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1: VM infrastructure cost per hardware thread",
+        &[
+            "TLB geometry",
+            "MMU LUT",
+            "MMU FF",
+            "MMU BRAM",
+            "total LUT",
+            "total FF",
+            "total BRAM",
+            "MMU Fmax (MHz)",
+        ],
+    );
+    let geometries: Vec<(String, TlbConfig)> = [4usize, 8, 16, 32, 64]
+        .iter()
+        .map(|&e| (format!("{e}e fully-assoc"), TlbConfig::fully_associative(e)))
+        .chain([16usize, 32, 64].iter().map(|&e| {
+            (
+                format!("{e}e 4-way"),
+                TlbConfig {
+                    entries: e,
+                    ways: 4,
+                    replacement: Replacement::Lru,
+                    hit_cycles: 1,
+                },
+            )
+        }))
+        .collect();
+    for (name, tlb) in geometries {
+        let mmu_cfg = MmuConfig {
+            tlb,
+            ..MmuConfig::default()
+        };
+        let memif = MemifConfig {
+            mmu: mmu_cfg,
+            ..MemifConfig::default()
+        };
+        let mmu = mmu_cost(&mmu_cfg);
+        let total = vm_infrastructure_cost(&memif);
+        t.row_owned(vec![
+            name,
+            mmu.lut.to_string(),
+            mmu.ff.to_string(),
+            mmu.bram36.to_string(),
+            total.lut.to_string(),
+            total.ff.to_string(),
+            total.bram36.to_string(),
+            format!("{:.1}", mmu_fmax_mhz(&mmu_cfg)),
+        ]);
+    }
+    println!("{t}");
+    let memif = MemifConfig::default();
+    println!(
+        "fixed parts: burst engine = {}, OSIF = {}",
+        memif_cost(&memif),
+        osif_cost()
+    );
+}

@@ -1,0 +1,80 @@
+//! **Table 2** — HLS synthesis results per kernel: states, achieved II,
+//! binding, fabric resources, estimated Fmax, and the pipelining ablation
+//! (II with loop pipelining disabled = per-iteration schedule length).
+//!
+//! Run with `cargo run -p svmsyn-bench --bin table2_hls`.
+
+use svmsyn::report::Table;
+use svmsyn_hls::fsmd::{compile, HlsConfig};
+use svmsyn_workloads::small_suite;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 2: HLS results per kernel (default FU budget)",
+        &[
+            "kernel",
+            "states",
+            "inner II",
+            "II (no pipe)",
+            "ALU/MUL/DIV",
+            "regs",
+            "LUT",
+            "FF",
+            "DSP",
+            "Fmax (MHz)",
+            "opt (fold/cse/dce)",
+        ],
+    );
+    for w in small_suite(1) {
+        let kernel = &w.app.threads[0].kernel;
+        let piped = compile(kernel, &HlsConfig::default());
+        let plain = compile(
+            kernel,
+            &HlsConfig {
+                pipeline_loops: false,
+                ..HlsConfig::default()
+            },
+        );
+        let ii = piped
+            .pipelines
+            .values()
+            .map(|p| p.ii)
+            .min()
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        // Without pipelining the per-iteration cost is the loop blocks'
+        // summed schedule length; report the innermost loop's.
+        let no_pipe = piped
+            .pipelines
+            .values()
+            .map(|p| {
+                p.blocks
+                    .iter()
+                    .map(|b| plain.schedules[b.0 as usize].length)
+                    .sum::<u32>()
+            })
+            .min()
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        t.row_owned(vec![
+            w.name.clone(),
+            piped.states.to_string(),
+            ii,
+            no_pipe,
+            format!(
+                "{}/{}/{}",
+                piped.binding.alu_units, piped.binding.mul_units, piped.binding.div_units
+            ),
+            piped.binding.registers.to_string(),
+            piped.resources.lut.to_string(),
+            piped.resources.ff.to_string(),
+            piped.resources.dsp.to_string(),
+            format!("{:.1}", piped.fmax_mhz),
+            format!(
+                "{}/{}/{}",
+                piped.pass_stats.folded, piped.pass_stats.cse_removed, piped.pass_stats.dce_removed
+            ),
+        ]);
+    }
+    println!("{t}");
+}

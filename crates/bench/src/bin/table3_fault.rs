@@ -1,0 +1,67 @@
+//! **Table 3** — page-fault service cost: the model's component breakdown
+//! plus the *measured* marginal cost per fault (demand-paged vs pre-faulted
+//! runs of the same kernel), which adds the hardware-side detect/retry
+//! overhead on top of the software path.
+//!
+//! Run with `cargo run --release -p svmsyn-bench --bin table3_fault`.
+
+use svmsyn::platform::Platform;
+use svmsyn::report::Table;
+use svmsyn_bench::{hw_design, run_checked};
+use svmsyn_workloads::streaming::vecadd;
+
+fn main() {
+    let platform = Platform::default();
+    let costs = platform.os.costs;
+
+    let mut t = Table::new(
+        "Table 3: page-fault service cost (fabric cycles)",
+        &["component", "cycles"],
+    );
+    t.row_owned(vec![
+        "interrupt entry + dispatch".into(),
+        costs.interrupt_entry.to_string(),
+    ]);
+    t.row_owned(vec![
+        "delegate thread wakeup".into(),
+        costs.delegate_wakeup.to_string(),
+    ]);
+    t.row_owned(vec![
+        "OS fault service (vma, frame, PTE)".into(),
+        costs.fault_service.to_string(),
+    ]);
+    t.row_owned(vec!["page zeroing (4 KiB)".into(), costs.page_zero.to_string()]);
+    t.row_owned(vec![
+        "model total (HW-thread path)".into(),
+        costs.hw_fault_total().to_string(),
+    ]);
+    t.row_owned(vec![
+        "model total (SW-thread path)".into(),
+        costs.sw_fault_total().to_string(),
+    ]);
+
+    // Measured marginal cost: same kernel, demand-paged vs pre-faulted.
+    let n = 16384u64;
+    let demand = vecadd(n, 77);
+    let mut populated = demand.clone();
+    for b in &mut populated.app.buffers {
+        b.populate = true;
+    }
+    let d_out = run_checked(&demand, &hw_design(&demand, &platform));
+    let p_out = run_checked(&populated, &hw_design(&populated, &platform));
+    let faults = d_out.stats.get("os.hw_faults").unwrap_or(0.0);
+    let marginal = (d_out.makespan.0 as f64 - p_out.makespan.0 as f64) / faults.max(1.0);
+    t.row_owned(vec![
+        format!("measured marginal / fault ({faults:.0} faults, vecadd n={n})"),
+        format!("{marginal:.0}"),
+    ]);
+    t.row_owned(vec![
+        "  = model total + fault-detect walk + retry + queueing".into(),
+        String::new(),
+    ]);
+    println!("{t}");
+    println!(
+        "demand-paged makespan {} vs pre-faulted {}",
+        d_out.makespan, p_out.makespan
+    );
+}

@@ -1,0 +1,68 @@
+//! **Table 4** — toolflow scalability: synthesis wall time vs thread count
+//! (replicated kernels, all mapped to hardware). Per-thread HLS dominates,
+//! so growth should be roughly linear.
+//!
+//! Run with `cargo run --release -p svmsyn-bench --bin table4_toolflow`.
+
+use svmsyn::app::{ApplicationBuilder, ArgSpec};
+use svmsyn::flow::{synthesize, Placement};
+use svmsyn::platform::Platform;
+use svmsyn::report::Table;
+use svmsyn_workloads::{matmul::matmul_kernel, sobel::sobel_kernel, streaming::saxpy_kernel};
+
+fn main() {
+    let mut t = Table::new(
+        "Table 4: toolflow wall time vs thread count (all-HW placement)",
+        &["threads", "synthesis ms", "ms/thread", "total LUT"],
+    );
+    for k in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut builder =
+            ApplicationBuilder::new("scalability").buffer("data", 1 << 20, vec![], false);
+        for i in 0..k {
+            let kernel = match i % 3 {
+                0 => saxpy_kernel(),
+                1 => matmul_kernel(),
+                _ => sobel_kernel(),
+            };
+            let args = match i % 3 {
+                0 => vec![
+                    ArgSpec::Buffer(0, 0),
+                    ArgSpec::Buffer(0, 4096),
+                    ArgSpec::Buffer(0, 8192),
+                    ArgSpec::Value(3),
+                    ArgSpec::Value(64),
+                ],
+                1 => vec![
+                    ArgSpec::Buffer(0, 0),
+                    ArgSpec::Buffer(0, 4096),
+                    ArgSpec::Buffer(0, 8192),
+                    ArgSpec::Value(8),
+                ],
+                _ => vec![
+                    ArgSpec::Buffer(0, 0),
+                    ArgSpec::Buffer(0, 4096),
+                    ArgSpec::Value(16),
+                    ArgSpec::Value(16),
+                ],
+            };
+            builder = builder.thread(format!("t{i}"), kernel, args, true);
+        }
+        let app = builder.build().expect("scalability app");
+        // Scale the platform so area/ports never reject the placement — the
+        // point here is toolflow runtime, not feasibility.
+        let mut platform = Platform::default();
+        platform.fabric = platform.fabric * (k as u64 + 1);
+        platform.max_hw_threads = k;
+        let started = std::time::Instant::now();
+        let design =
+            synthesize(&app, &platform, &vec![Placement::Hardware; k]).expect("synthesis");
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        t.row_owned(vec![
+            k.to_string(),
+            format!("{ms:.2}"),
+            format!("{:.3}", ms / k as f64),
+            design.total_resources.lut.to_string(),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,417 @@
+//! The application model: what the system-level synthesis toolflow consumes.
+//!
+//! An [`Application`] is a multithreaded program description: shared buffers
+//! in one virtual address space, synchronization objects, and threads — each
+//! a kernel (in `svmsyn-hls` IR) plus the synchronization actions it
+//! performs before and after its kernel runs. The toolflow decides which
+//! threads become hardware, the runtime gives both kinds the same
+//! primitives.
+
+use svmsyn_hls::ir::Kernel;
+
+/// How a shared buffer is initialized and mapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferSpec {
+    /// Diagnostic name.
+    pub name: String,
+    /// Length in bytes.
+    pub len: u64,
+    /// Initial contents (shorter than `len` means zero-filled tail).
+    pub init: Vec<u8>,
+    /// Pre-fault all pages at load time instead of demand paging.
+    pub populate: bool,
+}
+
+/// A synchronization object declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncSpec {
+    /// A mutex.
+    Mutex,
+    /// A counting semaphore with an initial count.
+    Semaphore(i64),
+    /// A barrier for `n` parties.
+    Barrier(u32),
+    /// A bounded mailbox with `capacity` slots.
+    Mbox(usize),
+}
+
+/// A synchronization action in a thread's pre/post sequence, referencing a
+/// [`SyncSpec`] by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncAction {
+    /// Acquire mutex `i`.
+    MutexLock(usize),
+    /// Release mutex `i`.
+    MutexUnlock(usize),
+    /// P on semaphore `i`.
+    SemWait(usize),
+    /// V on semaphore `i`.
+    SemPost(usize),
+    /// Arrive at barrier `i`.
+    BarrierWait(usize),
+    /// Put `value` into mailbox `i`.
+    MboxPut(usize, u64),
+    /// Take from mailbox `i` (value discarded; used for ordering).
+    MboxGet(usize),
+}
+
+impl SyncAction {
+    /// The referenced sync-object index.
+    pub fn object(&self) -> usize {
+        match self {
+            SyncAction::MutexLock(i)
+            | SyncAction::MutexUnlock(i)
+            | SyncAction::SemWait(i)
+            | SyncAction::SemPost(i)
+            | SyncAction::BarrierWait(i)
+            | SyncAction::MboxPut(i, _)
+            | SyncAction::MboxGet(i) => *i,
+        }
+    }
+}
+
+/// How one kernel launch argument is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgSpec {
+    /// The virtual address of buffer `i` plus a byte offset.
+    Buffer(usize, u64),
+    /// A literal value.
+    Value(i64),
+}
+
+/// One thread of the application.
+#[derive(Debug, Clone)]
+pub struct ThreadSpec {
+    /// Diagnostic name.
+    pub name: String,
+    /// The kernel this thread executes.
+    pub kernel: Kernel,
+    /// Launch arguments (must match `kernel.num_args`).
+    pub args: Vec<ArgSpec>,
+    /// Sync actions before the kernel runs.
+    pub pre: Vec<SyncAction>,
+    /// Sync actions after the kernel completes.
+    pub post: Vec<SyncAction>,
+    /// Whether the partitioner may map this thread to hardware.
+    pub hw_eligible: bool,
+}
+
+/// A complete application description.
+#[derive(Debug, Clone)]
+pub struct Application {
+    /// Diagnostic name.
+    pub name: String,
+    /// Shared buffers.
+    pub buffers: Vec<BufferSpec>,
+    /// Synchronization objects.
+    pub sync_objects: Vec<SyncSpec>,
+    /// Threads.
+    pub threads: Vec<ThreadSpec>,
+}
+
+/// Errors from application validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppError {
+    /// A thread's argument count does not match its kernel.
+    ArgCountMismatch {
+        /// Offending thread name.
+        thread: String,
+        /// Arguments supplied.
+        given: usize,
+        /// Arguments the kernel expects.
+        expected: usize,
+    },
+    /// An argument references a missing buffer.
+    BadBufferRef {
+        /// Offending thread name.
+        thread: String,
+        /// The missing buffer index.
+        index: usize,
+    },
+    /// A sync action references a missing object or the wrong kind.
+    BadSyncRef {
+        /// Offending thread name.
+        thread: String,
+        /// The offending action.
+        action: SyncAction,
+    },
+    /// The application has no threads.
+    NoThreads,
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::ArgCountMismatch { thread, given, expected } => {
+                write!(f, "thread {thread}: {given} args given, kernel expects {expected}")
+            }
+            AppError::BadBufferRef { thread, index } => {
+                write!(f, "thread {thread}: no buffer {index}")
+            }
+            AppError::BadSyncRef { thread, action } => {
+                write!(f, "thread {thread}: invalid sync reference {action:?}")
+            }
+            AppError::NoThreads => write!(f, "application has no threads"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl Application {
+    /// Validates cross-references (arg counts, buffer and sync indices, and
+    /// action/object kind agreement).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AppError`] found.
+    pub fn validate(&self) -> Result<(), AppError> {
+        if self.threads.is_empty() {
+            return Err(AppError::NoThreads);
+        }
+        for t in &self.threads {
+            if t.args.len() != t.kernel.num_args as usize {
+                return Err(AppError::ArgCountMismatch {
+                    thread: t.name.clone(),
+                    given: t.args.len(),
+                    expected: t.kernel.num_args as usize,
+                });
+            }
+            for a in &t.args {
+                if let ArgSpec::Buffer(i, _) = a {
+                    if *i >= self.buffers.len() {
+                        return Err(AppError::BadBufferRef {
+                            thread: t.name.clone(),
+                            index: *i,
+                        });
+                    }
+                }
+            }
+            for action in t.pre.iter().chain(&t.post) {
+                let i = action.object();
+                let ok = match (self.sync_objects.get(i), action) {
+                    (Some(SyncSpec::Mutex), SyncAction::MutexLock(_) | SyncAction::MutexUnlock(_)) => true,
+                    (Some(SyncSpec::Semaphore(_)), SyncAction::SemWait(_) | SyncAction::SemPost(_)) => true,
+                    (Some(SyncSpec::Barrier(_)), SyncAction::BarrierWait(_)) => true,
+                    (Some(SyncSpec::Mbox(_)), SyncAction::MboxPut(..) | SyncAction::MboxGet(_)) => true,
+                    _ => false,
+                };
+                if !ok {
+                    return Err(AppError::BadSyncRef {
+                        thread: t.name.clone(),
+                        action: *action,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Indices of threads the partitioner may move to hardware.
+    pub fn hw_eligible(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.hw_eligible)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Fluent builder for [`Application`].
+///
+/// # Example
+///
+/// ```
+/// use svmsyn::app::{ApplicationBuilder, ArgSpec};
+/// use svmsyn_hls::builder::KernelBuilder;
+/// use svmsyn_hls::ir::BinOp;
+///
+/// let mut kb = KernelBuilder::new("k", 1);
+/// let x = kb.arg(0);
+/// let y = kb.bin(BinOp::Add, x, x);
+/// kb.ret(Some(y));
+/// let kernel = kb.finish().unwrap();
+///
+/// let app = ApplicationBuilder::new("demo")
+///     .buffer("data", 4096, vec![], false)
+///     .thread("worker", kernel, vec![ArgSpec::Buffer(0, 0)], true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(app.threads.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApplicationBuilder {
+    app: Application,
+}
+
+impl ApplicationBuilder {
+    /// Starts an empty application.
+    pub fn new(name: impl Into<String>) -> Self {
+        ApplicationBuilder {
+            app: Application {
+                name: name.into(),
+                buffers: Vec::new(),
+                sync_objects: Vec::new(),
+                threads: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds a buffer; returns the builder for chaining. The buffer's index
+    /// is its insertion order.
+    pub fn buffer(
+        mut self,
+        name: impl Into<String>,
+        len: u64,
+        init: Vec<u8>,
+        populate: bool,
+    ) -> Self {
+        self.app.buffers.push(BufferSpec {
+            name: name.into(),
+            len,
+            init,
+            populate,
+        });
+        self
+    }
+
+    /// Adds a sync object; its index is its insertion order.
+    pub fn sync(mut self, spec: SyncSpec) -> Self {
+        self.app.sync_objects.push(spec);
+        self
+    }
+
+    /// Adds a plain thread with no sync actions.
+    pub fn thread(
+        self,
+        name: impl Into<String>,
+        kernel: Kernel,
+        args: Vec<ArgSpec>,
+        hw_eligible: bool,
+    ) -> Self {
+        self.thread_full(name, kernel, args, vec![], vec![], hw_eligible)
+    }
+
+    /// Adds a thread with pre/post sync actions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn thread_full(
+        mut self,
+        name: impl Into<String>,
+        kernel: Kernel,
+        args: Vec<ArgSpec>,
+        pre: Vec<SyncAction>,
+        post: Vec<SyncAction>,
+        hw_eligible: bool,
+    ) -> Self {
+        self.app.threads.push(ThreadSpec {
+            name: name.into(),
+            kernel,
+            args,
+            pre,
+            post,
+            hw_eligible,
+        });
+        self
+    }
+
+    /// Validates and returns the application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError`] if validation fails.
+    pub fn build(self) -> Result<Application, AppError> {
+        self.app.validate()?;
+        Ok(self.app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svmsyn_hls::builder::KernelBuilder;
+
+    fn kernel(args: u16) -> Kernel {
+        let mut b = KernelBuilder::new("k", args);
+        b.ret(None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let app = ApplicationBuilder::new("a")
+            .buffer("in", 1024, vec![1, 2, 3], false)
+            .buffer("out", 1024, vec![], true)
+            .sync(SyncSpec::Semaphore(0))
+            .thread_full(
+                "producer",
+                kernel(1),
+                vec![ArgSpec::Buffer(0, 0)],
+                vec![],
+                vec![SyncAction::SemPost(0)],
+                true,
+            )
+            .thread_full(
+                "consumer",
+                kernel(1),
+                vec![ArgSpec::Buffer(1, 16)],
+                vec![SyncAction::SemWait(0)],
+                vec![],
+                false,
+            )
+            .build()
+            .unwrap();
+        assert_eq!(app.buffers.len(), 2);
+        assert_eq!(app.hw_eligible(), vec![0]);
+    }
+
+    #[test]
+    fn arg_count_mismatch_rejected() {
+        let err = ApplicationBuilder::new("a")
+            .thread("t", kernel(2), vec![ArgSpec::Value(1)], false)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AppError::ArgCountMismatch { .. }));
+        assert!(err.to_string().contains("expects 2"));
+    }
+
+    #[test]
+    fn bad_buffer_ref_rejected() {
+        let err = ApplicationBuilder::new("a")
+            .thread("t", kernel(1), vec![ArgSpec::Buffer(3, 0)], false)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AppError::BadBufferRef { index: 3, .. }));
+    }
+
+    #[test]
+    fn sync_kind_mismatch_rejected() {
+        let err = ApplicationBuilder::new("a")
+            .sync(SyncSpec::Mutex)
+            .thread_full(
+                "t",
+                kernel(0),
+                vec![],
+                vec![SyncAction::SemWait(0)], // index 0 is a mutex
+                vec![],
+                false,
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AppError::BadSyncRef { .. }));
+    }
+
+    #[test]
+    fn empty_app_rejected() {
+        assert_eq!(
+            ApplicationBuilder::new("a").build().unwrap_err(),
+            AppError::NoThreads
+        );
+    }
+
+    #[test]
+    fn sync_action_object_index() {
+        assert_eq!(SyncAction::MboxPut(4, 9).object(), 4);
+        assert_eq!(SyncAction::BarrierWait(2).object(), 2);
+    }
+}

@@ -1,0 +1,340 @@
+//! The copy-based accelerator baseline and the SVM flow it is compared to.
+//!
+//! The classical (pre-SVM) way to attach an HLS accelerator: pin a
+//! physically contiguous DMA buffer, have the CPU *copy* the pageable input
+//! into it, run the accelerator with raw physical addresses, and copy the
+//! result back. The paper's SVM threads skip both copies by translating in
+//! hardware. [`run_copy_flow`] and [`run_svm_flow`] time both flows over
+//! identical kernels and data — Figure 4's crossover comes from here.
+
+use std::sync::Arc;
+
+use svmsyn_hls::fsmd::compile;
+use svmsyn_hls::ir::Kernel;
+use svmsyn_hwt::memif::MemifMode;
+use svmsyn_hwt::thread::{HwStep, HwThread, HwThreadConfig};
+use svmsyn_mem::{MasterId, MemorySystem, PhysAddr};
+use svmsyn_os::os::Os;
+use svmsyn_sim::Cycle;
+
+use crate::platform::Platform;
+use crate::sim::SimError;
+
+/// Timing breakdown of the copy-based flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyFlowTimes {
+    /// CPU copy of the input into the pinned buffer.
+    pub copy_in: Cycle,
+    /// Accelerator compute (physical addressing).
+    pub compute: Cycle,
+    /// CPU copy of the result back to pageable memory.
+    pub copy_out: Cycle,
+}
+
+impl CopyFlowTimes {
+    /// End-to-end cycles.
+    pub fn total(&self) -> Cycle {
+        self.copy_in + self.compute + self.copy_out
+    }
+}
+
+const CPU_MASTER: MasterId = MasterId(0);
+const HW_MASTER: MasterId = MasterId(1);
+const COPY_CHUNK: u64 = 64;
+
+/// One side of a CPU-driven copy: either a pageable virtual range (resolved
+/// page by page through the address space) or a physically contiguous
+/// pinned region.
+#[derive(Debug, Clone, Copy)]
+enum CopySide {
+    Paged(svmsyn_mem::VirtAddr),
+    Pinned(PhysAddr),
+}
+
+impl CopySide {
+    fn resolve(&self, os: &Os, asid: svmsyn_vm::tlb::Asid, mem: &MemorySystem, off: u64) -> PhysAddr {
+        match self {
+            CopySide::Pinned(base) => base.offset(off),
+            CopySide::Paged(va) => {
+                let cur = svmsyn_mem::VirtAddr(va.0 + off);
+                os.space(asid)
+                    .translate(mem, cur)
+                    .expect("copy range must be mapped")
+                    .0
+            }
+        }
+    }
+}
+
+/// Times a CPU-driven copy of `len` bytes (read + write per chunk on the
+/// shared bus), translating pageable sides page by page — pageable buffers
+/// are *not* physically contiguous, which is the whole reason the pinned
+/// bounce buffer exists.
+fn timed_copy(
+    os: &Os,
+    asid: svmsyn_vm::tlb::Asid,
+    mem: &mut MemorySystem,
+    src: CopySide,
+    dst: CopySide,
+    len: u64,
+    mut now: Cycle,
+) -> Cycle {
+    let mut off = 0;
+    while off < len {
+        let n = COPY_CHUNK.min(len - off);
+        let src_pa = src.resolve(os, asid, mem, off);
+        let dst_pa = dst.resolve(os, asid, mem, off);
+        now = mem.transfer_time(CPU_MASTER, src_pa, n, now);
+        now = mem.transfer_time(CPU_MASTER, dst_pa, n, now);
+        // Move the real bytes too.
+        let mut buf = vec![0u8; n as usize];
+        mem.dump(src_pa, &mut buf);
+        mem.load(dst_pa, &buf);
+        off += n;
+    }
+    now
+}
+
+fn drive_hw(
+    thread: &mut HwThread,
+    mem: &mut MemorySystem,
+    os: &mut Os,
+    asid: svmsyn_vm::tlb::Asid,
+    start: Cycle,
+) -> Result<Cycle, SimError> {
+    let mut now = start;
+    loop {
+        match thread.advance(mem, now, 1_000_000) {
+            HwStep::Yielded { now: n } => now = n,
+            HwStep::Finished { now, .. } => return Ok(now),
+            HwStep::PageFault { fault, now: at } => {
+                let write = fault.access() == svmsyn_vm::mmu::Access::Write;
+                now = os
+                    .service_fault(asid, fault.va(), write, true, mem, at)
+                    .map_err(|f| SimError::Segv {
+                        thread: "baseline-hw".into(),
+                        fault: f,
+                    })?;
+            }
+        }
+    }
+}
+
+/// Runs the copy-based flow: pin → copy in → compute (physical) → copy out.
+///
+/// `make_args` receives the (physical) input and output base addresses the
+/// accelerator should use. Returns the timing breakdown and the output
+/// bytes.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on OS setup failure or an accelerator fault.
+pub fn run_copy_flow(
+    kernel: &Kernel,
+    platform: &Platform,
+    input: &[u8],
+    out_len: u64,
+    make_args: &dyn Fn(u64, u64) -> Vec<i64>,
+) -> Result<(CopyFlowTimes, Vec<u8>), SimError> {
+    let mut mem = MemorySystem::new(platform.mem.clone());
+    let mut os = Os::new(&platform.os, &mem);
+    let asid = os.create_space(&mut mem)?;
+
+    // Pageable application buffers (input resident, as in the SVM flow).
+    let src_va = os.mmap(asid, input.len().max(1) as u64, true, true, &mut mem)?;
+    os.copy_in(asid, src_va, input, &mut mem);
+    let dst_va = os.mmap(asid, out_len.max(1), true, true, &mut mem)?;
+
+    // Pinned DMA bounce buffers.
+    let (_pin_in_va, pin_in) = os.mmap_pinned(asid, input.len().max(1) as u64, true, &mut mem)?;
+    let (_pin_out_va, pin_out) = os.mmap_pinned(asid, out_len.max(1), true, &mut mem)?;
+
+    // Copy in: pageable src -> pinned (page-by-page translation).
+    let t0 = Cycle::ZERO;
+    let t_in = timed_copy(
+        &os,
+        asid,
+        &mut mem,
+        CopySide::Paged(src_va),
+        CopySide::Pinned(pin_in),
+        input.len() as u64,
+        t0,
+    );
+
+    // Compute with raw physical addressing.
+    let ck = Arc::new(compile(kernel, &platform.hls));
+    let cfg = HwThreadConfig {
+        memif: svmsyn_hwt::memif::MemifConfig {
+            mode: MemifMode::Physical,
+            ..platform.memif
+        },
+    };
+    let args = make_args(pin_in.0, pin_out.0);
+    let mut hw = HwThread::new(ck, &args, &cfg, HW_MASTER);
+    let t_compute = drive_hw(&mut hw, &mut mem, &mut os, asid, t_in)?;
+
+    // Copy out: pinned -> pageable dst (page-by-page translation).
+    let t_out = timed_copy(
+        &os,
+        asid,
+        &mut mem,
+        CopySide::Pinned(pin_out),
+        CopySide::Paged(dst_va),
+        out_len,
+        t_compute,
+    );
+
+    let mut output = vec![0u8; out_len as usize];
+    os.copy_out(asid, dst_va, &mut output, &mem);
+    Ok((
+        CopyFlowTimes {
+            copy_in: t_in - t0,
+            compute: t_compute - t_in,
+            copy_out: t_out - t_compute,
+        },
+        output,
+    ))
+}
+
+/// Runs the SVM flow on identical data: the accelerator reads/writes the
+/// pageable buffers directly through its MMU (zero copy).
+///
+/// `make_args` receives the (virtual) input and output base addresses.
+/// Returns the end-to-end cycles and the output bytes.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on OS setup failure or an unservicable fault.
+pub fn run_svm_flow(
+    kernel: &Kernel,
+    platform: &Platform,
+    input: &[u8],
+    out_len: u64,
+    make_args: &dyn Fn(u64, u64) -> Vec<i64>,
+) -> Result<(Cycle, Vec<u8>), SimError> {
+    let mut mem = MemorySystem::new(platform.mem.clone());
+    let mut os = Os::new(&platform.os, &mem);
+    let asid = os.create_space(&mut mem)?;
+
+    let src_va = os.mmap(asid, input.len().max(1) as u64, true, true, &mut mem)?;
+    os.copy_in(asid, src_va, input, &mut mem);
+    let dst_va = os.mmap(asid, out_len.max(1), true, true, &mut mem)?;
+
+    let ck = Arc::new(compile(kernel, &platform.hls));
+    let cfg = HwThreadConfig {
+        memif: platform.memif,
+    };
+    let args = make_args(src_va.0, dst_va.0);
+    let mut hw = HwThread::new(ck, &args, &cfg, HW_MASTER);
+    let root = os.space(asid).root();
+    hw.set_context(asid, root);
+    let end = drive_hw(&mut hw, &mut mem, &mut os, asid, Cycle::ZERO)?;
+
+    let mut output = vec![0u8; out_len as usize];
+    os.copy_out(asid, dst_va, &mut output, &mem);
+    Ok((end, output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svmsyn_hls::builder::KernelBuilder;
+    use svmsyn_hls::ir::{BinOp, CmpOp, Width};
+
+    /// dst[i] = src[i] + 7
+    fn add7() -> Kernel {
+        let mut b = KernelBuilder::new("add7", 3);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let src = b.arg(0);
+        let dst = b.arg(1);
+        let n = b.arg(2);
+        let zero = b.constant(0);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi();
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let four = b.constant(4);
+        let off = b.bin(BinOp::Mul, i, four);
+        let sa = b.bin(BinOp::Add, src, off);
+        let da = b.bin(BinOp::Add, dst, off);
+        let v = b.load(sa, Width::W32);
+        let seven = b.constant(7);
+        let v7 = b.bin(BinOp::Add, v, seven);
+        b.store(da, v7, Width::W32);
+        let one = b.constant(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+        b.finish().unwrap()
+    }
+
+    fn input(n: u64) -> Vec<u8> {
+        (0..n as u32).flat_map(|i| i.to_le_bytes()).collect()
+    }
+
+    fn check(out: &[u8], n: u64) {
+        for i in 0..n as usize {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&out[i * 4..i * 4 + 4]);
+            assert_eq!(u32::from_le_bytes(w), i as u32 + 7, "element {i}");
+        }
+    }
+
+    #[test]
+    fn both_flows_compute_identical_results() {
+        let k = add7();
+        let n = 512u64;
+        let platform = Platform::default();
+        let args = |a: u64, b: u64| vec![a as i64, b as i64, n as i64];
+        let (copy_times, copy_out) =
+            run_copy_flow(&k, &platform, &input(n), n * 4, &args).unwrap();
+        let (svm_time, svm_out) = run_svm_flow(&k, &platform, &input(n), n * 4, &args).unwrap();
+        check(&copy_out, n);
+        check(&svm_out, n);
+        assert_eq!(copy_out, svm_out);
+        assert!(copy_times.total() > Cycle(0));
+        assert!(svm_time > Cycle(0));
+    }
+
+    #[test]
+    fn copy_overhead_grows_with_size_and_svm_wins_large() {
+        let k = add7();
+        let platform = Platform::default();
+        let mut last_copy_overhead = 0u64;
+        for n in [256u64, 4096] {
+            let args = move |a: u64, b: u64| vec![a as i64, b as i64, n as i64];
+            let (ct, _) = run_copy_flow(&k, &platform, &input(n), n * 4, &args).unwrap();
+            let overhead = (ct.copy_in + ct.copy_out).0;
+            assert!(overhead > last_copy_overhead);
+            last_copy_overhead = overhead;
+        }
+        // At 4096 elements the SVM flow must beat copy-based end to end.
+        let n = 4096u64;
+        let args = move |a: u64, b: u64| vec![a as i64, b as i64, n as i64];
+        let (ct, _) = run_copy_flow(&k, &platform, &input(n), n * 4, &args).unwrap();
+        let (svm, _) = run_svm_flow(&k, &platform, &input(n), n * 4, &args).unwrap();
+        assert!(
+            svm < ct.total(),
+            "svm {svm} must beat copy {total}",
+            total = ct.total()
+        );
+    }
+
+    #[test]
+    fn physical_mode_never_faults() {
+        let k = add7();
+        let platform = Platform::default();
+        let n = 64u64;
+        let args = move |a: u64, b: u64| vec![a as i64, b as i64, n as i64];
+        let (ct, out) = run_copy_flow(&k, &platform, &input(n), n * 4, &args).unwrap();
+        check(&out, n);
+        assert!(ct.compute > Cycle(0));
+    }
+}

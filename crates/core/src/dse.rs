@@ -1,0 +1,474 @@
+//! Design-space exploration: HW/SW partitioning under a fabric budget.
+//!
+//! Each candidate placement is evaluated *by simulation* (synthesize, then
+//! run) — the DATE-style toolflow loop. Exhaustive search is exact for
+//! small thread counts; greedy and simulated-annealing searches scale to
+//! larger applications. Figure 7 plots the resulting area/makespan Pareto
+//! front; integration tests assert that the heuristics match the exhaustive
+//! optimum on small instances.
+
+use svmsyn_sim::{Cycle, FabricResources, Xoshiro256ss};
+
+use crate::app::Application;
+use crate::flow::{synthesize, Placement};
+use crate::platform::Platform;
+use crate::sim::{simulate, SimConfig};
+
+/// The search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DseMethod {
+    /// Try every subset of hardware-eligible threads (≤ 12 eligible).
+    Exhaustive,
+    /// Start all-software; greedily move the best thread to hardware until
+    /// no move improves the makespan.
+    Greedy,
+    /// Simulated annealing over placement bit-flips (deterministic seed).
+    Anneal {
+        /// Annealing iterations.
+        iters: u32,
+        /// PRNG seed.
+        seed: u64,
+    },
+}
+
+/// DSE options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DseConfig {
+    /// Search strategy.
+    pub method: DseMethod,
+    /// Simulation options used for every evaluation.
+    pub sim: SimConfig,
+}
+
+impl Default for DseConfig {
+    /// Greedy search with default simulation options.
+    fn default() -> Self {
+        DseConfig {
+            method: DseMethod::Greedy,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsePoint {
+    /// The placement vector.
+    pub placements: Vec<Placement>,
+    /// Fabric usage of the design.
+    pub resources: FabricResources,
+    /// Simulated makespan.
+    pub makespan: Cycle,
+}
+
+/// The exploration result.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// The best (lowest-makespan) feasible point.
+    pub best: DsePoint,
+    /// Number of candidate placements evaluated (including infeasible).
+    pub evaluated: usize,
+    /// All feasible evaluated points.
+    pub feasible: Vec<DsePoint>,
+    /// The non-dominated (LUT, makespan) front, sorted by LUT.
+    pub pareto: Vec<DsePoint>,
+}
+
+/// Why exploration failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DseError {
+    /// No feasible placement simulated successfully.
+    NoFeasiblePoint,
+    /// Exhaustive search over too many eligible threads.
+    TooManyEligible {
+        /// Eligible thread count.
+        eligible: usize,
+    },
+}
+
+impl std::fmt::Display for DseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DseError::NoFeasiblePoint => write!(f, "no feasible placement found"),
+            DseError::TooManyEligible { eligible } => {
+                write!(f, "{eligible} eligible threads is too many for exhaustive search")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DseError {}
+
+fn evaluate(
+    app: &Application,
+    platform: &Platform,
+    placements: &[Placement],
+    sim: &SimConfig,
+) -> Option<DsePoint> {
+    let design = synthesize(app, platform, placements).ok()?;
+    let outcome = simulate(&design, sim).ok()?;
+    Some(DsePoint {
+        placements: placements.to_vec(),
+        resources: design.total_resources,
+        makespan: outcome.makespan,
+    })
+}
+
+fn placements_from_mask(app: &Application, eligible: &[usize], mask: u64) -> Vec<Placement> {
+    let mut p = vec![Placement::Software; app.threads.len()];
+    for (bit, &t) in eligible.iter().enumerate() {
+        if mask >> bit & 1 == 1 {
+            p[t] = Placement::Hardware;
+        }
+    }
+    p
+}
+
+fn pareto_front(mut feasible: Vec<DsePoint>) -> Vec<DsePoint> {
+    feasible.sort_by_key(|p| (p.resources.lut, p.makespan));
+    let mut front: Vec<DsePoint> = Vec::new();
+    let mut best_makespan = Cycle::MAX;
+    for p in feasible {
+        if p.makespan < best_makespan {
+            best_makespan = p.makespan;
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Explores the placement space and returns the best feasible design point.
+///
+/// # Errors
+///
+/// Returns [`DseError`] when no feasible point exists or the exhaustive
+/// space is too large.
+pub fn explore(
+    app: &Application,
+    platform: &Platform,
+    cfg: &DseConfig,
+) -> Result<DseResult, DseError> {
+    let eligible = app.hw_eligible();
+    let mut evaluated = 0usize;
+    let mut feasible: Vec<DsePoint> = Vec::new();
+    let consider = |p: Option<DsePoint>, feasible: &mut Vec<DsePoint>| {
+        if let Some(point) = p {
+            feasible.push(point);
+        }
+    };
+
+    match cfg.method {
+        DseMethod::Exhaustive => {
+            if eligible.len() > 12 {
+                return Err(DseError::TooManyEligible {
+                    eligible: eligible.len(),
+                });
+            }
+            for mask in 0..(1u64 << eligible.len()) {
+                let p = placements_from_mask(app, &eligible, mask);
+                evaluated += 1;
+                consider(evaluate(app, platform, &p, &cfg.sim), &mut feasible);
+            }
+        }
+        DseMethod::Greedy => {
+            let mut current = placements_from_mask(app, &eligible, 0);
+            evaluated += 1;
+            let mut best = evaluate(app, platform, &current, &cfg.sim);
+            if let Some(p) = &best {
+                feasible.push(p.clone());
+            }
+            loop {
+                let mut improvement: Option<(usize, DsePoint)> = None;
+                for &t in &eligible {
+                    if current[t] == Placement::Hardware {
+                        continue;
+                    }
+                    let mut cand = current.clone();
+                    cand[t] = Placement::Hardware;
+                    evaluated += 1;
+                    if let Some(point) = evaluate(app, platform, &cand, &cfg.sim) {
+                        feasible.push(point.clone());
+                        let better = match (&best, &improvement) {
+                            (Some(b), Some((_, cur))) => {
+                                point.makespan < b.makespan && point.makespan < cur.makespan
+                            }
+                            (Some(b), None) => point.makespan < b.makespan,
+                            (None, Some((_, cur))) => point.makespan < cur.makespan,
+                            (None, None) => true,
+                        };
+                        if better {
+                            improvement = Some((t, point));
+                        }
+                    }
+                }
+                match improvement {
+                    Some((t, point)) => {
+                        current[t] = Placement::Hardware;
+                        best = Some(point);
+                    }
+                    None => break,
+                }
+            }
+        }
+        DseMethod::Anneal { iters, seed } => {
+            let mut rng = Xoshiro256ss::new(seed);
+            let mut current = placements_from_mask(app, &eligible, 0);
+            evaluated += 1;
+            let mut current_point = evaluate(app, platform, &current, &cfg.sim);
+            if let Some(p) = &current_point {
+                feasible.push(p.clone());
+            }
+            for step in 0..iters {
+                if eligible.is_empty() {
+                    break;
+                }
+                let t = eligible[rng.range(eligible.len() as u64) as usize];
+                let mut cand = current.clone();
+                cand[t] = match cand[t] {
+                    Placement::Hardware => Placement::Software,
+                    Placement::Software => Placement::Hardware,
+                };
+                evaluated += 1;
+                if let Some(point) = evaluate(app, platform, &cand, &cfg.sim) {
+                    feasible.push(point.clone());
+                    let temperature = 1.0 - (step as f64 / iters.max(1) as f64);
+                    let accept = match &current_point {
+                        None => true,
+                        Some(cur) => {
+                            if point.makespan <= cur.makespan {
+                                true
+                            } else {
+                                let delta = (point.makespan.0 - cur.makespan.0) as f64
+                                    / cur.makespan.0.max(1) as f64;
+                                rng.chance((-delta / temperature.max(1e-3)).exp() * 0.5)
+                            }
+                        }
+                    };
+                    if accept {
+                        current = cand;
+                        current_point = Some(point);
+                    }
+                }
+            }
+        }
+    }
+
+    let best = feasible
+        .iter()
+        .min_by_key(|p| p.makespan)
+        .cloned()
+        .ok_or(DseError::NoFeasiblePoint)?;
+    // Dedup identical placements before the front (heuristics revisit).
+    let mut unique: Vec<DsePoint> = Vec::new();
+    for p in feasible {
+        if !unique.iter().any(|q| q.placements == p.placements) {
+            unique.push(p);
+        }
+    }
+    let pareto = pareto_front(unique.clone());
+    Ok(DseResult {
+        best,
+        evaluated,
+        feasible: unique,
+        pareto,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{ApplicationBuilder, ArgSpec};
+    use svmsyn_hls::builder::KernelBuilder;
+    use svmsyn_hls::ir::{BinOp, CmpOp, Width};
+
+    /// A loop kernel with enough work to benefit from hardware.
+    fn work_kernel(name: &str) -> svmsyn_hls::ir::Kernel {
+        let mut b = KernelBuilder::new(name, 3);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let src = b.arg(0);
+        let dst = b.arg(1);
+        let n = b.arg(2);
+        let zero = b.constant(0);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi();
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let four = b.constant(4);
+        let off = b.bin(BinOp::Mul, i, four);
+        let sa = b.bin(BinOp::Add, src, off);
+        let da = b.bin(BinOp::Add, dst, off);
+        let v = b.load(sa, Width::W32);
+        let sq = b.bin(BinOp::Mul, v, v);
+        b.store(da, sq, Width::W32);
+        let one = b.constant(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+        b.finish().unwrap()
+    }
+
+    fn app(threads: usize, n: u64) -> Application {
+        let init: Vec<u8> = (0..n as u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut builder = ApplicationBuilder::new("dse").buffer("in", n * 4, init, false);
+        for i in 0..threads {
+            builder = builder.buffer(format!("out{i}"), n * 4, vec![], false);
+        }
+        for i in 0..threads {
+            builder = builder.thread(
+                format!("t{i}"),
+                work_kernel(&format!("k{i}")),
+                vec![
+                    ArgSpec::Buffer(0, 0),
+                    ArgSpec::Buffer(i + 1, 0),
+                    ArgSpec::Value(n as i64),
+                ],
+                true,
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    fn fast_sim() -> SimConfig {
+        SimConfig {
+            quantum: 50_000,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_all_hw_for_ample_budget() {
+        let a = app(2, 128);
+        let r = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+            },
+        )
+        .unwrap();
+        assert_eq!(r.evaluated, 4);
+        // With 2 CPUs and 2 threads, hardware should win or tie; the best
+        // point must be feasible and strictly better than the worst.
+        let worst = r.feasible.iter().map(|p| p.makespan).max().unwrap();
+        assert!(r.best.makespan <= worst);
+        assert!(!r.pareto.is_empty());
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_instance() {
+        let a = app(2, 128);
+        let platform = Platform::default();
+        let ex = explore(
+            &a,
+            &platform,
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+            },
+        )
+        .unwrap();
+        let gr = explore(
+            &a,
+            &platform,
+            &DseConfig {
+                method: DseMethod::Greedy,
+                sim: fast_sim(),
+            },
+        )
+        .unwrap();
+        assert_eq!(gr.best.makespan, ex.best.makespan);
+    }
+
+    #[test]
+    fn anneal_is_deterministic_and_feasible() {
+        let a = app(2, 64);
+        let cfg = DseConfig {
+            method: DseMethod::Anneal { iters: 8, seed: 42 },
+            sim: fast_sim(),
+        };
+        let r1 = explore(&a, &Platform::default(), &cfg).unwrap();
+        let r2 = explore(&a, &Platform::default(), &cfg).unwrap();
+        assert_eq!(r1.best.makespan, r2.best.makespan);
+        assert_eq!(r1.evaluated, r2.evaluated);
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let a = app(3, 64);
+        let r = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+            },
+        )
+        .unwrap();
+        for w in r.pareto.windows(2) {
+            assert!(w[0].resources.lut <= w[1].resources.lut);
+            assert!(w[0].makespan > w[1].makespan, "front must strictly improve");
+        }
+    }
+
+    #[test]
+    fn too_many_eligible_rejected() {
+        let a = app(13, 16);
+        let err = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DseError::TooManyEligible { eligible: 13 }));
+    }
+
+    #[test]
+    fn tight_budget_forces_partial_hw() {
+        let a = app(3, 64);
+        // Budget that fits roughly one hardware thread.
+        let one_thread = {
+            let d = synthesize(
+                &a,
+                &Platform::default(),
+                &[
+                    Placement::Hardware,
+                    Placement::Software,
+                    Placement::Software,
+                ],
+            )
+            .unwrap();
+            d.total_resources
+        };
+        let platform = Platform {
+            fabric: one_thread + FabricResources::new(500, 500, 2, 1),
+            ..Platform::default()
+        };
+        let r = explore(
+            &a,
+            &platform,
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+            },
+        )
+        .unwrap();
+        let hw_count = r
+            .best
+            .placements
+            .iter()
+            .filter(|p| **p == Placement::Hardware)
+            .count();
+        assert!(hw_count <= 1, "budget only fits one HW thread");
+    }
+}

@@ -1,0 +1,734 @@
+//! Full-system simulation of a synthesized design.
+//!
+//! [`simulate`] boots the OS, loads the application's buffers into one
+//! shared virtual address space, instantiates each thread (hardware threads
+//! with their private MMUs bound to that space; software threads on the CPU
+//! model), and runs everything to completion on the deterministic event
+//! scheduler. Hardware and software threads contend for the same bus,
+//! synchronize through the same primitives, and fault into the same OS —
+//! the paper's execution model end to end.
+
+use std::sync::Arc;
+
+use svmsyn_hls::ir::Kernel;
+use svmsyn_hwt::thread::{HwStep, HwThread, HwThreadConfig};
+use svmsyn_mem::{MasterId, MemorySystem, VirtAddr};
+use svmsyn_os::addrspace::{OsError, Sigsegv};
+use svmsyn_os::cpu::{SliceEnd, SwExec, SwExecConfig};
+use svmsyn_os::os::Os;
+use svmsyn_os::sync::{SyncResult, ThreadId, Wake};
+use svmsyn_sim::{Cycle, Scheduler, StatSet};
+use svmsyn_vm::mmu::Access;
+use svmsyn_vm::tlb::Asid;
+
+use crate::app::{SyncAction, SyncSpec};
+use crate::flow::{Placement, SystemDesign};
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Cycle budget per thread advance (smaller = fairer calendar
+    /// interleaving, more events).
+    pub quantum: u64,
+    /// Hard cap on scheduler events (runaway guard).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    /// 2 k-cycle quanta (fine enough that concurrent threads book the
+    /// shared-bus calendar in near-time-order), 5 M events.
+    fn default() -> Self {
+        SimConfig {
+            quantum: 2_000,
+            max_events: 5_000_000,
+        }
+    }
+}
+
+/// Why a simulation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A thread performed an unservicable access.
+    Segv {
+        /// Thread name.
+        thread: String,
+        /// The fault.
+        fault: Sigsegv,
+    },
+    /// All remaining threads are blocked on synchronization.
+    Deadlock {
+        /// Names of the blocked threads.
+        blocked: Vec<String>,
+    },
+    /// The event cap was exceeded.
+    EventLimit,
+    /// OS-level setup failed (e.g. out of memory for buffers).
+    Os(OsError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Segv { thread, fault } => write!(f, "thread {thread}: {fault}"),
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock; blocked threads: {}", blocked.join(", "))
+            }
+            SimError::EventLimit => write!(f, "event limit exceeded"),
+            SimError::Os(e) => write!(f, "os setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<OsError> for SimError {
+    fn from(e: OsError) -> Self {
+        SimError::Os(e)
+    }
+}
+
+/// Per-thread results.
+#[derive(Debug, Clone)]
+pub struct ThreadMetrics {
+    /// Thread name.
+    pub name: String,
+    /// Where it ran.
+    pub placement: Placement,
+    /// Spawn time.
+    pub start: Cycle,
+    /// Completion time (post-sync included).
+    pub end: Cycle,
+    /// Kernel return value, if any.
+    pub ret: Option<i64>,
+    /// The thread's own counters (MEMIF/MMU or cache/TLB absorbed).
+    pub stats: StatSet,
+}
+
+/// The outcome of a full-system simulation.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Completion time of the last thread.
+    pub makespan: Cycle,
+    /// Per-thread metrics, in application order.
+    pub threads: Vec<ThreadMetrics>,
+    /// System-wide counters (OS, bus, DRAM absorbed).
+    pub stats: StatSet,
+    /// Where each application buffer was mapped.
+    pub buffer_vas: Vec<VirtAddr>,
+    /// Final memory image (for checkers).
+    pub mem: MemorySystem,
+    /// Final OS state (for checkers and reports).
+    pub os: Os,
+    /// The shared address space.
+    pub asid: Asid,
+}
+
+impl SimOutcome {
+    /// Copies the final contents of application buffer `idx` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn read_buffer(&self, idx: usize, buf: &mut [u8]) {
+        self.os
+            .copy_out(self.asid, self.buffer_vas[idx], buf, &self.mem);
+    }
+
+    /// Wall-clock duration in microseconds at the design's achieved clock.
+    pub fn wall_micros(&self, design: &SystemDesign) -> f64 {
+        self.makespan.as_micros(design.system_mhz)
+    }
+}
+
+#[derive(Debug)]
+enum Body {
+    Sw(SwExec),
+    Hw(HwThread),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Pre(usize),
+    Run,
+    Post(usize),
+    Done,
+}
+
+#[derive(Debug)]
+struct ThreadRt {
+    name: String,
+    placement: Placement,
+    body: Body,
+    pre: Vec<SyncAction>,
+    post: Vec<SyncAction>,
+    phase: Phase,
+    start: Cycle,
+    end: Option<Cycle>,
+    ret: Option<i64>,
+}
+
+#[derive(Debug)]
+struct SystemState {
+    mem: MemorySystem,
+    os: Os,
+    asid: Asid,
+    threads: Vec<ThreadRt>,
+    sync_ids: Vec<u32>,
+    quantum: u64,
+    finished: usize,
+    error: Option<SimError>,
+}
+
+type Sched = Scheduler<SystemState>;
+
+fn schedule_step(sched: &mut Sched, at: Cycle, i: usize) {
+    sched.schedule_at(at, move |state: &mut SystemState, sched: &mut Sched| {
+        step_thread(state, sched, i)
+    });
+}
+
+fn wake_cost(state: &SystemState, j: usize) -> u64 {
+    match state.threads[j].placement {
+        Placement::Software => state.os.costs.context_switch,
+        Placement::Hardware => state.os.costs.delegate_wakeup + state.os.costs.osif_transfer,
+    }
+}
+
+fn apply_wakes(state: &mut SystemState, sched: &mut Sched, wakes: &[Wake], at: Cycle) {
+    for w in wakes {
+        let j = w.thread().0 as usize;
+        let cost = wake_cost(state, j);
+        schedule_step(sched, at + cost, j);
+    }
+}
+
+fn handle_sync(state: &mut SystemState, sched: &mut Sched, i: usize, k: usize, is_pre: bool) {
+    let now = sched.now();
+    let actions = if is_pre {
+        state.threads[i].pre.clone()
+    } else {
+        state.threads[i].post.clone()
+    };
+    if k >= actions.len() {
+        if is_pre {
+            state.threads[i].phase = Phase::Run;
+            schedule_step(sched, now, i);
+        } else {
+            state.threads[i].phase = Phase::Done;
+            state.threads[i].end = Some(now);
+            state.finished += 1;
+        }
+        return;
+    }
+    let action = actions[k];
+    let cost = match state.threads[i].placement {
+        Placement::Hardware => state.os.costs.osif_call_total(),
+        Placement::Software => state.os.costs.syscall,
+    };
+    let t = now + cost;
+    let tid = ThreadId(i as u32);
+    let oid = state.sync_ids[action.object()];
+    let (result, wakes) = match action {
+        SyncAction::MutexLock(_) => (state.os.sync.mutex_lock(tid, oid), vec![]),
+        SyncAction::MutexUnlock(_) => (
+            SyncResult::Proceed { value: None },
+            state.os.sync.mutex_unlock(tid, oid),
+        ),
+        SyncAction::SemWait(_) => (state.os.sync.sem_wait(tid, oid), vec![]),
+        SyncAction::SemPost(_) => (
+            SyncResult::Proceed { value: None },
+            state.os.sync.sem_post(oid),
+        ),
+        SyncAction::BarrierWait(_) => state.os.sync.barrier_wait(tid, oid),
+        SyncAction::MboxPut(_, v) => state.os.sync.mbox_put(tid, oid, v),
+        SyncAction::MboxGet(_) => state.os.sync.mbox_get(tid, oid),
+    };
+    // A blocked action completes upon wakeup (FIFO handoff semantics), so
+    // the phase index always advances.
+    state.threads[i].phase = if is_pre {
+        Phase::Pre(k + 1)
+    } else {
+        Phase::Post(k + 1)
+    };
+    apply_wakes(state, sched, &wakes, t);
+    match result {
+        SyncResult::Proceed { .. } => schedule_step(sched, t, i),
+        SyncResult::Block => { /* the waker reschedules us */ }
+    }
+}
+
+enum BodyOutcome {
+    Reschedule(Cycle),
+    Finished(Option<i64>, Cycle),
+    Fault(Sigsegv),
+}
+
+fn run_body(state: &mut SystemState, sched: &mut Sched, i: usize) {
+    let now = sched.now();
+    let quantum = state.quantum;
+    let asid = state.asid;
+    let outcome = {
+        let SystemState {
+            mem, os, threads, ..
+        } = &mut *state;
+        let rt = &mut threads[i];
+        match &mut rt.body {
+            Body::Hw(hw) => match hw.advance(mem, now, quantum) {
+                HwStep::Yielded { now } => BodyOutcome::Reschedule(now),
+                HwStep::PageFault { fault, now } => {
+                    let write = fault.access() == Access::Write;
+                    match os.service_fault(asid, fault.va(), write, true, mem, now) {
+                        Ok(done) => BodyOutcome::Reschedule(done),
+                        Err(segv) => BodyOutcome::Fault(segv),
+                    }
+                }
+                HwStep::Finished { ret, now } => BodyOutcome::Finished(ret, now),
+            },
+            Body::Sw(sw) => {
+                // Reserve a CPU window, then execute inside it.
+                let (start, _) = os.cpus.run_slice(ThreadId(i as u32), now, quantum);
+                match sw.run_slice(os, mem, start, quantum) {
+                    Ok((end, SliceEnd::Finished { ret })) => BodyOutcome::Finished(ret, end),
+                    Ok((end, SliceEnd::BudgetExhausted)) => BodyOutcome::Reschedule(end),
+                    Err(segv) => BodyOutcome::Fault(segv),
+                }
+            }
+        }
+    };
+    match outcome {
+        BodyOutcome::Reschedule(at) => schedule_step(sched, at, i),
+        BodyOutcome::Finished(ret, at) => {
+            let rt = &mut state.threads[i];
+            rt.ret = ret;
+            rt.phase = Phase::Post(0);
+            schedule_step(sched, at, i);
+        }
+        BodyOutcome::Fault(segv) => {
+            state.error = Some(SimError::Segv {
+                thread: state.threads[i].name.clone(),
+                fault: segv,
+            });
+            sched.halt();
+        }
+    }
+}
+
+fn step_thread(state: &mut SystemState, sched: &mut Sched, i: usize) {
+    if state.error.is_some() {
+        return;
+    }
+    match state.threads[i].phase {
+        Phase::Pre(k) => handle_sync(state, sched, i, k, true),
+        Phase::Run => run_body(state, sched, i),
+        Phase::Post(k) => handle_sync(state, sched, i, k, false),
+        Phase::Done => {}
+    }
+}
+
+/// Simulates a synthesized design to completion.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on setup failure, segmentation fault, deadlock, or
+/// event-cap overflow.
+pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, SimError> {
+    let app = &design.app;
+    let platform = &design.platform;
+    let mut mem = MemorySystem::new(platform.mem.clone());
+    let mut os = Os::new(&platform.os, &mem);
+    let asid = os.create_space(&mut mem)?;
+
+    // Buffers.
+    let mut buffer_vas = Vec::with_capacity(app.buffers.len());
+    for b in &app.buffers {
+        let va = os.mmap(asid, b.len.max(1), true, b.populate, &mut mem)?;
+        if !b.init.is_empty() {
+            os.copy_in(asid, va, &b.init, &mut mem);
+        }
+        buffer_vas.push(va);
+    }
+
+    // Sync objects.
+    let sync_ids: Vec<u32> = app
+        .sync_objects
+        .iter()
+        .map(|s| match s {
+            SyncSpec::Mutex => os.sync.create_mutex(),
+            SyncSpec::Semaphore(n) => os.sync.create_sem(*n),
+            SyncSpec::Barrier(n) => os.sync.create_barrier(*n),
+            SyncSpec::Mbox(c) => os.sync.create_mbox(*c),
+        })
+        .collect();
+
+    // Threads.
+    let root = os.space(asid).root();
+    let mut threads = Vec::with_capacity(app.threads.len());
+    for (i, spec) in app.threads.iter().enumerate() {
+        let args: Vec<i64> = spec
+            .args
+            .iter()
+            .map(|a| match a {
+                crate::app::ArgSpec::Buffer(bi, off) => (buffer_vas[*bi].0 + off) as i64,
+                crate::app::ArgSpec::Value(v) => *v,
+            })
+            .collect();
+        let master = MasterId(i as u16 + 1);
+        let body = match design.placements[i] {
+            Placement::Hardware => {
+                let ck = design.threads[i]
+                    .compiled
+                    .clone()
+                    .expect("hardware thread must have a compiled kernel");
+                let mut hw = HwThread::new(
+                    ck,
+                    &args,
+                    &HwThreadConfig {
+                        memif: platform.memif,
+                    },
+                    master,
+                );
+                hw.set_context(asid, root);
+                Body::Hw(hw)
+            }
+            Placement::Software => {
+                let kernel: Arc<Kernel> = Arc::new(spec.kernel.clone());
+                Body::Sw(SwExec::new(
+                    ThreadId(i as u32),
+                    asid,
+                    kernel,
+                    &args,
+                    SwExecConfig::with_master(master),
+                ))
+            }
+        };
+        // Thread spawn is serialized through the parent (one syscall each).
+        let start = Cycle(i as u64 * os.costs.syscall);
+        threads.push(ThreadRt {
+            name: spec.name.clone(),
+            placement: design.placements[i],
+            body,
+            pre: spec.pre.clone(),
+            post: spec.post.clone(),
+            phase: Phase::Pre(0),
+            start,
+            end: None,
+            ret: None,
+        });
+    }
+
+    let mut state = SystemState {
+        mem,
+        os,
+        asid,
+        threads,
+        sync_ids,
+        quantum: cfg.quantum,
+        finished: 0,
+        error: None,
+    };
+    let mut sched: Sched = Scheduler::new();
+    for i in 0..state.threads.len() {
+        schedule_step(&mut sched, state.threads[i].start, i);
+    }
+
+    while state.error.is_none() && sched.step(&mut state) {
+        if sched.events_fired() > cfg.max_events {
+            state.error = Some(SimError::EventLimit);
+            break;
+        }
+    }
+    if let Some(e) = state.error.take() {
+        return Err(e);
+    }
+    if state.finished < state.threads.len() {
+        return Err(SimError::Deadlock {
+            blocked: state
+                .threads
+                .iter()
+                .filter(|t| t.phase != Phase::Done)
+                .map(|t| t.name.clone())
+                .collect(),
+        });
+    }
+
+    let makespan = state
+        .threads
+        .iter()
+        .filter_map(|t| t.end)
+        .max()
+        .unwrap_or(Cycle::ZERO);
+    let mut stats = StatSet::new();
+    stats.put("makespan", makespan.0 as f64);
+    stats.absorb("os", state.os.stats());
+    stats.absorb("mem", state.mem.stats());
+    let threads = state
+        .threads
+        .into_iter()
+        .map(|t| {
+            let body_stats = match &t.body {
+                Body::Sw(sw) => sw.stats(),
+                Body::Hw(hw) => hw.stats(),
+            };
+            ThreadMetrics {
+                name: t.name,
+                placement: t.placement,
+                start: t.start,
+                end: t.end.expect("all threads finished"),
+                ret: t.ret,
+                stats: body_stats,
+            }
+        })
+        .collect();
+
+    Ok(SimOutcome {
+        makespan,
+        threads,
+        stats,
+        buffer_vas,
+        mem: state.mem,
+        os: state.os,
+        asid: state.asid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{ApplicationBuilder, ArgSpec, SyncAction, SyncSpec};
+    use crate::flow::synthesize;
+    use crate::platform::Platform;
+    use svmsyn_hls::builder::KernelBuilder;
+    use svmsyn_hls::ir::{BinOp, CmpOp, Width};
+
+    /// dst[i] = src[i] * 3 for i in 0..n.
+    fn scale_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("scale", 3);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let src = b.arg(0);
+        let dst = b.arg(1);
+        let n = b.arg(2);
+        let zero = b.constant(0);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi();
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let four = b.constant(4);
+        let off = b.bin(BinOp::Mul, i, four);
+        let sa = b.bin(BinOp::Add, src, off);
+        let da = b.bin(BinOp::Add, dst, off);
+        let v = b.load(sa, Width::W32);
+        let three = b.constant(3);
+        let v3 = b.bin(BinOp::Mul, v, three);
+        b.store(da, v3, Width::W32);
+        let one = b.constant(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+        b.finish().unwrap()
+    }
+
+    fn scale_app(n: u64) -> crate::app::Application {
+        let init: Vec<u8> = (0..n as u32).flat_map(|i| i.to_le_bytes()).collect();
+        ApplicationBuilder::new("scale")
+            .buffer("src", n * 4, init, false)
+            .buffer("dst", n * 4, vec![], false)
+            .thread(
+                "scaler",
+                scale_kernel(),
+                vec![
+                    ArgSpec::Buffer(0, 0),
+                    ArgSpec::Buffer(1, 0),
+                    ArgSpec::Value(n as i64),
+                ],
+                true,
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn check_scaled(outcome: &SimOutcome, n: u64) {
+        let mut buf = vec![0u8; (n * 4) as usize];
+        outcome.read_buffer(1, &mut buf);
+        for i in 0..n as usize {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&buf[i * 4..i * 4 + 4]);
+            assert_eq!(u32::from_le_bytes(w), (i as u32) * 3, "element {i}");
+        }
+    }
+
+    #[test]
+    fn software_run_is_correct() {
+        let app = scale_app(512);
+        let d = synthesize(&app, &Platform::default(), &[Placement::Software]).unwrap();
+        let o = simulate(&d, &SimConfig::default()).unwrap();
+        check_scaled(&o, 512);
+        assert!(o.makespan > Cycle(0));
+        assert_eq!(o.threads.len(), 1);
+        assert!(o.stats.get("os.sw_faults").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn hardware_run_is_correct_and_faults_demand_pages() {
+        let app = scale_app(512);
+        let d = synthesize(&app, &Platform::default(), &[Placement::Hardware]).unwrap();
+        let o = simulate(&d, &SimConfig::default()).unwrap();
+        check_scaled(&o, 512);
+        // dst is demand-paged: the HW thread faulted at least once.
+        assert!(o.stats.get("os.hw_faults").unwrap() >= 1.0);
+        assert!(o.wall_micros(&d) > 0.0);
+    }
+
+    #[test]
+    fn hw_and_sw_compute_identical_bytes() {
+        let app = scale_app(256);
+        let sw = simulate(
+            &synthesize(&app, &Platform::default(), &[Placement::Software]).unwrap(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let hw = simulate(
+            &synthesize(&app, &Platform::default(), &[Placement::Hardware]).unwrap(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let mut a = vec![0u8; 1024];
+        let mut b = vec![0u8; 1024];
+        sw.read_buffer(1, &mut a);
+        hw.read_buffer(1, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn producer_consumer_via_semaphore() {
+        // producer scales into mid, posts; consumer waits, scales mid into out.
+        let n = 128u64;
+        let init: Vec<u8> = (0..n as u32).flat_map(|i| i.to_le_bytes()).collect();
+        let app = ApplicationBuilder::new("pipe")
+            .buffer("in", n * 4, init, false)
+            .buffer("mid", n * 4, vec![], false)
+            .buffer("out", n * 4, vec![], false)
+            .sync(SyncSpec::Semaphore(0))
+            .thread_full(
+                "producer",
+                scale_kernel(),
+                vec![
+                    ArgSpec::Buffer(0, 0),
+                    ArgSpec::Buffer(1, 0),
+                    ArgSpec::Value(n as i64),
+                ],
+                vec![],
+                vec![SyncAction::SemPost(0)],
+                true,
+            )
+            .thread_full(
+                "consumer",
+                scale_kernel(),
+                vec![
+                    ArgSpec::Buffer(1, 0),
+                    ArgSpec::Buffer(2, 0),
+                    ArgSpec::Value(n as i64),
+                ],
+                vec![SyncAction::SemWait(0)],
+                vec![],
+                false,
+            )
+            .build()
+            .unwrap();
+        let d = synthesize(
+            &app,
+            &Platform::default(),
+            &[Placement::Hardware, Placement::Software],
+        )
+        .unwrap();
+        let o = simulate(&d, &SimConfig::default()).unwrap();
+        let mut out = vec![0u8; (n * 4) as usize];
+        o.read_buffer(2, &mut out);
+        for i in 0..n as usize {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&out[i * 4..i * 4 + 4]);
+            assert_eq!(u32::from_le_bytes(w), (i as u32) * 9, "element {i}");
+        }
+        // The consumer must have finished after the producer.
+        assert!(o.threads[1].end > o.threads[0].end - Cycle(1));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut kb = KernelBuilder::new("nop", 0);
+        kb.ret(None);
+        let app = ApplicationBuilder::new("dead")
+            .sync(SyncSpec::Semaphore(0))
+            .thread_full(
+                "waiter",
+                kb.finish().unwrap(),
+                vec![],
+                vec![SyncAction::SemWait(0)],
+                vec![],
+                false,
+            )
+            .build()
+            .unwrap();
+        let d = synthesize(&app, &Platform::default(), &[Placement::Software]).unwrap();
+        let err = simulate(&d, &SimConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+        assert!(err.to_string().contains("waiter"));
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_makespan() {
+        let app = scale_app(256);
+        let d = synthesize(&app, &Platform::default(), &[Placement::Hardware]).unwrap();
+        let a = simulate(&d, &SimConfig::default()).unwrap();
+        let b = simulate(&d, &SimConfig::default()).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn mutex_serializes_critical_sections() {
+        // Two SW threads lock the same mutex around their kernels.
+        let n = 64u64;
+        let init: Vec<u8> = (0..n as u32).flat_map(|i| i.to_le_bytes()).collect();
+        let app = ApplicationBuilder::new("mx")
+            .buffer("in", n * 4, init.clone(), false)
+            .buffer("o1", n * 4, vec![], false)
+            .buffer("o2", n * 4, vec![], false)
+            .sync(SyncSpec::Mutex)
+            .thread_full(
+                "a",
+                scale_kernel(),
+                vec![
+                    ArgSpec::Buffer(0, 0),
+                    ArgSpec::Buffer(1, 0),
+                    ArgSpec::Value(n as i64),
+                ],
+                vec![SyncAction::MutexLock(0)],
+                vec![SyncAction::MutexUnlock(0)],
+                false,
+            )
+            .thread_full(
+                "b",
+                scale_kernel(),
+                vec![
+                    ArgSpec::Buffer(0, 0),
+                    ArgSpec::Buffer(2, 0),
+                    ArgSpec::Value(n as i64),
+                ],
+                vec![SyncAction::MutexLock(0)],
+                vec![SyncAction::MutexUnlock(0)],
+                false,
+            )
+            .build()
+            .unwrap();
+        let d = synthesize(&app, &Platform::default(), &[Placement::Software; 2]).unwrap();
+        let o = simulate(&d, &SimConfig::default()).unwrap();
+        assert_eq!(o.threads.len(), 2);
+        assert!(o.stats.get("os.sync_contended").unwrap() >= 1.0);
+    }
+}

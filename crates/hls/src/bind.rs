@@ -1,0 +1,250 @@
+//! Binding: functional-unit allocation and register binding (left-edge).
+//!
+//! After scheduling, binding decides how many physical FUs and registers the
+//! datapath needs — the numbers behind the area estimate. FU counts come
+//! from peak per-cycle concurrency (and per-modulo-slot concurrency for
+//! pipelined loops); registers come from a left-edge pass over per-block
+//! live intervals plus dedicated registers for values that are live across
+//! block boundaries.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{BlockId, Kernel, Op, OpClass, Terminator, Value};
+use crate::pipeline::LoopPipeline;
+use crate::resource::BindingReport;
+use crate::sched::BlockSchedule;
+
+/// Computes the binding report for a scheduled kernel.
+pub fn bind(
+    kernel: &Kernel,
+    schedules: &[BlockSchedule],
+    pipelines: &HashMap<BlockId, LoopPipeline>,
+) -> BindingReport {
+    let pipelined: HashSet<BlockId> = pipelines
+        .values()
+        .flat_map(|p| p.blocks.iter().copied())
+        .collect();
+
+    // --- FU allocation: peak concurrency per class -----------------------
+    let mut peak: HashMap<OpClass, usize> = HashMap::new();
+    let mut ops_per_class: HashMap<OpClass, usize> = HashMap::new();
+    for b in kernel.block_ids() {
+        if pipelined.contains(&b) {
+            continue; // counted via the pipeline's modulo table below
+        }
+        let sched = &schedules[b.0 as usize];
+        let mut per_cycle: HashMap<(OpClass, u32), usize> = HashMap::new();
+        for (&v, &c) in &sched.start {
+            let class = kernel.instr(v).op.class();
+            if class == OpClass::Free {
+                continue;
+            }
+            *ops_per_class.entry(class).or_insert(0) += 1;
+            let e = per_cycle.entry((class, c)).or_insert(0);
+            *e += 1;
+            let p = peak.entry(class).or_insert(0);
+            *p = (*p).max(*e);
+        }
+    }
+    for p in pipelines.values() {
+        let mut per_slot: HashMap<(OpClass, u32), usize> = HashMap::new();
+        for (&v, &s) in &p.starts {
+            let class = kernel.instr(v).op.class();
+            if class == OpClass::Free {
+                continue;
+            }
+            *ops_per_class.entry(class).or_insert(0) += 1;
+            let e = per_slot.entry((class, s % p.ii)).or_insert(0);
+            *e += 1;
+            let pk = peak.entry(class).or_insert(0);
+            *pk = (*pk).max(*e);
+        }
+    }
+
+    // --- Register binding -------------------------------------------------
+    // Values live across blocks (used in a different block than their def,
+    // by a phi, or by a terminator) get dedicated registers.
+    let mut def_block: HashMap<Value, BlockId> = HashMap::new();
+    for b in kernel.block_ids() {
+        for &v in &kernel.block(b).instrs {
+            def_block.insert(v, b);
+        }
+    }
+    let mut cross_block: HashSet<Value> = HashSet::new();
+    for b in kernel.block_ids() {
+        for &v in &kernel.block(b).instrs {
+            let op = &kernel.instr(v).op;
+            if let Op::Phi(incoming) = op {
+                cross_block.insert(v);
+                for (_, pv) in incoming {
+                    cross_block.insert(*pv);
+                }
+                continue;
+            }
+            for u in op.operands() {
+                if def_block.get(&u) != Some(&b) {
+                    cross_block.insert(u);
+                }
+            }
+        }
+        match &kernel.block(b).term {
+            Terminator::Branch { cond, .. } => {
+                cross_block.insert(*cond);
+            }
+            Terminator::Return(Some(v)) => {
+                cross_block.insert(*v);
+            }
+            _ => {}
+        }
+    }
+
+    // Left-edge over intra-block temporaries per block.
+    let mut shared_registers = 0usize;
+    for b in kernel.block_ids() {
+        let sched = &schedules[b.0 as usize];
+        let block = kernel.block(b);
+        // live interval: (def_end, last_use_start)
+        let mut intervals: Vec<(u32, u32)> = Vec::new();
+        for &v in &block.instrs {
+            if cross_block.contains(&v) || !kernel.instr(v).op.defines_value() {
+                continue;
+            }
+            let def = match sched.start.get(&v) {
+                Some(&s) => s,
+                None => continue,
+            };
+            let mut last_use = def;
+            for &u in &block.instrs {
+                if kernel.instr(u).op.operands().contains(&v) {
+                    if let Some(&s) = sched.start.get(&u) {
+                        last_use = last_use.max(s);
+                    }
+                }
+            }
+            if last_use > def {
+                intervals.push((def, last_use));
+            }
+        }
+        intervals.sort_unstable();
+        // Greedy left-edge: registers as rows of non-overlapping intervals.
+        let mut rows: Vec<u32> = Vec::new(); // end time of each row
+        for (start, end) in intervals {
+            match rows.iter_mut().find(|rend| **rend <= start) {
+                Some(rend) => *rend = end,
+                None => rows.push(end),
+            }
+        }
+        shared_registers = shared_registers.max(rows.len());
+    }
+    let registers = cross_block.len() + shared_registers;
+
+    // --- Mux estimate ------------------------------------------------------
+    // Each shared FU with k ops bound to it needs (k-1) extra mux inputs per
+    // operand port (2 ports).
+    let mut mux_inputs = 0usize;
+    for (class, &n_ops) in &ops_per_class {
+        let units = peak.get(class).copied().unwrap_or(0).max(1);
+        if n_ops > units {
+            mux_inputs += 2 * (n_ops - units);
+        }
+    }
+
+    BindingReport {
+        alu_units: peak.get(&OpClass::Alu).copied().unwrap_or(0),
+        mul_units: peak.get(&OpClass::Mul).copied().unwrap_or(0),
+        div_units: peak.get(&OpClass::Div).copied().unwrap_or(0),
+        mem_ports: peak.get(&OpClass::Mem).copied().unwrap_or(0).max(1),
+        registers,
+        mux_inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::BinOp;
+    use crate::resource::FuBudget;
+    use crate::sched::list_schedule;
+
+    fn schedules_for(k: &Kernel, budget: &FuBudget) -> Vec<BlockSchedule> {
+        k.block_ids().map(|b| list_schedule(k, b, budget)).collect()
+    }
+
+    #[test]
+    fn fu_counts_track_peak_concurrency() {
+        let mut b = KernelBuilder::new("k", 4);
+        let a0 = b.arg(0);
+        let a1 = b.arg(1);
+        let a2 = b.arg(2);
+        let a3 = b.arg(3);
+        let s0 = b.bin(BinOp::Add, a0, a1);
+        let s1 = b.bin(BinOp::Add, a2, a3);
+        let s = b.bin(BinOp::Add, s0, s1);
+        b.ret(Some(s));
+        let k = b.finish().unwrap();
+        let budget = FuBudget {
+            alu: 2,
+            ..FuBudget::default()
+        };
+        let scheds = schedules_for(&k, &budget);
+        let report = bind(&k, &scheds, &HashMap::new());
+        assert_eq!(report.alu_units, 2, "two adds run in parallel");
+        assert_eq!(report.mul_units, 0);
+        assert_eq!(report.mem_ports, 1, "memif port always present");
+    }
+
+    #[test]
+    fn narrow_budget_fewer_units_more_muxes() {
+        let mut b = KernelBuilder::new("k", 4);
+        let a0 = b.arg(0);
+        let a1 = b.arg(1);
+        let a2 = b.arg(2);
+        let a3 = b.arg(3);
+        let s0 = b.bin(BinOp::Add, a0, a1);
+        let s1 = b.bin(BinOp::Add, a2, a3);
+        let s2 = b.bin(BinOp::Add, s0, s1);
+        let s3 = b.bin(BinOp::Add, s2, a0);
+        b.ret(Some(s3));
+        let k = b.finish().unwrap();
+        let narrow = schedules_for(
+            &k,
+            &FuBudget {
+                alu: 1,
+                ..FuBudget::default()
+            },
+        );
+        let report = bind(&k, &narrow, &HashMap::new());
+        assert_eq!(report.alu_units, 1);
+        assert!(report.mux_inputs > 0, "sharing needs steering muxes");
+    }
+
+    #[test]
+    fn cross_block_values_get_registers() {
+        let mut b = KernelBuilder::new("k", 1);
+        let next = b.new_block();
+        let x = b.arg(0);
+        let one = b.constant(1);
+        let y = b.bin(BinOp::Add, x, one);
+        b.jump(next);
+        b.switch_to(next);
+        let z = b.bin(BinOp::Add, y, y); // y crosses the block boundary
+        b.ret(Some(z));
+        let k = b.finish().unwrap();
+        let scheds = schedules_for(&k, &FuBudget::default());
+        let report = bind(&k, &scheds, &HashMap::new());
+        assert!(report.registers >= 2, "y and z need registers: {report:?}");
+    }
+
+    #[test]
+    fn empty_kernel_binds_minimally() {
+        let mut b = KernelBuilder::new("k", 0);
+        b.ret(None);
+        let k = b.finish().unwrap();
+        let scheds = schedules_for(&k, &FuBudget::default());
+        let report = bind(&k, &scheds, &HashMap::new());
+        assert_eq!(report.alu_units, 0);
+        assert_eq!(report.mem_ports, 1);
+        assert_eq!(report.mux_inputs, 0);
+    }
+}

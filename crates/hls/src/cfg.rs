@@ -1,0 +1,331 @@
+//! Control-flow analysis: predecessors/successors, reverse postorder,
+//! dominators (Cooper–Harvey–Kennedy), and natural-loop detection.
+
+use crate::ir::{BlockId, Kernel};
+
+/// Control-flow facts about a kernel.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<usize>,
+    idom: Vec<Option<BlockId>>,
+}
+
+/// A natural loop: a back edge `latch -> header` where `header` dominates
+/// `latch`, plus every block that can reach the latch without leaving the
+/// loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// Blocks with back edges into the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, sorted by id (header included).
+    pub blocks: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` belongs to the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+}
+
+impl Cfg {
+    /// Computes control-flow facts for `kernel`.
+    pub fn new(kernel: &Kernel) -> Cfg {
+        let n = kernel.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for b in kernel.block_ids() {
+            for s in kernel.block(b).term.successors() {
+                succs[b.0 as usize].push(s);
+                preds[s.0 as usize].push(b);
+            }
+        }
+
+        // Reverse postorder from the entry.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with explicit stack of (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(kernel.entry, 0)];
+        visited[kernel.entry.0 as usize] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.0 as usize];
+            if *i < ss.len() {
+                let next = ss[*i];
+                *i += 1;
+                if !visited[next.0 as usize] {
+                    visited[next.0 as usize] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+
+        // Dominators (Cooper–Harvey–Kennedy).
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[kernel.entry.0 as usize] = Some(kernel.entry);
+        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], a: BlockId, b: BlockId| {
+            let (mut x, mut y) = (a, b);
+            while x != y {
+                while rpo_index[x.0 as usize] > rpo_index[y.0 as usize] {
+                    x = idom[x.0 as usize].expect("processed");
+                }
+                while rpo_index[y.0 as usize] > rpo_index[x.0 as usize] {
+                    y = idom[y.0 as usize].expect("processed");
+                }
+            }
+            x
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.0 as usize] {
+                    if rpo_index[p.0 as usize] == usize::MAX {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+            idom,
+        }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Blocks in reverse postorder (reachable blocks only).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+
+    /// The immediate dominator of `b` (the entry dominates itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0 as usize]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = match self.idom[cur.0 as usize] {
+                Some(d) => d,
+                None => return false,
+            };
+            if next == cur {
+                return false; // reached the entry
+            }
+            cur = next;
+        }
+    }
+
+    /// Detects all natural loops, merging back edges that share a header.
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for &b in &self.rpo {
+            for &s in self.succs(b) {
+                if self.dominates(s, b) {
+                    // back edge b -> s
+                    let header = s;
+                    let latch = b;
+                    // Collect the loop body: reverse reachability from the
+                    // latch without passing through the header.
+                    let mut body = vec![header, latch];
+                    let mut stack = vec![latch];
+                    while let Some(x) = stack.pop() {
+                        if x == header {
+                            continue;
+                        }
+                        for &p in self.preds(x) {
+                            if !body.contains(&p) {
+                                body.push(p);
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    body.sort_unstable();
+                    body.dedup();
+                    if let Some(l) = loops.iter_mut().find(|l| l.header == header) {
+                        l.latches.push(latch);
+                        let mut merged = l.blocks.clone();
+                        merged.extend(body);
+                        merged.sort_unstable();
+                        merged.dedup();
+                        l.blocks = merged;
+                    } else {
+                        loops.push(NaturalLoop {
+                            header,
+                            latches: vec![latch],
+                            blocks: body,
+                        });
+                    }
+                }
+            }
+        }
+        loops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::{BinOp, CmpOp};
+
+    /// entry -> header <-> body, header -> exit
+    fn loop_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("loop", 1);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let n = b.arg(0);
+        let zero = b.constant(0);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi();
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.constant(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.set_phi_incoming(i, &[(BlockId(0), zero), (body, i2)]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let k = loop_kernel();
+        let cfg = Cfg::new(&k);
+        let (entry, header, body, exit) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(cfg.succs(entry), &[header]);
+        assert_eq!(cfg.succs(header), &[body, exit]);
+        let mut hp = cfg.preds(header).to_vec();
+        hp.sort_unstable();
+        assert_eq!(hp, vec![entry, body]);
+        assert_eq!(cfg.preds(exit), &[header]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let k = loop_kernel();
+        let cfg = Cfg::new(&k);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 4);
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn dominators() {
+        let k = loop_kernel();
+        let cfg = Cfg::new(&k);
+        let (entry, header, body, exit) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert!(cfg.dominates(entry, exit));
+        assert!(cfg.dominates(header, body));
+        assert!(cfg.dominates(header, exit));
+        assert!(!cfg.dominates(body, exit));
+        assert!(cfg.dominates(header, header));
+        assert_eq!(cfg.idom(body), Some(header));
+        assert_eq!(cfg.idom(exit), Some(header));
+        assert_eq!(cfg.idom(header), Some(entry));
+    }
+
+    #[test]
+    fn finds_the_natural_loop() {
+        let k = loop_kernel();
+        let cfg = Cfg::new(&k);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert_eq!(l.blocks, vec![BlockId(1), BlockId(2)]);
+        assert!(l.contains(BlockId(1)));
+        assert!(!l.contains(BlockId(3)));
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut b = KernelBuilder::new("s", 0);
+        let c = b.constant(1);
+        b.ret(Some(c));
+        let k = b.finish().unwrap();
+        let cfg = Cfg::new(&k);
+        assert!(cfg.natural_loops().is_empty());
+        assert_eq!(cfg.rpo().len(), 1);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // entry -> {t, f} -> join
+        let mut b = KernelBuilder::new("d", 1);
+        let t = b.new_block();
+        let f = b.new_block();
+        let join = b.new_block();
+        let x = b.arg(0);
+        b.branch(x, t, f);
+        b.switch_to(t);
+        b.jump(join);
+        b.switch_to(f);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(None);
+        let k = b.finish().unwrap();
+        let cfg = Cfg::new(&k);
+        assert_eq!(cfg.idom(join), Some(BlockId(0)));
+        assert!(!cfg.dominates(t, join));
+        assert!(!cfg.dominates(f, join));
+        assert!(cfg.natural_loops().is_empty());
+    }
+}

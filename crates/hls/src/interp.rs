@@ -1,0 +1,577 @@
+//! The resumable kernel interpreter.
+//!
+//! One interpreter serves three consumers:
+//!
+//! * **golden-model runs** ([`run`]) for tests and software references,
+//! * the **CPU execution model** in `svmsyn-os`, which costs each yielded
+//!   event with a CPI table and a cache model,
+//! * the **FSMD execution engine** in `svmsyn-hwt`, which ignores per-op
+//!   events and charges schedule-derived block times, but uses the same
+//!   memory events — so hardware and software runs are functionally
+//!   identical by construction.
+//!
+//! The interpreter *yields* at every costed operation instead of owning the
+//! clock: `next()` returns an [`InterpEvent`]; memory loads pause the machine
+//! until the caller supplies data via [`Interp::provide_load`].
+
+use std::sync::Arc;
+
+use crate::ir::{BlockId, Kernel, Op, OpClass, Terminator, Value, Width};
+
+/// An event yielded by the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpEvent {
+    /// A compute operation executed (class given for CPI costing). Free ops
+    /// (constants, arguments, phis) execute silently and are never yielded.
+    Op(OpClass),
+    /// A load was issued; call [`Interp::provide_load`] before `next()`.
+    Load {
+        /// Virtual byte address.
+        addr: u64,
+        /// Access width.
+        width: Width,
+    },
+    /// A store was issued; the caller performs the write.
+    Store {
+        /// Virtual byte address.
+        addr: u64,
+        /// Access width.
+        width: Width,
+        /// Raw value truncated to `width`.
+        value: u64,
+    },
+    /// Control transferred between basic blocks (terminator executed).
+    BlockChange {
+        /// The block just left.
+        from: BlockId,
+        /// The block just entered.
+        to: BlockId,
+    },
+    /// The kernel returned.
+    Done {
+        /// The return value, if any.
+        ret: Option<i64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Running,
+    AwaitLoad,
+    Finished,
+}
+
+/// The resumable interpreter over a kernel.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_hls::builder::KernelBuilder;
+/// use svmsyn_hls::ir::BinOp;
+/// use svmsyn_hls::interp::{Interp, InterpEvent};
+///
+/// let mut b = KernelBuilder::new("add", 2);
+/// let x = b.arg(0);
+/// let y = b.arg(1);
+/// let s = b.bin(BinOp::Add, x, y);
+/// b.ret(Some(s));
+/// let k = b.finish().unwrap();
+///
+/// let mut i = Interp::new(std::sync::Arc::new(k), &[2, 40]);
+/// loop {
+///     match i.next() {
+///         InterpEvent::Done { ret } => {
+///             assert_eq!(ret, Some(42));
+///             break;
+///         }
+///         _ => {}
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interp {
+    kernel: Arc<Kernel>,
+    args: Vec<i64>,
+    vals: Vec<i64>,
+    cur: BlockId,
+    idx: usize,
+    pending_load: Option<(Value, Width)>,
+    state: State,
+    steps: u64,
+    step_limit: u64,
+}
+
+impl Interp {
+    /// Starts a run with the given arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len()` differs from the kernel's declared count.
+    pub fn new(kernel: Arc<Kernel>, args: &[i64]) -> Self {
+        assert_eq!(
+            args.len(),
+            kernel.num_args as usize,
+            "kernel {} expects {} args",
+            kernel.name,
+            kernel.num_args
+        );
+        let nvals = kernel.instrs.len();
+        let entry = kernel.entry;
+        Interp {
+            kernel,
+            args: args.to_vec(),
+            vals: vec![0; nvals],
+            cur: entry,
+            idx: 0,
+            pending_load: None,
+            state: State::Running,
+            steps: 0,
+            step_limit: u64::MAX,
+        }
+    }
+
+    /// Caps the number of executed instructions (defaults to unlimited).
+    ///
+    /// Exceeding the cap panics — it indicates a non-terminating kernel in a
+    /// test, not a recoverable condition.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The current value of `v` (primarily for tests/debugging).
+    pub fn value(&self, v: Value) -> i64 {
+        self.vals[v.0 as usize]
+    }
+
+    /// Supplies the raw data for the pending load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no load is pending.
+    pub fn provide_load(&mut self, raw: u64) {
+        let (v, width) = self
+            .pending_load
+            .take()
+            .expect("provide_load called with no pending load");
+        self.vals[v.0 as usize] = width.sign_extend(raw);
+        self.state = State::Running;
+    }
+
+    fn transition(&mut self, to: BlockId) {
+        // Evaluate all phis of `to` in parallel over the edge `cur -> to`.
+        let from = self.cur;
+        let kernel = Arc::clone(&self.kernel);
+        let block = kernel.block(to);
+        let mut updates: Vec<(Value, i64)> = Vec::new();
+        for &v in &block.instrs {
+            match &kernel.instr(v).op {
+                Op::Phi(incoming) => {
+                    let src = incoming
+                        .iter()
+                        .find(|(p, _)| *p == from)
+                        .map(|(_, val)| *val)
+                        .unwrap_or_else(|| panic!("phi {v} has no edge from {from}"));
+                    updates.push((v, self.vals[src.0 as usize]));
+                }
+                _ => break, // phis are a prefix of the block
+            }
+        }
+        for (v, val) in updates {
+            self.vals[v.0 as usize] = val;
+        }
+        self.cur = to;
+        self.idx = 0;
+    }
+
+    /// Executes until the next costed event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a load is pending, after `Done`, or when the
+    /// step limit is exceeded.
+    pub fn next(&mut self) -> InterpEvent {
+        match self.state {
+            State::AwaitLoad => panic!("next() called with a pending load"),
+            State::Finished => panic!("next() called after Done"),
+            State::Running => {}
+        }
+        let kernel = Arc::clone(&self.kernel);
+        loop {
+            let block = kernel.block(self.cur);
+            if self.idx < block.instrs.len() {
+                let v = block.instrs[self.idx];
+                self.idx += 1;
+                self.steps += 1;
+                assert!(
+                    self.steps <= self.step_limit,
+                    "kernel {} exceeded the step limit of {}",
+                    self.kernel.name,
+                    self.step_limit
+                );
+                let op = &kernel.instr(v).op;
+                match op {
+                    Op::Const(c) => {
+                        self.vals[v.0 as usize] = *c;
+                    }
+                    Op::Arg(n) => {
+                        self.vals[v.0 as usize] = self.args[*n as usize];
+                    }
+                    Op::Phi(_) => {
+                        // Assigned during transition; at kernel start an
+                        // entry-block phi reads 0 (documented).
+                    }
+                    Op::Bin(bop, a, b) => {
+                        self.vals[v.0 as usize] =
+                            bop.eval(self.vals[a.0 as usize], self.vals[b.0 as usize]);
+                        return InterpEvent::Op(op.class());
+                    }
+                    Op::Cmp(cop, a, b) => {
+                        self.vals[v.0 as usize] =
+                            cop.eval(self.vals[a.0 as usize], self.vals[b.0 as usize]);
+                        return InterpEvent::Op(OpClass::Alu);
+                    }
+                    Op::Select(c, a, b) => {
+                        self.vals[v.0 as usize] = if self.vals[c.0 as usize] != 0 {
+                            self.vals[a.0 as usize]
+                        } else {
+                            self.vals[b.0 as usize]
+                        };
+                        return InterpEvent::Op(OpClass::Alu);
+                    }
+                    Op::Load { addr, width } => {
+                        self.pending_load = Some((v, *width));
+                        self.state = State::AwaitLoad;
+                        return InterpEvent::Load {
+                            addr: self.vals[addr.0 as usize] as u64,
+                            width: *width,
+                        };
+                    }
+                    Op::Store { addr, value, width } => {
+                        return InterpEvent::Store {
+                            addr: self.vals[addr.0 as usize] as u64,
+                            width: *width,
+                            value: width.truncate(self.vals[value.0 as usize]),
+                        };
+                    }
+                }
+            } else {
+                match &block.term {
+                    Terminator::Jump(t) => {
+                        let from = self.cur;
+                        self.transition(*t);
+                        return InterpEvent::BlockChange { from, to: *t };
+                    }
+                    Terminator::Branch { cond, then_to, else_to } => {
+                        let from = self.cur;
+                        let to = if self.vals[cond.0 as usize] != 0 {
+                            *then_to
+                        } else {
+                            *else_to
+                        };
+                        self.transition(to);
+                        return InterpEvent::BlockChange { from, to };
+                    }
+                    Terminator::Return(v) => {
+                        self.state = State::Finished;
+                        return InterpEvent::Done {
+                            ret: v.map(|v| self.vals[v.0 as usize]),
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Functional memory for golden-model runs.
+pub trait DataPort {
+    /// Reads `width` bytes (little-endian, zero-extended into the result).
+    fn read(&mut self, addr: u64, width: Width) -> u64;
+    /// Writes the low `width` bytes of `raw` (little-endian).
+    fn write(&mut self, addr: u64, width: Width, raw: u64);
+}
+
+/// A flat byte buffer as a [`DataPort`]; addresses index the slice directly.
+#[derive(Debug)]
+pub struct SliceMemory<'a>(pub &'a mut [u8]);
+
+impl DataPort for SliceMemory<'_> {
+    fn read(&mut self, addr: u64, width: Width) -> u64 {
+        let a = addr as usize;
+        let n = width.bytes() as usize;
+        let mut raw = [0u8; 8];
+        raw[..n].copy_from_slice(&self.0[a..a + n]);
+        u64::from_le_bytes(raw)
+    }
+
+    fn write(&mut self, addr: u64, width: Width, raw: u64) {
+        let a = addr as usize;
+        let n = width.bytes() as usize;
+        self.0[a..a + n].copy_from_slice(&raw.to_le_bytes()[..n]);
+    }
+}
+
+/// Aggregate results of a functional run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunSummary {
+    /// Return value, if the kernel returned one.
+    pub ret: Option<i64>,
+    /// Instructions executed (free ops included).
+    pub instrs: u64,
+    /// Loads performed.
+    pub loads: u64,
+    /// Stores performed.
+    pub stores: u64,
+    /// Block transitions taken.
+    pub branches: u64,
+    /// Counts of yielded ALU / MUL / DIV ops.
+    pub alu_ops: u64,
+    /// Multiplier operations.
+    pub mul_ops: u64,
+    /// Divider operations.
+    pub div_ops: u64,
+}
+
+/// Runs a kernel to completion against `port`.
+///
+/// # Panics
+///
+/// Panics if the kernel exceeds `step_limit` instructions.
+pub fn run(kernel: &Kernel, args: &[i64], port: &mut dyn DataPort, step_limit: u64) -> RunSummary {
+    let mut interp = Interp::new(Arc::new(kernel.clone()), args);
+    interp.set_step_limit(step_limit);
+    let mut s = RunSummary::default();
+    loop {
+        match interp.next() {
+            InterpEvent::Op(OpClass::Alu) => s.alu_ops += 1,
+            InterpEvent::Op(OpClass::Mul) => s.mul_ops += 1,
+            InterpEvent::Op(OpClass::Div) => s.div_ops += 1,
+            InterpEvent::Op(_) => {}
+            InterpEvent::Load { addr, width } => {
+                s.loads += 1;
+                let raw = port.read(addr, width);
+                interp.provide_load(raw);
+            }
+            InterpEvent::Store { addr, width, value } => {
+                s.stores += 1;
+                port.write(addr, width, value);
+            }
+            InterpEvent::BlockChange { .. } => s.branches += 1,
+            InterpEvent::Done { ret } => {
+                s.ret = ret;
+                s.instrs = interp.steps();
+                return s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::{BinOp, CmpOp};
+
+    fn sum_kernel() -> Kernel {
+        // sum(base, n) over i32 array
+        let mut b = KernelBuilder::new("sum", 2);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let base = b.arg(0);
+        let n = b.arg(1);
+        let zero = b.constant(0);
+        let four = b.constant(4);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi();
+        let acc = b.phi();
+        let cont = b.cmp(CmpOp::Lt, i, n);
+        b.branch(cont, body, exit);
+        b.switch_to(body);
+        let off = b.bin(BinOp::Mul, i, four);
+        let addr = b.bin(BinOp::Add, base, off);
+        let elem = b.load(addr, Width::W32);
+        let acc2 = b.bin(BinOp::Add, acc, elem);
+        let one = b.constant(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+        b.set_phi_incoming(acc, &[(entry, zero), (body, acc2)]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn straight_line_return() {
+        let mut b = KernelBuilder::new("k", 2);
+        let x = b.arg(0);
+        let y = b.arg(1);
+        let m = b.bin(BinOp::Mul, x, y);
+        b.ret(Some(m));
+        let k = b.finish().unwrap();
+        let mut buf = [0u8; 0];
+        let s = run(&k, &[6, 7], &mut SliceMemory(&mut buf), 1000);
+        assert_eq!(s.ret, Some(42));
+        assert_eq!(s.mul_ops, 1);
+    }
+
+    #[test]
+    fn loop_sums_memory() {
+        let k = sum_kernel();
+        let mut buf = vec![0u8; 64];
+        for i in 0..16u32 {
+            buf[(i * 4) as usize..(i * 4 + 4) as usize].copy_from_slice(&(i as i32).to_le_bytes());
+        }
+        let s = run(&k, &[0, 16], &mut SliceMemory(&mut buf), 100_000);
+        assert_eq!(s.ret, Some((0..16).sum::<i64>()));
+        assert_eq!(s.loads, 16);
+        assert_eq!(s.stores, 0);
+        assert!(s.branches >= 17);
+    }
+
+    #[test]
+    fn negative_values_sign_extend() {
+        let k = sum_kernel();
+        let mut buf = vec![0u8; 8];
+        buf[0..4].copy_from_slice(&(-5i32).to_le_bytes());
+        buf[4..8].copy_from_slice(&(3i32).to_le_bytes());
+        let s = run(&k, &[0, 2], &mut SliceMemory(&mut buf), 1000);
+        assert_eq!(s.ret, Some(-2));
+    }
+
+    #[test]
+    fn stores_write_through_port() {
+        // memset(base, n): store i as i32 at base + 4i
+        let mut b = KernelBuilder::new("iota", 2);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let base = b.arg(0);
+        let n = b.arg(1);
+        let zero = b.constant(0);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi();
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let four = b.constant(4);
+        let off = b.bin(BinOp::Mul, i, four);
+        let addr = b.bin(BinOp::Add, base, off);
+        b.store(addr, i, Width::W32);
+        let one = b.constant(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+        let k = b.finish().unwrap();
+
+        let mut buf = vec![0u8; 40];
+        let s = run(&k, &[0, 10], &mut SliceMemory(&mut buf), 10_000);
+        assert_eq!(s.stores, 10);
+        for i in 0..10i32 {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&buf[(i * 4) as usize..(i * 4 + 4) as usize]);
+            assert_eq!(i32::from_le_bytes(w), i);
+        }
+    }
+
+    #[test]
+    fn select_picks_branchlessly() {
+        let mut b = KernelBuilder::new("max0", 1);
+        let x = b.arg(0);
+        let zero = b.constant(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        let v = b.select(c, x, zero);
+        b.ret(Some(v));
+        let k = b.finish().unwrap();
+        let mut none = [0u8; 0];
+        assert_eq!(run(&k, &[-5], &mut SliceMemory(&mut none), 100).ret, Some(0));
+        assert_eq!(run(&k, &[9], &mut SliceMemory(&mut none), 100).ret, Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "step limit")]
+    fn infinite_loop_hits_step_limit() {
+        let mut b = KernelBuilder::new("spin", 0);
+        let l = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        let one = b.constant(1);
+        let two = b.bin(BinOp::Add, one, one);
+        let _ = two;
+        b.jump(l);
+        let k = b.finish().unwrap();
+        let mut none = [0u8; 0];
+        run(&k, &[], &mut SliceMemory(&mut none), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "pending load")]
+    fn next_with_pending_load_panics() {
+        let mut b = KernelBuilder::new("l", 1);
+        let p = b.arg(0);
+        let v = b.load(p, Width::W32);
+        b.ret(Some(v));
+        let k = b.finish().unwrap();
+        let mut i = Interp::new(Arc::new(k), &[0]);
+        assert!(matches!(i.next(), InterpEvent::Load { .. }));
+        i.next(); // must panic: load not provided
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 args")]
+    fn wrong_arg_count_panics() {
+        let k = sum_kernel();
+        Interp::new(Arc::new(k), &[1]);
+    }
+
+    #[test]
+    fn phi_swap_is_parallel() {
+        // Two phis that swap each other's values each iteration: after an
+        // odd number of iterations the values must be exchanged, which only
+        // happens with parallel phi evaluation.
+        let mut b = KernelBuilder::new("swap", 1);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let n = b.arg(0);
+        let zero = b.constant(0);
+        let a0 = b.constant(111);
+        let b0 = b.constant(222);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi();
+        let x = b.phi();
+        let y = b.phi();
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.constant(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(header);
+        b.switch_to(exit);
+        let diff = b.bin(BinOp::Sub, x, y);
+        b.ret(Some(diff));
+        b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+        b.set_phi_incoming(x, &[(entry, a0), (body, y)]);
+        b.set_phi_incoming(y, &[(entry, b0), (body, x)]);
+        let k = b.finish().unwrap();
+        let mut none = [0u8; 0];
+        // 1 iteration: x=222, y=111 -> diff = 111
+        assert_eq!(run(&k, &[1], &mut SliceMemory(&mut none), 1000).ret, Some(111));
+        // 2 iterations: swapped twice -> diff = -111
+        assert_eq!(run(&k, &[2], &mut SliceMemory(&mut none), 1000).ret, Some(-111));
+    }
+}

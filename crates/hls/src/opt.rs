@@ -1,0 +1,437 @@
+//! Optimization passes: constant folding, common-subexpression elimination,
+//! and dead-code elimination.
+//!
+//! Passes are semantics-preserving (property-tested against the interpreter)
+//! and run before scheduling, where every removed operation is a saved FU
+//! slot or FSM state.
+
+use std::collections::HashMap;
+
+use crate::cfg::Cfg;
+use crate::ir::{BlockId, Kernel, Op, Terminator, Value};
+
+/// Counters of what the pass pipeline changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassStats {
+    /// Ops replaced by constants.
+    pub folded: u64,
+    /// Ops removed by CSE (uses rewritten to an earlier identical op).
+    pub cse_removed: u64,
+    /// Ops removed as dead.
+    pub dce_removed: u64,
+}
+
+/// Rewrites every use of keys in `subst` to their mapped values (transitively
+/// resolved), across instructions, phis and terminators.
+fn substitute(kernel: &mut Kernel, subst: &HashMap<Value, Value>) {
+    if subst.is_empty() {
+        return;
+    }
+    let resolve = |mut v: Value| {
+        let mut hops = 0;
+        while let Some(&next) = subst.get(&v) {
+            v = next;
+            hops += 1;
+            assert!(hops < 1_000, "substitution cycle");
+        }
+        v
+    };
+    for instr in &mut kernel.instrs {
+        match &mut instr.op {
+            Op::Const(_) | Op::Arg(_) => {}
+            Op::Bin(_, a, b) | Op::Cmp(_, a, b) => {
+                *a = resolve(*a);
+                *b = resolve(*b);
+            }
+            Op::Select(c, a, b) => {
+                *c = resolve(*c);
+                *a = resolve(*a);
+                *b = resolve(*b);
+            }
+            Op::Load { addr, .. } => *addr = resolve(*addr),
+            Op::Store { addr, value, .. } => {
+                *addr = resolve(*addr);
+                *value = resolve(*value);
+            }
+            Op::Phi(incoming) => {
+                for (_, v) in incoming {
+                    *v = resolve(*v);
+                }
+            }
+        }
+    }
+    for block in &mut kernel.blocks {
+        match &mut block.term {
+            Terminator::Branch { cond, .. } => *cond = resolve(*cond),
+            Terminator::Return(Some(v)) => *v = resolve(*v),
+            _ => {}
+        }
+    }
+}
+
+/// Folds constant expressions to [`Op::Const`]; iterates to a fixpoint.
+pub fn const_fold(kernel: &mut Kernel) -> u64 {
+    let mut folded = 0;
+    loop {
+        let consts: HashMap<Value, i64> = kernel
+            .instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ins)| match ins.op {
+                Op::Const(c) => Some((Value(i as u32), c)),
+                _ => None,
+            })
+            .collect();
+        let mut changed = false;
+        let mut subst: HashMap<Value, Value> = HashMap::new();
+        for i in 0..kernel.instrs.len() {
+            let new_op = match &kernel.instrs[i].op {
+                Op::Bin(op, a, b) => match (consts.get(a), consts.get(b)) {
+                    (Some(&x), Some(&y)) => Some(Op::Const(op.eval(x, y))),
+                    _ => None,
+                },
+                Op::Cmp(op, a, b) => match (consts.get(a), consts.get(b)) {
+                    (Some(&x), Some(&y)) => Some(Op::Const(op.eval(x, y))),
+                    _ => None,
+                },
+                Op::Select(c, a, b) => consts.get(c).map(|&cv| {
+                    let chosen = if cv != 0 { *a } else { *b };
+                    subst.insert(Value(i as u32), chosen);
+                    // The select itself becomes a dead constant slot.
+                    Op::Const(0)
+                }),
+                _ => None,
+            };
+            if let Some(op) = new_op {
+                kernel.instrs[i].op = op;
+                folded += 1;
+                changed = true;
+            }
+        }
+        substitute(kernel, &subst);
+        if !changed {
+            break;
+        }
+    }
+    folded
+}
+
+/// A hashable key for pure expressions (commutative operands canonicalized).
+fn expr_key(op: &Op) -> Option<(u8, u64, u64, u64)> {
+    match op {
+        Op::Const(c) => Some((0, *c as u64, 0, 0)),
+        Op::Arg(n) => Some((1, *n as u64, 0, 0)),
+        Op::Bin(bop, a, b) => {
+            let (x, y) = if bop.is_commutative() && b.0 < a.0 {
+                (b.0, a.0)
+            } else {
+                (a.0, b.0)
+            };
+            Some((2, *bop as u8 as u64, x as u64, y as u64))
+        }
+        Op::Cmp(cop, a, b) => Some((3, *cop as u8 as u64, a.0 as u64, b.0 as u64)),
+        Op::Select(c, a, b) => {
+            Some((4, c.0 as u64, a.0 as u64, (b.0 as u64) << 32 | 0xC0FE))
+        }
+        // Loads are not CSE'd: another thread may write between them.
+        _ => None,
+    }
+}
+
+/// Dominator-scoped common-subexpression elimination.
+pub fn cse(kernel: &mut Kernel) -> u64 {
+    let cfg = Cfg::new(kernel);
+    let mut removed = 0;
+    let mut subst: HashMap<Value, Value> = HashMap::new();
+    let mut available: HashMap<(u8, u64, u64, u64), (Value, BlockId)> = HashMap::new();
+    // Process blocks in RPO so dominators come first.
+    let rpo: Vec<BlockId> = cfg.rpo().to_vec();
+    for &b in &rpo {
+        let instrs = kernel.block(b).instrs.clone();
+        let mut kept = Vec::with_capacity(instrs.len());
+        for v in instrs {
+            // Keys are computed on the *current* (already substituted) op.
+            {
+                // Apply accumulated substitution to this instruction first so
+                // keys of equivalent expressions match.
+                let mut single = HashMap::new();
+                for u in kernel.instr(v).op.operands() {
+                    if let Some(&t) = subst.get(&u) {
+                        single.insert(u, t);
+                    }
+                }
+                if !single.is_empty() {
+                    let op = &mut kernel.instrs[v.0 as usize].op;
+                    match op {
+                        Op::Bin(_, a, bb) | Op::Cmp(_, a, bb) => {
+                            if let Some(&t) = single.get(a) {
+                                *a = t;
+                            }
+                            if let Some(&t) = single.get(bb) {
+                                *bb = t;
+                            }
+                        }
+                        Op::Select(c, a, bb) => {
+                            for r in [c, a, bb] {
+                                if let Some(&t) = single.get(r) {
+                                    *r = t;
+                                }
+                            }
+                        }
+                        Op::Load { addr, .. } => {
+                            if let Some(&t) = single.get(addr) {
+                                *addr = t;
+                            }
+                        }
+                        Op::Store { addr, value, .. } => {
+                            if let Some(&t) = single.get(addr) {
+                                *addr = t;
+                            }
+                            if let Some(&t) = single.get(value) {
+                                *value = t;
+                            }
+                        }
+                        Op::Phi(inc) => {
+                            for (_, pv) in inc {
+                                if let Some(&t) = single.get(pv) {
+                                    *pv = t;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            match expr_key(&kernel.instr(v).op) {
+                Some(key) => match available.get(&key) {
+                    Some(&(prior, def_block)) if cfg.dominates(def_block, b) => {
+                        subst.insert(v, prior);
+                        removed += 1;
+                        // Drop from the block: the value is now an alias.
+                    }
+                    _ => {
+                        available.insert(key, (v, b));
+                        kept.push(v);
+                    }
+                },
+                None => kept.push(v),
+            }
+        }
+        kernel.blocks[b.0 as usize].instrs = kept;
+    }
+    substitute(kernel, &subst);
+    removed
+}
+
+/// Removes instructions whose results are never used. Stores, terminator
+/// operands and their transitive inputs are roots; everything else dies.
+pub fn dce(kernel: &mut Kernel) -> u64 {
+    let n = kernel.instrs.len();
+    let mut live = vec![false; n];
+    let mut work: Vec<Value> = Vec::new();
+    let mark = |v: Value, live: &mut Vec<bool>, work: &mut Vec<Value>| {
+        if !live[v.0 as usize] {
+            live[v.0 as usize] = true;
+            work.push(v);
+        }
+    };
+    for b in kernel.block_ids() {
+        for &v in &kernel.block(b).instrs {
+            if matches!(kernel.instr(v).op, Op::Store { .. }) {
+                mark(v, &mut live, &mut work);
+            }
+        }
+        match &kernel.block(b).term {
+            Terminator::Branch { cond, .. } => mark(*cond, &mut live, &mut work),
+            Terminator::Return(Some(v)) => mark(*v, &mut live, &mut work),
+            _ => {}
+        }
+    }
+    while let Some(v) = work.pop() {
+        for u in kernel.instr(v).op.operands() {
+            if !live[u.0 as usize] {
+                live[u.0 as usize] = true;
+                work.push(u);
+            }
+        }
+    }
+    let mut removed = 0;
+    for block in &mut kernel.blocks {
+        let before = block.instrs.len();
+        block.instrs.retain(|v| live[v.0 as usize]);
+        removed += (before - block.instrs.len()) as u64;
+    }
+    removed
+}
+
+/// Runs the full pass pipeline: fold → CSE → fold → DCE.
+///
+/// The kernel remains verifier-clean (asserted in debug builds).
+pub fn optimize(kernel: &mut Kernel) -> PassStats {
+    let mut stats = PassStats::default();
+    stats.folded += const_fold(kernel);
+    stats.cse_removed += cse(kernel);
+    stats.folded += const_fold(kernel);
+    stats.dce_removed += dce(kernel);
+    debug_assert!(
+        crate::verify::verify(kernel).is_ok(),
+        "optimize broke the kernel: {:?}",
+        crate::verify::verify(kernel)
+    );
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::interp::{run, SliceMemory};
+    use crate::ir::{BinOp, CmpOp, Width};
+
+    #[test]
+    fn folds_constant_tree() {
+        let mut b = KernelBuilder::new("k", 0);
+        let two = b.constant(2);
+        let three = b.constant(3);
+        let five = b.bin(BinOp::Add, two, three);
+        let ten = b.bin(BinOp::Mul, five, two);
+        b.ret(Some(ten));
+        let mut k = b.finish().unwrap();
+        let stats = optimize(&mut k);
+        assert!(stats.folded >= 2);
+        let mut none = [0u8; 0];
+        assert_eq!(run(&k, &[], &mut SliceMemory(&mut none), 100).ret, Some(10));
+        // All arithmetic gone: only consts remain in the entry block.
+        let costed = k
+            .block(BlockId(0))
+            .instrs
+            .iter()
+            .filter(|&&v| !matches!(k.instr(v).op, Op::Const(_)))
+            .count();
+        assert_eq!(costed, 0);
+    }
+
+    #[test]
+    fn folds_select_on_constant_condition() {
+        let mut b = KernelBuilder::new("k", 2);
+        let x = b.arg(0);
+        let y = b.arg(1);
+        let one = b.constant(1);
+        let v = b.select(one, x, y);
+        b.ret(Some(v));
+        let mut k = b.finish().unwrap();
+        optimize(&mut k);
+        let mut none = [0u8; 0];
+        assert_eq!(run(&k, &[7, 9], &mut SliceMemory(&mut none), 100).ret, Some(7));
+    }
+
+    #[test]
+    fn cse_merges_duplicate_address_math() {
+        let mut b = KernelBuilder::new("k", 2);
+        let base = b.arg(0);
+        let i = b.arg(1);
+        let four = b.constant(4);
+        let off1 = b.bin(BinOp::Mul, i, four);
+        let a1 = b.bin(BinOp::Add, base, off1);
+        let off2 = b.bin(BinOp::Mul, i, four);
+        let a2 = b.bin(BinOp::Add, base, off2);
+        let d = b.bin(BinOp::Sub, a1, a2);
+        b.ret(Some(d));
+        let mut k = b.finish().unwrap();
+        let stats = optimize(&mut k);
+        assert!(stats.cse_removed >= 2, "duplicate mul+add must merge: {stats:?}");
+        let mut none = [0u8; 0];
+        assert_eq!(run(&k, &[100, 3], &mut SliceMemory(&mut none), 100).ret, Some(0));
+    }
+
+    #[test]
+    fn cse_respects_commutativity() {
+        let mut b = KernelBuilder::new("k", 2);
+        let x = b.arg(0);
+        let y = b.arg(1);
+        let s1 = b.bin(BinOp::Add, x, y);
+        let s2 = b.bin(BinOp::Add, y, x);
+        let d = b.bin(BinOp::Sub, s1, s2);
+        b.ret(Some(d));
+        let mut k = b.finish().unwrap();
+        let stats = optimize(&mut k);
+        assert!(stats.cse_removed >= 1);
+        let mut none = [0u8; 0];
+        assert_eq!(run(&k, &[11, 31], &mut SliceMemory(&mut none), 100).ret, Some(0));
+    }
+
+    #[test]
+    fn cse_does_not_merge_loads() {
+        let mut b = KernelBuilder::new("k", 1);
+        let p = b.arg(0);
+        let l1 = b.load(p, Width::W32);
+        let l2 = b.load(p, Width::W32);
+        let s = b.bin(BinOp::Add, l1, l2);
+        b.ret(Some(s));
+        let mut k = b.finish().unwrap();
+        optimize(&mut k);
+        let loads = k
+            .block(BlockId(0))
+            .instrs
+            .iter()
+            .filter(|&&v| matches!(k.instr(v).op, Op::Load { .. }))
+            .count();
+        assert_eq!(loads, 2, "loads must not be CSE'd (shared memory)");
+    }
+
+    #[test]
+    fn dce_removes_unused_math_keeps_stores() {
+        let mut b = KernelBuilder::new("k", 1);
+        let p = b.arg(0);
+        let c1 = b.constant(1);
+        let dead = b.bin(BinOp::Add, c1, c1);
+        let _dead2 = b.bin(BinOp::Mul, dead, dead);
+        b.store(p, c1, Width::W32);
+        b.ret(None);
+        let mut k = b.finish().unwrap();
+        let stats = optimize(&mut k);
+        assert!(stats.dce_removed >= 2);
+        let stores = k
+            .block(BlockId(0))
+            .instrs
+            .iter()
+            .filter(|&&v| matches!(k.instr(v).op, Op::Store { .. }))
+            .count();
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn optimize_preserves_loop_semantics() {
+        // sum 0..n with a redundant duplicate of the index increment.
+        let mut b = KernelBuilder::new("k", 1);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let n = b.arg(0);
+        let zero = b.constant(0);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi();
+        let acc = b.phi();
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let one = b.constant(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        let i2_dup = b.bin(BinOp::Add, i, one); // CSE fodder
+        let acc2 = b.bin(BinOp::Add, acc, i2_dup);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+        b.set_phi_incoming(acc, &[(entry, zero), (body, acc2)]);
+        let mut k = b.finish().unwrap();
+        let mut none = [0u8; 0];
+        let before = run(&k, &[10], &mut SliceMemory(&mut none), 100_000).ret;
+        let stats = optimize(&mut k);
+        let after = run(&k, &[10], &mut SliceMemory(&mut none), 100_000).ret;
+        assert_eq!(before, after);
+        assert!(stats.cse_removed >= 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Fabric cost of the hardware-thread wrapper infrastructure.
+//!
+//! Together with [`svmsyn_vm::cost`] these formulas produce Table 1: the
+//! complete per-thread overhead of virtual-memory enablement is
+//! MMU (TLB + walker + control) + burst engine + OSIF.
+
+use svmsyn_sim::FabricResources;
+
+use crate::memif::MemifConfig;
+
+/// Cost of the MEMIF burst engine (burst cache + handshake FSM). The line
+/// data array sits in BRAM; tags and control are fabric logic.
+pub fn memif_cost(cfg: &MemifConfig) -> FabricResources {
+    let cache_bytes = cfg.line_bytes * cfg.cache_lines as u64;
+    FabricResources {
+        lut: 350 + 8 * cfg.cache_lines as u64,
+        ff: 400 + 6 * cfg.cache_lines as u64,
+        dsp: 0,
+        bram36: cache_bytes.div_ceil(4096).max(1),
+    }
+}
+
+/// Cost of the OSIF FIFO pair and call encoder.
+pub fn osif_cost() -> FabricResources {
+    FabricResources {
+        lut: 200,
+        ff: 250,
+        dsp: 0,
+        bram36: 1,
+    }
+}
+
+/// Total per-thread VM-enablement overhead: MMU + MEMIF + OSIF.
+pub fn vm_infrastructure_cost(cfg: &MemifConfig) -> FabricResources {
+    svmsyn_vm::cost::mmu_cost(&cfg.mmu) + memif_cost(cfg) + osif_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svmsyn_vm::tlb::TlbConfig;
+
+    #[test]
+    fn infrastructure_is_sum_of_parts() {
+        let cfg = MemifConfig::default();
+        assert_eq!(
+            vm_infrastructure_cost(&cfg),
+            svmsyn_vm::cost::mmu_cost(&cfg.mmu) + memif_cost(&cfg) + osif_cost()
+        );
+    }
+
+    #[test]
+    fn bigger_caches_cost_more() {
+        let small = memif_cost(&MemifConfig { cache_lines: 8, ..MemifConfig::default() });
+        let large = memif_cost(&MemifConfig { cache_lines: 128, ..MemifConfig::default() });
+        assert!(large.lut > small.lut && large.ff > small.ff);
+        assert!(large.bram36 >= small.bram36);
+    }
+
+    #[test]
+    fn tlb_size_dominates_growth() {
+        let mk = |entries| MemifConfig {
+            mmu: svmsyn_vm::mmu::MmuConfig {
+                tlb: TlbConfig::fully_associative(entries),
+                ..svmsyn_vm::mmu::MmuConfig::default()
+            },
+            ..MemifConfig::default()
+        };
+        let c8 = vm_infrastructure_cost(&mk(8));
+        let c64 = vm_infrastructure_cost(&mk(64));
+        assert!(c64.lut > c8.lut + 3000, "CAM growth should dominate");
+    }
+}

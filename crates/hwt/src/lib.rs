@@ -1,0 +1,57 @@
+//! # svmsyn-hwt — the hardware-thread substrate
+//!
+//! Wraps a compiled kernel into a *virtual-memory-enabled hardware thread*:
+//!
+//! * [`memif`] — the memory interface: private MMU, stream read buffer,
+//!   write-combine buffer; every access is virtually addressed and faults
+//!   are raised for OS service.
+//! * [`osif`] — the ReconOS-style call vocabulary to the delegate thread.
+//! * [`thread`] — the execution engine: interpreter semantics + schedule
+//!   timing + MEMIF memory path, with fault suspend/retry.
+//! * [`cost`] — fabric cost of the wrapper (completes Table 1).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use svmsyn_hls::builder::KernelBuilder;
+//! use svmsyn_hls::fsmd::{compile, HlsConfig};
+//! use svmsyn_hls::ir::Width;
+//! use svmsyn_hwt::thread::{HwStep, HwThread, HwThreadConfig};
+//! use svmsyn_mem::{MasterId, MemConfig, MemorySystem, PhysAddr};
+//! use svmsyn_sim::Cycle;
+//! use svmsyn_vm::pte::{DirEntry, Pte, PteFlags};
+//! use svmsyn_vm::tlb::Asid;
+//!
+//! // A kernel that stores 42 to *arg0.
+//! let mut b = KernelBuilder::new("store42", 1);
+//! let p = b.arg(0);
+//! let c = b.constant(42);
+//! b.store(p, c, Width::W32);
+//! b.ret(None);
+//! let ck = Arc::new(compile(&b.finish().unwrap(), &HlsConfig::default()));
+//!
+//! // One mapped page: VA 0 -> PFN 9.
+//! let mut mem = MemorySystem::new(MemConfig::default());
+//! let root = PhysAddr::from_frame(5);
+//! mem.poke_u32(root, DirEntry::table(6).encode());
+//! let flags = PteFlags { writable: true, user: true, ..PteFlags::default() };
+//! mem.poke_u32(PhysAddr::from_frame(6), Pte::leaf(9, flags).encode());
+//!
+//! let mut t = HwThread::new(ck, &[0], &HwThreadConfig::default(), MasterId(1));
+//! t.set_context(Asid(1), root);
+//! match t.advance(&mut mem, Cycle(0), u64::MAX) {
+//!     HwStep::Finished { .. } => {}
+//!     other => panic!("{other:?}"),
+//! }
+//! assert_eq!(mem.peek_u32(PhysAddr::from_frame(9)), 42);
+//! ```
+
+pub mod cost;
+pub mod memif;
+pub mod osif;
+pub mod thread;
+
+pub use memif::{Memif, MemifConfig, MemifFault, MemifMode};
+pub use osif::OsifCall;
+pub use thread::{HwStep, HwThread, HwThreadConfig};

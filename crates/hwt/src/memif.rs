@@ -1,0 +1,434 @@
+//! MEMIF — the hardware thread's memory interface.
+//!
+//! Every access goes through the thread's private MMU (virtual addresses —
+//! the point of the paper), then through a small BRAM-backed **burst
+//! cache** (write-back, write-allocate): sequential and blocked access
+//! patterns coalesce into line-sized bus bursts, the multi-line capacity
+//! lets several streams coexist (`dst[i] = a[i] + b[i]` touches three), and
+//! dirty lines write back on eviction or at the final flush.
+//!
+//! The cache is timing-only: bytes always move through the shared
+//! [`MemorySystem`] functionally, so hardware and software threads stay
+//! coherent by construction. Lines never cross a page, so one translation
+//! covers a line. Faults are *returned*, not handled: the hardware thread
+//! raises them to its delegate and retries after OS service.
+
+use svmsyn_mem::{CacheConfig, CacheOutcome, L1Cache, MasterId, MemorySystem, PhysAddr, VirtAddr};
+use svmsyn_sim::{Cycle, StatSet};
+use svmsyn_vm::mmu::{Access, Mmu, MmuConfig, VmFault};
+use svmsyn_vm::tlb::Asid;
+
+/// Addressing mode of the interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemifMode {
+    /// Virtual addressing through the MMU (the paper's SVM threads).
+    #[default]
+    Virtual,
+    /// Raw physical addressing, no MMU: the classical copy-based DMA
+    /// accelerator that only ever sees pinned, contiguous buffers.
+    Physical,
+}
+
+/// MEMIF configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemifConfig {
+    /// Burst line size in bytes (power of two, at most a page).
+    pub line_bytes: u64,
+    /// Burst-cache lines (BRAM capacity of the interface).
+    pub cache_lines: usize,
+    /// The MMU behind the interface.
+    pub mmu: MmuConfig,
+    /// Addressing mode.
+    pub mode: MemifMode,
+}
+
+impl Default for MemifConfig {
+    /// 64 lines of 64 B (a 4 KiB burst cache, two BRAMs) over the default
+    /// MMU, virtual addressing.
+    fn default() -> Self {
+        MemifConfig {
+            line_bytes: 64,
+            cache_lines: 64,
+            mmu: MmuConfig::default(),
+            mode: MemifMode::Virtual,
+        }
+    }
+}
+
+impl MemifConfig {
+    fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            size_bytes: self.line_bytes * self.cache_lines as u64,
+            line_bytes: self.line_bytes,
+            // Fully associative: the line count is small.
+            ways: self.cache_lines,
+        }
+    }
+}
+
+/// A failed access: the fault to raise and the time it was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemifFault {
+    /// The fault for the OS.
+    pub fault: VmFault,
+    /// Detection time.
+    pub done: Cycle,
+}
+
+/// The per-thread memory interface (MMU + burst cache).
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_hwt::memif::{Memif, MemifConfig};
+/// use svmsyn_mem::{MasterId, MemConfig, MemorySystem, PhysAddr, VirtAddr};
+/// use svmsyn_sim::Cycle;
+/// use svmsyn_vm::pte::{DirEntry, Pte, PteFlags};
+/// use svmsyn_vm::tlb::Asid;
+/// use svmsyn_hls::ir::Width;
+///
+/// let mut mem = MemorySystem::new(MemConfig::default());
+/// let root = PhysAddr::from_frame(5);
+/// mem.poke_u32(root, DirEntry::table(6).encode());
+/// let flags = PteFlags { writable: true, user: true, ..PteFlags::default() };
+/// mem.poke_u32(PhysAddr::from_frame(6), Pte::leaf(7, flags).encode());
+///
+/// let mut memif = Memif::new(MemifConfig::default(), MasterId(3));
+/// memif.set_context(Asid(1), root);
+/// let done = memif.write(&mut mem, VirtAddr(8), Width::W32, 0xAB, Cycle(0)).unwrap();
+/// let (raw, _) = memif.read(&mut mem, VirtAddr(8), Width::W32, done).unwrap();
+/// assert_eq!(raw, 0xAB);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memif {
+    cfg: MemifConfig,
+    mmu: Mmu,
+    master: MasterId,
+    cache: L1Cache,
+    loads: u64,
+    stores: u64,
+    faults: u64,
+    flush_writebacks: u64,
+}
+
+impl Memif {
+    /// Creates a cold interface acting as bus master `master`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two within a page, or
+    /// `cache_lines` is zero.
+    pub fn new(cfg: MemifConfig, master: MasterId) -> Self {
+        assert!(
+            cfg.line_bytes.is_power_of_two() && cfg.line_bytes <= svmsyn_mem::PAGE_SIZE,
+            "line_bytes must be a power of two within a page"
+        );
+        assert!(cfg.cache_lines > 0, "cache_lines must be positive");
+        Memif {
+            cfg,
+            mmu: Mmu::new(cfg.mmu, master),
+            master,
+            cache: L1Cache::new(cfg.cache_config()),
+            loads: 0,
+            stores: 0,
+            faults: 0,
+            flush_writebacks: 0,
+        }
+    }
+
+    /// Binds the interface to an address space.
+    pub fn set_context(&mut self, asid: Asid, root: PhysAddr) {
+        self.mmu.set_context(asid, root);
+    }
+
+    /// The MMU (for TLB statistics and shootdowns).
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
+    /// Mutable MMU access.
+    pub fn mmu_mut(&mut self) -> &mut Mmu {
+        &mut self.mmu
+    }
+
+    /// Resolves an address per the configured mode: MMU translation (with
+    /// fault reporting) or raw physical pass-through.
+    fn resolve(
+        &mut self,
+        mem: &mut MemorySystem,
+        va: VirtAddr,
+        access: Access,
+        now: Cycle,
+    ) -> Result<(PhysAddr, Cycle), MemifFault> {
+        match self.cfg.mode {
+            MemifMode::Physical => Ok((PhysAddr(va.0), now)),
+            MemifMode::Virtual => match self.mmu.translate(mem, va, access, now) {
+                Ok(tr) => Ok((tr.paddr, tr.done)),
+                Err(e) => {
+                    self.faults += 1;
+                    Err(MemifFault {
+                        fault: e.fault,
+                        done: e.done,
+                    })
+                }
+            },
+        }
+    }
+
+    /// Charges the timing of one cached access at physical address `pa`.
+    fn charge(&mut self, mem: &mut MemorySystem, pa: PhysAddr, write: bool, now: Cycle) -> Cycle {
+        let line = self.cfg.line_bytes;
+        match self.cache.access(pa, write) {
+            CacheOutcome::Hit => now + 1,
+            CacheOutcome::Miss { writeback } => {
+                let mut t = now;
+                if let Some(victim) = writeback {
+                    t = mem.transfer_time(self.master, victim, line, t);
+                }
+                mem.transfer_time(self.master, PhysAddr(pa.0 & !(line - 1)), line, t)
+            }
+        }
+    }
+
+    /// Reads `width` bytes at `va`; returns the little-endian raw value and
+    /// the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemifFault`] on a translation fault; retry after service.
+    pub fn read(
+        &mut self,
+        mem: &mut MemorySystem,
+        va: VirtAddr,
+        width: svmsyn_hls::ir::Width,
+        now: Cycle,
+    ) -> Result<(u64, Cycle), MemifFault> {
+        self.loads += 1;
+        let len = width.bytes();
+        let mut bytes = [0u8; 8];
+        let mut t = now;
+        let mut off = 0u64;
+        while off < len {
+            let cur = VirtAddr(va.0 + off);
+            let line_end = (cur.0 & !(self.cfg.line_bytes - 1)) + self.cfg.line_bytes;
+            let n = (line_end - cur.0).min(len - off);
+            let (pa, t_tr) = self.resolve(mem, cur, Access::Read, t)?;
+            t = self.charge(mem, pa, false, t_tr);
+            mem.dump(pa, &mut bytes[off as usize..(off + n) as usize]);
+            off += n;
+        }
+        Ok((u64::from_le_bytes(bytes), t))
+    }
+
+    /// Writes the low `width` bytes of `raw` at `va`; returns the completion
+    /// time (dirty lines are charged at eviction or final flush).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemifFault`] on a translation fault; retry after service.
+    pub fn write(
+        &mut self,
+        mem: &mut MemorySystem,
+        va: VirtAddr,
+        width: svmsyn_hls::ir::Width,
+        raw: u64,
+        now: Cycle,
+    ) -> Result<Cycle, MemifFault> {
+        self.stores += 1;
+        let len = width.bytes();
+        let data = raw.to_le_bytes();
+        let mut t = now;
+        let mut off = 0u64;
+        while off < len {
+            let cur = VirtAddr(va.0 + off);
+            let line_end = (cur.0 & !(self.cfg.line_bytes - 1)) + self.cfg.line_bytes;
+            let n = (line_end - cur.0).min(len - off);
+            let (pa, t_tr) = self.resolve(mem, cur, Access::Write, t)?;
+            t = self.charge(mem, pa, true, t_tr);
+            // Bytes land in memory immediately (functional coherence).
+            mem.load(pa, &data[off as usize..(off + n) as usize]);
+            off += n;
+        }
+        Ok(t)
+    }
+
+    /// Drains all dirty lines (kernel completion); returns the time when the
+    /// last writeback completes.
+    pub fn flush(&mut self, mem: &mut MemorySystem, now: Cycle) -> Cycle {
+        let mut t = now;
+        for line in self.cache.drain_dirty() {
+            self.flush_writebacks += 1;
+            t = mem.transfer_time(self.master, line, self.cfg.line_bytes, t);
+        }
+        t
+    }
+
+    /// Counter snapshot (burst cache and MMU absorbed).
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.put("loads", self.loads as f64);
+        s.put("stores", self.stores as f64);
+        s.put("faults", self.faults as f64);
+        s.put("flush_writebacks", self.flush_writebacks as f64);
+        s.absorb("cache", self.cache.stats());
+        s.absorb("mmu", self.mmu.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svmsyn_hls::ir::Width;
+    use svmsyn_mem::MemConfig;
+    use svmsyn_vm::pte::{DirEntry, Pte, PteFlags};
+
+    fn setup() -> (MemorySystem, Memif) {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let root = PhysAddr::from_frame(5);
+        mem.poke_u32(root, DirEntry::table(6).encode());
+        let flags = PteFlags {
+            writable: true,
+            user: true,
+            ..PteFlags::default()
+        };
+        // Map VA pages 0 and 1 to PFNs 7 and 8.
+        mem.poke_u32(PhysAddr::from_frame(6), Pte::leaf(7, flags).encode());
+        mem.poke_u32(PhysAddr::from_frame(6).offset(4), Pte::leaf(8, flags).encode());
+        let mut memif = Memif::new(MemifConfig::default(), MasterId(3));
+        memif.set_context(Asid(1), root);
+        (mem, memif)
+    }
+
+    #[test]
+    fn sequential_reads_hit_the_burst_cache() {
+        let (mut mem, mut memif) = setup();
+        mem.load(PhysAddr::from_frame(7), &(0..64).collect::<Vec<u8>>());
+        let (v0, t0) = memif.read(&mut mem, VirtAddr(0), Width::W32, Cycle(0)).unwrap();
+        assert_eq!(v0, u32::from_le_bytes([0, 1, 2, 3]) as u64);
+        let (v1, t1) = memif.read(&mut mem, VirtAddr(4), Width::W32, t0).unwrap();
+        assert_eq!(v1, u32::from_le_bytes([4, 5, 6, 7]) as u64);
+        // Buffered hit: TLB lookup (1) + cache hit (1).
+        assert!((t1 - t0).0 <= 2, "buffered hit should be cheap");
+        assert!((t0 - Cycle(0)).0 > 2, "first read fills the line");
+        assert_eq!(memif.stats().get("cache.misses"), Some(1.0));
+        assert_eq!(memif.stats().get("cache.hits"), Some(1.0));
+    }
+
+    #[test]
+    fn multiple_streams_coexist() {
+        // Alternating reads from two far-apart pages must not thrash.
+        let (mut mem, mut memif) = setup();
+        let mut t = Cycle(0);
+        for i in 0..16u64 {
+            let (_, t1) = memif.read(&mut mem, VirtAddr(i * 4), Width::W32, t).unwrap();
+            let (_, t2) = memif
+                .read(&mut mem, VirtAddr(4096 + i * 4), Width::W32, t1)
+                .unwrap();
+            t = t2;
+        }
+        // 32 accesses, 2 line fills only.
+        assert_eq!(memif.stats().get("cache.misses"), Some(2.0));
+        assert_eq!(memif.stats().get("cache.hits"), Some(30.0));
+    }
+
+    #[test]
+    fn read_across_line_boundary_fills_both() {
+        let (mut mem, mut memif) = setup();
+        memif
+            .read(&mut mem, VirtAddr(60), Width::W64, Cycle(0))
+            .unwrap();
+        assert_eq!(memif.stats().get("cache.misses"), Some(2.0));
+    }
+
+    #[test]
+    fn writes_coalesce_and_flush_once_per_line() {
+        let (mut mem, mut memif) = setup();
+        let mut t = Cycle(0);
+        for i in 0..16u64 {
+            t = memif
+                .write(&mut mem, VirtAddr(i * 4), Width::W32, i, t)
+                .unwrap();
+        }
+        // 16 word stores in one 64 B line: one fill (write-allocate), no
+        // writebacks yet.
+        assert_eq!(memif.stats().get("cache.misses"), Some(1.0));
+        assert_eq!(memif.stats().get("flush_writebacks"), Some(0.0));
+        let end = memif.flush(&mut mem, t);
+        assert!(end > t);
+        assert_eq!(memif.stats().get("flush_writebacks"), Some(1.0));
+        // Data is really in memory at the translated addresses.
+        assert_eq!(mem.peek_u32(PhysAddr::from_frame(7).offset(12)), 3);
+    }
+
+    #[test]
+    fn read_after_write_sees_new_data() {
+        let (mut mem, mut memif) = setup();
+        let (_, t) = memif.read(&mut mem, VirtAddr(0), Width::W32, Cycle(0)).unwrap();
+        let t = memif
+            .write(&mut mem, VirtAddr(0), Width::W32, 0xDEAD, t)
+            .unwrap();
+        let (v, _) = memif.read(&mut mem, VirtAddr(0), Width::W32, t).unwrap();
+        assert_eq!(v, 0xDEAD);
+    }
+
+    #[test]
+    fn faults_are_returned_with_time() {
+        let (mut mem, mut memif) = setup();
+        let err = memif
+            .read(&mut mem, VirtAddr(0x5000), Width::W32, Cycle(0))
+            .unwrap_err();
+        assert!(matches!(err.fault, VmFault::NotMapped { .. }));
+        assert!(err.done > Cycle(0));
+        assert_eq!(memif.stats().get("faults"), Some(1.0));
+    }
+
+    #[test]
+    fn page_crossing_access_translates_both_pages() {
+        let (mut mem, mut memif) = setup();
+        mem.load(PhysAddr::from_frame(7).offset(4092), &[1, 2, 3, 4]);
+        mem.load(PhysAddr::from_frame(8), &[5, 6, 7, 8]);
+        let (v, _) = memif
+            .read(&mut mem, VirtAddr(4092), Width::W64, Cycle(0))
+            .unwrap();
+        assert_eq!(v.to_le_bytes(), [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn flush_without_writes_is_free() {
+        let (mut mem, mut memif) = setup();
+        assert_eq!(memif.flush(&mut mem, Cycle(5)), Cycle(5));
+    }
+
+    #[test]
+    fn physical_mode_skips_translation() {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let mut memif = Memif::new(
+            MemifConfig {
+                mode: MemifMode::Physical,
+                ..MemifConfig::default()
+            },
+            MasterId(3),
+        );
+        // No context bound: physical mode must not need one.
+        let t = memif
+            .write(&mut mem, VirtAddr(0x2000), Width::W32, 77, Cycle(0))
+            .unwrap();
+        let (v, _) = memif.read(&mut mem, VirtAddr(0x2000), Width::W32, t).unwrap();
+        assert_eq!(v, 77);
+        assert_eq!(mem.peek_u32(PhysAddr(0x2000)), 77);
+        assert_eq!(memif.stats().get("mmu.translations"), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        Memif::new(
+            MemifConfig {
+                line_bytes: 48,
+                ..MemifConfig::default()
+            },
+            MasterId(0),
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! OSIF — the hardware thread's call interface to its delegate.
+//!
+//! The ReconOS execution model: a hardware thread issues OS calls (sync
+//! primitives, exit) over a FIFO to a software *delegate thread* that
+//! performs the real syscall on its behalf. This module defines the call
+//! vocabulary; timing and semantics are applied by the system simulation
+//! loop using the OS cost model.
+
+/// A call a hardware thread can make through its delegate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsifCall {
+    /// Acquire a mutex.
+    MutexLock(u32),
+    /// Release a mutex.
+    MutexUnlock(u32),
+    /// Semaphore P.
+    SemWait(u32),
+    /// Semaphore V.
+    SemPost(u32),
+    /// Barrier arrival.
+    BarrierWait(u32),
+    /// Put a word into a mailbox.
+    MboxPut(u32, u64),
+    /// Take a word from a mailbox.
+    MboxGet(u32),
+    /// Thread termination notification.
+    Exit,
+}
+
+impl OsifCall {
+    /// Whether the call can block the calling thread.
+    pub fn can_block(&self) -> bool {
+        matches!(
+            self,
+            OsifCall::MutexLock(_)
+                | OsifCall::SemWait(_)
+                | OsifCall::BarrierWait(_)
+                | OsifCall::MboxPut(..)
+                | OsifCall::MboxGet(_)
+        )
+    }
+}
+
+impl std::fmt::Display for OsifCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OsifCall::MutexLock(id) => write!(f, "mutex_lock({id})"),
+            OsifCall::MutexUnlock(id) => write!(f, "mutex_unlock({id})"),
+            OsifCall::SemWait(id) => write!(f, "sem_wait({id})"),
+            OsifCall::SemPost(id) => write!(f, "sem_post({id})"),
+            OsifCall::BarrierWait(id) => write!(f, "barrier_wait({id})"),
+            OsifCall::MboxPut(id, v) => write!(f, "mbox_put({id}, {v})"),
+            OsifCall::MboxGet(id) => write!(f, "mbox_get({id})"),
+            OsifCall::Exit => write!(f, "exit()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_classification() {
+        assert!(OsifCall::MutexLock(0).can_block());
+        assert!(OsifCall::SemWait(0).can_block());
+        assert!(OsifCall::MboxGet(0).can_block());
+        assert!(OsifCall::MboxPut(0, 1).can_block());
+        assert!(OsifCall::BarrierWait(0).can_block());
+        assert!(!OsifCall::MutexUnlock(0).can_block());
+        assert!(!OsifCall::SemPost(0).can_block());
+        assert!(!OsifCall::Exit.can_block());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(OsifCall::MboxPut(3, 42).to_string(), "mbox_put(3, 42)");
+        assert_eq!(OsifCall::Exit.to_string(), "exit()");
+    }
+}

@@ -1,0 +1,470 @@
+//! The hardware-thread execution engine.
+//!
+//! A [`HwThread`] runs a compiled kernel cycle-faithfully: the interpreter
+//! supplies *semantics* (real values, real branch decisions), the compiled
+//! schedule supplies *compute timing* (state counts; initiation intervals
+//! for pipelined loops), and every memory operation goes through the MEMIF —
+//! MMU translation, burst buffers, real bus contention. Page faults suspend
+//! the thread and are reported to the caller (the delegate path); execution
+//! resumes with a retry after the OS maps the page.
+
+use std::sync::Arc;
+
+use svmsyn_hls::fsmd::CompiledKernel;
+use svmsyn_hls::interp::{Interp, InterpEvent};
+use svmsyn_hls::ir::{BlockId, Width};
+use svmsyn_mem::{MasterId, MemorySystem, PhysAddr, VirtAddr};
+use svmsyn_sim::{Cycle, StatSet};
+use svmsyn_vm::mmu::VmFault;
+use svmsyn_vm::tlb::Asid;
+
+use crate::memif::{Memif, MemifConfig};
+
+/// Hardware-thread configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HwThreadConfig {
+    /// The memory interface (burst engine + MMU).
+    pub memif: MemifConfig,
+}
+
+/// Why `advance` returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwStep {
+    /// The cycle budget was exhausted; call `advance` again.
+    Yielded {
+        /// Current thread-local time.
+        now: Cycle,
+    },
+    /// A page fault needs OS service; call `advance` again with the
+    /// post-service time (the faulting access is retried automatically).
+    PageFault {
+        /// The fault for the delegate/OS.
+        fault: VmFault,
+        /// Fault detection time.
+        now: Cycle,
+    },
+    /// The kernel returned and the write buffers are drained.
+    Finished {
+        /// The kernel's return value.
+        ret: Option<i64>,
+        /// Completion time.
+        now: Cycle,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Load { va: VirtAddr, width: Width },
+    Store { va: VirtAddr, width: Width, raw: u64 },
+}
+
+/// A virtual-memory-enabled hardware thread executing one compiled kernel.
+///
+/// # Example
+///
+/// See the crate-level example in [`svmsyn_hwt`](crate).
+#[derive(Debug, Clone)]
+pub struct HwThread {
+    compiled: Arc<CompiledKernel>,
+    interp: Interp,
+    memif: Memif,
+    cur_block: BlockId,
+    started: bool,
+    pending: Option<Pending>,
+    finished: bool,
+    mem_ops: u64,
+    compute_cycles: u64,
+    /// Memory cycles the current schedule window can still hide: scheduled
+    /// states already reserve the issue/ack slots of their memory ops, so a
+    /// cache-hit access costs no *extra* time until the window's budget is
+    /// spent. Misses (line fills, faults) spill past it — the stall model.
+    mem_credit: u64,
+    hidden_mem_cycles: u64,
+}
+
+impl HwThread {
+    /// Instantiates the thread with launch arguments, acting as bus master
+    /// `master`.
+    pub fn new(
+        compiled: Arc<CompiledKernel>,
+        args: &[i64],
+        cfg: &HwThreadConfig,
+        master: MasterId,
+    ) -> Self {
+        let entry = compiled.kernel.entry;
+        let interp = Interp::new(Arc::new(compiled.kernel.clone()), args);
+        HwThread {
+            compiled,
+            interp,
+            memif: Memif::new(cfg.memif, master),
+            cur_block: entry,
+            started: false,
+            pending: None,
+            finished: false,
+            mem_ops: 0,
+            compute_cycles: 0,
+            mem_credit: 0,
+            hidden_mem_cycles: 0,
+        }
+    }
+
+    /// Binds the thread's MMU to an address space.
+    pub fn set_context(&mut self, asid: Asid, root: PhysAddr) {
+        self.memif.set_context(asid, root);
+    }
+
+    /// The memory interface (for statistics).
+    pub fn memif(&self) -> &Memif {
+        &self.memif
+    }
+
+    /// Mutable memory-interface access (TLB shootdowns).
+    pub fn memif_mut(&mut self) -> &mut Memif {
+        &mut self.memif
+    }
+
+    /// The compiled kernel this thread executes.
+    pub fn compiled(&self) -> &CompiledKernel {
+        &self.compiled
+    }
+
+    /// Whether the kernel has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn charge(&mut self, t: &mut Cycle, cycles: u64) {
+        self.compute_cycles += cycles;
+        if cycles > 0 {
+            // A new schedule window opens; zero-cost transfers (intra-
+            // pipeline) keep the current window's remaining budget.
+            self.mem_credit = cycles;
+        }
+        *t += cycles;
+    }
+
+    /// Advances `t` by a memory-access duration, hiding what the current
+    /// schedule window covers.
+    fn charge_mem(&mut self, t: &mut Cycle, from: Cycle, to: Cycle) {
+        let cost = (to - from).0;
+        let hidden = cost.min(self.mem_credit);
+        self.mem_credit -= hidden;
+        self.hidden_mem_cycles += hidden;
+        *t = from + (cost - hidden);
+    }
+
+    fn retry_pending(
+        &mut self,
+        mem: &mut MemorySystem,
+        t: &mut Cycle,
+    ) -> Result<(), HwStep> {
+        if let Some(p) = self.pending {
+            match p {
+                Pending::Load { va, width } => match self.memif.read(mem, va, width, *t) {
+                    Ok((raw, done)) => {
+                        let from = *t;
+                        self.charge_mem(t, from, done);
+                        self.interp.provide_load(raw);
+                        self.pending = None;
+                    }
+                    Err(f) => {
+                        return Err(HwStep::PageFault {
+                            fault: f.fault,
+                            now: f.done,
+                        })
+                    }
+                },
+                Pending::Store { va, width, raw } => {
+                    match self.memif.write(mem, va, width, raw, *t) {
+                        Ok(done) => {
+                            let from = *t;
+                            self.charge_mem(t, from, done);
+                            self.pending = None;
+                        }
+                        Err(f) => {
+                            return Err(HwStep::PageFault {
+                                fault: f.fault,
+                                now: f.done,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances execution from `now` until the kernel finishes, a page fault
+    /// needs service, or `budget` cycles of thread-local time elapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`HwStep::Finished`] was returned, or if no
+    /// context was bound.
+    pub fn advance(&mut self, mem: &mut MemorySystem, now: Cycle, budget: u64) -> HwStep {
+        assert!(!self.finished, "advance called on a finished hardware thread");
+        let mut t = now;
+
+        if !self.started {
+            self.started = true;
+            let cost = self.compiled.enter_cost(None, self.compiled.kernel.entry);
+            self.charge(&mut t, cost);
+        }
+        // Retry a faulted access first (the OS has serviced the fault).
+        if let Err(step) = self.retry_pending(mem, &mut t) {
+            return step;
+        }
+
+        loop {
+            if (t - now).0 >= budget {
+                return HwStep::Yielded { now: t };
+            }
+            match self.interp.next() {
+                InterpEvent::Op(_) => {
+                    // Compute time is charged per block via the schedule.
+                }
+                InterpEvent::BlockChange { from, to } => {
+                    let cost = self.compiled.enter_cost(Some(from), to);
+                    self.charge(&mut t, cost);
+                    self.cur_block = to;
+                }
+                InterpEvent::Load { addr, width } => {
+                    self.mem_ops += 1;
+                    self.pending = Some(Pending::Load {
+                        va: VirtAddr(addr),
+                        width,
+                    });
+                    if let Err(step) = self.retry_pending(mem, &mut t) {
+                        return step;
+                    }
+                }
+                InterpEvent::Store { addr, width, value } => {
+                    self.mem_ops += 1;
+                    self.pending = Some(Pending::Store {
+                        va: VirtAddr(addr),
+                        width,
+                        raw: value,
+                    });
+                    if let Err(step) = self.retry_pending(mem, &mut t) {
+                        return step;
+                    }
+                }
+                InterpEvent::Done { ret } => {
+                    let done = self.memif.flush(mem, t);
+                    self.finished = true;
+                    return HwStep::Finished { ret, now: done };
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot (MEMIF and MMU absorbed).
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.put("mem_ops", self.mem_ops as f64);
+        s.put("compute_cycles", self.compute_cycles as f64);
+        s.put("hidden_mem_cycles", self.hidden_mem_cycles as f64);
+        s.put("instrs", self.interp.steps() as f64);
+        s.absorb("memif", self.memif.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svmsyn_hls::builder::KernelBuilder;
+    use svmsyn_hls::fsmd::{compile, HlsConfig};
+    use svmsyn_hls::ir::{BinOp, CmpOp, Kernel};
+    use svmsyn_mem::MemConfig;
+    use svmsyn_vm::pte::{DirEntry, Pte, PteFlags};
+
+    /// vecadd: dst[i] = src[i] + 1 for i in 0..n
+    fn vecadd() -> Kernel {
+        let mut b = KernelBuilder::new("vecadd", 3);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let src = b.arg(0);
+        let dst = b.arg(1);
+        let n = b.arg(2);
+        let zero = b.constant(0);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi();
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let four = b.constant(4);
+        let off = b.bin(BinOp::Mul, i, four);
+        let sa = b.bin(BinOp::Add, src, off);
+        let da = b.bin(BinOp::Add, dst, off);
+        let v = b.load(sa, Width::W32);
+        let one = b.constant(1);
+        let v2 = b.bin(BinOp::Add, v, one);
+        b.store(da, v2, Width::W32);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+        b.finish().unwrap()
+    }
+
+    /// Identity-maps VA pages 0..pages to PFNs 100..100+pages.
+    fn setup(pages: u64) -> (MemorySystem, PhysAddr) {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let root = PhysAddr::from_frame(5);
+        mem.poke_u32(root, DirEntry::table(6).encode());
+        let flags = PteFlags {
+            writable: true,
+            user: true,
+            ..PteFlags::default()
+        };
+        for p in 0..pages {
+            mem.poke_u32(
+                PhysAddr::from_frame(6).offset(4 * p),
+                Pte::leaf(100 + p, flags).encode(),
+            );
+        }
+        (mem, root)
+    }
+
+    fn run_to_completion(t: &mut HwThread, mem: &mut MemorySystem) -> (Option<i64>, Cycle) {
+        let mut now = Cycle(0);
+        loop {
+            match t.advance(mem, now, 10_000) {
+                HwStep::Yielded { now: n } => now = n,
+                HwStep::Finished { ret, now } => return (ret, now),
+                HwStep::PageFault { fault, .. } => panic!("unexpected fault: {fault}"),
+            }
+        }
+    }
+
+    #[test]
+    fn computes_correct_bytes_with_timing() {
+        let (mut mem, root) = setup(4);
+        let n = 512u64; // 2 KiB in, 2 KiB out
+        for i in 0..n {
+            mem.poke_u32(PhysAddr::from_frame(100).offset(4 * i), i as u32);
+        }
+        let ck = Arc::new(compile(&vecadd(), &HlsConfig::default()));
+        let mut t = HwThread::new(
+            ck,
+            &[0, (n * 4) as i64, n as i64],
+            &HwThreadConfig::default(),
+            MasterId(1),
+        );
+        t.set_context(Asid(1), root);
+        let (ret, end) = run_to_completion(&mut t, &mut mem);
+        assert_eq!(ret, None);
+        assert!(end > Cycle(n), "timing must be nontrivial");
+        for i in 0..n {
+            // dst starts at VA n*4 -> PFN 100 + (n*4)/4096 pages offset
+            let pa = PhysAddr::from_frame(100).offset(n * 4 + 4 * i);
+            assert_eq!(mem.peek_u32(pa), i as u32 + 1, "element {i}");
+        }
+        assert!(t.is_finished());
+        assert!(t.stats().get("memif.cache.misses").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn page_fault_suspends_and_resumes() {
+        let (mut mem, root) = setup(1); // only page 0 mapped; dst page faults
+        let n = 8u64;
+        let ck = Arc::new(compile(&vecadd(), &HlsConfig::default()));
+        let mut t = HwThread::new(
+            ck,
+            &[0, 4096, n as i64],
+            &HwThreadConfig::default(),
+            MasterId(1),
+        );
+        t.set_context(Asid(1), root);
+        let step = t.advance(&mut mem, Cycle(0), u64::MAX);
+        let (fault, at) = match step {
+            HwStep::PageFault { fault, now } => (fault, now),
+            other => panic!("expected fault, got {other:?}"),
+        };
+        assert_eq!(fault.va().page_base(), VirtAddr(4096));
+        // "Service" the fault by installing the mapping, then resume.
+        let flags = PteFlags {
+            writable: true,
+            user: true,
+            ..PteFlags::default()
+        };
+        mem.poke_u32(
+            PhysAddr::from_frame(6).offset(4),
+            Pte::leaf(101, flags).encode(),
+        );
+        let service_done = at + Cycle(3000);
+        let mut now = service_done;
+        loop {
+            match t.advance(&mut mem, now, u64::MAX) {
+                HwStep::Finished { now: end, .. } => {
+                    assert!(end > service_done);
+                    break;
+                }
+                HwStep::Yielded { now: n2 } => now = n2,
+                HwStep::PageFault { fault, .. } => panic!("second fault: {fault}"),
+            }
+        }
+        assert_eq!(mem.peek_u32(PhysAddr::from_frame(101)), 1);
+    }
+
+    #[test]
+    fn pipelining_speeds_up_hardware_time() {
+        let (mut mem, root) = setup(8);
+        let n = 1024i64;
+        let plain = compile(
+            &vecadd(),
+            &HlsConfig {
+                pipeline_loops: false,
+                ..HlsConfig::default()
+            },
+        );
+        let piped = compile(&vecadd(), &HlsConfig::default());
+        let run = |ck: svmsyn_hls::fsmd::CompiledKernel, mem: &mut MemorySystem| {
+            let mut t = HwThread::new(
+                Arc::new(ck),
+                &[0, n * 4, n],
+                &HwThreadConfig::default(),
+                MasterId(1),
+            );
+            t.set_context(Asid(1), root);
+            run_to_completion(&mut t, mem).1
+        };
+        let (mut mem2, _) = setup(8);
+        let t_plain = run(plain, &mut mem);
+        let t_piped = run(piped, &mut mem2);
+        assert!(
+            t_piped < t_plain,
+            "pipelined {t_piped} must beat sequential {t_plain}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finished hardware thread")]
+    fn advance_after_finish_panics() {
+        let (mut mem, root) = setup(1);
+        let mut b = KernelBuilder::new("nop", 0);
+        b.ret(None);
+        let ck = Arc::new(compile(&b.finish().unwrap(), &HlsConfig::default()));
+        let mut t = HwThread::new(ck, &[], &HwThreadConfig::default(), MasterId(1));
+        t.set_context(Asid(1), root);
+        let _ = t.advance(&mut mem, Cycle(0), u64::MAX);
+        let _ = t.advance(&mut mem, Cycle(0), u64::MAX);
+    }
+
+    #[test]
+    fn yield_respects_budget() {
+        let (mut mem, root) = setup(8);
+        let ck = Arc::new(compile(&vecadd(), &HlsConfig::default()));
+        let mut t = HwThread::new(ck, &[0, 8192, 1024], &HwThreadConfig::default(), MasterId(1));
+        t.set_context(Asid(1), root);
+        match t.advance(&mut mem, Cycle(0), 50) {
+            HwStep::Yielded { now } => assert!(now >= Cycle(50)),
+            other => panic!("expected yield, got {other:?}"),
+        }
+    }
+}

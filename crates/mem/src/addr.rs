@@ -1,0 +1,269 @@
+//! Address newtypes and page geometry.
+//!
+//! The platform models a Zynq-era 32-bit SoC: 4 KiB pages, physical memory
+//! starting at address zero. Virtual and physical addresses are kept as
+//! distinct newtypes so a raw physical address can never be handed to a
+//! component that expects a virtual one ([C-NEWTYPE]).
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Page size in bytes (4 KiB, the ARMv7 short-descriptor small page).
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Mask of the in-page offset bits.
+pub const PAGE_MASK: u64 = PAGE_SIZE - 1;
+
+/// A physical (bus) address.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_mem::{PhysAddr, PAGE_SIZE};
+/// let pa = PhysAddr(PAGE_SIZE + 8);
+/// assert_eq!(pa.frame(), 1);
+/// assert_eq!(pa.page_offset(), 8);
+/// assert_eq!(pa.page_base(), PhysAddr(PAGE_SIZE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual address within some address space.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_mem::VirtAddr;
+/// let va = VirtAddr(0x0040_1010);
+/// assert_eq!(va.vpn(), 0x401);
+/// assert_eq!(va.page_offset(), 0x10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+macro_rules! addr_common {
+    ($t:ident) => {
+        impl $t {
+            /// The in-page byte offset.
+            #[must_use]
+            pub fn page_offset(self) -> u64 {
+                self.0 & PAGE_MASK
+            }
+
+            /// The address rounded down to its page base.
+            #[must_use]
+            pub fn page_base(self) -> $t {
+                $t(self.0 & !PAGE_MASK)
+            }
+
+            /// The address rounded up to the next page boundary (identity if
+            /// already aligned).
+            #[must_use]
+            pub fn page_align_up(self) -> $t {
+                $t((self.0 + PAGE_MASK) & !PAGE_MASK)
+            }
+
+            /// Whether the address is page-aligned.
+            #[must_use]
+            pub fn is_page_aligned(self) -> bool {
+                self.page_offset() == 0
+            }
+
+            /// Byte offset addition.
+            #[must_use]
+            pub fn offset(self, bytes: u64) -> $t {
+                $t(self.0 + bytes)
+            }
+        }
+
+        impl Add<u64> for $t {
+            type Output = $t;
+            fn add(self, rhs: u64) -> $t {
+                $t(self.0 + rhs)
+            }
+        }
+
+        impl Sub<u64> for $t {
+            type Output = $t;
+            fn sub(self, rhs: u64) -> $t {
+                $t(self.0 - rhs)
+            }
+        }
+
+        impl Sub for $t {
+            type Output = u64;
+            fn sub(self, rhs: $t) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+
+        impl From<u64> for $t {
+            fn from(v: u64) -> $t {
+                $t(v)
+            }
+        }
+
+        impl From<$t> for u64 {
+            fn from(a: $t) -> u64 {
+                a.0
+            }
+        }
+
+        impl fmt::LowerHex for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(0x{:x})", stringify!($t), self.0)
+            }
+        }
+    };
+}
+
+addr_common!(PhysAddr);
+addr_common!(VirtAddr);
+
+impl PhysAddr {
+    /// The physical frame number (`addr >> 12`).
+    #[must_use]
+    pub fn frame(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Reconstructs an address from a frame number.
+    #[must_use]
+    pub fn from_frame(frame: u64) -> PhysAddr {
+        PhysAddr(frame << PAGE_SHIFT)
+    }
+}
+
+impl VirtAddr {
+    /// The virtual page number (`addr >> 12`).
+    #[must_use]
+    pub fn vpn(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Reconstructs an address from a virtual page number.
+    #[must_use]
+    pub fn from_vpn(vpn: u64) -> VirtAddr {
+        VirtAddr(vpn << PAGE_SHIFT)
+    }
+
+    /// Index into the first-level page directory (bits 31:22).
+    #[must_use]
+    pub fn l1_index(self) -> usize {
+        ((self.0 >> 22) & 0x3FF) as usize
+    }
+
+    /// Index into the second-level page table (bits 21:12).
+    #[must_use]
+    pub fn l2_index(self) -> usize {
+        ((self.0 >> PAGE_SHIFT) & 0x3FF) as usize
+    }
+}
+
+/// Splits the byte range `[addr, addr + len)` into per-page chunks
+/// `(page_start_addr, in_range_offset, chunk_len)`.
+///
+/// This is the helper both the MEMIF burst engine and the CPU cache model use
+/// to honor the "bursts never cross a page boundary" rule.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_mem::{split_at_page_boundaries, VirtAddr};
+/// let chunks = split_at_page_boundaries(VirtAddr(4090), 12);
+/// assert_eq!(chunks, vec![(VirtAddr(4090), 0, 6), (VirtAddr(4096), 6, 6)]);
+/// ```
+pub fn split_at_page_boundaries(addr: VirtAddr, len: u64) -> Vec<(VirtAddr, u64, u64)> {
+    let mut out = Vec::new();
+    let mut cur = addr.0;
+    let end = addr.0 + len;
+    while cur < end {
+        let page_end = (cur & !PAGE_MASK) + PAGE_SIZE;
+        let chunk_end = page_end.min(end);
+        out.push((VirtAddr(cur), cur - addr.0, chunk_end - cur));
+        cur = chunk_end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_frame_roundtrip() {
+        let pa = PhysAddr::from_frame(123);
+        assert_eq!(pa.frame(), 123);
+        assert_eq!(pa.0, 123 * PAGE_SIZE);
+        assert!(pa.is_page_aligned());
+        assert!(!(pa + 1).is_page_aligned());
+    }
+
+    #[test]
+    fn virt_vpn_and_indices() {
+        // va = (l1=3, l2=5, off=9)
+        let va = VirtAddr((3 << 22) | (5 << 12) | 9);
+        assert_eq!(va.l1_index(), 3);
+        assert_eq!(va.l2_index(), 5);
+        assert_eq!(va.page_offset(), 9);
+        assert_eq!(va.vpn(), (3 << 10) | 5);
+        assert_eq!(VirtAddr::from_vpn(va.vpn()).0, va.page_base().0);
+    }
+
+    #[test]
+    fn align_up_and_down() {
+        let a = VirtAddr(PAGE_SIZE + 1);
+        assert_eq!(a.page_base().0, PAGE_SIZE);
+        assert_eq!(a.page_align_up().0, 2 * PAGE_SIZE);
+        let b = VirtAddr(2 * PAGE_SIZE);
+        assert_eq!(b.page_align_up(), b);
+    }
+
+    #[test]
+    fn arithmetic_and_formatting() {
+        let pa = PhysAddr(0x100);
+        assert_eq!((pa + 0x10) - pa, 0x10);
+        assert_eq!(pa - 0x80, PhysAddr(0x80));
+        assert_eq!(format!("{pa:x}"), "100");
+        assert_eq!(format!("{pa:X}"), "100");
+        assert!(pa.to_string().contains("0x100"));
+        let va: VirtAddr = 0x42u64.into();
+        let raw: u64 = va.into();
+        assert_eq!(raw, 0x42);
+    }
+
+    #[test]
+    fn split_within_single_page() {
+        let chunks = split_at_page_boundaries(VirtAddr(100), 50);
+        assert_eq!(chunks, vec![(VirtAddr(100), 0, 50)]);
+    }
+
+    #[test]
+    fn split_spanning_three_pages() {
+        let chunks = split_at_page_boundaries(VirtAddr(PAGE_SIZE - 10), PAGE_SIZE + 20);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], (VirtAddr(PAGE_SIZE - 10), 0, 10));
+        assert_eq!(chunks[1], (VirtAddr(PAGE_SIZE), 10, PAGE_SIZE));
+        assert_eq!(chunks[2], (VirtAddr(2 * PAGE_SIZE), 10 + PAGE_SIZE, 10));
+        let total: u64 = chunks.iter().map(|c| c.2).sum();
+        assert_eq!(total, PAGE_SIZE + 20);
+    }
+
+    #[test]
+    fn split_empty_range() {
+        assert!(split_at_page_boundaries(VirtAddr(0), 0).is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! A small set-associative write-back timing cache.
+//!
+//! Used twice in the stack: as the CPU's L1 data cache (`svmsyn-os`) and as
+//! the hardware thread's MEMIF burst cache (`svmsyn-hwt`). It is a *timing*
+//! cache: data always moves through the [`MemorySystem`](crate::MemorySystem)
+//! functionally, so software and hardware threads stay coherent by
+//! construction, and the cache only decides which accesses cost bus
+//! transactions.
+
+use svmsyn_sim::StatSet;
+
+use crate::addr::PhysAddr;
+
+/// L1 data-cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl Default for CacheConfig {
+    /// 32 KiB, 64 B lines, 4-way.
+    fn default() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// A write-back, write-allocate timing cache.
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+/// Outcome of a cache access: what bus traffic it implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// In cache: no bus traffic.
+    Hit,
+    /// Line fill required; optionally a dirty victim writeback first.
+    Miss {
+        /// Physical base address of the dirty victim to write back, if any.
+        writeback: Option<PhysAddr>,
+    },
+}
+
+impl L1Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-power-of-two geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let lines = cfg.size_bytes / cfg.line_bytes;
+        let sets = (lines / cfg.ways as u64) as usize;
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(sets > 0 && (sets & (sets - 1)) == 0, "set count must be a power of two");
+        L1Cache {
+            cfg,
+            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    fn index(&self, pa: PhysAddr) -> (usize, u64) {
+        let line = pa.0 / self.cfg.line_bytes;
+        ((line as usize) & (self.sets.len() - 1), line / self.sets.len() as u64)
+    }
+
+    /// Simulates an access; returns the implied bus traffic.
+    pub fn access(&mut self, pa: PhysAddr, write: bool) -> CacheOutcome {
+        self.clock += 1;
+        let (set_idx, tag) = self.index(pa);
+        let sets_n = self.sets.len() as u64;
+        let line_bytes = self.cfg.line_bytes;
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = clock;
+            line.dirty |= write;
+            self.hits += 1;
+            return CacheOutcome::Hit;
+        }
+        self.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .expect("ways > 0");
+        let writeback = if victim.valid && victim.dirty {
+            self.writebacks += 1;
+            let victim_line = victim.tag * sets_n + set_idx as u64;
+            Some(PhysAddr(victim_line * line_bytes))
+        } else {
+            None
+        };
+        *victim = Line {
+            valid: true,
+            tag,
+            dirty: write,
+            stamp: clock,
+        };
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.cfg.line_bytes
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.put("hits", self.hits as f64);
+        s.put("misses", self.misses as f64);
+        s.put("hit_rate", self.hit_rate());
+        s.put("writebacks", self.writebacks as f64);
+        s
+    }
+
+    /// Returns the line base addresses of all dirty lines and marks them
+    /// clean (the final flush at kernel completion). Lines stay resident.
+    pub fn drain_dirty(&mut self) -> Vec<PhysAddr> {
+        let mut out = Vec::new();
+        let sets_n = self.sets.len() as u64;
+        for (set_idx, set) in self.sets.iter_mut().enumerate() {
+            for line in set {
+                if line.valid && line.dirty {
+                    line.dirty = false;
+                    self.writebacks += 1;
+                    let victim_line = line.tag * sets_n + set_idx as u64;
+                    out.push(PhysAddr(victim_line * self.cfg.line_bytes));
+                }
+            }
+        }
+        out
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = L1Cache::new(CacheConfig::default());
+        assert!(matches!(c.access(PhysAddr(0x100), false), CacheOutcome::Miss { .. }));
+        assert_eq!(c.access(PhysAddr(0x104), false), CacheOutcome::Hit);
+        assert!(c.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_victim() {
+        let cfg = CacheConfig { size_bytes: 256, line_bytes: 64, ways: 1 };
+        let mut c = L1Cache::new(cfg);
+        c.access(PhysAddr(0), true); // dirty line 0 of set 0
+        // Same set (4 sets, direct mapped): line at 256 maps to set 0.
+        match c.access(PhysAddr(256), false) {
+            CacheOutcome::Miss { writeback: Some(v) } => assert_eq!(v, PhysAddr(0)),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_dirty_returns_and_clears() {
+        let mut c = L1Cache::new(CacheConfig::default());
+        c.access(PhysAddr(0), true);
+        c.access(PhysAddr(4096), true);
+        c.access(PhysAddr(8192), false);
+        let mut dirty = c.drain_dirty();
+        dirty.sort();
+        assert_eq!(dirty, vec![PhysAddr(0), PhysAddr(4096)]);
+        assert!(c.drain_dirty().is_empty(), "drain clears dirty bits");
+        // Lines stay resident (clean) after draining.
+        assert_eq!(c.access(PhysAddr(0), false), CacheOutcome::Hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        L1Cache::new(CacheConfig { size_bytes: 100, line_bytes: 48, ways: 1 });
+    }
+}

@@ -1,0 +1,311 @@
+//! The memory-system façade: backing store + bus + DRAM timing.
+//!
+//! [`MemorySystem`] is the single component every master talks to. A timed
+//! access moves real bytes *and* advances the timing model; functional
+//! (`load`/`dump`) accesses move bytes with no timing, and are used by
+//! loaders and checkers that exist outside the simulated machine.
+
+use svmsyn_sim::{Cycle, StatSet};
+
+use crate::addr::PhysAddr;
+use crate::bus::{Bus, BusConfig, MasterId};
+use crate::dram::{Dram, DramConfig};
+use crate::store::SparseMemory;
+
+/// Configuration of the whole memory path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// Physical memory size in bytes (page-aligned).
+    pub size_bytes: u64,
+    /// Shared-bus parameters.
+    pub bus: BusConfig,
+    /// DRAM timing parameters.
+    pub dram: DramConfig,
+    /// Largest single bus transaction; longer transfers are split into
+    /// back-to-back bursts of at most this size.
+    pub max_burst_bytes: u64,
+}
+
+impl Default for MemConfig {
+    /// The `DESIGN.md` §4 platform: 512 MiB, 8 B/cycle bus, 256 B bursts.
+    fn default() -> Self {
+        MemConfig {
+            size_bytes: 512 << 20,
+            bus: BusConfig::default(),
+            dram: DramConfig::default(),
+            max_burst_bytes: 256,
+        }
+    }
+}
+
+/// The complete memory system seen by all bus masters.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_mem::{MemConfig, MemorySystem, MasterId, PhysAddr};
+/// use svmsyn_sim::Cycle;
+/// let mut mem = MemorySystem::new(MemConfig::default());
+/// let done = mem.write(MasterId(0), PhysAddr(0x1000), &[1, 2, 3, 4], Cycle(0));
+/// let mut buf = [0u8; 4];
+/// let done2 = mem.read(MasterId(0), PhysAddr(0x1000), &mut buf, done);
+/// assert_eq!(buf, [1, 2, 3, 4]);
+/// assert!(done2 > done);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    store: SparseMemory,
+    bus: Bus,
+    dram: Dram,
+    max_burst: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl MemorySystem {
+    /// Creates a zeroed memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (zero/unaligned sizes); see
+    /// [`SparseMemory::new`], [`Bus::new`], [`Dram::new`].
+    pub fn new(cfg: MemConfig) -> Self {
+        assert!(cfg.max_burst_bytes > 0, "max_burst_bytes must be positive");
+        MemorySystem {
+            store: SparseMemory::new(cfg.size_bytes),
+            bus: Bus::new(cfg.bus),
+            dram: Dram::new(cfg.dram),
+            max_burst: cfg.max_burst_bytes,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Physical memory size in bytes.
+    pub fn size(&self) -> u64 {
+        self.store.size()
+    }
+
+    /// Advances the timing model for a transfer of `len` bytes at `addr`
+    /// arriving at `now`; returns the completion time. Shared by reads and
+    /// writes (the bus is half-duplex and the model is symmetric).
+    pub fn transfer_time(&mut self, master: MasterId, addr: PhysAddr, len: u64, now: Cycle) -> Cycle {
+        let mut t = now;
+        let mut done = now;
+        let mut off = 0u64;
+        let len = len.max(1);
+        while off < len {
+            let blen = self.max_burst.min(len - off);
+            let (bus_start, bus_done) = self.bus.grant(master, blen, t);
+            let bank_done = self.dram.access(addr.offset(off), blen, bus_start);
+            done = bus_done.max(bank_done);
+            // The next burst may arbitrate as soon as the bus frees; DRAM
+            // latency overlaps with the following arbitration.
+            t = bus_done;
+            off += blen;
+        }
+        done
+    }
+
+    /// Timed read: copies bytes into `buf` and returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the physical range is out of bounds (addresses here are
+    /// post-translation; an out-of-range access is a simulator bug).
+    pub fn read(&mut self, master: MasterId, addr: PhysAddr, buf: &mut [u8], now: Cycle) -> Cycle {
+        self.store.read(addr, buf);
+        self.reads += 1;
+        self.transfer_time(master, addr, buf.len() as u64, now)
+    }
+
+    /// Timed write: copies `data` into memory and returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the physical range is out of bounds.
+    pub fn write(&mut self, master: MasterId, addr: PhysAddr, data: &[u8], now: Cycle) -> Cycle {
+        self.store.write(addr, data);
+        self.writes += 1;
+        self.transfer_time(master, addr, data.len() as u64, now)
+    }
+
+    /// Timed little-endian `u32` read (one bus transaction), as used by the
+    /// page-table walker.
+    pub fn read_u32(&mut self, master: MasterId, addr: PhysAddr, now: Cycle) -> (u32, Cycle) {
+        let mut b = [0u8; 4];
+        let done = self.read(master, addr, &mut b, now);
+        (u32::from_le_bytes(b), done)
+    }
+
+    /// Timed little-endian `u32` write.
+    pub fn write_u32(&mut self, master: MasterId, addr: PhysAddr, v: u32, now: Cycle) -> Cycle {
+        self.write(master, addr, &v.to_le_bytes(), now)
+    }
+
+    /// Timed little-endian `u64` read.
+    pub fn read_u64(&mut self, master: MasterId, addr: PhysAddr, now: Cycle) -> (u64, Cycle) {
+        let mut b = [0u8; 8];
+        let done = self.read(master, addr, &mut b, now);
+        (u64::from_le_bytes(b), done)
+    }
+
+    /// Timed little-endian `u64` write.
+    pub fn write_u64(&mut self, master: MasterId, addr: PhysAddr, v: u64, now: Cycle) -> Cycle {
+        self.write(master, addr, &v.to_le_bytes(), now)
+    }
+
+    /// Functional write with no timing (loaders, OS metadata setup whose cost
+    /// is charged via explicit cost constants instead).
+    pub fn load(&mut self, addr: PhysAddr, data: &[u8]) {
+        self.store.write(addr, data);
+    }
+
+    /// Functional read with no timing (checkers, debuggers).
+    pub fn dump(&self, addr: PhysAddr, buf: &mut [u8]) {
+        self.store.read(addr, buf);
+    }
+
+    /// Functional `u32` read.
+    pub fn peek_u32(&self, addr: PhysAddr) -> u32 {
+        self.store.read_u32(addr)
+    }
+
+    /// Functional `u32` write.
+    pub fn poke_u32(&mut self, addr: PhysAddr, v: u32) {
+        self.store.write_u32(addr, v);
+    }
+
+    /// Functional `u64` read.
+    pub fn peek_u64(&self, addr: PhysAddr) -> u64 {
+        self.store.read_u64(addr)
+    }
+
+    /// Functional `u64` write.
+    pub fn poke_u64(&mut self, addr: PhysAddr, v: u64) {
+        self.store.write_u64(addr, v);
+    }
+
+    /// Zero-fills a physical range functionally (page zeroing is charged by
+    /// the OS cost model, not per byte here).
+    pub fn zero(&mut self, addr: PhysAddr, len: u64) {
+        self.store.fill(addr, len, 0);
+    }
+
+    /// Shared-bus view (for utilization reporting).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// DRAM view (for row-buffer statistics).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Counter snapshot including bus and DRAM sub-stats.
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.put("reads", self.reads as f64);
+        s.put("writes", self.writes as f64);
+        s.absorb("bus", self.bus.stats());
+        s.absorb("dram", self.dram.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(MemConfig {
+            size_bytes: 1 << 20,
+            ..MemConfig::default()
+        })
+    }
+
+    #[test]
+    fn timed_roundtrip_moves_bytes() {
+        let mut m = mem();
+        let t = m.write(MasterId(0), PhysAddr(64), b"hello!!!", Cycle(0));
+        let mut buf = [0u8; 8];
+        m.read(MasterId(0), PhysAddr(64), &mut buf, t);
+        assert_eq!(&buf, b"hello!!!");
+    }
+
+    #[test]
+    fn longer_transfers_take_longer() {
+        let mut a = mem();
+        let short = a.transfer_time(MasterId(0), PhysAddr(0), 8, Cycle(0));
+        let mut b = mem();
+        let long = b.transfer_time(MasterId(0), PhysAddr(0), 4096, Cycle(0));
+        assert!(long > short);
+    }
+
+    #[test]
+    fn bursts_split_at_max_burst() {
+        let mut m = MemorySystem::new(MemConfig {
+            size_bytes: 1 << 20,
+            max_burst_bytes: 64,
+            ..MemConfig::default()
+        });
+        m.transfer_time(MasterId(0), PhysAddr(0), 256, Cycle(0));
+        // 256 bytes at 64 B/burst = 4 bus transactions.
+        assert_eq!(m.bus().stats().get("transactions"), Some(4.0));
+    }
+
+    #[test]
+    fn contention_between_masters() {
+        let mut m = mem();
+        let alone = {
+            let mut solo = mem();
+            solo.transfer_time(MasterId(0), PhysAddr(0), 4096, Cycle(0))
+        };
+        m.transfer_time(MasterId(1), PhysAddr(65536), 4096, Cycle(0));
+        let contended = m.transfer_time(MasterId(0), PhysAddr(0), 4096, Cycle(0));
+        assert!(contended > alone, "sharing the bus must slow master 0 down");
+    }
+
+    #[test]
+    fn functional_access_has_no_timing() {
+        let mut m = mem();
+        m.load(PhysAddr(0), &[9, 9]);
+        let mut b = [0u8; 2];
+        m.dump(PhysAddr(0), &mut b);
+        assert_eq!(b, [9, 9]);
+        assert_eq!(m.bus().busy_cycles(), 0);
+        assert_eq!(m.stats().get("reads"), Some(0.0));
+    }
+
+    #[test]
+    fn typed_timed_accessors() {
+        let mut m = mem();
+        let t = m.write_u32(MasterId(0), PhysAddr(16), 0xCAFE_F00D, Cycle(0));
+        let (v, t2) = m.read_u32(MasterId(0), PhysAddr(16), t);
+        assert_eq!(v, 0xCAFE_F00D);
+        assert!(t2 > t);
+        let t3 = m.write_u64(MasterId(0), PhysAddr(24), 0x1122_3344_5566_7788, t2);
+        let (w, _) = m.read_u64(MasterId(0), PhysAddr(24), t3);
+        assert_eq!(w, 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn zero_and_peek_poke() {
+        let mut m = mem();
+        m.poke_u32(PhysAddr(0), 0xFFFF_FFFF);
+        m.zero(PhysAddr(0), 4);
+        assert_eq!(m.peek_u32(PhysAddr(0)), 0);
+        m.poke_u64(PhysAddr(8), 7);
+        assert_eq!(m.peek_u64(PhysAddr(8)), 7);
+    }
+
+    #[test]
+    fn stats_absorb_subcomponents() {
+        let mut m = mem();
+        m.write(MasterId(0), PhysAddr(0), &[1], Cycle(0));
+        let s = m.stats();
+        assert_eq!(s.get("writes"), Some(1.0));
+        assert!(s.get("bus.busy_cycles").unwrap() > 0.0);
+        assert!(s.get("dram.accesses").unwrap() > 0.0);
+    }
+}

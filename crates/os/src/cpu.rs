@@ -1,0 +1,487 @@
+//! The in-order CPU execution model for software-thread baselines.
+//!
+//! A software thread interprets the *same kernel IR* as a hardware thread,
+//! but is costed with a CPI table, an L1 data cache, and a CPU TLB. The CPU
+//! runs at twice the fabric clock (`DESIGN.md` §4), so CPI values are
+//! charged in half-fabric-cycles. The cache is a *timing* cache: data always
+//! moves through the shared [`MemorySystem`] functionally, so software and
+//! hardware threads stay coherent by construction, and the cache model only
+//! decides whether a bus transaction is charged.
+
+use std::sync::Arc;
+
+use svmsyn_hls::interp::{Interp, InterpEvent};
+use svmsyn_hls::ir::{Kernel, OpClass, Width};
+use svmsyn_mem::{MasterId, MemorySystem, PhysAddr, VirtAddr};
+
+pub use svmsyn_mem::cache::{CacheConfig, CacheOutcome, L1Cache};
+use svmsyn_sim::{Cycle, StatSet};
+use svmsyn_vm::tlb::{Asid, Tlb, TlbConfig};
+
+use crate::addrspace::Sigsegv;
+use crate::os::Os;
+use crate::sync::ThreadId;
+
+/// CPI table in CPU cycles (CPU clock = 2× fabric clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuCosts {
+    /// ALU / compare / select.
+    pub alu: u64,
+    /// Multiply.
+    pub mul: u64,
+    /// Divide.
+    pub div: u64,
+    /// Taken-branch average (includes misprediction mix).
+    pub branch: u64,
+    /// Load/store issue (cache time comes on top).
+    pub mem_issue: u64,
+    /// CPU TLB refill by the CPU's hardware walker (mostly cache-resident
+    /// page tables, so a fixed cost rather than bus transactions).
+    pub tlb_refill: u64,
+}
+
+impl Default for CpuCosts {
+    /// A Cortex-A9-class in-order approximation.
+    fn default() -> Self {
+        CpuCosts {
+            alu: 1,
+            mul: 3,
+            div: 20,
+            branch: 2,
+            mem_issue: 2,
+            tlb_refill: 60,
+        }
+    }
+}
+
+/// Configuration of one software-thread execution context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwExecConfig {
+    /// CPI table.
+    pub costs: CpuCosts,
+    /// L1 data cache.
+    pub cache: CacheConfig,
+    /// CPU TLB geometry.
+    pub tlb: TlbConfig,
+    /// Bus master id used for this thread's cache fills.
+    pub master: MasterId,
+}
+
+impl SwExecConfig {
+    /// Defaults with the given bus master id.
+    pub fn with_master(master: MasterId) -> Self {
+        SwExecConfig {
+            costs: CpuCosts::default(),
+            cache: CacheConfig::default(),
+            tlb: TlbConfig {
+                entries: 32,
+                ways: 32,
+                ..TlbConfig::default()
+            },
+            master,
+        }
+    }
+}
+
+/// How a slice of software execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceEnd {
+    /// The kernel returned.
+    Finished {
+        /// Return value, if any.
+        ret: Option<i64>,
+    },
+    /// The cycle budget ran out; call again to continue.
+    BudgetExhausted,
+}
+
+/// A software thread executing a kernel on the CPU model.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use svmsyn_hls::builder::KernelBuilder;
+/// use svmsyn_hls::ir::BinOp;
+/// use svmsyn_mem::{MasterId, MemConfig, MemorySystem};
+/// use svmsyn_os::cpu::{SliceEnd, SwExec, SwExecConfig};
+/// use svmsyn_os::sync::ThreadId;
+/// use svmsyn_os::{Os, OsConfig};
+/// use svmsyn_sim::Cycle;
+///
+/// let mut b = KernelBuilder::new("add", 2);
+/// let x = b.arg(0);
+/// let y = b.arg(1);
+/// let s = b.bin(BinOp::Add, x, y);
+/// b.ret(Some(s));
+/// let k = Arc::new(b.finish().unwrap());
+///
+/// let mut mem = MemorySystem::new(MemConfig::default());
+/// let mut os = Os::new(&OsConfig::default(), &mem);
+/// let asid = os.create_space(&mut mem).unwrap();
+/// let mut t = SwExec::new(ThreadId(1), asid, k, &[20, 22], SwExecConfig::with_master(MasterId(0)));
+/// let (end, kind) = t.run_slice(&mut os, &mut mem, Cycle(0), u64::MAX).unwrap();
+/// assert_eq!(kind, SliceEnd::Finished { ret: Some(42) });
+/// assert!(end >= Cycle(0)); // one ALU op costs half a fabric cycle
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwExec {
+    tid: ThreadId,
+    asid: Asid,
+    interp: Interp,
+    cfg: SwExecConfig,
+    tlb: Tlb,
+    cache: L1Cache,
+    cpu_half_cycles: u64, // CPU cycles pending conversion (2 per fabric cycle)
+    instrs: u64,
+    faults: u64,
+}
+
+impl SwExec {
+    /// Creates a software thread over `kernel` with launch `args`.
+    pub fn new(
+        tid: ThreadId,
+        asid: Asid,
+        kernel: Arc<Kernel>,
+        args: &[i64],
+        cfg: SwExecConfig,
+    ) -> Self {
+        SwExec {
+            tid,
+            asid,
+            interp: Interp::new(kernel, args),
+            cfg,
+            tlb: Tlb::new(cfg.tlb),
+            cache: L1Cache::new(cfg.cache),
+            cpu_half_cycles: 0,
+            instrs: 0,
+            faults: 0,
+        }
+    }
+
+    /// This thread's id.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The address space the thread runs in.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Instructions retired so far.
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+
+    fn charge_cpu(&mut self, t: &mut Cycle, cpu_cycles: u64) {
+        self.cpu_half_cycles += cpu_cycles;
+        let fabric = self.cpu_half_cycles / 2;
+        self.cpu_half_cycles %= 2;
+        *t += fabric;
+    }
+
+    /// Translates through the CPU TLB (+ fixed refill cost), servicing page
+    /// faults through the OS.
+    fn translate(
+        &mut self,
+        os: &mut Os,
+        mem: &mut MemorySystem,
+        va: VirtAddr,
+        write: bool,
+        t: &mut Cycle,
+    ) -> Result<PhysAddr, Sigsegv> {
+        loop {
+            if let Some(hit) = self.tlb.lookup(self.asid, va.vpn()) {
+                if !write || hit.flags.writable {
+                    return Ok(PhysAddr::from_frame(hit.pfn).offset(va.page_offset()));
+                }
+                // Permission miss on cached entry: drop and re-resolve.
+                self.tlb.invalidate_page(self.asid, va.vpn());
+            }
+            let refill = self.cfg.costs.tlb_refill;
+            self.charge_cpu(t, refill);
+            match os.space(self.asid).translate(mem, va) {
+                Some((pa, flags)) if !write || flags.writable => {
+                    self.tlb.insert(self.asid, va.vpn(), pa.frame(), flags);
+                    return Ok(pa);
+                }
+                _ => {
+                    self.faults += 1;
+                    let done = os.service_fault(self.asid, va, write, false, mem, *t)?;
+                    *t = done;
+                }
+            }
+        }
+    }
+
+    /// Performs a timed, cached data access; returns the physical address.
+    fn data_access(
+        &mut self,
+        os: &mut Os,
+        mem: &mut MemorySystem,
+        va: VirtAddr,
+        write: bool,
+        t: &mut Cycle,
+    ) -> Result<PhysAddr, Sigsegv> {
+        let pa = self.translate(os, mem, va, write, t)?;
+        self.charge_cpu(t, self.cfg.costs.mem_issue);
+        match self.cache.access(pa, write) {
+            CacheOutcome::Hit => {}
+            CacheOutcome::Miss { writeback } => {
+                let line = self.cache.line_bytes();
+                if let Some(victim) = writeback {
+                    *t = mem.transfer_time(self.cfg.master, victim, line, *t);
+                }
+                *t = mem.transfer_time(self.cfg.master, PhysAddr(pa.0 & !(line - 1)), line, *t);
+            }
+        }
+        Ok(pa)
+    }
+
+    /// Runs until the kernel finishes or `budget` fabric cycles elapse.
+    /// Returns the end time and how the slice ended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Sigsegv`] if the thread performs an unservicable access.
+    pub fn run_slice(
+        &mut self,
+        os: &mut Os,
+        mem: &mut MemorySystem,
+        start: Cycle,
+        budget: u64,
+    ) -> Result<(Cycle, SliceEnd), Sigsegv> {
+        let mut t = start;
+        loop {
+            if (t - start).0 >= budget {
+                return Ok((t, SliceEnd::BudgetExhausted));
+            }
+            match self.interp.next() {
+                InterpEvent::Op(class) => {
+                    self.instrs += 1;
+                    let cpi = match class {
+                        OpClass::Alu => self.cfg.costs.alu,
+                        OpClass::Mul => self.cfg.costs.mul,
+                        OpClass::Div => self.cfg.costs.div,
+                        _ => 1,
+                    };
+                    self.charge_cpu(&mut t, cpi);
+                }
+                InterpEvent::Load { addr, width } => {
+                    self.instrs += 1;
+                    let pa = self.data_access(os, mem, VirtAddr(addr), false, &mut t)?;
+                    let raw = read_raw(mem, pa, width);
+                    self.interp.provide_load(raw);
+                }
+                InterpEvent::Store { addr, width, value } => {
+                    self.instrs += 1;
+                    let pa = self.data_access(os, mem, VirtAddr(addr), true, &mut t)?;
+                    write_raw(mem, pa, width, value);
+                }
+                InterpEvent::BlockChange { .. } => {
+                    self.instrs += 1;
+                    self.charge_cpu(&mut t, self.cfg.costs.branch);
+                }
+                InterpEvent::Done { ret } => {
+                    return Ok((t, SliceEnd::Finished { ret }));
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot (TLB and cache absorbed).
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.put("instrs", self.instrs as f64);
+        s.put("faults", self.faults as f64);
+        s.absorb("tlb", self.tlb.stats());
+        s.absorb("cache", self.cache.stats());
+        s
+    }
+}
+
+fn read_raw(mem: &MemorySystem, pa: PhysAddr, width: Width) -> u64 {
+    let mut b = [0u8; 8];
+    mem.dump(pa, &mut b[..width.bytes() as usize]);
+    u64::from_le_bytes(b)
+}
+
+fn write_raw(mem: &mut MemorySystem, pa: PhysAddr, width: Width, value: u64) {
+    mem.load(pa, &value.to_le_bytes()[..width.bytes() as usize]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::OsConfig;
+    use svmsyn_hls::builder::KernelBuilder;
+    use svmsyn_hls::ir::{BinOp, CmpOp};
+    use svmsyn_mem::{MemConfig, PAGE_SIZE};
+
+    fn boot() -> (MemorySystem, Os) {
+        let mem = MemorySystem::new(MemConfig {
+            size_bytes: 64 << 20,
+            ..MemConfig::default()
+        });
+        let os = Os::new(&OsConfig::default(), &mem);
+        (mem, os)
+    }
+
+    /// store i at base+4i for i in 0..n, return sum of loads back.
+    fn touch_kernel() -> Arc<Kernel> {
+        let mut b = KernelBuilder::new("touch", 2);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let base = b.arg(0);
+        let n = b.arg(1);
+        let zero = b.constant(0);
+        b.jump(header);
+        b.switch_to(header);
+        let i = b.phi();
+        let acc = b.phi();
+        let c = b.cmp(CmpOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let four = b.constant(4);
+        let off = b.bin(BinOp::Mul, i, four);
+        let addr = b.bin(BinOp::Add, base, off);
+        b.store(addr, i, Width::W32);
+        let back = b.load(addr, Width::W32);
+        let acc2 = b.bin(BinOp::Add, acc, back);
+        let one = b.constant(1);
+        let i2 = b.bin(BinOp::Add, i, one);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(acc));
+        b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+        b.set_phi_incoming(acc, &[(entry, zero), (body, acc2)]);
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn faults_in_pages_and_computes() {
+        let (mut mem, mut os) = boot();
+        let asid = os.create_space(&mut mem).unwrap();
+        let n = 256u64; // 1 KiB of i32: one page
+        let va = os.mmap(asid, n * 4, true, false, &mut mem).unwrap();
+        let mut t = SwExec::new(
+            ThreadId(1),
+            asid,
+            touch_kernel(),
+            &[va.0 as i64, n as i64],
+            SwExecConfig::with_master(MasterId(0)),
+        );
+        let (end, kind) = t.run_slice(&mut os, &mut mem, Cycle(0), u64::MAX).unwrap();
+        assert_eq!(
+            kind,
+            SliceEnd::Finished { ret: Some((0..n as i64).sum()) }
+        );
+        assert!(end > Cycle(1000));
+        assert_eq!(os.sw_faults(), 1, "one page: one minor fault");
+        // Data must be visible in the shared memory (write-through data path).
+        let mut buf = [0u8; 4];
+        os.copy_out(asid, VirtAddr(va.0 + 40), &mut buf, &mem);
+        assert_eq!(i32::from_le_bytes(buf), 10);
+    }
+
+    #[test]
+    fn budget_exhaustion_resumes_cleanly() {
+        let (mut mem, mut os) = boot();
+        let asid = os.create_space(&mut mem).unwrap();
+        let n = 2048u64;
+        let va = os.mmap(asid, n * 4, true, false, &mut mem).unwrap();
+        let mut t = SwExec::new(
+            ThreadId(1),
+            asid,
+            touch_kernel(),
+            &[va.0 as i64, n as i64],
+            SwExecConfig::with_master(MasterId(0)),
+        );
+        let mut now = Cycle(0);
+        let mut slices = 0;
+        loop {
+            let (end, kind) = t.run_slice(&mut os, &mut mem, now, 500).unwrap();
+            now = end;
+            slices += 1;
+            match kind {
+                SliceEnd::Finished { ret } => {
+                    assert_eq!(ret, Some((0..n as i64).sum()));
+                    break;
+                }
+                SliceEnd::BudgetExhausted => assert!(slices < 100_000),
+            }
+        }
+        assert!(slices > 1, "must have yielded at least once");
+    }
+
+    #[test]
+    fn cache_hits_make_reuse_cheap() {
+        let (mut mem, mut os) = boot();
+        let asid = os.create_space(&mut mem).unwrap();
+        let va = os.mmap(asid, PAGE_SIZE, true, true, &mut mem).unwrap();
+        // Two identical passes over one page: second pass should be much
+        // faster thanks to the L1.
+        let k = touch_kernel();
+        let n = 64i64;
+        let mut t1 = SwExec::new(
+            ThreadId(1),
+            asid,
+            Arc::clone(&k),
+            &[va.0 as i64, n],
+            SwExecConfig::with_master(MasterId(0)),
+        );
+        let (e1, _) = t1.run_slice(&mut os, &mut mem, Cycle(0), u64::MAX).unwrap();
+        let cold = (e1 - Cycle(0)).0;
+        // Reuse the same exec's warm cache state via a fresh interp run.
+        let mut t2 = SwExec {
+            interp: Interp::new(k, &[va.0 as i64, n]),
+            ..t1.clone()
+        };
+        let (e2, _) = t2.run_slice(&mut os, &mut mem, e1, u64::MAX).unwrap();
+        let warm = (e2 - e1).0;
+        assert!(warm < cold, "warm {warm} must beat cold {cold}");
+        assert!(t2.stats().get("cache.hit_rate").unwrap() > 0.5);
+    }
+
+    #[test]
+    fn segv_propagates() {
+        let (mut mem, mut os) = boot();
+        let asid = os.create_space(&mut mem).unwrap();
+        let mut t = SwExec::new(
+            ThreadId(1),
+            asid,
+            touch_kernel(),
+            &[0x7000_0000, 4],
+            SwExecConfig::with_master(MasterId(0)),
+        );
+        let err = t.run_slice(&mut os, &mut mem, Cycle(0), u64::MAX).unwrap_err();
+        assert_eq!(err.va.page_base(), VirtAddr(0x7000_0000));
+    }
+
+    #[test]
+    fn cpu_clock_is_twice_fabric() {
+        // 100 ALU CPU-cycles must cost 50 fabric cycles.
+        let (mut mem, mut os) = boot();
+        let asid = os.create_space(&mut mem).unwrap();
+        let mut b = KernelBuilder::new("alu", 1);
+        let x = b.arg(0);
+        let mut v = x;
+        for _ in 0..100 {
+            v = b.bin(BinOp::Add, v, x);
+        }
+        b.ret(Some(v));
+        let k = Arc::new(b.finish().unwrap());
+        let mut t = SwExec::new(
+            ThreadId(1),
+            asid,
+            k,
+            &[1],
+            SwExecConfig::with_master(MasterId(0)),
+        );
+        let (end, _) = t.run_slice(&mut os, &mut mem, Cycle(0), u64::MAX).unwrap();
+        assert_eq!((end - Cycle(0)).0, 50);
+    }
+}

@@ -1,0 +1,220 @@
+//! The physical frame allocator.
+//!
+//! A free-list allocator for single frames (page tables, demand-paged
+//! anonymous pages) plus a bump region for physically *contiguous*
+//! allocations — the pinned DMA buffers that the copy-based baseline needs.
+
+use svmsyn_mem::{PhysAddr, PAGE_SIZE};
+
+/// Why a frame allocation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// No free frames remain.
+    OutOfFrames,
+    /// No contiguous run of the requested length remains.
+    NoContiguousRun {
+        /// Frames requested.
+        requested: u64,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::OutOfFrames => write!(f, "out of physical frames"),
+            FrameError::NoContiguousRun { requested } => {
+                write!(f, "no contiguous run of {requested} frames")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Allocates physical frames from `[base_frame, base_frame + frames)`.
+///
+/// Singles come from a LIFO free list fed by a bump pointer from the low
+/// end; contiguous runs bump from the high end downward, so the two kinds
+/// do not fragment each other.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_os::frame::FrameAllocator;
+/// let mut fa = FrameAllocator::new(16, 1024);
+/// let f = fa.alloc().unwrap();
+/// assert!(f >= 16);
+/// fa.free(f);
+/// let run = fa.alloc_contiguous(8).unwrap();
+/// assert!(run.is_page_aligned());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    low_next: u64,
+    high_next: u64, // exclusive upper bound for contiguous bump
+    free_list: Vec<u64>,
+    allocated: u64,
+    high_water: u64,
+    total: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator over `frames` frames starting at `base_frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn new(base_frame: u64, frames: u64) -> Self {
+        assert!(frames > 0, "need at least one frame");
+        FrameAllocator {
+            low_next: base_frame,
+            high_next: base_frame + frames,
+            free_list: Vec::new(),
+            allocated: 0,
+            high_water: 0,
+            total: frames,
+        }
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::OutOfFrames`] when exhausted.
+    pub fn alloc(&mut self) -> Result<u64, FrameError> {
+        let frame = match self.free_list.pop() {
+            Some(f) => f,
+            None => {
+                if self.low_next >= self.high_next {
+                    return Err(FrameError::OutOfFrames);
+                }
+                let f = self.low_next;
+                self.low_next += 1;
+                f
+            }
+        };
+        self.allocated += 1;
+        self.high_water = self.high_water.max(self.allocated);
+        Ok(frame)
+    }
+
+    /// Returns a frame to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if nothing is allocated — a double free.
+    pub fn free(&mut self, frame: u64) {
+        debug_assert!(self.allocated > 0, "free with nothing allocated");
+        debug_assert!(
+            !self.free_list.contains(&frame),
+            "double free of frame {frame}"
+        );
+        self.allocated -= 1;
+        self.free_list.push(frame);
+    }
+
+    /// Allocates `count` physically contiguous frames and returns the base
+    /// address of the run (for pinned DMA buffers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::NoContiguousRun`] when the bump regions would
+    /// collide.
+    pub fn alloc_contiguous(&mut self, count: u64) -> Result<PhysAddr, FrameError> {
+        if count == 0 || self.high_next.saturating_sub(count) < self.low_next {
+            return Err(FrameError::NoContiguousRun { requested: count });
+        }
+        self.high_next -= count;
+        self.allocated += count;
+        self.high_water = self.high_water.max(self.allocated);
+        Ok(PhysAddr(self.high_next * PAGE_SIZE))
+    }
+
+    /// Frames currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Peak simultaneous allocation.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Frames still available (free list + both bump regions).
+    pub fn available(&self) -> u64 {
+        self.free_list.len() as u64 + (self.high_next - self.low_next)
+    }
+
+    /// Total managed frames.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut fa = FrameAllocator::new(10, 4);
+        let a = fa.alloc().unwrap();
+        let b = fa.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(fa.allocated(), 2);
+        fa.free(a);
+        assert_eq!(fa.allocated(), 1);
+        let c = fa.alloc().unwrap();
+        assert_eq!(c, a, "LIFO reuse");
+        assert_eq!(fa.high_water(), 2);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut fa = FrameAllocator::new(0, 2);
+        fa.alloc().unwrap();
+        fa.alloc().unwrap();
+        assert_eq!(fa.alloc(), Err(FrameError::OutOfFrames));
+        assert_eq!(fa.available(), 0);
+    }
+
+    #[test]
+    fn contiguous_comes_from_the_top() {
+        let mut fa = FrameAllocator::new(0, 100);
+        let run = fa.alloc_contiguous(10).unwrap();
+        assert_eq!(run, PhysAddr(90 * PAGE_SIZE));
+        let single = fa.alloc().unwrap();
+        assert_eq!(single, 0, "singles bump from the bottom");
+        assert_eq!(fa.allocated(), 11);
+    }
+
+    #[test]
+    fn contiguous_collision_detected() {
+        let mut fa = FrameAllocator::new(0, 8);
+        for _ in 0..6 {
+            fa.alloc().unwrap();
+        }
+        assert!(matches!(
+            fa.alloc_contiguous(4),
+            Err(FrameError::NoContiguousRun { requested: 4 })
+        ));
+        assert!(fa.alloc_contiguous(2).is_ok());
+    }
+
+    #[test]
+    fn never_hands_out_same_frame_twice() {
+        let mut fa = FrameAllocator::new(0, 64);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            assert!(seen.insert(fa.alloc().unwrap()));
+        }
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(FrameError::OutOfFrames.to_string().contains("out of"));
+        assert!(FrameError::NoContiguousRun { requested: 3 }
+            .to_string()
+            .contains("contiguous"));
+    }
+}

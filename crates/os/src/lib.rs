@@ -1,0 +1,48 @@
+//! # svmsyn-os — the simulated operating system
+//!
+//! The software half of the paper's execution model:
+//!
+//! * [`frame`] — the physical frame allocator (singles + contiguous runs for
+//!   pinned DMA buffers).
+//! * [`addrspace`] — VMAs, real page-table maintenance in simulated DRAM,
+//!   demand paging, pinned mappings.
+//! * [`costs`] — the OS cost model in fabric cycles (interrupt, delegate,
+//!   fault service — the numbers behind Table 3).
+//! * [`sync`] — mutexes, semaphores, barriers, mailboxes with wait queues,
+//!   shared by software and hardware threads.
+//! * [`sched`] — the multiprocessor CPU pool (FCFS calendars per core).
+//! * [`cpu`] — the in-order CPU execution model used for software baselines:
+//!   same kernel IR, CPI table + L1 cache + CPU TLB.
+//! * [`os`] — the [`Os`] façade tying it all together.
+//!
+//! # Example
+//!
+//! ```
+//! use svmsyn_mem::{MemConfig, MemorySystem};
+//! use svmsyn_os::{Os, OsConfig};
+//! use svmsyn_sim::Cycle;
+//!
+//! let mut mem = MemorySystem::new(MemConfig::default());
+//! let mut os = Os::new(&OsConfig::default(), &mem);
+//! let asid = os.create_space(&mut mem).unwrap();
+//! let va = os.mmap(asid, 4096, true, false, &mut mem).unwrap();
+//! // A hardware thread faulting on the fresh page gets it serviced:
+//! let done = os.service_fault(asid, va, true, true, &mut mem, Cycle(0)).unwrap();
+//! assert!(done.0 >= os.costs.hw_fault_total());
+//! ```
+
+pub mod addrspace;
+pub mod costs;
+pub mod cpu;
+pub mod frame;
+pub mod os;
+pub mod sched;
+pub mod sync;
+
+pub use addrspace::{AddressSpace, Backing, FaultResolution, OsError, Sigsegv, Vma};
+pub use costs::OsCosts;
+pub use cpu::{CacheConfig, CpuCosts, L1Cache, SliceEnd, SwExec, SwExecConfig};
+pub use frame::{FrameAllocator, FrameError};
+pub use os::{Os, OsConfig};
+pub use sched::CpuPool;
+pub use sync::{SyncResult, SyncTable, ThreadId, Wake};

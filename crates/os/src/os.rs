@@ -1,0 +1,318 @@
+//! The OS façade: address spaces, frames, sync, CPUs, fault service.
+
+use svmsyn_mem::{MemorySystem, PhysAddr, VirtAddr, PAGE_SIZE};
+use svmsyn_sim::{Cycle, StatSet};
+use svmsyn_vm::tlb::Asid;
+
+use crate::addrspace::{AddressSpace, FaultResolution, OsError, Sigsegv};
+use crate::costs::OsCosts;
+use crate::frame::FrameAllocator;
+use crate::sched::CpuPool;
+use crate::sync::SyncTable;
+
+/// OS configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsConfig {
+    /// CPU cores available to software threads and delegates.
+    pub cores: usize,
+    /// The cost model.
+    pub costs: OsCosts,
+    /// Low physical frames reserved (boot firmware, kernel image).
+    pub reserved_frames: u64,
+}
+
+impl Default for OsConfig {
+    /// Two cores (Zynq-7000 shape), default costs, 16 reserved frames.
+    fn default() -> Self {
+        OsConfig {
+            cores: 2,
+            costs: OsCosts::default(),
+            reserved_frames: 16,
+        }
+    }
+}
+
+/// The simulated operating system.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_mem::{MemConfig, MemorySystem};
+/// use svmsyn_os::{Os, OsConfig};
+/// let mut mem = MemorySystem::new(MemConfig::default());
+/// let mut os = Os::new(&OsConfig::default(), &mem);
+/// let asid = os.create_space(&mut mem).unwrap();
+/// let va = os.mmap(asid, 8192, true, false, &mut mem).unwrap();
+/// assert!(va.0 > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Os {
+    /// The cost model (public: the simulation loop charges from it).
+    pub costs: OsCosts,
+    /// Physical frame allocator.
+    pub frames: FrameAllocator,
+    /// Synchronization objects.
+    pub sync: SyncTable,
+    /// CPU cores.
+    pub cpus: CpuPool,
+    spaces: Vec<AddressSpace>,
+    hw_faults: u64,
+    sw_faults: u64,
+    segv: u64,
+}
+
+impl Os {
+    /// Boots the OS over the given memory system.
+    pub fn new(cfg: &OsConfig, mem: &MemorySystem) -> Os {
+        let total_frames = mem.size() / PAGE_SIZE;
+        Os {
+            costs: cfg.costs,
+            frames: FrameAllocator::new(
+                cfg.reserved_frames,
+                total_frames - cfg.reserved_frames,
+            ),
+            sync: SyncTable::new(),
+            cpus: CpuPool::new(cfg.cores, cfg.costs.context_switch),
+            spaces: Vec::new(),
+            hw_faults: 0,
+            sw_faults: 0,
+            segv: 0,
+        }
+    }
+
+    /// Creates a process address space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError`] on frame exhaustion.
+    pub fn create_space(&mut self, mem: &mut MemorySystem) -> Result<Asid, OsError> {
+        let asid = Asid(self.spaces.len() as u16 + 1);
+        let space = AddressSpace::new(asid, &mut self.frames, mem)?;
+        self.spaces.push(space);
+        Ok(asid)
+    }
+
+    /// The address space for `asid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown ASID.
+    pub fn space(&self, asid: Asid) -> &AddressSpace {
+        &self.spaces[(asid.0 - 1) as usize]
+    }
+
+    /// Mutable address-space access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown ASID.
+    pub fn space_mut(&mut self, asid: Asid) -> &mut AddressSpace {
+        &mut self.spaces[(asid.0 - 1) as usize]
+    }
+
+    /// `mmap` into the given space.
+    ///
+    /// # Errors
+    ///
+    /// See [`AddressSpace::mmap`].
+    pub fn mmap(
+        &mut self,
+        asid: Asid,
+        len: u64,
+        write: bool,
+        populate: bool,
+        mem: &mut MemorySystem,
+    ) -> Result<VirtAddr, OsError> {
+        let idx = (asid.0 - 1) as usize;
+        self.spaces[idx].mmap(len, write, populate, &mut self.frames, mem)
+    }
+
+    /// Pinned, physically contiguous `mmap` (DMA buffers for the copy-based
+    /// baseline). Returns `(virtual base, physical base)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AddressSpace::mmap_pinned`].
+    pub fn mmap_pinned(
+        &mut self,
+        asid: Asid,
+        len: u64,
+        write: bool,
+        mem: &mut MemorySystem,
+    ) -> Result<(VirtAddr, PhysAddr), OsError> {
+        let idx = (asid.0 - 1) as usize;
+        self.spaces[idx].mmap_pinned(len, write, &mut self.frames, mem)
+    }
+
+    /// Loads input bytes into a space (functional, pre-timing).
+    pub fn copy_in(&mut self, asid: Asid, va: VirtAddr, data: &[u8], mem: &mut MemorySystem) {
+        let idx = (asid.0 - 1) as usize;
+        self.spaces[idx].copy_in(va, data, &mut self.frames, mem);
+    }
+
+    /// Reads result bytes out of a space (functional, post-timing).
+    pub fn copy_out(&self, asid: Asid, va: VirtAddr, buf: &mut [u8], mem: &MemorySystem) {
+        self.space(asid).copy_out(va, buf, mem);
+    }
+
+    /// Services a page fault raised at `now`, charging the hardware-thread
+    /// path (interrupt → delegate → service) or the software path.
+    /// Returns the completion time of the service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Sigsegv`] for unservicable faults.
+    pub fn service_fault(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        write: bool,
+        from_hw: bool,
+        mem: &mut MemorySystem,
+        now: Cycle,
+    ) -> Result<Cycle, Sigsegv> {
+        let idx = (asid.0 - 1) as usize;
+        let resolution = match self.spaces[idx].handle_fault(va, write, &mut self.frames, mem) {
+            Ok(r) => r,
+            Err(e) => {
+                self.segv += 1;
+                return Err(e);
+            }
+        };
+        if from_hw {
+            self.hw_faults += 1;
+        } else {
+            self.sw_faults += 1;
+        }
+        let base = if from_hw {
+            self.costs.hw_fault_total()
+        } else {
+            self.costs.sw_fault_total()
+        };
+        let cost = match resolution {
+            FaultResolution::MappedFresh => base,
+            // Already present (stale TLB): no zeroing needed.
+            FaultResolution::AlreadyPresent => base - self.costs.page_zero,
+        };
+        // The fault handler runs on a CPU core (competing with SW threads).
+        let (_, done) = self
+            .cpus
+            .run_slice(crate::sync::ThreadId(u32::MAX), now, cost);
+        Ok(done)
+    }
+
+    /// Page faults serviced for hardware threads.
+    pub fn hw_faults(&self) -> u64 {
+        self.hw_faults
+    }
+
+    /// Page faults serviced for software threads.
+    pub fn sw_faults(&self) -> u64 {
+        self.sw_faults
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.put("hw_faults", self.hw_faults as f64);
+        s.put("sw_faults", self.sw_faults as f64);
+        s.put("sigsegv", self.segv as f64);
+        s.put("frames_allocated", self.frames.allocated() as f64);
+        s.put("frames_high_water", self.frames.high_water() as f64);
+        s.put("sync_ops", self.sync.operations() as f64);
+        s.put("sync_contended", self.sync.contended() as f64);
+        s.absorb("cpus", self.cpus.stats());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svmsyn_mem::MemConfig;
+
+    fn boot() -> (MemorySystem, Os) {
+        let mem = MemorySystem::new(MemConfig {
+            size_bytes: 64 << 20,
+            ..MemConfig::default()
+        });
+        let os = Os::new(&OsConfig::default(), &mem);
+        (mem, os)
+    }
+
+    #[test]
+    fn spaces_get_distinct_asids_and_roots() {
+        let (mut mem, mut os) = boot();
+        let a = os.create_space(&mut mem).unwrap();
+        let b = os.create_space(&mut mem).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(os.space(a).root(), os.space(b).root());
+    }
+
+    #[test]
+    fn fault_service_charges_hw_more_than_sw() {
+        let (mut mem, mut os) = boot();
+        let asid = os.create_space(&mut mem).unwrap();
+        let va = os.mmap(asid, 2 * PAGE_SIZE, true, false, &mut mem).unwrap();
+        let hw_done = os
+            .service_fault(asid, va, true, true, &mut mem, Cycle(0))
+            .unwrap();
+        let sw_done = os
+            .service_fault(
+                asid,
+                VirtAddr(va.0 + PAGE_SIZE),
+                true,
+                false,
+                &mut mem,
+                hw_done,
+            )
+            .unwrap();
+        assert!(hw_done.0 >= os.costs.hw_fault_total());
+        assert!((sw_done - hw_done).0 < hw_done.0, "sw path is cheaper");
+        assert_eq!(os.hw_faults(), 1);
+        assert_eq!(os.sw_faults(), 1);
+    }
+
+    #[test]
+    fn refault_on_present_page_skips_zeroing() {
+        let (mut mem, mut os) = boot();
+        let asid = os.create_space(&mut mem).unwrap();
+        let va = os.mmap(asid, PAGE_SIZE, true, false, &mut mem).unwrap();
+        let d1 = os
+            .service_fault(asid, va, true, true, &mut mem, Cycle(0))
+            .unwrap();
+        let d2 = os.service_fault(asid, va, true, true, &mut mem, d1).unwrap();
+        assert!((d2 - d1).0 < (d1 - Cycle(0)).0);
+    }
+
+    #[test]
+    fn segv_reported_and_counted() {
+        let (mut mem, mut os) = boot();
+        let asid = os.create_space(&mut mem).unwrap();
+        let err = os
+            .service_fault(asid, VirtAddr(0xBBBB_0000), false, true, &mut mem, Cycle(0))
+            .unwrap_err();
+        assert_eq!(err.va, VirtAddr(0xBBBB_0000));
+        assert_eq!(os.stats().get("sigsegv"), Some(1.0));
+    }
+
+    #[test]
+    fn copy_in_out_through_os() {
+        let (mut mem, mut os) = boot();
+        let asid = os.create_space(&mut mem).unwrap();
+        let va = os.mmap(asid, PAGE_SIZE, true, false, &mut mem).unwrap();
+        os.copy_in(asid, va, b"payload", &mut mem);
+        let mut buf = [0u8; 7];
+        os.copy_out(asid, va, &mut buf, &mem);
+        assert_eq!(&buf, b"payload");
+    }
+
+    #[test]
+    fn stats_snapshot_has_cpu_substats() {
+        let (mut mem, mut os) = boot();
+        let _ = os.create_space(&mut mem).unwrap();
+        let s = os.stats();
+        assert_eq!(s.get("cpus.cores"), Some(2.0));
+        assert!(s.get("frames_allocated").unwrap() >= 1.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The multiprocessor CPU pool.
+//!
+//! Cores are FCFS calendars: a software-thread slice (or a delegate-thread
+//! service) books the least-loaded core, paying a context-switch penalty
+//! when the core last ran a different thread. This captures what the
+//! evaluation needs — CPU serialization when threads outnumber cores, and
+//! delegate work competing with application software threads.
+
+use svmsyn_sim::{Cycle, FcfsResource, StatSet};
+
+use crate::sync::ThreadId;
+
+/// The pool of CPU cores.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_os::sched::CpuPool;
+/// use svmsyn_os::sync::ThreadId;
+/// use svmsyn_sim::Cycle;
+/// let mut pool = CpuPool::new(2, 800);
+/// let (_, d1) = pool.run_slice(ThreadId(1), Cycle(0), 1000);
+/// let (_, d2) = pool.run_slice(ThreadId(2), Cycle(0), 1000);
+/// // Two cores: both slices run concurrently.
+/// assert_eq!(d1, d2);
+/// let (s3, _) = pool.run_slice(ThreadId(3), Cycle(0), 1000);
+/// assert!(s3 > Cycle(0), "third thread waits for a core");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    cores: Vec<FcfsResource>,
+    last_thread: Vec<Option<ThreadId>>,
+    context_switch: u64,
+    switches: u64,
+    slices: u64,
+}
+
+impl CpuPool {
+    /// Creates a pool of `cores` cores with the given context-switch cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize, context_switch: u64) -> Self {
+        assert!(cores > 0, "need at least one core");
+        CpuPool {
+            cores: (0..cores)
+                .map(|i| FcfsResource::new(format!("cpu{i}")))
+                .collect(),
+            last_thread: vec![None; cores],
+            context_switch,
+            switches: 0,
+            slices: 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Books `len` cycles of CPU time for `tid` arriving at `now` on the
+    /// least-loaded core. Returns `(start, done)`; a context switch is
+    /// prepended when the core last ran a different thread.
+    pub fn run_slice(&mut self, tid: ThreadId, now: Cycle, len: u64) -> (Cycle, Cycle) {
+        self.slices += 1;
+        let core = (0..self.cores.len())
+            .min_by_key(|&i| self.cores[i].next_free().max(now))
+            .expect("at least one core");
+        let switch = if self.last_thread[core] == Some(tid) {
+            0
+        } else {
+            self.switches += u64::from(self.last_thread[core].is_some());
+            self.context_switch
+        };
+        self.last_thread[core] = Some(tid);
+        let (start, done) = self.cores[core].acquire(now, switch + len);
+        (start + switch, done)
+    }
+
+    /// Aggregate core utilization over `elapsed`.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        self.cores
+            .iter()
+            .map(|c| c.utilization(elapsed))
+            .sum::<f64>()
+            / self.cores.len() as f64
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.put("cores", self.cores.len() as f64);
+        s.put("slices", self.slices as f64);
+        s.put("context_switches", self.switches as f64);
+        s.put(
+            "busy_cycles",
+            self.cores.iter().map(|c| c.busy_cycles()).sum::<u64>() as f64,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_thread_back_to_back_pays_no_switch() {
+        let mut p = CpuPool::new(1, 800);
+        let (_, d1) = p.run_slice(ThreadId(1), Cycle(0), 100);
+        let (s2, d2) = p.run_slice(ThreadId(1), d1, 100);
+        assert_eq!(s2, d1);
+        assert_eq!(d2 - s2, Cycle(100));
+        assert_eq!(p.stats().get("context_switches"), Some(0.0));
+    }
+
+    #[test]
+    fn different_thread_pays_switch() {
+        let mut p = CpuPool::new(1, 800);
+        let (_, d1) = p.run_slice(ThreadId(1), Cycle(0), 100);
+        let (s2, _) = p.run_slice(ThreadId(2), d1, 100);
+        assert_eq!(s2 - d1, Cycle(800));
+        assert_eq!(p.stats().get("context_switches"), Some(1.0));
+    }
+
+    #[test]
+    fn cores_load_balance() {
+        let mut p = CpuPool::new(2, 0);
+        let (s1, _) = p.run_slice(ThreadId(1), Cycle(0), 1000);
+        let (s2, _) = p.run_slice(ThreadId(2), Cycle(0), 1000);
+        let (s3, _) = p.run_slice(ThreadId(3), Cycle(0), 1000);
+        assert_eq!(s1, Cycle(0));
+        assert_eq!(s2, Cycle(0));
+        assert_eq!(s3, Cycle(1000));
+        assert!(p.utilization(Cycle(2000)) > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        CpuPool::new(0, 0);
+    }
+}

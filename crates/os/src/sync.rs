@@ -1,0 +1,385 @@
+//! Synchronization objects shared by software and hardware threads.
+//!
+//! The paper's execution model gives hardware threads the *same* primitives
+//! as software threads — mutexes, counting semaphores, barriers, and
+//! mailboxes — serviced through their delegate. The [`SyncTable`] implements
+//! the state machines; blocking/wakeup timing is the simulation loop's job.
+
+use std::collections::VecDeque;
+
+/// Identifies a (software or hardware) thread for wait queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The immediate outcome of a synchronization call for the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncResult {
+    /// The caller proceeds, optionally with a received value (mailbox get).
+    Proceed {
+        /// The received mailbox value, if any.
+        value: Option<u64>,
+    },
+    /// The caller blocks until woken.
+    Block,
+}
+
+/// A wakeup produced by a synchronization call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// The thread becomes runnable.
+    Ready(ThreadId),
+    /// The thread becomes runnable and receives a value (mailbox get).
+    ReadyWithValue(ThreadId, u64),
+}
+
+impl Wake {
+    /// The woken thread.
+    pub fn thread(&self) -> ThreadId {
+        match self {
+            Wake::Ready(t) | Wake::ReadyWithValue(t, _) => *t,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct MutexState {
+    owner: Option<ThreadId>,
+    waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Clone)]
+struct SemState {
+    count: i64,
+    waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Clone)]
+struct BarrierState {
+    needed: u32,
+    waiting: Vec<ThreadId>,
+}
+
+#[derive(Debug, Clone)]
+struct MboxState {
+    capacity: usize,
+    queue: VecDeque<u64>,
+    getters: VecDeque<ThreadId>,
+    putters: VecDeque<(ThreadId, u64)>,
+}
+
+/// All synchronization objects of the simulated system.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_os::sync::{SyncResult, SyncTable, ThreadId, Wake};
+/// let mut s = SyncTable::new();
+/// let m = s.create_mutex();
+/// assert_eq!(s.mutex_lock(ThreadId(1), m), SyncResult::Proceed { value: None });
+/// assert_eq!(s.mutex_lock(ThreadId(2), m), SyncResult::Block);
+/// let woken = s.mutex_unlock(ThreadId(1), m);
+/// assert_eq!(woken, vec![Wake::Ready(ThreadId(2))]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SyncTable {
+    mutexes: Vec<MutexState>,
+    sems: Vec<SemState>,
+    barriers: Vec<BarrierState>,
+    mboxes: Vec<MboxState>,
+    contended_acquires: u64,
+    operations: u64,
+}
+
+impl SyncTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SyncTable::default()
+    }
+
+    /// Creates a mutex; returns its id.
+    pub fn create_mutex(&mut self) -> u32 {
+        self.mutexes.push(MutexState::default());
+        self.mutexes.len() as u32 - 1
+    }
+
+    /// Creates a counting semaphore with an initial count.
+    pub fn create_sem(&mut self, initial: i64) -> u32 {
+        self.sems.push(SemState {
+            count: initial,
+            waiters: VecDeque::new(),
+        });
+        self.sems.len() as u32 - 1
+    }
+
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn create_barrier(&mut self, parties: u32) -> u32 {
+        assert!(parties > 0, "barrier needs at least one party");
+        self.barriers.push(BarrierState {
+            needed: parties,
+            waiting: Vec::new(),
+        });
+        self.barriers.len() as u32 - 1
+    }
+
+    /// Creates a bounded mailbox with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn create_mbox(&mut self, capacity: usize) -> u32 {
+        assert!(capacity > 0, "mailbox needs capacity");
+        self.mboxes.push(MboxState {
+            capacity,
+            queue: VecDeque::new(),
+            getters: VecDeque::new(),
+            putters: VecDeque::new(),
+        });
+        self.mboxes.len() as u32 - 1
+    }
+
+    /// Attempts to take the mutex.
+    pub fn mutex_lock(&mut self, tid: ThreadId, id: u32) -> SyncResult {
+        self.operations += 1;
+        let m = &mut self.mutexes[id as usize];
+        match m.owner {
+            None => {
+                m.owner = Some(tid);
+                SyncResult::Proceed { value: None }
+            }
+            Some(_) => {
+                self.contended_acquires += 1;
+                m.waiters.push_back(tid);
+                SyncResult::Block
+            }
+        }
+    }
+
+    /// Releases the mutex, handing it to the next waiter if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is not the owner (a lock-discipline bug in the
+    /// simulated application).
+    pub fn mutex_unlock(&mut self, tid: ThreadId, id: u32) -> Vec<Wake> {
+        self.operations += 1;
+        let m = &mut self.mutexes[id as usize];
+        assert_eq!(m.owner, Some(tid), "unlock by non-owner {tid}");
+        match m.waiters.pop_front() {
+            Some(next) => {
+                m.owner = Some(next);
+                vec![Wake::Ready(next)]
+            }
+            None => {
+                m.owner = None;
+                vec![]
+            }
+        }
+    }
+
+    /// Semaphore wait (P).
+    pub fn sem_wait(&mut self, tid: ThreadId, id: u32) -> SyncResult {
+        self.operations += 1;
+        let s = &mut self.sems[id as usize];
+        if s.count > 0 {
+            s.count -= 1;
+            SyncResult::Proceed { value: None }
+        } else {
+            self.contended_acquires += 1;
+            s.waiters.push_back(tid);
+            SyncResult::Block
+        }
+    }
+
+    /// Semaphore post (V).
+    pub fn sem_post(&mut self, id: u32) -> Vec<Wake> {
+        self.operations += 1;
+        let s = &mut self.sems[id as usize];
+        match s.waiters.pop_front() {
+            Some(t) => vec![Wake::Ready(t)],
+            None => {
+                s.count += 1;
+                vec![]
+            }
+        }
+    }
+
+    /// Barrier wait: blocks until all parties arrive; the last arrival
+    /// releases everyone (itself included, signalled by `Proceed`).
+    pub fn barrier_wait(&mut self, tid: ThreadId, id: u32) -> (SyncResult, Vec<Wake>) {
+        self.operations += 1;
+        let b = &mut self.barriers[id as usize];
+        b.waiting.push(tid);
+        if b.waiting.len() as u32 == b.needed {
+            let woken = b
+                .waiting
+                .drain(..)
+                .filter(|&t| t != tid)
+                .map(Wake::Ready)
+                .collect();
+            (SyncResult::Proceed { value: None }, woken)
+        } else {
+            (SyncResult::Block, vec![])
+        }
+    }
+
+    /// Mailbox put: delivers directly to a blocked getter, queues if there
+    /// is room, blocks otherwise.
+    pub fn mbox_put(&mut self, tid: ThreadId, id: u32, value: u64) -> (SyncResult, Vec<Wake>) {
+        self.operations += 1;
+        let m = &mut self.mboxes[id as usize];
+        if let Some(getter) = m.getters.pop_front() {
+            return (
+                SyncResult::Proceed { value: None },
+                vec![Wake::ReadyWithValue(getter, value)],
+            );
+        }
+        if m.queue.len() < m.capacity {
+            m.queue.push_back(value);
+            (SyncResult::Proceed { value: None }, vec![])
+        } else {
+            self.contended_acquires += 1;
+            m.putters.push_back((tid, value));
+            (SyncResult::Block, vec![])
+        }
+    }
+
+    /// Mailbox get: takes a queued value (possibly unblocking a putter), or
+    /// blocks until one arrives.
+    pub fn mbox_get(&mut self, tid: ThreadId, id: u32) -> (SyncResult, Vec<Wake>) {
+        self.operations += 1;
+        let m = &mut self.mboxes[id as usize];
+        if let Some(v) = m.queue.pop_front() {
+            let mut woken = vec![];
+            if let Some((putter, pv)) = m.putters.pop_front() {
+                m.queue.push_back(pv);
+                woken.push(Wake::Ready(putter));
+            }
+            return (SyncResult::Proceed { value: Some(v) }, woken);
+        }
+        if let Some((putter, pv)) = m.putters.pop_front() {
+            // Empty queue but a blocked putter: take its value directly.
+            return (
+                SyncResult::Proceed { value: Some(pv) },
+                vec![Wake::Ready(putter)],
+            );
+        }
+        self.contended_acquires += 1;
+        m.getters.push_back(tid);
+        (SyncResult::Block, vec![])
+    }
+
+    /// Total operations performed.
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Operations that had to block.
+    pub fn contended(&self) -> u64 {
+        self.contended_acquires
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_handoff_is_fifo() {
+        let mut s = SyncTable::new();
+        let m = s.create_mutex();
+        assert!(matches!(s.mutex_lock(ThreadId(1), m), SyncResult::Proceed { .. }));
+        assert_eq!(s.mutex_lock(ThreadId(2), m), SyncResult::Block);
+        assert_eq!(s.mutex_lock(ThreadId(3), m), SyncResult::Block);
+        assert_eq!(s.mutex_unlock(ThreadId(1), m), vec![Wake::Ready(ThreadId(2))]);
+        assert_eq!(s.mutex_unlock(ThreadId(2), m), vec![Wake::Ready(ThreadId(3))]);
+        assert_eq!(s.mutex_unlock(ThreadId(3), m), vec![]);
+        assert_eq!(s.contended(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn unlock_by_stranger_panics() {
+        let mut s = SyncTable::new();
+        let m = s.create_mutex();
+        s.mutex_lock(ThreadId(1), m);
+        s.mutex_unlock(ThreadId(2), m);
+    }
+
+    #[test]
+    fn semaphore_counts() {
+        let mut s = SyncTable::new();
+        let sem = s.create_sem(2);
+        assert!(matches!(s.sem_wait(ThreadId(1), sem), SyncResult::Proceed { .. }));
+        assert!(matches!(s.sem_wait(ThreadId(2), sem), SyncResult::Proceed { .. }));
+        assert_eq!(s.sem_wait(ThreadId(3), sem), SyncResult::Block);
+        assert_eq!(s.sem_post(sem), vec![Wake::Ready(ThreadId(3))]);
+        // No waiter: count increments.
+        assert_eq!(s.sem_post(sem), vec![]);
+        assert!(matches!(s.sem_wait(ThreadId(4), sem), SyncResult::Proceed { .. }));
+    }
+
+    #[test]
+    fn barrier_releases_all_at_once() {
+        let mut s = SyncTable::new();
+        let b = s.create_barrier(3);
+        assert_eq!(s.barrier_wait(ThreadId(1), b).0, SyncResult::Block);
+        assert_eq!(s.barrier_wait(ThreadId(2), b).0, SyncResult::Block);
+        let (r, woken) = s.barrier_wait(ThreadId(3), b);
+        assert!(matches!(r, SyncResult::Proceed { .. }));
+        let mut ids: Vec<u32> = woken.iter().map(|w| w.thread().0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        // Barrier is reusable.
+        assert_eq!(s.barrier_wait(ThreadId(1), b).0, SyncResult::Block);
+    }
+
+    #[test]
+    fn mbox_queue_then_block() {
+        let mut s = SyncTable::new();
+        let mb = s.create_mbox(2);
+        assert!(matches!(s.mbox_put(ThreadId(1), mb, 10).0, SyncResult::Proceed { .. }));
+        assert!(matches!(s.mbox_put(ThreadId(1), mb, 20).0, SyncResult::Proceed { .. }));
+        // Full: the third put blocks.
+        assert_eq!(s.mbox_put(ThreadId(1), mb, 30).0, SyncResult::Block);
+        // A get drains one, unblocking the putter whose value lands in queue.
+        let (r, woken) = s.mbox_get(ThreadId(2), mb);
+        assert_eq!(r, SyncResult::Proceed { value: Some(10) });
+        assert_eq!(woken, vec![Wake::Ready(ThreadId(1))]);
+        let (r, _) = s.mbox_get(ThreadId(2), mb);
+        assert_eq!(r, SyncResult::Proceed { value: Some(20) });
+        let (r, _) = s.mbox_get(ThreadId(2), mb);
+        assert_eq!(r, SyncResult::Proceed { value: Some(30) });
+    }
+
+    #[test]
+    fn mbox_direct_handoff_to_blocked_getter() {
+        let mut s = SyncTable::new();
+        let mb = s.create_mbox(1);
+        assert_eq!(s.mbox_get(ThreadId(5), mb).0, SyncResult::Block);
+        let (r, woken) = s.mbox_put(ThreadId(6), mb, 99);
+        assert!(matches!(r, SyncResult::Proceed { .. }));
+        assert_eq!(woken, vec![Wake::ReadyWithValue(ThreadId(5), 99)]);
+    }
+
+    #[test]
+    fn ids_are_dense_and_display_works() {
+        let mut s = SyncTable::new();
+        assert_eq!(s.create_mutex(), 0);
+        assert_eq!(s.create_mutex(), 1);
+        assert_eq!(s.create_sem(0), 0);
+        assert_eq!(s.create_barrier(2), 0);
+        assert_eq!(s.create_mbox(4), 0);
+        assert_eq!(ThreadId(7).to_string(), "t7");
+        assert!(s.operations() == 0);
+    }
+}

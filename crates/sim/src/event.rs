@@ -1,0 +1,300 @@
+//! The generic discrete-event scheduler.
+//!
+//! The scheduler is generic over a *model* type `M` that owns the complete
+//! simulated system state. Events are fired in `(time, insertion order)`
+//! order; two events scheduled for the same cycle fire in the order they were
+//! scheduled, which makes runs deterministic without any tie-breaking
+//! randomness.
+
+use crate::time::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A schedulable event acting on a model of type `M`.
+///
+/// Any `FnOnce(&mut M, &mut Scheduler<M>)` closure is an event, which is the
+/// common way to use the scheduler; implement the trait directly only when an
+/// event needs a named type (e.g. for size control).
+pub trait Event<M> {
+    /// Consumes the event and applies its effect to `model`, possibly
+    /// scheduling follow-up events on `sched`.
+    fn fire(self: Box<Self>, model: &mut M, sched: &mut Scheduler<M>);
+}
+
+impl<M, F> Event<M> for F
+where
+    F: FnOnce(&mut M, &mut Scheduler<M>),
+{
+    fn fire(self: Box<Self>, model: &mut M, sched: &mut Scheduler<M>) {
+        (*self)(model, sched)
+    }
+}
+
+struct Entry<M> {
+    time: Cycle,
+    seq: u64,
+    event: Box<dyn Event<M>>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest* entry.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler over a model `M`.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_sim::{Cycle, Scheduler};
+/// let mut sched: Scheduler<u64> = Scheduler::new();
+/// sched.schedule_at(Cycle(5), |count: &mut u64, _: &mut Scheduler<u64>| *count += 1);
+/// let mut count = 0u64;
+/// sched.run(&mut count);
+/// assert_eq!(count, 1);
+/// assert_eq!(sched.now(), Cycle(5));
+/// ```
+pub struct Scheduler<M> {
+    now: Cycle,
+    seq: u64,
+    fired: u64,
+    halted: bool,
+    heap: BinaryHeap<Entry<M>>,
+}
+
+impl<M> Default for Scheduler<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> std::fmt::Debug for Scheduler<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("fired", &self.fired)
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+impl<M> Scheduler<M> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            now: Cycle::ZERO,
+            seq: 0,
+            fired: 0,
+            halted: false,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The current simulation time (the timestamp of the event being fired,
+    /// or of the last event fired).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (`time < self.now()`): a model that
+    /// schedules into the past is broken and must be fixed, not tolerated.
+    pub fn schedule_at<E: Event<M> + 'static>(&mut self, time: Cycle, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled into the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            time,
+            seq,
+            event: Box::new(event),
+        });
+    }
+
+    /// Schedules `event` to fire `delay` cycles from now.
+    pub fn schedule_in<E: Event<M> + 'static>(&mut self, delay: Cycle, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Requests that [`run`](Self::run) return before firing further events.
+    ///
+    /// Intended to be called from inside an event (e.g. when the simulated
+    /// application has finished); pending events stay queued.
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Whether [`halt`](Self::halt) has been requested.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Fires the single earliest pending event. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self, model: &mut M) -> bool {
+        match self.heap.pop() {
+            Some(entry) => {
+                debug_assert!(entry.time >= self.now);
+                self.now = entry.time;
+                self.fired += 1;
+                entry.event.fire(model, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains or [`halt`](Self::halt) is called.
+    /// Returns the final simulation time.
+    pub fn run(&mut self, model: &mut M) -> Cycle {
+        while !self.halted && self.step(model) {}
+        self.now
+    }
+
+    /// Runs until the queue drains, `halt` is called, or the next event would
+    /// fire strictly after `deadline`. Returns the final simulation time.
+    pub fn run_until(&mut self, model: &mut M, deadline: Cycle) -> Cycle {
+        while !self.halted {
+            match self.heap.peek() {
+                Some(entry) if entry.time <= deadline => {
+                    self.step(model);
+                }
+                _ => break,
+            }
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Log(Vec<(u64, &'static str)>);
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        s.schedule_at(Cycle(30), |m: &mut Log, _: &mut Scheduler<Log>| {
+            m.0.push((30, "c"))
+        });
+        s.schedule_at(Cycle(10), |m: &mut Log, _: &mut Scheduler<Log>| {
+            m.0.push((10, "a"))
+        });
+        s.schedule_at(Cycle(20), |m: &mut Log, _: &mut Scheduler<Log>| {
+            m.0.push((20, "b"))
+        });
+        let mut log = Log::default();
+        let end = s.run(&mut log);
+        assert_eq!(end, Cycle(30));
+        assert_eq!(log.0, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn same_time_fires_in_insertion_order() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        for name in ["first", "second", "third"] {
+            s.schedule_at(Cycle(7), move |m: &mut Log, _: &mut Scheduler<Log>| {
+                m.0.push((7, name))
+            });
+        }
+        let mut log = Log::default();
+        s.run(&mut log);
+        assert_eq!(log.0, vec![(7, "first"), (7, "second"), (7, "third")]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        s.schedule_at(Cycle(1), |m: &mut Log, s: &mut Scheduler<Log>| {
+            m.0.push((s.now().0, "root"));
+            s.schedule_in(Cycle(9), |m: &mut Log, s: &mut Scheduler<Log>| {
+                m.0.push((s.now().0, "child"));
+            });
+        });
+        let mut log = Log::default();
+        s.run(&mut log);
+        assert_eq!(log.0, vec![(1, "root"), (10, "child")]);
+        assert_eq!(s.events_fired(), 2);
+    }
+
+    #[test]
+    fn halt_stops_run() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        s.schedule_at(Cycle(1), |m: &mut Log, s: &mut Scheduler<Log>| {
+            m.0.push((1, "a"));
+            s.halt();
+        });
+        s.schedule_at(Cycle(2), |m: &mut Log, _: &mut Scheduler<Log>| {
+            m.0.push((2, "never"))
+        });
+        let mut log = Log::default();
+        s.run(&mut log);
+        assert!(s.is_halted());
+        assert_eq!(log.0, vec![(1, "a")]);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        for t in [5u64, 15, 25] {
+            s.schedule_at(Cycle(t), move |m: &mut Log, _: &mut Scheduler<Log>| {
+                m.0.push((t, "x"))
+            });
+        }
+        let mut log = Log::default();
+        s.run_until(&mut log, Cycle(15));
+        assert_eq!(log.0.len(), 2);
+        s.run(&mut log);
+        assert_eq!(log.0.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        s.schedule_at(Cycle(10), |_: &mut Log, s: &mut Scheduler<Log>| {
+            s.schedule_at(Cycle(5), |_: &mut Log, _: &mut Scheduler<Log>| {});
+        });
+        let mut log = Log::default();
+        s.run(&mut log);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s: Scheduler<Log> = Scheduler::new();
+        assert!(!format!("{s:?}").is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! FPGA-fabric resource accounting shared by the whole stack.
+//!
+//! Both the HLS resource estimator and the MMU cost model express area in the
+//! same four-component vector so that the system-level partitioner can add
+//! them up against one fabric budget. The type lives in the base crate
+//! because `svmsyn-vm` and `svmsyn-hls` are otherwise independent.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// FPGA fabric resource usage (or budget): LUTs, flip-flops, DSP slices and
+/// 36 Kb block RAMs.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_sim::fabric::FabricResources;
+/// let mmu = FabricResources { lut: 1500, ff: 1200, dsp: 0, bram36: 1 };
+/// let kernel = FabricResources { lut: 4000, ff: 3000, dsp: 6, bram36: 4 };
+/// let thread = mmu + kernel;
+/// let budget = FabricResources { lut: 53_200, ff: 106_400, dsp: 220, bram36: 140 };
+/// assert!(thread.fits_within(&budget));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct FabricResources {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP slices.
+    pub dsp: u64,
+    /// 36 Kb block RAMs.
+    pub bram36: u64,
+}
+
+impl FabricResources {
+    /// The zero vector.
+    pub const ZERO: FabricResources = FabricResources {
+        lut: 0,
+        ff: 0,
+        dsp: 0,
+        bram36: 0,
+    };
+
+    /// Creates a resource vector.
+    pub fn new(lut: u64, ff: u64, dsp: u64, bram36: u64) -> Self {
+        FabricResources { lut, ff, dsp, bram36 }
+    }
+
+    /// Whether every component of `self` fits within `budget`.
+    #[must_use]
+    pub fn fits_within(&self, budget: &FabricResources) -> bool {
+        self.lut <= budget.lut
+            && self.ff <= budget.ff
+            && self.dsp <= budget.dsp
+            && self.bram36 <= budget.bram36
+    }
+
+    /// The worst-case component utilization of `self` against `budget`, in
+    /// `[0, ∞)`; values above 1.0 mean over-budget. Zero-budget components
+    /// with non-zero usage yield `f64::INFINITY`.
+    #[must_use]
+    pub fn utilization(&self, budget: &FabricResources) -> f64 {
+        fn frac(used: u64, avail: u64) -> f64 {
+            if used == 0 {
+                0.0
+            } else if avail == 0 {
+                f64::INFINITY
+            } else {
+                used as f64 / avail as f64
+            }
+        }
+        frac(self.lut, budget.lut)
+            .max(frac(self.ff, budget.ff))
+            .max(frac(self.dsp, budget.dsp))
+            .max(frac(self.bram36, budget.bram36))
+    }
+
+    /// Component-wise saturating subtraction (remaining budget).
+    #[must_use]
+    pub fn saturating_sub(&self, other: &FabricResources) -> FabricResources {
+        FabricResources {
+            lut: self.lut.saturating_sub(other.lut),
+            ff: self.ff.saturating_sub(other.ff),
+            dsp: self.dsp.saturating_sub(other.dsp),
+            bram36: self.bram36.saturating_sub(other.bram36),
+        }
+    }
+}
+
+impl Add for FabricResources {
+    type Output = FabricResources;
+    fn add(self, rhs: FabricResources) -> FabricResources {
+        FabricResources {
+            lut: self.lut + rhs.lut,
+            ff: self.ff + rhs.ff,
+            dsp: self.dsp + rhs.dsp,
+            bram36: self.bram36 + rhs.bram36,
+        }
+    }
+}
+
+impl AddAssign for FabricResources {
+    fn add_assign(&mut self, rhs: FabricResources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for FabricResources {
+    type Output = FabricResources;
+    fn mul(self, n: u64) -> FabricResources {
+        FabricResources {
+            lut: self.lut * n,
+            ff: self.ff * n,
+            dsp: self.dsp * n,
+            bram36: self.bram36 * n,
+        }
+    }
+}
+
+impl Sum for FabricResources {
+    fn sum<I: Iterator<Item = FabricResources>>(iter: I) -> FabricResources {
+        iter.fold(FabricResources::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for FabricResources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUT / {} FF / {} DSP / {} BRAM",
+            self.lut, self.ff, self.dsp, self.bram36
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sum() {
+        let a = FabricResources::new(1, 2, 3, 4);
+        let b = FabricResources::new(10, 20, 30, 40);
+        assert_eq!(a + b, FabricResources::new(11, 22, 33, 44));
+        let total: FabricResources = [a, b, a].into_iter().sum();
+        assert_eq!(total, FabricResources::new(12, 24, 36, 48));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert_eq!(a * 3, FabricResources::new(3, 6, 9, 12));
+    }
+
+    #[test]
+    fn fits_and_utilization() {
+        let used = FabricResources::new(50, 50, 0, 0);
+        let budget = FabricResources::new(100, 200, 10, 10);
+        assert!(used.fits_within(&budget));
+        assert!((used.utilization(&budget) - 0.5).abs() < 1e-12);
+        let over = FabricResources::new(150, 0, 0, 0);
+        assert!(!over.fits_within(&budget));
+        assert!(over.utilization(&budget) > 1.0);
+    }
+
+    #[test]
+    fn zero_budget_component() {
+        let used = FabricResources::new(0, 0, 1, 0);
+        let budget = FabricResources::new(100, 100, 0, 100);
+        assert!(!used.fits_within(&budget));
+        assert!(used.utilization(&budget).is_infinite());
+        assert_eq!(FabricResources::ZERO.utilization(&budget), 0.0);
+    }
+
+    #[test]
+    fn saturating_sub_floor_at_zero() {
+        let a = FabricResources::new(10, 10, 10, 10);
+        let b = FabricResources::new(3, 20, 5, 10);
+        assert_eq!(a.saturating_sub(&b), FabricResources::new(7, 0, 5, 0));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(FabricResources::ZERO.to_string().contains("LUT"));
+    }
+}

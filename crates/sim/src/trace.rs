@@ -1,0 +1,139 @@
+//! A bounded, optionally-enabled trace buffer for debugging timing models.
+//!
+//! Tracing is off by default: the hot paths call [`Trace::emit`] with a
+//! closure, so the formatting cost is only paid when the trace is enabled.
+
+use crate::time::Cycle;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A bounded ring buffer of `(time, message)` trace records.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_sim::{Cycle, Trace};
+/// let mut t = Trace::new(16);
+/// t.set_enabled(true);
+/// t.emit(Cycle(5), || "tlb miss va=0x1000".to_string());
+/// assert_eq!(t.records().count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    records: VecDeque<(Cycle, String)>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a disabled trace that retains at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a message produced by `f` at time `now` if enabled. The
+    /// closure is not called when tracing is disabled.
+    pub fn emit<F: FnOnce() -> String>(&mut self, now: Cycle, f: F) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back((now, f()));
+    }
+
+    /// Iterates over retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = (Cycle, &str)> {
+        self.records.iter().map(|(c, s)| (*c, s.as_str()))
+    }
+
+    /// Number of records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards all retained records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (cycle, msg) in &self.records {
+            writeln!(f, "[{cycle}] {msg}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "... ({} earlier records dropped)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(4);
+        t.emit(Cycle(1), || panic!("must not be called"));
+        assert_eq!(t.records().count(), 0);
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = Trace::new(4);
+        t.set_enabled(true);
+        assert!(t.is_enabled());
+        t.emit(Cycle(1), || "a".to_string());
+        t.emit(Cycle(2), || "b".to_string());
+        let got: Vec<_> = t.records().collect();
+        assert_eq!(got, vec![(Cycle(1), "a"), (Cycle(2), "b")]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = Trace::new(2);
+        t.set_enabled(true);
+        for i in 0..5u64 {
+            t.emit(Cycle(i), || format!("m{i}"));
+        }
+        let got: Vec<_> = t.records().collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].1, "m3");
+        assert_eq!(t.dropped(), 3);
+        let shown = t.to_string();
+        assert!(shown.contains("m4") && shown.contains("dropped"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::new(1);
+        t.set_enabled(true);
+        t.emit(Cycle(0), || "x".to_string());
+        t.emit(Cycle(1), || "y".to_string());
+        t.clear();
+        assert_eq!(t.records().count(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+}

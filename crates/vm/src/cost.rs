@@ -1,0 +1,179 @@
+//! Fabric-resource and Fmax estimates for the VM infrastructure.
+//!
+//! These are the per-instance cost formulas behind **Table 1**. They are
+//! first-order models in the style HLS reports use — linear in the dominant
+//! structural parameter, with constants chosen to sit in the range published
+//! for Zynq-7000-class MMU/TLB IP (a fully-associative TLB is a LUT-based CAM
+//! whose match logic grows linearly in entries; a set-associative TLB trades
+//! comparators for RAM). Absolute numbers are estimates; the *trend* is what
+//! Table 1 reports and what the DSE consumes.
+
+use svmsyn_sim::FabricResources;
+
+use crate::mmu::MmuConfig;
+use crate::tlb::TlbConfig;
+use crate::walker::WalkerConfig;
+
+/// Estimated fabric cost of a TLB with the given geometry.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_vm::cost::tlb_cost;
+/// use svmsyn_vm::tlb::TlbConfig;
+/// let small = tlb_cost(&TlbConfig::fully_associative(8));
+/// let large = tlb_cost(&TlbConfig::fully_associative(64));
+/// assert!(large.lut > small.lut);
+/// ```
+pub fn tlb_cost(cfg: &TlbConfig) -> FabricResources {
+    let entries = cfg.entries as u64;
+    let ways = cfg.ways as u64;
+    if cfg.ways == cfg.entries {
+        // Fully associative: a register file + per-entry CAM match logic.
+        FabricResources {
+            lut: 180 + 95 * entries,
+            ff: 120 + 68 * entries,
+            dsp: 0,
+            bram36: 0,
+        }
+    } else {
+        // Set associative: tag/data arrays (RAM-backed above 32 entries)
+        // plus per-way comparators and the way mux.
+        FabricResources {
+            lut: 240 + 14 * entries + 55 * ways,
+            ff: 160 + 12 * entries + 20 * ways,
+            dsp: 0,
+            bram36: if entries >= 64 { 1 } else { 0 },
+        }
+    }
+}
+
+/// Estimated fabric cost of the page-table walker (two-level FSM plus the
+/// optional walk cache).
+pub fn walker_cost(cfg: &WalkerConfig) -> FabricResources {
+    let wc = cfg.walk_cache_entries as u64;
+    FabricResources {
+        lut: 420 + 60 * wc,
+        ff: 380 + 40 * wc,
+        dsp: 0,
+        bram36: 0,
+    }
+}
+
+/// Fixed cost of the fault-reporting / context-control unit.
+pub fn control_cost() -> FabricResources {
+    FabricResources {
+        lut: 150,
+        ff: 130,
+        dsp: 0,
+        bram36: 0,
+    }
+}
+
+/// Total fabric cost of one MMU instance (TLB + walker + control).
+pub fn mmu_cost(cfg: &MmuConfig) -> FabricResources {
+    tlb_cost(&cfg.tlb) + walker_cost(&cfg.walker) + control_cost()
+}
+
+/// Estimated maximum clock frequency of the MMU in MHz.
+///
+/// The fully-associative match tree lengthens the critical path linearly in
+/// entries; a set-associative lookup is dominated by the RAM access and the
+/// way mux, so it degrades far more slowly.
+pub fn mmu_fmax_mhz(cfg: &MmuConfig) -> f64 {
+    let entries = cfg.tlb.entries as f64;
+    let ways = cfg.tlb.ways as f64;
+    let f = if cfg.tlb.ways == cfg.tlb.entries {
+        185.0 - 1.3 * entries
+    } else {
+        175.0 - 0.25 * entries - 1.0 * ways
+    };
+    f.max(80.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlb::Replacement;
+
+    fn set_assoc(entries: usize, ways: usize) -> TlbConfig {
+        TlbConfig {
+            entries,
+            ways,
+            replacement: Replacement::Lru,
+            hit_cycles: 1,
+        }
+    }
+
+    #[test]
+    fn fully_assoc_cost_grows_linearly() {
+        let c8 = tlb_cost(&TlbConfig::fully_associative(8));
+        let c16 = tlb_cost(&TlbConfig::fully_associative(16));
+        let c32 = tlb_cost(&TlbConfig::fully_associative(32));
+        // Linear in entries: equal per-entry increments.
+        assert_eq!((c16.lut - c8.lut) / 8, (c32.lut - c16.lut) / 16);
+        assert!(c8.lut < c16.lut && c16.lut < c32.lut);
+        assert_eq!(c8.bram36, 0);
+    }
+
+    #[test]
+    fn set_assoc_cheaper_than_cam_at_scale() {
+        let cam = tlb_cost(&TlbConfig::fully_associative(64));
+        let sa = tlb_cost(&set_assoc(64, 4));
+        assert!(sa.lut < cam.lut, "64-entry 4-way must be cheaper than CAM");
+        assert_eq!(sa.bram36, 1, "large set-assoc arrays go to BRAM");
+    }
+
+    #[test]
+    fn walker_cache_adds_cost() {
+        let none = walker_cost(&WalkerConfig { walk_cache_entries: 0 });
+        let four = walker_cost(&WalkerConfig { walk_cache_entries: 4 });
+        assert!(four.lut > none.lut);
+        assert_eq!(none.lut, 420);
+    }
+
+    #[test]
+    fn mmu_cost_is_sum_of_parts() {
+        let cfg = MmuConfig::default();
+        let total = mmu_cost(&cfg);
+        let parts = tlb_cost(&cfg.tlb) + walker_cost(&cfg.walker) + control_cost();
+        assert_eq!(total, parts);
+    }
+
+    #[test]
+    fn fmax_decreases_with_cam_size_and_floors() {
+        let f8 = mmu_fmax_mhz(&MmuConfig {
+            tlb: TlbConfig::fully_associative(8),
+            ..MmuConfig::default()
+        });
+        let f64e = mmu_fmax_mhz(&MmuConfig {
+            tlb: TlbConfig::fully_associative(64),
+            ..MmuConfig::default()
+        });
+        assert!(f8 > f64e);
+        let f1024 = mmu_fmax_mhz(&MmuConfig {
+            tlb: TlbConfig::fully_associative(1024),
+            ..MmuConfig::default()
+        });
+        assert_eq!(f1024, 80.0);
+    }
+
+    #[test]
+    fn set_assoc_fmax_degrades_slower() {
+        let cam_drop = mmu_fmax_mhz(&MmuConfig {
+            tlb: TlbConfig::fully_associative(16),
+            ..MmuConfig::default()
+        }) - mmu_fmax_mhz(&MmuConfig {
+            tlb: TlbConfig::fully_associative(64),
+            ..MmuConfig::default()
+        });
+        let sa_drop = mmu_fmax_mhz(&MmuConfig {
+            tlb: set_assoc(16, 4),
+            ..MmuConfig::default()
+        }) - mmu_fmax_mhz(&MmuConfig {
+            tlb: set_assoc(64, 4),
+            ..MmuConfig::default()
+        });
+        assert!(sa_drop < cam_drop);
+    }
+}

@@ -1,0 +1,48 @@
+//! # svmsyn-vm — the virtual-memory substrate
+//!
+//! Everything a *virtual-memory-enabled hardware thread* needs to share the
+//! host process's address space:
+//!
+//! * [`pte`] — the two-level 32-bit page-table entry codec shared by the OS
+//!   (which writes tables into simulated DRAM) and the hardware walker
+//!   (which reads them back over the bus).
+//! * [`tlb`] — the parametric, ASID-tagged TLB whose geometry is the central
+//!   sizing knob of the VM infrastructure.
+//! * [`walker`] — the hardware page-table walker: two dependent timed bus
+//!   reads per miss, with an optional directory walk cache.
+//! * [`mmu`] — the per-thread MMU combining the two and reporting faults for
+//!   OS service.
+//! * [`cost`] — fabric-resource and Fmax estimates (Table 1's formulas).
+//!
+//! # Example
+//!
+//! ```
+//! use svmsyn_mem::{MasterId, MemConfig, MemorySystem, PhysAddr, VirtAddr};
+//! use svmsyn_sim::Cycle;
+//! use svmsyn_vm::mmu::{Access, Mmu, MmuConfig};
+//! use svmsyn_vm::pte::{DirEntry, Pte, PteFlags};
+//! use svmsyn_vm::tlb::Asid;
+//!
+//! // Hand-build a single mapping, then translate through it.
+//! let mut mem = MemorySystem::new(MemConfig::default());
+//! let root = PhysAddr::from_frame(8);
+//! mem.poke_u32(root, DirEntry::table(9).encode());
+//! let flags = PteFlags { writable: true, user: true, ..PteFlags::default() };
+//! mem.poke_u32(PhysAddr::from_frame(9), Pte::leaf(0x123, flags).encode());
+//!
+//! let mut mmu = Mmu::new(MmuConfig::default(), MasterId(2));
+//! mmu.set_context(Asid(1), root);
+//! let t = mmu.translate(&mut mem, VirtAddr(0x44), Access::Read, Cycle(0)).unwrap();
+//! assert_eq!(t.paddr, PhysAddr::from_frame(0x123).offset(0x44));
+//! ```
+
+pub mod cost;
+pub mod mmu;
+pub mod pte;
+pub mod tlb;
+pub mod walker;
+
+pub use mmu::{Access, FaultedTranslation, Mmu, MmuConfig, Translated, VmFault};
+pub use pte::{DirEntry, Pte, PteFlags};
+pub use tlb::{Asid, Replacement, Tlb, TlbConfig, TlbHit};
+pub use walker::{PageTableWalker, WalkError, WalkOutcome, WalkResult, WalkerConfig};

@@ -1,0 +1,222 @@
+//! Page-table entry encoding.
+//!
+//! The platform uses a two-level 32-bit table (ARMv7-short-descriptor shaped):
+//! a 1024-entry first-level directory whose entries point at 1024-entry
+//! second-level tables of 4-byte leaf PTEs. Both entry kinds are encoded here
+//! so the OS (which writes tables into DRAM) and the hardware walker (which
+//! reads them back) share one codec.
+
+/// Permission/status flags of a leaf PTE.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_vm::pte::{Pte, PteFlags};
+/// let pte = Pte::leaf(0x12345, PteFlags { writable: true, ..PteFlags::default() });
+/// let raw = pte.encode();
+/// let back = Pte::decode(raw);
+/// assert!(back.is_valid() && back.flags().writable);
+/// assert_eq!(back.pfn(), 0x12345);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct PteFlags {
+    /// Page may be written (else read-only).
+    pub writable: bool,
+    /// Page is user-accessible (hardware threads run as user).
+    pub user: bool,
+    /// Page has been referenced (set by the OS on fault-in).
+    pub accessed: bool,
+    /// Page has been written (maintained by the OS cost model).
+    pub dirty: bool,
+    /// Page is pinned and must not be reclaimed (copy-based DMA buffers).
+    pub pinned: bool,
+}
+
+const BIT_VALID: u32 = 1 << 0;
+const BIT_WRITE: u32 = 1 << 1;
+const BIT_USER: u32 = 1 << 2;
+const BIT_ACCESSED: u32 = 1 << 3;
+const BIT_DIRTY: u32 = 1 << 4;
+const BIT_PINNED: u32 = 1 << 5;
+const PFN_SHIFT: u32 = 12;
+
+/// A decoded leaf page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pte {
+    raw: u32,
+}
+
+impl Pte {
+    /// An invalid (not-present) entry.
+    pub const INVALID: Pte = Pte { raw: 0 };
+
+    /// Builds a valid leaf entry mapping to physical frame `pfn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` does not fit in 20 bits (the 32-bit physical space).
+    pub fn leaf(pfn: u64, flags: PteFlags) -> Pte {
+        assert!(pfn < (1 << 20), "pfn {pfn:#x} exceeds 20 bits");
+        let mut raw = BIT_VALID | ((pfn as u32) << PFN_SHIFT);
+        if flags.writable {
+            raw |= BIT_WRITE;
+        }
+        if flags.user {
+            raw |= BIT_USER;
+        }
+        if flags.accessed {
+            raw |= BIT_ACCESSED;
+        }
+        if flags.dirty {
+            raw |= BIT_DIRTY;
+        }
+        if flags.pinned {
+            raw |= BIT_PINNED;
+        }
+        Pte { raw }
+    }
+
+    /// Decodes a raw 32-bit entry as read from memory.
+    pub fn decode(raw: u32) -> Pte {
+        Pte { raw }
+    }
+
+    /// Encodes to the raw 32-bit representation written to memory.
+    pub fn encode(self) -> u32 {
+        self.raw
+    }
+
+    /// Whether the entry maps a page.
+    pub fn is_valid(self) -> bool {
+        self.raw & BIT_VALID != 0
+    }
+
+    /// The physical frame number (meaningful only if valid).
+    pub fn pfn(self) -> u64 {
+        (self.raw >> PFN_SHIFT) as u64
+    }
+
+    /// The permission/status flags.
+    pub fn flags(self) -> PteFlags {
+        PteFlags {
+            writable: self.raw & BIT_WRITE != 0,
+            user: self.raw & BIT_USER != 0,
+            accessed: self.raw & BIT_ACCESSED != 0,
+            dirty: self.raw & BIT_DIRTY != 0,
+            pinned: self.raw & BIT_PINNED != 0,
+        }
+    }
+
+    /// Returns a copy with the accessed bit set.
+    #[must_use]
+    pub fn with_accessed(self) -> Pte {
+        Pte {
+            raw: self.raw | BIT_ACCESSED,
+        }
+    }
+
+    /// Returns a copy with the dirty bit set.
+    #[must_use]
+    pub fn with_dirty(self) -> Pte {
+        Pte {
+            raw: self.raw | BIT_DIRTY,
+        }
+    }
+}
+
+/// A decoded first-level (directory) entry pointing at an L2 table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirEntry {
+    raw: u32,
+}
+
+impl DirEntry {
+    /// An invalid (no table) entry.
+    pub const INVALID: DirEntry = DirEntry { raw: 0 };
+
+    /// Builds a valid entry pointing at the L2 table in frame `table_pfn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_pfn` does not fit in 20 bits.
+    pub fn table(table_pfn: u64) -> DirEntry {
+        assert!(table_pfn < (1 << 20), "table pfn {table_pfn:#x} exceeds 20 bits");
+        DirEntry {
+            raw: BIT_VALID | ((table_pfn as u32) << PFN_SHIFT),
+        }
+    }
+
+    /// Decodes a raw entry.
+    pub fn decode(raw: u32) -> DirEntry {
+        DirEntry { raw }
+    }
+
+    /// Encodes to raw bits.
+    pub fn encode(self) -> u32 {
+        self.raw
+    }
+
+    /// Whether an L2 table is present.
+    pub fn is_valid(self) -> bool {
+        self.raw & BIT_VALID != 0
+    }
+
+    /// Physical frame holding the L2 table.
+    pub fn table_pfn(self) -> u64 {
+        (self.raw >> PFN_SHIFT) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_entries() {
+        assert!(!Pte::INVALID.is_valid());
+        assert!(!DirEntry::INVALID.is_valid());
+        assert_eq!(Pte::decode(0).encode(), 0);
+    }
+
+    #[test]
+    fn leaf_roundtrip_all_flag_combinations() {
+        for bits in 0u8..32 {
+            let flags = PteFlags {
+                writable: bits & 1 != 0,
+                user: bits & 2 != 0,
+                accessed: bits & 4 != 0,
+                dirty: bits & 8 != 0,
+                pinned: bits & 16 != 0,
+            };
+            let pte = Pte::leaf(0xABCDE, flags);
+            let back = Pte::decode(pte.encode());
+            assert!(back.is_valid());
+            assert_eq!(back.pfn(), 0xABCDE);
+            assert_eq!(back.flags(), flags);
+        }
+    }
+
+    #[test]
+    fn dir_entry_roundtrip() {
+        let d = DirEntry::table(0xFFFFF);
+        let back = DirEntry::decode(d.encode());
+        assert!(back.is_valid());
+        assert_eq!(back.table_pfn(), 0xFFFFF);
+    }
+
+    #[test]
+    fn status_bit_setters() {
+        let pte = Pte::leaf(1, PteFlags::default());
+        assert!(!pte.flags().accessed);
+        assert!(pte.with_accessed().flags().accessed);
+        assert!(pte.with_dirty().flags().dirty);
+        // setters do not clobber the pfn
+        assert_eq!(pte.with_accessed().with_dirty().pfn(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 20 bits")]
+    fn oversized_pfn_panics() {
+        Pte::leaf(1 << 20, PteFlags::default());
+    }
+}

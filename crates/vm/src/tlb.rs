@@ -1,0 +1,460 @@
+//! The parametric translation lookaside buffer.
+//!
+//! The TLB geometry (entry count, associativity, replacement policy) is the
+//! central sizing knob of the VM infrastructure: Table 1 reports its fabric
+//! cost and Figure 5 its performance effect. Entries are tagged with an ASID
+//! so context switches do not require a full flush.
+
+use svmsyn_sim::{StatSet, Xoshiro256ss};
+
+use crate::pte::PteFlags;
+
+/// An address-space identifier (one per simulated process/thread context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asid(pub u16);
+
+impl std::fmt::Display for Asid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
+/// Replacement policy for TLB sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub enum Replacement {
+    /// Least-recently-used (true LRU via access stamps).
+    #[default]
+    Lru,
+    /// First-in first-out (insertion stamps).
+    Fifo,
+    /// Uniform random victim (deterministic internal PRNG).
+    Random,
+}
+
+/// TLB geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TlbConfig {
+    /// Total entry count. Must be a positive power of two.
+    pub entries: usize,
+    /// Ways per set; `entries` means fully associative. Must divide `entries`.
+    pub ways: usize,
+    /// Victim selection policy.
+    pub replacement: Replacement,
+    /// Lookup latency on a hit, fabric cycles.
+    pub hit_cycles: u64,
+}
+
+impl Default for TlbConfig {
+    /// The `DESIGN.md` §4 default: 16-entry fully-associative LRU, 1-cycle hit.
+    fn default() -> Self {
+        TlbConfig {
+            entries: 16,
+            ways: 16,
+            replacement: Replacement::Lru,
+            hit_cycles: 1,
+        }
+    }
+}
+
+impl TlbConfig {
+    /// Convenience constructor for a fully-associative LRU TLB.
+    pub fn fully_associative(entries: usize) -> Self {
+        TlbConfig {
+            entries,
+            ways: entries,
+            ..TlbConfig::default()
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    valid: bool,
+    asid: Asid,
+    vpn: u64,
+    pfn: u64,
+    flags: PteFlags,
+    /// LRU: last access stamp. FIFO: insertion stamp.
+    stamp: u64,
+}
+
+const EMPTY: Entry = Entry {
+    valid: false,
+    asid: Asid(0),
+    vpn: 0,
+    pfn: 0,
+    flags: PteFlags {
+        writable: false,
+        user: false,
+        accessed: false,
+        dirty: false,
+        pinned: false,
+    },
+    stamp: 0,
+};
+
+/// A successful TLB lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbHit {
+    /// Mapped physical frame number.
+    pub pfn: u64,
+    /// Cached permission flags.
+    pub flags: PteFlags,
+}
+
+/// The set-associative, ASID-tagged TLB.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_vm::tlb::{Asid, Tlb, TlbConfig};
+/// use svmsyn_vm::pte::PteFlags;
+/// let mut tlb = Tlb::new(TlbConfig::fully_associative(4));
+/// assert!(tlb.lookup(Asid(1), 0x40).is_none());
+/// tlb.insert(Asid(1), 0x40, 0x99, PteFlags::default());
+/// assert_eq!(tlb.lookup(Asid(1), 0x40).unwrap().pfn, 0x99);
+/// assert!(tlb.lookup(Asid(2), 0x40).is_none(), "other ASID misses");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: Vec<Vec<Entry>>,
+    clock: u64,
+    rng: Xoshiro256ss,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (non-power-of-two entries, ways that
+    /// do not divide entries, or zero sizes).
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.entries > 0 && cfg.entries.is_power_of_two(), "entries must be a positive power of two");
+        assert!(cfg.ways > 0 && cfg.entries % cfg.ways == 0, "ways must divide entries");
+        let sets = cfg.sets();
+        Tlb {
+            cfg,
+            sets: vec![vec![EMPTY; cfg.ways]; sets],
+            clock: 0,
+            rng: Xoshiro256ss::new(0x7E1B_0D5E),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// The geometry this TLB was built with.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    fn set_index(&self, vpn: u64) -> usize {
+        (vpn as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up `vpn` under `asid`; counts a hit or miss and refreshes LRU
+    /// state on hit.
+    pub fn lookup(&mut self, asid: Asid, vpn: u64) -> Option<TlbHit> {
+        self.clock += 1;
+        let clock = self.clock;
+        let lru = self.cfg.replacement == Replacement::Lru;
+        let idx = self.set_index(vpn);
+        for e in &mut self.sets[idx] {
+            if e.valid && e.asid == asid && e.vpn == vpn {
+                if lru {
+                    e.stamp = clock;
+                }
+                self.hits += 1;
+                return Some(TlbHit {
+                    pfn: e.pfn,
+                    flags: e.flags,
+                });
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts (or replaces) a translation, evicting per the policy when the
+    /// set is full.
+    pub fn insert(&mut self, asid: Asid, vpn: u64, pfn: u64, flags: PteFlags) {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(vpn);
+        let ways = self.cfg.ways;
+        let replacement = self.cfg.replacement;
+
+        // Reuse an existing mapping slot or an invalid slot first.
+        let set = &mut self.sets[idx];
+        let mut victim = None;
+        for (i, e) in set.iter().enumerate() {
+            if e.valid && e.asid == asid && e.vpn == vpn {
+                victim = Some(i);
+                break;
+            }
+            if !e.valid && victim.is_none() {
+                victim = Some(i);
+            }
+        }
+        let i = match victim {
+            Some(i) => i,
+            None => {
+                self.evictions += 1;
+                match replacement {
+                    Replacement::Lru | Replacement::Fifo => set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0),
+                    Replacement::Random => self.rng.range(ways as u64) as usize,
+                }
+            }
+        };
+        self.sets[idx][i] = Entry {
+            valid: true,
+            asid,
+            vpn,
+            pfn,
+            flags,
+            stamp: clock,
+        };
+    }
+
+    /// Drops a single page translation if present.
+    pub fn invalidate_page(&mut self, asid: Asid, vpn: u64) {
+        let idx = self.set_index(vpn);
+        for e in &mut self.sets[idx] {
+            if e.valid && e.asid == asid && e.vpn == vpn {
+                e.valid = false;
+                self.invalidations += 1;
+            }
+        }
+    }
+
+    /// Drops all translations of one address space (TLB shootdown on unmap).
+    pub fn invalidate_asid(&mut self, asid: Asid) {
+        for set in &mut self.sets {
+            for e in set {
+                if e.valid && e.asid == asid {
+                    e.valid = false;
+                    self.invalidations += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops everything.
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for e in set {
+                if e.valid {
+                    e.valid = false;
+                    self.invalidations += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|e| e.valid).count())
+            .sum()
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (zero when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.put("hits", self.hits as f64);
+        s.put("misses", self.misses as f64);
+        s.put("hit_rate", self.hit_rate());
+        s.put("evictions", self.evictions as f64);
+        s.put("invalidations", self.invalidations as f64);
+        s.put("occupancy", self.occupancy() as f64);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags() -> PteFlags {
+        PteFlags::default()
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(TlbConfig::fully_associative(4));
+        assert!(t.lookup(Asid(0), 5).is_none());
+        t.insert(Asid(0), 5, 50, flags());
+        let hit = t.lookup(Asid(0), 5).unwrap();
+        assert_eq!(hit.pfn, 50);
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+        assert!((t.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut t = Tlb::new(TlbConfig::fully_associative(4));
+        t.insert(Asid(1), 7, 70, flags());
+        assert!(t.lookup(Asid(2), 7).is_none());
+        assert!(t.lookup(Asid(1), 7).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut t = Tlb::new(TlbConfig::fully_associative(2));
+        t.insert(Asid(0), 1, 10, flags());
+        t.insert(Asid(0), 2, 20, flags());
+        t.lookup(Asid(0), 1); // 1 is now most recent
+        t.insert(Asid(0), 3, 30, flags()); // evicts 2
+        assert!(t.lookup(Asid(0), 1).is_some());
+        assert!(t.lookup(Asid(0), 2).is_none());
+        assert!(t.lookup(Asid(0), 3).is_some());
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 2,
+            ways: 2,
+            replacement: Replacement::Fifo,
+            hit_cycles: 1,
+        });
+        t.insert(Asid(0), 1, 10, flags());
+        t.insert(Asid(0), 2, 20, flags());
+        t.lookup(Asid(0), 1); // recency must NOT save entry 1 under FIFO
+        t.insert(Asid(0), 3, 30, flags()); // evicts 1 (oldest insertion)
+        assert!(t.lookup(Asid(0), 1).is_none());
+        assert!(t.lookup(Asid(0), 2).is_some());
+    }
+
+    #[test]
+    fn random_replacement_stays_within_set() {
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 2,
+            replacement: Replacement::Random,
+            hit_cycles: 1,
+        });
+        for vpn in 0..64u64 {
+            t.insert(Asid(0), vpn, vpn + 100, flags());
+        }
+        assert_eq!(t.occupancy(), 4);
+    }
+
+    #[test]
+    fn set_associative_indexing() {
+        // 4 entries, 2 ways => 2 sets; vpns 0 and 2 both map to set 0.
+        let mut t = Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 2,
+            replacement: Replacement::Lru,
+            hit_cycles: 1,
+        });
+        t.insert(Asid(0), 0, 1, flags());
+        t.insert(Asid(0), 2, 2, flags());
+        t.insert(Asid(0), 4, 3, flags()); // set 0 full: evicts vpn 0 (LRU)
+        assert!(t.lookup(Asid(0), 0).is_none());
+        assert!(t.lookup(Asid(0), 2).is_some());
+        assert!(t.lookup(Asid(0), 4).is_some());
+        // set 1 untouched
+        t.insert(Asid(0), 1, 9, flags());
+        assert!(t.lookup(Asid(0), 1).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut t = Tlb::new(TlbConfig::fully_associative(2));
+        t.insert(Asid(0), 1, 10, flags());
+        t.insert(
+            Asid(0),
+            1,
+            11,
+            PteFlags {
+                writable: true,
+                ..flags()
+            },
+        );
+        assert_eq!(t.occupancy(), 1);
+        let hit = t.lookup(Asid(0), 1).unwrap();
+        assert_eq!(hit.pfn, 11);
+        assert!(hit.flags.writable);
+    }
+
+    #[test]
+    fn invalidations() {
+        let mut t = Tlb::new(TlbConfig::fully_associative(8));
+        for vpn in 0..4u64 {
+            t.insert(Asid(1), vpn, vpn, flags());
+            t.insert(Asid(2), vpn + 100, vpn, flags());
+        }
+        t.invalidate_page(Asid(1), 0);
+        assert!(t.lookup(Asid(1), 0).is_none());
+        assert_eq!(t.occupancy(), 7);
+        t.invalidate_asid(Asid(2));
+        assert_eq!(t.occupancy(), 3);
+        t.invalidate_all();
+        assert_eq!(t.occupancy(), 0);
+        assert!(t.stats().get("invalidations").unwrap() >= 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        Tlb::new(TlbConfig {
+            entries: 6,
+            ways: 3,
+            replacement: Replacement::Lru,
+            hit_cycles: 1,
+        });
+    }
+
+    #[test]
+    fn stats_snapshot() {
+        let mut t = Tlb::new(TlbConfig::default());
+        t.lookup(Asid(0), 1);
+        t.insert(Asid(0), 1, 2, flags());
+        t.lookup(Asid(0), 1);
+        let s = t.stats();
+        assert_eq!(s.get("hits"), Some(1.0));
+        assert_eq!(s.get("misses"), Some(1.0));
+        assert_eq!(s.get("occupancy"), Some(1.0));
+    }
+}

@@ -1,0 +1,331 @@
+//! The hardware page-table walker.
+//!
+//! On a TLB miss the walker issues *real* timed reads on the system bus: one
+//! for the first-level directory entry, one for the leaf PTE — two dependent
+//! DRAM accesses, which is exactly why TLB misses are expensive. An optional
+//! walk cache short-circuits the first read for recently used directory
+//! entries.
+
+use svmsyn_mem::{MasterId, MemorySystem, PhysAddr, VirtAddr};
+use svmsyn_sim::{Cycle, StatSet};
+
+use crate::pte::{DirEntry, Pte};
+use crate::tlb::Asid;
+
+/// Walker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WalkerConfig {
+    /// Entries in the L1-directory walk cache; `0` disables it.
+    pub walk_cache_entries: usize,
+}
+
+impl Default for WalkerConfig {
+    /// The `DESIGN.md` §4 default: a 4-entry walk cache.
+    fn default() -> Self {
+        WalkerConfig {
+            walk_cache_entries: 4,
+        }
+    }
+}
+
+/// Why a walk failed to produce a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkError {
+    /// The first-level entry was invalid: no L2 table exists.
+    NoTable {
+        /// Faulting virtual address.
+        va: VirtAddr,
+    },
+    /// The leaf PTE was invalid: the page is not present.
+    NotPresent {
+        /// Faulting virtual address.
+        va: VirtAddr,
+    },
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalkError::NoTable { va } => write!(f, "no second-level table for {va}"),
+            WalkError::NotPresent { va } => write!(f, "page not present for {va}"),
+        }
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+/// A successful walk: the leaf PTE, where it lives, and when the walk ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkOutcome {
+    /// The decoded leaf entry (valid).
+    pub pte: Pte,
+    /// Physical address of the leaf entry (for status-bit write-back).
+    pub pte_addr: PhysAddr,
+    /// Completion time of the walk.
+    pub done: Cycle,
+}
+
+/// Result of a walk: the outcome or the error, plus the time consumed either
+/// way (discovering a fault costs real bus cycles too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkResult {
+    /// Outcome of the walk.
+    pub outcome: Result<WalkOutcome, WalkError>,
+    /// Completion time of the walk, success or not.
+    pub done: Cycle,
+}
+
+/// The hardware page-table walker with optional walk cache.
+///
+/// # Example
+///
+/// ```
+/// use svmsyn_mem::{MasterId, MemConfig, MemorySystem, PhysAddr, VirtAddr};
+/// use svmsyn_sim::Cycle;
+/// use svmsyn_vm::pte::{DirEntry, Pte, PteFlags};
+/// use svmsyn_vm::tlb::Asid;
+/// use svmsyn_vm::walker::{PageTableWalker, WalkerConfig};
+///
+/// let mut mem = MemorySystem::new(MemConfig::default());
+/// // Build a one-page mapping by hand: root at frame 16, L2 at frame 17,
+/// // VA 0 -> PFN 0x42.
+/// let root = PhysAddr::from_frame(16);
+/// mem.poke_u32(root, DirEntry::table(17).encode());
+/// mem.poke_u32(PhysAddr::from_frame(17), Pte::leaf(0x42, PteFlags::default()).encode());
+///
+/// let mut w = PageTableWalker::new(WalkerConfig::default());
+/// let r = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
+/// assert_eq!(r.outcome.unwrap().pte.pfn(), 0x42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTableWalker {
+    cfg: WalkerConfig,
+    /// FIFO walk cache of `(asid, l1_index) -> DirEntry`.
+    cache: Vec<(Asid, usize, DirEntry)>,
+    walks: u64,
+    l1_reads: u64,
+    l2_reads: u64,
+    cache_hits: u64,
+    faults: u64,
+}
+
+impl PageTableWalker {
+    /// Creates a walker with a cold walk cache.
+    pub fn new(cfg: WalkerConfig) -> Self {
+        PageTableWalker {
+            cfg,
+            cache: Vec::new(),
+            walks: 0,
+            l1_reads: 0,
+            l2_reads: 0,
+            cache_hits: 0,
+            faults: 0,
+        }
+    }
+
+    /// The configuration this walker was built with.
+    pub fn config(&self) -> &WalkerConfig {
+        &self.cfg
+    }
+
+    fn cache_lookup(&mut self, asid: Asid, l1: usize) -> Option<DirEntry> {
+        self.cache
+            .iter()
+            .find(|(a, i, _)| *a == asid && *i == l1)
+            .map(|(_, _, e)| *e)
+    }
+
+    fn cache_insert(&mut self, asid: Asid, l1: usize, e: DirEntry) {
+        if self.cfg.walk_cache_entries == 0 {
+            return;
+        }
+        if let Some(slot) = self.cache.iter_mut().find(|(a, i, _)| *a == asid && *i == l1) {
+            slot.2 = e;
+            return;
+        }
+        if self.cache.len() == self.cfg.walk_cache_entries {
+            self.cache.remove(0);
+        }
+        self.cache.push((asid, l1, e));
+    }
+
+    /// Drops all cached directory entries (on unmap / context teardown).
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Walks the two-level table rooted at `root` for `va`, issuing timed
+    /// reads on `mem` as bus master `master`.
+    pub fn walk(
+        &mut self,
+        mem: &mut MemorySystem,
+        master: MasterId,
+        root: PhysAddr,
+        asid: Asid,
+        va: VirtAddr,
+        now: Cycle,
+    ) -> WalkResult {
+        self.walks += 1;
+        let l1 = va.l1_index();
+
+        let (dir, t_after_l1) = match self.cache_lookup(asid, l1) {
+            Some(e) => {
+                self.cache_hits += 1;
+                (e, now + 1)
+            }
+            None => {
+                self.l1_reads += 1;
+                let (raw, t) = mem.read_u32(master, root.offset(4 * l1 as u64), now);
+                let e = DirEntry::decode(raw);
+                if e.is_valid() {
+                    self.cache_insert(asid, l1, e);
+                }
+                (e, t)
+            }
+        };
+
+        if !dir.is_valid() {
+            self.faults += 1;
+            return WalkResult {
+                outcome: Err(WalkError::NoTable { va }),
+                done: t_after_l1,
+            };
+        }
+
+        let pte_addr = PhysAddr::from_frame(dir.table_pfn()).offset(4 * va.l2_index() as u64);
+        self.l2_reads += 1;
+        let (raw, t_after_l2) = mem.read_u32(master, pte_addr, t_after_l1);
+        let pte = Pte::decode(raw);
+        if !pte.is_valid() {
+            self.faults += 1;
+            return WalkResult {
+                outcome: Err(WalkError::NotPresent { va }),
+                done: t_after_l2,
+            };
+        }
+        WalkResult {
+            outcome: Ok(WalkOutcome {
+                pte,
+                pte_addr,
+                done: t_after_l2,
+            }),
+            done: t_after_l2,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.put("walks", self.walks as f64);
+        s.put("l1_reads", self.l1_reads as f64);
+        s.put("l2_reads", self.l2_reads as f64);
+        s.put("walk_cache_hits", self.cache_hits as f64);
+        s.put("walk_faults", self.faults as f64);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pte::PteFlags;
+    use svmsyn_mem::MemConfig;
+
+    fn setup() -> (MemorySystem, PhysAddr) {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let root = PhysAddr::from_frame(100);
+        // l1[0] -> table at frame 101; l2[0] -> pfn 7, l2[1] -> invalid
+        mem.poke_u32(root, DirEntry::table(101).encode());
+        mem.poke_u32(
+            PhysAddr::from_frame(101),
+            Pte::leaf(7, PteFlags { writable: true, ..PteFlags::default() }).encode(),
+        );
+        (mem, root)
+    }
+
+    #[test]
+    fn successful_walk_reads_two_levels() {
+        let (mut mem, root) = setup();
+        let mut w = PageTableWalker::new(WalkerConfig { walk_cache_entries: 0 });
+        let r = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
+        let out = r.outcome.unwrap();
+        assert_eq!(out.pte.pfn(), 7);
+        assert!(out.pte.flags().writable);
+        assert_eq!(out.pte_addr, PhysAddr::from_frame(101));
+        assert!(r.done > Cycle(0));
+        assert_eq!(w.stats().get("l1_reads"), Some(1.0));
+        assert_eq!(w.stats().get("l2_reads"), Some(1.0));
+    }
+
+    #[test]
+    fn walk_cache_skips_l1_read() {
+        let (mut mem, root) = setup();
+        let mut w = PageTableWalker::new(WalkerConfig { walk_cache_entries: 4 });
+        let r1 = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
+        let t1 = r1.done - Cycle(0);
+        let r2 = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), r1.done);
+        let t2 = r2.done - r1.done;
+        assert!(t2 < t1, "cached walk must be faster ({t2} vs {t1})");
+        assert_eq!(w.stats().get("walk_cache_hits"), Some(1.0));
+        assert_eq!(w.stats().get("l1_reads"), Some(1.0));
+    }
+
+    #[test]
+    fn missing_table_faults_after_one_read() {
+        let (mut mem, root) = setup();
+        let mut w = PageTableWalker::new(WalkerConfig::default());
+        // l1 index 1 was never written -> invalid
+        let va = VirtAddr(1 << 22);
+        let r = w.walk(&mut mem, MasterId(0), root, Asid(0), va, Cycle(0));
+        assert_eq!(r.outcome.unwrap_err(), WalkError::NoTable { va });
+        assert_eq!(w.stats().get("l2_reads"), Some(0.0));
+        assert_eq!(w.stats().get("walk_faults"), Some(1.0));
+    }
+
+    #[test]
+    fn missing_page_faults_after_two_reads() {
+        let (mut mem, root) = setup();
+        let mut w = PageTableWalker::new(WalkerConfig::default());
+        let va = VirtAddr(1 << 12); // l2 index 1: invalid leaf
+        let r = w.walk(&mut mem, MasterId(0), root, Asid(0), va, Cycle(0));
+        assert_eq!(r.outcome.unwrap_err(), WalkError::NotPresent { va });
+        assert_eq!(w.stats().get("l2_reads"), Some(1.0));
+    }
+
+    #[test]
+    fn walk_cache_is_bounded_fifo() {
+        let (mut mem, root) = setup();
+        // Map four more directories so distinct l1 indices are valid.
+        for i in 1..6u64 {
+            mem.poke_u32(root.offset(4 * i), DirEntry::table(101).encode());
+        }
+        let mut w = PageTableWalker::new(WalkerConfig { walk_cache_entries: 2 });
+        let mut t = Cycle(0);
+        for i in 0..3u64 {
+            let r = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(i << 22), t);
+            t = r.done;
+        }
+        // Entry for l1=0 was evicted by l1=2; a re-walk reads L1 again.
+        w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), t);
+        assert_eq!(w.stats().get("l1_reads"), Some(4.0));
+        assert_eq!(w.stats().get("walk_cache_hits"), Some(0.0));
+    }
+
+    #[test]
+    fn invalidate_cache_forces_reread() {
+        let (mut mem, root) = setup();
+        let mut w = PageTableWalker::new(WalkerConfig::default());
+        let r = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
+        w.invalidate_cache();
+        w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), r.done);
+        assert_eq!(w.stats().get("l1_reads"), Some(2.0));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = WalkError::NotPresent { va: VirtAddr(0x1000) };
+        assert!(e.to_string().contains("not present"));
+        let e = WalkError::NoTable { va: VirtAddr(0x1000) };
+        assert!(e.to_string().contains("second-level"));
+    }
+}

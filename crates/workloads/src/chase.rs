@@ -1,0 +1,149 @@
+//! Pointer chasing: the latency-bound, TLB-hostile kernel.
+//!
+//! Nodes form a random permutation cycle spread over many pages; each hop is
+//! a dependent load to an unpredictable page. This is the workload the
+//! paper's *zero-copy pointer structures* motivation is about: a copy-based
+//! accelerator cannot even express it without serializing the whole list
+//! into a DMA buffer first.
+
+use svmsyn::app::{ApplicationBuilder, ArgSpec};
+use svmsyn_hls::builder::KernelBuilder;
+use svmsyn_hls::ir::{BinOp, CmpOp, Kernel, Width};
+use svmsyn_sim::Xoshiro256ss;
+
+use crate::common::{u32s_to_bytes, Workload};
+
+/// Node layout: `{ next_index: u32, payload: u32 }` (8 bytes).
+pub const NODE_BYTES: u64 = 8;
+
+/// Follows `steps` hops from node 0, summing payloads; the sum is written
+/// to `*out`. Args: `base, out, steps`.
+pub fn chase_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("chase", 3);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    let base = b.arg(0);
+    let out = b.arg(1);
+    let steps = b.arg(2);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let four = b.constant(4);
+    let eight = b.constant(8);
+    b.jump(header);
+    b.switch_to(header);
+    let t = b.phi();
+    let idx = b.phi();
+    let acc = b.phi();
+    let c = b.cmp(CmpOp::Lt, t, steps);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let off = b.bin(BinOp::Mul, idx, eight);
+    let node = b.bin(BinOp::Add, base, off);
+    let next = b.load(node, Width::W32);
+    let pay_addr = b.bin(BinOp::Add, node, four);
+    let pay = b.load(pay_addr, Width::W32);
+    let acc2 = b.bin(BinOp::Add, acc, pay);
+    let t2 = b.bin(BinOp::Add, t, one);
+    b.jump(header);
+    b.switch_to(exit);
+    b.store(out, acc, Width::W32);
+    b.ret(Some(acc));
+    b.set_phi_incoming(t, &[(entry, zero), (body, t2)]);
+    b.set_phi_incoming(idx, &[(entry, zero), (body, next)]);
+    b.set_phi_incoming(acc, &[(entry, zero), (body, acc2)]);
+    b.finish().expect("chase kernel is well-formed")
+}
+
+/// Generates a permutation-cycle node array and the reference sum after
+/// `steps` hops from node 0.
+pub fn chase_data(nodes: usize, steps: u64, rng: &mut Xoshiro256ss) -> (Vec<u32>, u32) {
+    // Build a single cycle: visit order is a random permutation.
+    let order = rng.permutation(nodes);
+    let mut next = vec![0u32; nodes];
+    for w in order.windows(2) {
+        next[w[0]] = w[1] as u32;
+    }
+    next[*order.last().expect("non-empty")] = order[0] as u32;
+    let payload: Vec<u32> = (0..nodes).map(|_| rng.next_u32() % 1000).collect();
+    // Node array interleaved as (next, payload).
+    let mut words = Vec::with_capacity(nodes * 2);
+    for i in 0..nodes {
+        words.push(next[i]);
+        words.push(payload[i]);
+    }
+    // Reference walk.
+    let mut idx = 0usize;
+    let mut acc = 0u32;
+    for _ in 0..steps {
+        acc = acc.wrapping_add(payload[idx]);
+        idx = next[idx] as usize;
+    }
+    (words, acc)
+}
+
+/// Builds the `chase` workload: `nodes` nodes, `steps` hops.
+pub fn chase(nodes: usize, steps: u64, seed: u64) -> Workload {
+    let mut rng = Xoshiro256ss::new(seed ^ 0xC4A5);
+    let (words, sum) = chase_data(nodes, steps, &mut rng);
+    let app = ApplicationBuilder::new("chase")
+        .buffer("nodes", nodes as u64 * NODE_BYTES, u32s_to_bytes(&words), false)
+        .buffer("out", 4, vec![], false)
+        .thread(
+            "t0",
+            chase_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(1, 0),
+                ArgSpec::Value(steps as i64),
+            ],
+            true,
+        )
+        .build()
+        .expect("chase app is valid");
+    Workload {
+        name: "chase".into(),
+        app,
+        expected: vec![(1, sum.to_le_bytes().to_vec())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::flat_check;
+
+    #[test]
+    fn chase_functional() {
+        flat_check(&chase(64, 256, 7), 1 << 16);
+    }
+
+    #[test]
+    fn cycle_visits_every_node() {
+        let mut rng = Xoshiro256ss::new(2);
+        let (words, _) = chase_data(32, 32, &mut rng);
+        let mut seen = vec![false; 32];
+        let mut idx = 0usize;
+        for _ in 0..32 {
+            assert!(!seen[idx], "revisited node before full cycle");
+            seen[idx] = true;
+            idx = words[idx * 2] as usize;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(idx, 0, "returns to the start after n hops");
+    }
+
+    #[test]
+    fn reference_sum_matches_manual_walk() {
+        let mut rng = Xoshiro256ss::new(3);
+        let (words, sum) = chase_data(16, 40, &mut rng);
+        let mut idx = 0usize;
+        let mut acc = 0u32;
+        for _ in 0..40 {
+            acc = acc.wrapping_add(words[idx * 2 + 1]);
+            idx = words[idx * 2] as usize;
+        }
+        assert_eq!(acc, sum);
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared workload plumbing: the [`Workload`] wrapper and byte helpers.
+
+use svmsyn::app::Application;
+use svmsyn::sim::SimOutcome;
+
+/// A ready-to-run benchmark: a single-thread application plus the expected
+/// final contents of its output buffers.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name (kernel name).
+    pub name: String,
+    /// The application (one hardware-eligible thread).
+    pub app: Application,
+    /// `(buffer index, expected bytes)` pairs computed by the software
+    /// reference.
+    pub expected: Vec<(usize, Vec<u8>)>,
+}
+
+impl Workload {
+    /// Checks the simulation outcome against the reference results.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching buffer/byte.
+    pub fn verify(&self, outcome: &SimOutcome) -> Result<(), String> {
+        for (idx, expected) in &self.expected {
+            let mut got = vec![0u8; expected.len()];
+            outcome.read_buffer(*idx, &mut got);
+            if &got != expected {
+                let at = got
+                    .iter()
+                    .zip(expected)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                return Err(format!(
+                    "{}: buffer {idx} mismatch at byte {at}: got {} expected {}",
+                    self.name, got[at], expected[at]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Packs an `i32` slice as little-endian bytes.
+pub fn i32s_to_bytes(v: &[i32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Unpacks little-endian bytes into `i32`s.
+///
+/// # Panics
+///
+/// Panics if the length is not a multiple of 4.
+pub fn bytes_to_i32s(b: &[u8]) -> Vec<i32> {
+    assert!(b.len() % 4 == 0, "length must be a multiple of 4");
+    b.chunks_exact(4)
+        .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Packs a `u32` slice as little-endian bytes.
+pub fn u32s_to_bytes(v: &[u32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Runs a workload's kernel functionally (no timing) against a flat memory
+/// image assembled from its buffers, and checks the expected bytes — the
+/// fast correctness test used by this crate's unit tests.
+///
+/// Buffer `i` is placed at `i * gap` in the flat image; the workload must
+/// have been built with matching [`svmsyn::app::ArgSpec::Buffer`] offsets
+/// resolved the same way, which `flat_check` reproduces internally.
+///
+/// # Panics
+///
+/// Panics on mismatch (test helper).
+pub fn flat_check(w: &Workload, gap: u64) {
+    use svmsyn::app::ArgSpec;
+    use svmsyn_hls::interp::{run, SliceMemory};
+
+    let total: u64 = gap * w.app.buffers.len() as u64;
+    let mut image = vec![0u8; total as usize];
+    for (i, b) in w.app.buffers.iter().enumerate() {
+        assert!(b.len <= gap, "buffer {i} larger than the gap");
+        let base = i * gap as usize;
+        image[base..base + b.init.len()].copy_from_slice(&b.init);
+    }
+    let spec = &w.app.threads[0];
+    let args: Vec<i64> = spec
+        .args
+        .iter()
+        .map(|a| match a {
+            ArgSpec::Buffer(bi, off) => (*bi as u64 * gap + off) as i64,
+            ArgSpec::Value(v) => *v,
+        })
+        .collect();
+    run(
+        &spec.kernel,
+        &args,
+        &mut SliceMemory(&mut image),
+        2_000_000_000,
+    );
+    for (idx, expected) in &w.expected {
+        let base = idx * gap as usize;
+        let got = &image[base..base + expected.len()];
+        assert_eq!(got, expected.as_slice(), "{}: buffer {idx} mismatch", w.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i32_roundtrip() {
+        let v = vec![1i32, -2, 3_000_000, i32::MIN];
+        assert_eq!(bytes_to_i32s(&i32s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn u32_packing() {
+        assert_eq!(u32s_to_bytes(&[0x0403_0201]), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn misaligned_bytes_panic() {
+        bytes_to_i32s(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,104 @@
+//! 256-bin byte histogram: the read-modify-write kernel.
+//!
+//! Each input byte triggers a dependent load/store pair on the bin array —
+//! the loop-carried memory dependence bounds the achievable II.
+
+use svmsyn::app::{ApplicationBuilder, ArgSpec};
+use svmsyn_hls::builder::KernelBuilder;
+use svmsyn_hls::ir::{BinOp, CmpOp, Kernel, Width};
+use svmsyn_sim::Xoshiro256ss;
+
+use crate::common::{u32s_to_bytes, Workload};
+
+/// `hist[data[i]] += 1` for `i in 0..n`; args: `data, hist, n`.
+pub fn histogram_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("histogram", 3);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    let data = b.arg(0);
+    let hist = b.arg(1);
+    let n = b.arg(2);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let four = b.constant(4);
+    let c255 = b.constant(255);
+    b.jump(header);
+    b.switch_to(header);
+    let i = b.phi();
+    let c = b.cmp(CmpOp::Lt, i, n);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let daddr = b.bin(BinOp::Add, data, i);
+    let raw = b.load(daddr, Width::W8);
+    let v = b.bin(BinOp::And, raw, c255);
+    let boff = b.bin(BinOp::Mul, v, four);
+    let baddr = b.bin(BinOp::Add, hist, boff);
+    let count = b.load(baddr, Width::W32);
+    let count2 = b.bin(BinOp::Add, count, one);
+    b.store(baddr, count2, Width::W32);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.jump(header);
+    b.switch_to(exit);
+    b.ret(None);
+    b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+    b.finish().expect("histogram kernel is well-formed")
+}
+
+/// Software reference.
+pub fn histogram_ref(data: &[u8]) -> Vec<u32> {
+    let mut h = vec![0u32; 256];
+    for &b in data {
+        h[b as usize] += 1;
+    }
+    h
+}
+
+/// Builds the `histogram` workload over `n` random bytes.
+pub fn histogram(n: u64, seed: u64) -> Workload {
+    let mut rng = Xoshiro256ss::new(seed ^ 0x4157);
+    let data: Vec<u8> = (0..n).map(|_| rng.next_u32() as u8).collect();
+    let expected = histogram_ref(&data);
+    let app = ApplicationBuilder::new("histogram")
+        .buffer("data", n, data, false)
+        .buffer("hist", 256 * 4, vec![], false)
+        .thread(
+            "t0",
+            histogram_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(1, 0),
+                ArgSpec::Value(n as i64),
+            ],
+            true,
+        )
+        .build()
+        .expect("histogram app is valid");
+    Workload {
+        name: "histogram".into(),
+        app,
+        expected: vec![(1, u32s_to_bytes(&expected))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::flat_check;
+
+    #[test]
+    fn histogram_functional() {
+        flat_check(&histogram(512, 5), 1 << 16);
+    }
+
+    #[test]
+    fn reference_counts_everything() {
+        let data = vec![0u8, 0, 1, 255];
+        let h = histogram_ref(&data);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[255], 1);
+        assert_eq!(h.iter().sum::<u32>(), 4);
+    }
+}

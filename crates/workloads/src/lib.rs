@@ -1,0 +1,104 @@
+//! # svmsyn-workloads — the benchmark kernel set
+//!
+//! The kernels the evaluation runs, spanning the behavior space a DATE-era
+//! kernel set covers:
+//!
+//! | Kernel | Character |
+//! |---|---|
+//! | [`streaming::vecadd`] | memory-bound streaming |
+//! | [`streaming::saxpy`] | streaming + multiplier |
+//! | [`matmul::matmul`] | compute-bound, 3-deep loop nest |
+//! | [`sobel::sobel`] | 2-D stencil, 9 loads/pixel |
+//! | [`histogram::histogram`] | read-modify-write recurrence |
+//! | [`spmv::spmv`] | irregular gathers (CSR) |
+//! | [`chase::chase`] | latency-bound pointer chasing |
+//! | [`oesort::oesort`] | bandwidth-bound sort (odd–even network) |
+//!
+//! Each module provides the IR builder, a software reference, an input
+//! generator, and a [`common::Workload`] whose [`common::Workload::verify`]
+//! checks simulated output bytes against the reference.
+//!
+//! # Example
+//!
+//! ```
+//! use svmsyn::flow::{synthesize, Placement};
+//! use svmsyn::platform::Platform;
+//! use svmsyn::sim::{simulate, SimConfig};
+//! use svmsyn_workloads::streaming::vecadd;
+//!
+//! let w = vecadd(256, 42);
+//! let design = synthesize(&w.app, &Platform::default(), &[Placement::Hardware]).unwrap();
+//! let outcome = simulate(&design, &SimConfig::default()).unwrap();
+//! w.verify(&outcome).unwrap();
+//! ```
+
+pub mod chase;
+pub mod common;
+pub mod histogram;
+pub mod matmul;
+pub mod oesort;
+pub mod sobel;
+pub mod spmv;
+pub mod streaming;
+
+pub use common::Workload;
+
+/// The default-size workload suite used by the figure/table harnesses
+/// (sizes chosen so a full HW-vs-SW comparison finishes in seconds each).
+pub fn default_suite(seed: u64) -> Vec<Workload> {
+    vec![
+        streaming::vecadd(8192, seed),
+        streaming::saxpy(8192, seed),
+        matmul::matmul(32, seed),
+        sobel::sobel(96, 64, seed),
+        histogram::histogram(8192, seed),
+        spmv::spmv(512, 8, seed),
+        chase::chase(4096, 8192, seed),
+        oesort::oesort(192, seed),
+    ]
+}
+
+/// A reduced-size suite for quick checks and CI.
+pub fn small_suite(seed: u64) -> Vec<Workload> {
+    vec![
+        streaming::vecadd(512, seed),
+        streaming::saxpy(512, seed),
+        matmul::matmul(12, seed),
+        sobel::sobel(24, 16, seed),
+        histogram::histogram(512, seed),
+        spmv::spmv(48, 4, seed),
+        chase::chase(128, 256, seed),
+        oesort::oesort(48, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::flat_check;
+
+    #[test]
+    fn small_suite_is_functionally_correct() {
+        for w in small_suite(123) {
+            flat_check(&w, 1 << 20);
+        }
+    }
+
+    #[test]
+    fn suites_have_all_eight_kernels() {
+        assert_eq!(default_suite(1).len(), 8);
+        assert_eq!(small_suite(1).len(), 8);
+        let names: Vec<String> = small_suite(1).iter().map(|w| w.name.clone()).collect();
+        assert!(names.contains(&"matmul".to_string()));
+        assert!(names.contains(&"chase".to_string()));
+    }
+
+    #[test]
+    fn workloads_are_seed_deterministic() {
+        let a = small_suite(7);
+        let b = small_suite(7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.expected, y.expected, "{}", x.name);
+        }
+    }
+}

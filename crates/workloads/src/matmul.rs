@@ -1,0 +1,165 @@
+//! Dense matrix multiply: the compute-bound end of the kernel set.
+//!
+//! `C = A × B` over `n × n` `i32` matrices, three nested loops; the
+//! innermost (dot-product) loop is the pipelining target.
+
+use svmsyn::app::{ApplicationBuilder, ArgSpec};
+use svmsyn_hls::builder::KernelBuilder;
+use svmsyn_hls::ir::{BinOp, CmpOp, Kernel, Width};
+use svmsyn_sim::Xoshiro256ss;
+
+use crate::common::{i32s_to_bytes, Workload};
+
+/// `C[i][j] = Σ_k A[i][k] * B[k][j]`; args: `a, b, c, n`.
+pub fn matmul_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("matmul", 4);
+    let entry = b.current_block();
+    let i_hdr = b.new_block();
+    let j_hdr = b.new_block();
+    let k_hdr = b.new_block();
+    let k_body = b.new_block();
+    let j_latch = b.new_block();
+    let i_latch = b.new_block();
+    let exit = b.new_block();
+
+    let pa = b.arg(0);
+    let pb = b.arg(1);
+    let pc = b.arg(2);
+    let n = b.arg(3);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let four = b.constant(4);
+    b.jump(i_hdr);
+
+    b.switch_to(i_hdr);
+    let i = b.phi();
+    let ci = b.cmp(CmpOp::Lt, i, n);
+    b.branch(ci, j_hdr, exit);
+
+    b.switch_to(j_hdr);
+    let j = b.phi();
+    let cj = b.cmp(CmpOp::Lt, j, n);
+    b.branch(cj, k_hdr, i_latch);
+
+    b.switch_to(k_hdr);
+    let k = b.phi();
+    let acc = b.phi();
+    let ck = b.cmp(CmpOp::Lt, k, n);
+    b.branch(ck, k_body, j_latch);
+
+    b.switch_to(k_body);
+    let in_ = b.bin(BinOp::Mul, i, n);
+    let a_idx = b.bin(BinOp::Add, in_, k);
+    let a_off = b.bin(BinOp::Mul, a_idx, four);
+    let a_addr = b.bin(BinOp::Add, pa, a_off);
+    let kn = b.bin(BinOp::Mul, k, n);
+    let b_idx = b.bin(BinOp::Add, kn, j);
+    let b_off = b.bin(BinOp::Mul, b_idx, four);
+    let b_addr = b.bin(BinOp::Add, pb, b_off);
+    let av = b.load(a_addr, Width::W32);
+    let bv = b.load(b_addr, Width::W32);
+    let prod = b.bin(BinOp::Mul, av, bv);
+    let acc2 = b.bin(BinOp::Add, acc, prod);
+    let k2 = b.bin(BinOp::Add, k, one);
+    b.jump(k_hdr);
+
+    b.switch_to(j_latch);
+    let in2 = b.bin(BinOp::Mul, i, n);
+    let c_idx = b.bin(BinOp::Add, in2, j);
+    let c_off = b.bin(BinOp::Mul, c_idx, four);
+    let c_addr = b.bin(BinOp::Add, pc, c_off);
+    b.store(c_addr, acc, Width::W32);
+    let j2 = b.bin(BinOp::Add, j, one);
+    b.jump(j_hdr);
+
+    b.switch_to(i_latch);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.jump(i_hdr);
+
+    b.switch_to(exit);
+    b.ret(None);
+
+    b.set_phi_incoming(i, &[(entry, zero), (i_latch, i2)]);
+    b.set_phi_incoming(j, &[(i_hdr, zero), (j_latch, j2)]);
+    b.set_phi_incoming(k, &[(j_hdr, zero), (k_body, k2)]);
+    b.set_phi_incoming(acc, &[(j_hdr, zero), (k_body, acc2)]);
+    b.finish().expect("matmul kernel is well-formed")
+}
+
+/// Software reference.
+pub fn matmul_ref(a: &[i32], b: &[i32], n: usize) -> Vec<i32> {
+    let mut c = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Builds the `matmul` workload for `n × n` matrices.
+pub fn matmul(n: u64, seed: u64) -> Workload {
+    let mut rng = Xoshiro256ss::new(seed ^ 0x4D41);
+    let a: Vec<i32> = (0..n * n).map(|_| (rng.next_u32() % 256) as i32 - 128).collect();
+    let b: Vec<i32> = (0..n * n).map(|_| (rng.next_u32() % 256) as i32 - 128).collect();
+    let expected = matmul_ref(&a, &b, n as usize);
+    let app = ApplicationBuilder::new("matmul")
+        .buffer("a", n * n * 4, i32s_to_bytes(&a), false)
+        .buffer("b", n * n * 4, i32s_to_bytes(&b), false)
+        .buffer("c", n * n * 4, vec![], false)
+        .thread(
+            "t0",
+            matmul_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(1, 0),
+                ArgSpec::Buffer(2, 0),
+                ArgSpec::Value(n as i64),
+            ],
+            true,
+        )
+        .build()
+        .expect("matmul app is valid");
+    Workload {
+        name: "matmul".into(),
+        app,
+        expected: vec![(2, i32s_to_bytes(&expected))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::flat_check;
+
+    #[test]
+    fn matmul_functional() {
+        flat_check(&matmul(12, 3), 1 << 16);
+    }
+
+    #[test]
+    fn reference_identity() {
+        // I * M = M
+        let n = 4usize;
+        let mut ident = vec![0i32; n * n];
+        for i in 0..n {
+            ident[i * n + i] = 1;
+        }
+        let m: Vec<i32> = (0..(n * n) as i32).collect();
+        assert_eq!(matmul_ref(&ident, &m, n), m);
+    }
+
+    #[test]
+    fn inner_loop_pipelines() {
+        use svmsyn_hls::fsmd::{compile, HlsConfig};
+        let ck = compile(&matmul_kernel(), &HlsConfig::default());
+        assert!(
+            !ck.pipelines.is_empty(),
+            "the dot-product loop should pipeline"
+        );
+    }
+}

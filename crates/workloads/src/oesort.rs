@@ -1,0 +1,161 @@
+//! In-place odd–even transposition sort: the data-movement-heavy kernel.
+//!
+//! `n` passes of branch-free compare-exchange (min/max) over adjacent
+//! pairs; pass `p` starts at index `p & 1`, the classic odd–even network.
+//! The inner loop pipelines nicely, and the O(n²) memory traffic makes the
+//! kernel firmly bandwidth-bound.
+
+use svmsyn::app::{ApplicationBuilder, ArgSpec, SyncAction, SyncSpec};
+use svmsyn_hls::builder::KernelBuilder;
+use svmsyn_hls::ir::{BinOp, CmpOp, Kernel, Width};
+use svmsyn_sim::Xoshiro256ss;
+
+use crate::common::{i32s_to_bytes, Workload};
+
+/// Odd–even transposition sort of `n` `i32`s in place; pass `p` exchanges
+/// pairs starting at index `p & 1`. Args: `data, n`.
+pub fn oesort_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("oesort", 2);
+    let entry = b.current_block();
+    let pass_hdr = b.new_block();
+    let pass_setup = b.new_block();
+    let i_hdr = b.new_block();
+    let i_body = b.new_block();
+    let pass_latch = b.new_block();
+    let exit = b.new_block();
+
+    let data = b.arg(0);
+    let n = b.arg(1);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let two = b.constant(2);
+    let four = b.constant(4);
+    let n1 = b.bin(BinOp::Sub, n, one);
+    b.jump(pass_hdr);
+
+    b.switch_to(pass_hdr);
+    let pass = b.phi();
+    let cp = b.cmp(CmpOp::Lt, pass, n);
+    b.branch(cp, pass_setup, exit);
+
+    b.switch_to(pass_setup);
+    let parity = b.bin(BinOp::And, pass, one);
+    b.jump(i_hdr);
+
+    b.switch_to(i_hdr);
+    let i = b.phi();
+    let ci = b.cmp(CmpOp::Lt, i, n1);
+    b.branch(ci, i_body, pass_latch);
+
+    b.switch_to(i_body);
+    let off = b.bin(BinOp::Mul, i, four);
+    let a0 = b.bin(BinOp::Add, data, off);
+    let a1 = b.bin(BinOp::Add, a0, four);
+    let va = b.load(a0, Width::W32);
+    let vb = b.load(a1, Width::W32);
+    let lo = b.bin(BinOp::Min, va, vb);
+    let hi = b.bin(BinOp::Max, va, vb);
+    b.store(a0, lo, Width::W32);
+    b.store(a1, hi, Width::W32);
+    let i2 = b.bin(BinOp::Add, i, two);
+    b.jump(i_hdr);
+
+    b.switch_to(pass_latch);
+    let pass2 = b.bin(BinOp::Add, pass, one);
+    b.jump(pass_hdr);
+
+    b.switch_to(exit);
+    b.ret(None);
+
+    b.set_phi_incoming(pass, &[(entry, zero), (pass_latch, pass2)]);
+    b.set_phi_incoming(i, &[(pass_setup, parity), (i_body, i2)]);
+    b.finish().expect("oesort kernel is well-formed")
+}
+
+/// Software reference (plain sort).
+pub fn oesort_ref(data: &[i32]) -> Vec<i32> {
+    let mut v = data.to_vec();
+    v.sort_unstable();
+    v
+}
+
+/// Builds the `oesort` workload over `n` random `i32`s. The thread posts a
+/// semaphore when done (exercising the OSIF path in full-system runs).
+pub fn oesort(n: u64, seed: u64) -> Workload {
+    let mut rng = Xoshiro256ss::new(seed ^ 0x0E50);
+    let data: Vec<i32> = (0..n).map(|_| (rng.next_u32() % 100_000) as i32).collect();
+    let expected = oesort_ref(&data);
+    let app = ApplicationBuilder::new("oesort")
+        .buffer("data", n * 4, i32s_to_bytes(&data), false)
+        .sync(SyncSpec::Semaphore(0))
+        .thread_full(
+            "t0",
+            oesort_kernel(),
+            vec![ArgSpec::Buffer(0, 0), ArgSpec::Value(n as i64)],
+            vec![],
+            vec![SyncAction::SemPost(0)],
+            true,
+        )
+        .build()
+        .expect("oesort app is valid");
+    Workload {
+        name: "oesort".into(),
+        app,
+        expected: vec![(0, i32s_to_bytes(&expected))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{bytes_to_i32s, flat_check};
+    use svmsyn_hls::interp::{run, SliceMemory};
+
+    #[test]
+    fn oesort_functional_sorts_random_input() {
+        flat_check(&oesort(96, 8), 1 << 16);
+    }
+
+    #[test]
+    fn sorts_reverse_input_with_odd_length() {
+        let n = 33usize;
+        let data: Vec<i32> = (0..n as i32).rev().collect();
+        let mut image = i32s_to_bytes(&data);
+        run(
+            &oesort_kernel(),
+            &[0, n as i64],
+            &mut SliceMemory(&mut image),
+            50_000_000,
+        );
+        let got = bytes_to_i32s(&image);
+        let mut want = data;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn already_sorted_is_stable() {
+        let data: Vec<i32> = (0..64).collect();
+        let mut image = i32s_to_bytes(&data);
+        run(
+            &oesort_kernel(),
+            &[0, 64],
+            &mut SliceMemory(&mut image),
+            50_000_000,
+        );
+        assert_eq!(bytes_to_i32s(&image), data);
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let data = vec![5i32, 1, 5, 0, 5, -3, 1];
+        let mut image = i32s_to_bytes(&data);
+        run(
+            &oesort_kernel(),
+            &[0, data.len() as i64],
+            &mut SliceMemory(&mut image),
+            1_000_000,
+        );
+        assert_eq!(bytes_to_i32s(&image), oesort_ref(&data));
+    }
+}

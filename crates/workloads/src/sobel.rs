@@ -1,0 +1,192 @@
+//! Sobel edge detection: the 2-D stencil kernel.
+//!
+//! `out(x,y) = clamp(|Gx| + |Gy|, 255)` over a `w × h` 8-bit image; the
+//! inner loop does nine byte loads per pixel — the burst engine's row
+//! locality is what keeps it fed.
+
+use svmsyn::app::{ApplicationBuilder, ArgSpec};
+use svmsyn_hls::builder::KernelBuilder;
+use svmsyn_hls::ir::{BinOp, CmpOp, Kernel, Value, Width};
+use svmsyn_sim::Xoshiro256ss;
+
+use crate::common::Workload;
+
+/// Sobel gradient magnitude; args: `src, dst, w, h`. Border pixels are left
+/// untouched (the output buffer is pre-zeroed).
+pub fn sobel_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("sobel", 4);
+    let entry = b.current_block();
+    let y_hdr = b.new_block();
+    let x_hdr = b.new_block();
+    let x_body = b.new_block();
+    let y_latch = b.new_block();
+    let exit = b.new_block();
+
+    let src = b.arg(0);
+    let dst = b.arg(1);
+    let w = b.arg(2);
+    let h = b.arg(3);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let two = b.constant(2);
+    let c255 = b.constant(255);
+    let h1 = b.bin(BinOp::Sub, h, one);
+    let w1 = b.bin(BinOp::Sub, w, one);
+    b.jump(y_hdr);
+
+    b.switch_to(y_hdr);
+    let y = b.phi();
+    let cy = b.cmp(CmpOp::Lt, y, h1);
+    b.branch(cy, x_hdr, exit);
+
+    b.switch_to(x_hdr);
+    let x = b.phi();
+    let cx = b.cmp(CmpOp::Lt, x, w1);
+    b.branch(cx, x_body, y_latch);
+
+    b.switch_to(x_body);
+    // Nine neighbor loads (zero-extended bytes).
+    let px = |bld: &mut KernelBuilder, dx: i64, dy: i64| -> Value {
+        let dxv = bld.constant(dx);
+        let dyv = bld.constant(dy);
+        let yy = bld.bin(BinOp::Add, y, dyv);
+        let xx = bld.bin(BinOp::Add, x, dxv);
+        let row = bld.bin(BinOp::Mul, yy, w);
+        let idx = bld.bin(BinOp::Add, row, xx);
+        let addr = bld.bin(BinOp::Add, src, idx);
+        let raw = bld.load(addr, Width::W8);
+        bld.bin(BinOp::And, raw, c255)
+    };
+    let p00 = px(&mut b, -1, -1);
+    let p10 = px(&mut b, 0, -1);
+    let p20 = px(&mut b, 1, -1);
+    let p01 = px(&mut b, -1, 0);
+    let p21 = px(&mut b, 1, 0);
+    let p02 = px(&mut b, -1, 1);
+    let p12 = px(&mut b, 0, 1);
+    let p22 = px(&mut b, 1, 1);
+    // Gx = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)
+    let t1 = b.bin(BinOp::Mul, p21, two);
+    let rpos = {
+        let s = b.bin(BinOp::Add, p20, t1);
+        b.bin(BinOp::Add, s, p22)
+    };
+    let t2 = b.bin(BinOp::Mul, p01, two);
+    let rneg = {
+        let s = b.bin(BinOp::Add, p00, t2);
+        b.bin(BinOp::Add, s, p02)
+    };
+    let gx = b.bin(BinOp::Sub, rpos, rneg);
+    // Gy = (p02 + 2*p12 + p22) - (p00 + 2*p10 + p20)
+    let t3 = b.bin(BinOp::Mul, p12, two);
+    let cpos = {
+        let s = b.bin(BinOp::Add, p02, t3);
+        b.bin(BinOp::Add, s, p22)
+    };
+    let t4 = b.bin(BinOp::Mul, p10, two);
+    let cneg = {
+        let s = b.bin(BinOp::Add, p00, t4);
+        b.bin(BinOp::Add, s, p20)
+    };
+    let gy = b.bin(BinOp::Sub, cpos, cneg);
+    // |gx| + |gy| clamped to 255 (branch-free via min/max).
+    let ngx = b.bin(BinOp::Sub, zero, gx);
+    let agx = b.bin(BinOp::Max, gx, ngx);
+    let ngy = b.bin(BinOp::Sub, zero, gy);
+    let agy = b.bin(BinOp::Max, gy, ngy);
+    let mag = b.bin(BinOp::Add, agx, agy);
+    let clamped = b.bin(BinOp::Min, mag, c255);
+    let orow = b.bin(BinOp::Mul, y, w);
+    let oidx = b.bin(BinOp::Add, orow, x);
+    let oaddr = b.bin(BinOp::Add, dst, oidx);
+    b.store(oaddr, clamped, Width::W8);
+    let x2 = b.bin(BinOp::Add, x, one);
+    b.jump(x_hdr);
+
+    b.switch_to(y_latch);
+    let y2 = b.bin(BinOp::Add, y, one);
+    b.jump(y_hdr);
+
+    b.switch_to(exit);
+    b.ret(None);
+
+    b.set_phi_incoming(y, &[(entry, one), (y_latch, y2)]);
+    b.set_phi_incoming(x, &[(y_hdr, one), (x_body, x2)]);
+    b.finish().expect("sobel kernel is well-formed")
+}
+
+/// Software reference.
+pub fn sobel_ref(src: &[u8], w: usize, h: usize) -> Vec<u8> {
+    let mut out = vec![0u8; w * h];
+    let p = |x: usize, y: usize| src[y * w + x] as i64;
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let gx = (p(x + 1, y - 1) + 2 * p(x + 1, y) + p(x + 1, y + 1))
+                - (p(x - 1, y - 1) + 2 * p(x - 1, y) + p(x - 1, y + 1));
+            let gy = (p(x - 1, y + 1) + 2 * p(x, y + 1) + p(x + 1, y + 1))
+                - (p(x - 1, y - 1) + 2 * p(x, y - 1) + p(x + 1, y - 1));
+            out[y * w + x] = (gx.abs() + gy.abs()).min(255) as u8;
+        }
+    }
+    out
+}
+
+/// Builds the `sobel` workload for a `w × h` random image.
+pub fn sobel(w: u64, h: u64, seed: u64) -> Workload {
+    let mut rng = Xoshiro256ss::new(seed ^ 0x50BE);
+    let src: Vec<u8> = (0..w * h).map(|_| rng.next_u32() as u8).collect();
+    let expected = sobel_ref(&src, w as usize, h as usize);
+    let app = ApplicationBuilder::new("sobel")
+        .buffer("src", w * h, src, false)
+        .buffer("dst", w * h, vec![], false)
+        .thread(
+            "t0",
+            sobel_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(1, 0),
+                ArgSpec::Value(w as i64),
+                ArgSpec::Value(h as i64),
+            ],
+            true,
+        )
+        .build()
+        .expect("sobel app is valid");
+    Workload {
+        name: "sobel".into(),
+        app,
+        expected: vec![(1, expected)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::flat_check;
+
+    #[test]
+    fn sobel_functional() {
+        flat_check(&sobel(24, 16, 4), 1 << 16);
+    }
+
+    #[test]
+    fn flat_image_has_zero_gradient() {
+        let img = vec![100u8; 8 * 8];
+        let out = sobel_ref(&img, 8, 8);
+        assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn vertical_edge_detected() {
+        let w = 8;
+        let mut img = vec![0u8; w * w];
+        for y in 0..w {
+            for x in 4..w {
+                img[y * w + x] = 255;
+            }
+        }
+        let out = sobel_ref(&img, w, w);
+        assert!(out[3 * w + 4] > 200, "edge column must light up");
+        assert_eq!(out[3 * w + 1], 0, "flat region stays dark");
+    }
+}

@@ -1,0 +1,199 @@
+//! Sparse matrix–vector multiply (CSR): the irregular-access kernel.
+//!
+//! `y[i] = Σ val[k] · x[col[k]]` for `k in rowptr[i]..rowptr[i+1]`. The
+//! gathers through `col[]` defeat the stream buffer and exercise TLB reach
+//! on the `x` vector.
+
+use svmsyn::app::{ApplicationBuilder, ArgSpec};
+use svmsyn_hls::builder::KernelBuilder;
+use svmsyn_hls::ir::{BinOp, CmpOp, Kernel, Width};
+use svmsyn_sim::Xoshiro256ss;
+
+use crate::common::{i32s_to_bytes, u32s_to_bytes, Workload};
+
+/// CSR SpMV; args: `rowptr, col, val, x, y, nrows`.
+pub fn spmv_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("spmv", 6);
+    let entry = b.current_block();
+    let row_hdr = b.new_block();
+    let row_body = b.new_block();
+    let k_hdr = b.new_block();
+    let k_body = b.new_block();
+    let row_latch = b.new_block();
+    let exit = b.new_block();
+
+    let rowptr = b.arg(0);
+    let col = b.arg(1);
+    let val = b.arg(2);
+    let x = b.arg(3);
+    let y = b.arg(4);
+    let nrows = b.arg(5);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let four = b.constant(4);
+    b.jump(row_hdr);
+
+    b.switch_to(row_hdr);
+    let i = b.phi();
+    let ci = b.cmp(CmpOp::Lt, i, nrows);
+    b.branch(ci, row_body, exit);
+
+    b.switch_to(row_body);
+    let rp_off = b.bin(BinOp::Mul, i, four);
+    let rp_addr = b.bin(BinOp::Add, rowptr, rp_off);
+    let start = b.load(rp_addr, Width::W32);
+    let rp_addr2 = b.bin(BinOp::Add, rp_addr, four);
+    let end = b.load(rp_addr2, Width::W32);
+    b.jump(k_hdr);
+
+    b.switch_to(k_hdr);
+    let k = b.phi();
+    let acc = b.phi();
+    let ck = b.cmp(CmpOp::Lt, k, end);
+    b.branch(ck, k_body, row_latch);
+
+    b.switch_to(k_body);
+    let k_off = b.bin(BinOp::Mul, k, four);
+    let col_addr = b.bin(BinOp::Add, col, k_off);
+    let c_idx = b.load(col_addr, Width::W32);
+    let val_addr = b.bin(BinOp::Add, val, k_off);
+    let v = b.load(val_addr, Width::W32);
+    let x_off = b.bin(BinOp::Mul, c_idx, four);
+    let x_addr = b.bin(BinOp::Add, x, x_off);
+    let xv = b.load(x_addr, Width::W32);
+    let prod = b.bin(BinOp::Mul, v, xv);
+    let acc2 = b.bin(BinOp::Add, acc, prod);
+    let k2 = b.bin(BinOp::Add, k, one);
+    b.jump(k_hdr);
+
+    b.switch_to(row_latch);
+    let y_off = b.bin(BinOp::Mul, i, four);
+    let y_addr = b.bin(BinOp::Add, y, y_off);
+    b.store(y_addr, acc, Width::W32);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.jump(row_hdr);
+
+    b.switch_to(exit);
+    b.ret(None);
+
+    b.set_phi_incoming(i, &[(entry, zero), (row_latch, i2)]);
+    b.set_phi_incoming(k, &[(row_body, start), (k_body, k2)]);
+    b.set_phi_incoming(acc, &[(row_body, zero), (k_body, acc2)]);
+    b.finish().expect("spmv kernel is well-formed")
+}
+
+/// A generated CSR matrix.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    /// Row pointers (`nrows + 1`).
+    pub rowptr: Vec<u32>,
+    /// Column indices.
+    pub col: Vec<u32>,
+    /// Values.
+    pub val: Vec<i32>,
+    /// Number of rows/columns (square).
+    pub n: usize,
+}
+
+/// Generates a random square CSR matrix with about `nnz_per_row` entries
+/// per row.
+pub fn random_csr(n: usize, nnz_per_row: usize, rng: &mut Xoshiro256ss) -> CsrMatrix {
+    let mut rowptr = Vec::with_capacity(n + 1);
+    let mut col = Vec::new();
+    let mut val = Vec::new();
+    rowptr.push(0u32);
+    for _ in 0..n {
+        let nnz = 1 + rng.range(2 * nnz_per_row as u64 - 1) as usize;
+        let mut cols: Vec<u32> = (0..nnz).map(|_| rng.range(n as u64) as u32).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for c in cols {
+            col.push(c);
+            val.push((rng.next_u32() % 64) as i32 - 32);
+        }
+        rowptr.push(col.len() as u32);
+    }
+    CsrMatrix { rowptr, col, val, n }
+}
+
+/// Software reference.
+pub fn spmv_ref(m: &CsrMatrix, x: &[i32]) -> Vec<i32> {
+    let mut y = vec![0i32; m.n];
+    for i in 0..m.n {
+        let mut acc = 0i32;
+        for k in m.rowptr[i] as usize..m.rowptr[i + 1] as usize {
+            acc = acc.wrapping_add(m.val[k].wrapping_mul(x[m.col[k] as usize]));
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+/// Builds the `spmv` workload: `n` rows, ~`nnz_per_row` entries each.
+pub fn spmv(n: usize, nnz_per_row: usize, seed: u64) -> Workload {
+    let mut rng = Xoshiro256ss::new(seed ^ 0x5B37);
+    let m = random_csr(n, nnz_per_row, &mut rng);
+    let x: Vec<i32> = (0..n).map(|_| (rng.next_u32() % 128) as i32 - 64).collect();
+    let expected = spmv_ref(&m, &x);
+    let app = ApplicationBuilder::new("spmv")
+        .buffer("rowptr", (n as u64 + 1) * 4, u32s_to_bytes(&m.rowptr), false)
+        .buffer("col", m.col.len().max(1) as u64 * 4, u32s_to_bytes(&m.col), false)
+        .buffer("val", m.val.len().max(1) as u64 * 4, i32s_to_bytes(&m.val), false)
+        .buffer("x", n as u64 * 4, i32s_to_bytes(&x), false)
+        .buffer("y", n as u64 * 4, vec![], false)
+        .thread(
+            "t0",
+            spmv_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(1, 0),
+                ArgSpec::Buffer(2, 0),
+                ArgSpec::Buffer(3, 0),
+                ArgSpec::Buffer(4, 0),
+                ArgSpec::Value(n as i64),
+            ],
+            true,
+        )
+        .build()
+        .expect("spmv app is valid");
+    Workload {
+        name: "spmv".into(),
+        app,
+        expected: vec![(4, i32s_to_bytes(&expected))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::flat_check;
+
+    #[test]
+    fn spmv_functional() {
+        flat_check(&spmv(48, 4, 6), 1 << 16);
+    }
+
+    #[test]
+    fn csr_structure_valid() {
+        let mut rng = Xoshiro256ss::new(1);
+        let m = random_csr(64, 6, &mut rng);
+        assert_eq!(m.rowptr.len(), 65);
+        assert_eq!(*m.rowptr.last().unwrap() as usize, m.col.len());
+        assert!(m.rowptr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(m.col.iter().all(|&c| (c as usize) < m.n));
+    }
+
+    #[test]
+    fn identity_like_reference() {
+        // A diagonal matrix times x scales x.
+        let n = 5;
+        let m = CsrMatrix {
+            rowptr: (0..=n as u32).collect(),
+            col: (0..n as u32).collect(),
+            val: vec![2; n],
+            n,
+        };
+        let x = vec![1, 2, 3, 4, 5];
+        assert_eq!(spmv_ref(&m, &x), vec![2, 4, 6, 8, 10]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Streaming kernels: `vecadd` and `saxpy`.
+//!
+//! The memory-bound end of the kernel set: one output element per loop trip,
+//! perfectly sequential access — the case where the burst engine and a tiny
+//! TLB already capture all locality.
+
+use svmsyn::app::{ApplicationBuilder, ArgSpec};
+use svmsyn_hls::builder::KernelBuilder;
+use svmsyn_hls::ir::{BinOp, CmpOp, Kernel, Width};
+use svmsyn_sim::Xoshiro256ss;
+
+use crate::common::{i32s_to_bytes, Workload};
+
+/// `dst[i] = a[i] + b[i]` over `i32`; args: `a, b, dst, n`.
+pub fn vecadd_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("vecadd", 4);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    let pa = b.arg(0);
+    let pb = b.arg(1);
+    let pd = b.arg(2);
+    let n = b.arg(3);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let four = b.constant(4);
+    b.jump(header);
+    b.switch_to(header);
+    let i = b.phi();
+    let c = b.cmp(CmpOp::Lt, i, n);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let off = b.bin(BinOp::Mul, i, four);
+    let aa = b.bin(BinOp::Add, pa, off);
+    let ab = b.bin(BinOp::Add, pb, off);
+    let ad = b.bin(BinOp::Add, pd, off);
+    let va = b.load(aa, Width::W32);
+    let vb = b.load(ab, Width::W32);
+    let s = b.bin(BinOp::Add, va, vb);
+    b.store(ad, s, Width::W32);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.jump(header);
+    b.switch_to(exit);
+    b.ret(None);
+    b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+    b.finish().expect("vecadd kernel is well-formed")
+}
+
+/// `dst[i] = alpha * x[i] + y[i]` over `i32`; args: `x, y, dst, alpha, n`.
+pub fn saxpy_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("saxpy", 5);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    let px = b.arg(0);
+    let py = b.arg(1);
+    let pd = b.arg(2);
+    let alpha = b.arg(3);
+    let n = b.arg(4);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let four = b.constant(4);
+    b.jump(header);
+    b.switch_to(header);
+    let i = b.phi();
+    let c = b.cmp(CmpOp::Lt, i, n);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let off = b.bin(BinOp::Mul, i, four);
+    let ax = b.bin(BinOp::Add, px, off);
+    let ay = b.bin(BinOp::Add, py, off);
+    let ad = b.bin(BinOp::Add, pd, off);
+    let vx = b.load(ax, Width::W32);
+    let vy = b.load(ay, Width::W32);
+    let prod = b.bin(BinOp::Mul, alpha, vx);
+    let s = b.bin(BinOp::Add, prod, vy);
+    b.store(ad, s, Width::W32);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.jump(header);
+    b.switch_to(exit);
+    b.ret(None);
+    b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+    b.finish().expect("saxpy kernel is well-formed")
+}
+
+/// Builds the `vecadd` workload for `n` elements.
+pub fn vecadd(n: u64, seed: u64) -> Workload {
+    let mut rng = Xoshiro256ss::new(seed);
+    let a: Vec<i32> = (0..n).map(|_| rng.next_u32() as i32 >> 8).collect();
+    let b: Vec<i32> = (0..n).map(|_| rng.next_u32() as i32 >> 8).collect();
+    let expected: Vec<i32> = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| x.wrapping_add(*y))
+        .collect();
+    let app = ApplicationBuilder::new("vecadd")
+        .buffer("a", n * 4, i32s_to_bytes(&a), false)
+        .buffer("b", n * 4, i32s_to_bytes(&b), false)
+        .buffer("dst", n * 4, vec![], false)
+        .thread(
+            "t0",
+            vecadd_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(1, 0),
+                ArgSpec::Buffer(2, 0),
+                ArgSpec::Value(n as i64),
+            ],
+            true,
+        )
+        .build()
+        .expect("vecadd app is valid");
+    Workload {
+        name: "vecadd".into(),
+        app,
+        expected: vec![(2, i32s_to_bytes(&expected))],
+    }
+}
+
+/// Builds the `saxpy` workload for `n` elements.
+pub fn saxpy(n: u64, seed: u64) -> Workload {
+    let mut rng = Xoshiro256ss::new(seed ^ 0x5A5A);
+    let alpha = 7i32;
+    let x: Vec<i32> = (0..n).map(|_| rng.next_u32() as i32 >> 12).collect();
+    let y: Vec<i32> = (0..n).map(|_| rng.next_u32() as i32 >> 12).collect();
+    let expected: Vec<i32> = x
+        .iter()
+        .zip(&y)
+        .map(|(xi, yi)| alpha.wrapping_mul(*xi).wrapping_add(*yi))
+        .collect();
+    let app = ApplicationBuilder::new("saxpy")
+        .buffer("x", n * 4, i32s_to_bytes(&x), false)
+        .buffer("y", n * 4, i32s_to_bytes(&y), false)
+        .buffer("dst", n * 4, vec![], false)
+        .thread(
+            "t0",
+            saxpy_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(1, 0),
+                ArgSpec::Buffer(2, 0),
+                ArgSpec::Value(alpha as i64),
+                ArgSpec::Value(n as i64),
+            ],
+            true,
+        )
+        .build()
+        .expect("saxpy app is valid");
+    Workload {
+        name: "saxpy".into(),
+        app,
+        expected: vec![(2, i32s_to_bytes(&expected))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::flat_check;
+
+    #[test]
+    fn vecadd_functional() {
+        flat_check(&vecadd(256, 1), 1 << 16);
+    }
+
+    #[test]
+    fn saxpy_functional() {
+        flat_check(&saxpy(256, 2), 1 << 16);
+    }
+
+    #[test]
+    fn kernels_compile_and_pipeline() {
+        use svmsyn_hls::fsmd::{compile, HlsConfig};
+        for k in [vecadd_kernel(), saxpy_kernel()] {
+            let ck = compile(&k, &HlsConfig::default());
+            assert_eq!(ck.pipelines.len(), 1, "{} should pipeline", ck.kernel.name);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Design-space exploration: let the toolflow decide which threads deserve
+//! fabric under a tight area budget, comparing exhaustive and greedy search.
+//!
+//! Run with `cargo run --release --example dse_explore`.
+
+use svmsyn::dse::{explore, DseConfig, DseMethod};
+use svmsyn::flow::Placement;
+use svmsyn::platform::Platform;
+use svmsyn::sim::SimConfig;
+use svmsyn::app::{ApplicationBuilder, ArgSpec};
+use svmsyn_workloads::matmul::matmul_kernel;
+use svmsyn_workloads::streaming::vecadd_kernel;
+
+fn main() {
+    let n = 512u64;
+    let init: Vec<u8> = (0..n as u32).flat_map(|i| i.to_le_bytes()).collect();
+    // Three threads: two cheap streaming kernels and one compute-dense
+    // matmul competing for fabric.
+    let app = ApplicationBuilder::new("dse-demo")
+        .buffer("in", n * 4, init, false)
+        .buffer("o0", n * 4, vec![], false)
+        .buffer("o1", n * 4, vec![], false)
+        .buffer("mm", 16 * 16 * 4, vec![], false)
+        .thread(
+            "stream0",
+            vecadd_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(1, 0),
+                ArgSpec::Value(n as i64),
+            ],
+            true,
+        )
+        .thread(
+            "stream1",
+            vecadd_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(2, 0),
+                ArgSpec::Value(n as i64),
+            ],
+            true,
+        )
+        .thread(
+            "matmul",
+            matmul_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(3, 0),
+                ArgSpec::Value(16),
+            ],
+            true,
+        )
+        .build()
+        .expect("valid application");
+
+    let platform = Platform::small();
+    let sim = SimConfig::default();
+
+    for (name, method) in [
+        ("exhaustive", DseMethod::Exhaustive),
+        ("greedy", DseMethod::Greedy),
+        ("anneal", DseMethod::Anneal { iters: 16, seed: 3 }),
+    ] {
+        let r = explore(&app, &platform, &DseConfig { method, sim }).expect("exploration");
+        let placements: String = r
+            .best
+            .placements
+            .iter()
+            .map(|p| match p {
+                Placement::Hardware => 'H',
+                Placement::Software => 'S',
+            })
+            .collect();
+        println!(
+            "{name:>10}: best {placements} makespan {} cycles, {} LUT, {} candidates evaluated, {} Pareto points",
+            r.best.makespan,
+            r.best.resources.lut,
+            r.evaluated,
+            r.pareto.len()
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Emit the Verilog FSMD for every benchmark kernel — what the toolflow
+//! would hand to the vendor back end.
+//!
+//! Run with `cargo run --release --example emit_rtl` (prints a summary; add
+//! a kernel name argument, e.g. `vecadd`, to dump its full RTL).
+
+use svmsyn_hls::fsmd::{compile, HlsConfig};
+use svmsyn_hls::verilog::emit_verilog;
+use svmsyn_workloads::small_suite;
+
+fn main() {
+    let dump: Option<String> = std::env::args().nth(1);
+    for w in small_suite(1) {
+        let compiled = compile(&w.app.threads[0].kernel, &HlsConfig::default());
+        let rtl = emit_verilog(&compiled);
+        println!(
+            "{:>10}: {} lines of Verilog, {} states, est. {} @ {:.0} MHz",
+            w.name,
+            rtl.lines().count(),
+            compiled.states,
+            compiled.resources,
+            compiled.fmax_mhz
+        );
+        if dump.as_deref() == Some(w.name.as_str()) {
+            println!("{rtl}");
+        }
+    }
+}

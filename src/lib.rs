@@ -1,0 +1,14 @@
+//! Umbrella crate for the `svmsyn` workspace.
+//!
+//! Re-exports the member crates so that examples and integration tests can
+//! use a single dependency root. See the individual crates for the real API:
+//! [`svmsyn`] (the toolflow), [`svmsyn_hls`], [`svmsyn_vm`], [`svmsyn_os`],
+//! [`svmsyn_hwt`], [`svmsyn_mem`], [`svmsyn_sim`], [`svmsyn_workloads`].
+pub use svmsyn;
+pub use svmsyn_hls;
+pub use svmsyn_hwt;
+pub use svmsyn_mem;
+pub use svmsyn_os;
+pub use svmsyn_sim;
+pub use svmsyn_vm;
+pub use svmsyn_workloads;

@@ -1,0 +1,131 @@
+//! End-to-end integration: every workload, synthesized both ways, must
+//! produce reference-exact bytes, and HW/SW runs must agree bit-for-bit.
+
+use svmsyn::flow::{synthesize, Placement};
+use svmsyn::platform::Platform;
+use svmsyn::sim::{simulate, SimConfig};
+use svmsyn_workloads::small_suite;
+
+#[test]
+fn every_workload_is_correct_in_hardware() {
+    let platform = Platform::default();
+    for w in small_suite(2024) {
+        let placements = vec![Placement::Hardware; w.app.threads.len()];
+        let design = synthesize(&w.app, &platform, &placements)
+            .unwrap_or_else(|e| panic!("{}: synthesis failed: {e}", w.name));
+        let outcome = simulate(&design, &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", w.name));
+        w.verify(&outcome)
+            .unwrap_or_else(|e| panic!("hardware run wrong: {e}"));
+        assert!(outcome.makespan.0 > 0, "{}: zero makespan", w.name);
+    }
+}
+
+#[test]
+fn every_workload_is_correct_in_software() {
+    let platform = Platform::default();
+    for w in small_suite(2024) {
+        let placements = vec![Placement::Software; w.app.threads.len()];
+        let design = synthesize(&w.app, &platform, &placements).expect("synthesis");
+        let outcome = simulate(&design, &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", w.name));
+        w.verify(&outcome)
+            .unwrap_or_else(|e| panic!("software run wrong: {e}"));
+    }
+}
+
+#[test]
+fn hardware_and_software_agree_on_every_buffer() {
+    let platform = Platform::default();
+    for w in small_suite(7) {
+        let hw = simulate(
+            &synthesize(
+                &w.app,
+                &platform,
+                &vec![Placement::Hardware; w.app.threads.len()],
+            )
+            .expect("hw synthesis"),
+            &SimConfig::default(),
+        )
+        .expect("hw sim");
+        let sw = simulate(
+            &synthesize(
+                &w.app,
+                &platform,
+                &vec![Placement::Software; w.app.threads.len()],
+            )
+            .expect("sw synthesis"),
+            &SimConfig::default(),
+        )
+        .expect("sw sim");
+        for (i, b) in w.app.buffers.iter().enumerate() {
+            let mut ha = vec![0u8; b.len as usize];
+            let mut sa = vec![0u8; b.len as usize];
+            hw.read_buffer(i, &mut ha);
+            sw.read_buffer(i, &mut sa);
+            assert_eq!(ha, sa, "{}: buffer {i} ({}) differs", w.name, b.name);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let platform = Platform::default();
+    let w = &small_suite(99)[0];
+    let placements = vec![Placement::Hardware; w.app.threads.len()];
+    let design = synthesize(&w.app, &platform, &placements).expect("synthesis");
+    let a = simulate(&design, &SimConfig::default()).expect("first run");
+    let b = simulate(&design, &SimConfig::default()).expect("second run");
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(
+        a.stats.get("mem.bus.busy_cycles"),
+        b.stats.get("mem.bus.busy_cycles")
+    );
+}
+
+#[test]
+fn quantum_choice_does_not_change_results_much() {
+    // Different quanta reorder calendar bookings slightly but must never
+    // change *functional* results, and timing should stay within a few
+    // percent for a single-thread run.
+    let platform = Platform::default();
+    let w = &small_suite(5)[0];
+    let design = synthesize(&w.app, &platform, &[Placement::Hardware]).expect("synthesis");
+    let coarse = simulate(
+        &design,
+        &SimConfig {
+            quantum: 100_000,
+            ..SimConfig::default()
+        },
+    )
+    .expect("coarse");
+    let fine = simulate(
+        &design,
+        &SimConfig {
+            quantum: 500,
+            ..SimConfig::default()
+        },
+    )
+    .expect("fine");
+    w.verify(&coarse).unwrap();
+    w.verify(&fine).unwrap();
+    let ratio = coarse.makespan.0 as f64 / fine.makespan.0 as f64;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "quantum sensitivity too high: {ratio}"
+    );
+}
+
+#[test]
+fn vm_enabled_threads_fault_exactly_once_per_fresh_page() {
+    use svmsyn_workloads::streaming::vecadd;
+    let platform = Platform::default();
+    let n = 2048u64; // dst = 8 KiB = 2 pages
+    let w = vecadd(n, 3);
+    let design = synthesize(&w.app, &platform, &[Placement::Hardware]).expect("synthesis");
+    let outcome = simulate(&design, &SimConfig::default()).expect("sim");
+    w.verify(&outcome).unwrap();
+    // Only dst is written; src buffers were faulted in by the loader. The
+    // HW thread demand-faults exactly the dst pages.
+    assert_eq!(outcome.stats.get("os.hw_faults"), Some(2.0));
+}
