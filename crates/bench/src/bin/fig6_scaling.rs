@@ -60,8 +60,7 @@ fn main() {
             );
         }
         let app = builder.build().expect("scaling app");
-        let design =
-            synthesize(&app, &platform, &vec![Placement::Hardware; k]).expect("synthesis");
+        let design = synthesize(&app, &platform, &vec![Placement::Hardware; k]).expect("synthesis");
         let outcome = simulate(&design, &SimConfig::default()).expect("simulation");
         for i in 0..k {
             let mut out = vec![0u8; (n * 4) as usize];
@@ -74,8 +73,8 @@ fn main() {
         if k == 1 {
             base = tput;
         }
-        let util = outcome.stats.get("mem.bus.busy_cycles").unwrap_or(0.0)
-            / outcome.makespan.0 as f64;
+        let util =
+            outcome.stats.get("mem.bus.busy_cycles").unwrap_or(0.0) / outcome.makespan.0 as f64;
         t.row_owned(vec![
             k.to_string(),
             fmt_cycles(outcome.makespan.0),

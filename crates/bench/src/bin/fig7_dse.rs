@@ -76,6 +76,7 @@ fn main() {
         &DseConfig {
             method: DseMethod::Exhaustive,
             sim,
+            ..DseConfig::default()
         },
     )
     .expect("exhaustive DSE");
@@ -106,6 +107,7 @@ fn main() {
         &DseConfig {
             method: DseMethod::Greedy,
             sim,
+            ..DseConfig::default()
         },
     )
     .expect("greedy DSE");
@@ -115,6 +117,7 @@ fn main() {
         &DseConfig {
             method: DseMethod::Anneal { iters: 24, seed: 7 },
             sim,
+            ..DseConfig::default()
         },
     )
     .expect("annealing DSE");

@@ -30,7 +30,10 @@ fn main() {
         "OS fault service (vma, frame, PTE)".into(),
         costs.fault_service.to_string(),
     ]);
-    t.row_owned(vec!["page zeroing (4 KiB)".into(), costs.page_zero.to_string()]);
+    t.row_owned(vec![
+        "page zeroing (4 KiB)".into(),
+        costs.page_zero.to_string(),
+    ]);
     t.row_owned(vec![
         "model total (HW-thread path)".into(),
         costs.hw_fault_total().to_string(),

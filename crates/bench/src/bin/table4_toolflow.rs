@@ -54,8 +54,7 @@ fn main() {
         platform.fabric = platform.fabric * (k as u64 + 1);
         platform.max_hw_threads = k;
         let started = std::time::Instant::now();
-        let design =
-            synthesize(&app, &platform, &vec![Placement::Hardware; k]).expect("synthesis");
+        let design = synthesize(&app, &platform, &vec![Placement::Hardware; k]).expect("synthesis");
         let ms = started.elapsed().as_secs_f64() * 1e3;
         t.row_owned(vec![
             k.to_string(),

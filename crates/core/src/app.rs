@@ -142,8 +142,15 @@ pub enum AppError {
 impl std::fmt::Display for AppError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AppError::ArgCountMismatch { thread, given, expected } => {
-                write!(f, "thread {thread}: {given} args given, kernel expects {expected}")
+            AppError::ArgCountMismatch {
+                thread,
+                given,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "thread {thread}: {given} args given, kernel expects {expected}"
+                )
             }
             AppError::BadBufferRef { thread, index } => {
                 write!(f, "thread {thread}: no buffer {index}")
@@ -189,13 +196,20 @@ impl Application {
             }
             for action in t.pre.iter().chain(&t.post) {
                 let i = action.object();
-                let ok = match (self.sync_objects.get(i), action) {
-                    (Some(SyncSpec::Mutex), SyncAction::MutexLock(_) | SyncAction::MutexUnlock(_)) => true,
-                    (Some(SyncSpec::Semaphore(_)), SyncAction::SemWait(_) | SyncAction::SemPost(_)) => true,
-                    (Some(SyncSpec::Barrier(_)), SyncAction::BarrierWait(_)) => true,
-                    (Some(SyncSpec::Mbox(_)), SyncAction::MboxPut(..) | SyncAction::MboxGet(_)) => true,
-                    _ => false,
-                };
+                let ok = matches!(
+                    (self.sync_objects.get(i), action),
+                    (
+                        Some(SyncSpec::Mutex),
+                        SyncAction::MutexLock(_) | SyncAction::MutexUnlock(_)
+                    ) | (
+                        Some(SyncSpec::Semaphore(_)),
+                        SyncAction::SemWait(_) | SyncAction::SemPost(_)
+                    ) | (Some(SyncSpec::Barrier(_)), SyncAction::BarrierWait(_))
+                        | (
+                            Some(SyncSpec::Mbox(_)),
+                            SyncAction::MboxPut(..) | SyncAction::MboxGet(_)
+                        )
+                );
                 if !ok {
                     return Err(AppError::BadSyncRef {
                         thread: t.name.clone(),

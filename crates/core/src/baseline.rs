@@ -52,7 +52,13 @@ enum CopySide {
 }
 
 impl CopySide {
-    fn resolve(&self, os: &Os, asid: svmsyn_vm::tlb::Asid, mem: &MemorySystem, off: u64) -> PhysAddr {
+    fn resolve(
+        &self,
+        os: &Os,
+        asid: svmsyn_vm::tlb::Asid,
+        mem: &MemorySystem,
+        off: u64,
+    ) -> PhysAddr {
         match self {
             CopySide::Pinned(base) => base.offset(off),
             CopySide::Paged(va) => {
@@ -293,8 +299,7 @@ mod tests {
         let n = 512u64;
         let platform = Platform::default();
         let args = |a: u64, b: u64| vec![a as i64, b as i64, n as i64];
-        let (copy_times, copy_out) =
-            run_copy_flow(&k, &platform, &input(n), n * 4, &args).unwrap();
+        let (copy_times, copy_out) = run_copy_flow(&k, &platform, &input(n), n * 4, &args).unwrap();
         let (svm_time, svm_out) = run_svm_flow(&k, &platform, &input(n), n * 4, &args).unwrap();
         check(&copy_out, n);
         check(&svm_out, n);

@@ -6,6 +6,16 @@
 //! larger applications. Figure 7 plots the resulting area/makespan Pareto
 //! front; integration tests assert that the heuristics match the exhaustive
 //! optimum on small instances.
+//!
+//! Evaluation is the cost center — every point is a full-system simulation —
+//! so the sweep engine batches independent candidates across worker threads
+//! (`std::thread::scope`; the build environment has no crates.io access, so
+//! no rayon) and memoizes results by placement vector: a configuration the
+//! search revisits is never re-simulated. Simulation is deterministic, so
+//! the parallel sweep returns bit-identical results to the serial one.
+
+use std::collections::{HashMap, HashSet};
+use std::thread;
 
 use svmsyn_sim::{Cycle, FabricResources, Xoshiro256ss};
 
@@ -38,14 +48,18 @@ pub struct DseConfig {
     pub method: DseMethod,
     /// Simulation options used for every evaluation.
     pub sim: SimConfig,
+    /// Worker threads for batch candidate evaluation; `0` means one per
+    /// available core. `1` forces the serial sweep.
+    pub threads: usize,
 }
 
 impl Default for DseConfig {
-    /// Greedy search with default simulation options.
+    /// Greedy search with default simulation options, auto-parallel.
     fn default() -> Self {
         DseConfig {
             method: DseMethod::Greedy,
             sim: SimConfig::default(),
+            threads: 0,
         }
     }
 }
@@ -66,8 +80,12 @@ pub struct DsePoint {
 pub struct DseResult {
     /// The best (lowest-makespan) feasible point.
     pub best: DsePoint,
-    /// Number of candidate placements evaluated (including infeasible).
+    /// Number of candidate placements evaluated (including infeasible and
+    /// memoized re-requests).
     pub evaluated: usize,
+    /// Of `evaluated`, how many were served from the memo table without a
+    /// simulation.
+    pub cache_hits: usize,
     /// All feasible evaluated points.
     pub feasible: Vec<DsePoint>,
     /// The non-dominated (LUT, makespan) front, sorted by LUT.
@@ -91,7 +109,10 @@ impl std::fmt::Display for DseError {
         match self {
             DseError::NoFeasiblePoint => write!(f, "no feasible placement found"),
             DseError::TooManyEligible { eligible } => {
-                write!(f, "{eligible} eligible threads is too many for exhaustive search")
+                write!(
+                    f,
+                    "{eligible} eligible threads is too many for exhaustive search"
+                )
             }
         }
     }
@@ -137,6 +158,93 @@ fn pareto_front(mut feasible: Vec<DsePoint>) -> Vec<DsePoint> {
     front
 }
 
+/// The memoizing, batching evaluation engine behind every search method.
+struct Evaluator<'a> {
+    app: &'a Application,
+    platform: &'a Platform,
+    sim: SimConfig,
+    workers: usize,
+    memo: HashMap<Vec<Placement>, Option<DsePoint>>,
+    evaluated: usize,
+    cache_hits: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(app: &'a Application, platform: &'a Platform, cfg: &DseConfig) -> Self {
+        let workers = if cfg.threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            cfg.threads
+        };
+        Evaluator {
+            app,
+            platform,
+            sim: cfg.sim,
+            workers,
+            memo: HashMap::new(),
+            evaluated: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Evaluates one candidate, consulting the memo table first.
+    fn eval_one(&mut self, placements: &[Placement]) -> Option<DsePoint> {
+        self.evaluated += 1;
+        if let Some(cached) = self.memo.get(placements) {
+            self.cache_hits += 1;
+            return cached.clone();
+        }
+        let point = evaluate(self.app, self.platform, placements, &self.sim);
+        self.memo.insert(placements.to_vec(), point.clone());
+        point
+    }
+
+    /// Evaluates a batch of independent candidates, fanning uncached ones
+    /// out across worker threads. Results come back in candidate order, so
+    /// callers observe exactly the serial sweep's sequence.
+    fn eval_batch(&mut self, candidates: &[Vec<Placement>]) -> Vec<Option<DsePoint>> {
+        self.evaluated += candidates.len();
+        let mut misses: Vec<&Vec<Placement>> = Vec::new();
+        let mut seen: HashSet<&Vec<Placement>> = HashSet::new();
+        for c in candidates {
+            if !self.memo.contains_key(c) && seen.insert(c) {
+                misses.push(c);
+            }
+        }
+        self.cache_hits += candidates.len() - misses.len();
+
+        if misses.len() <= 1 || self.workers <= 1 {
+            for c in misses {
+                let point = evaluate(self.app, self.platform, c, &self.sim);
+                self.memo.insert(c.clone(), point);
+            }
+        } else {
+            let workers = self.workers.min(misses.len());
+            let chunk = misses.len().div_ceil(workers);
+            let (app, platform, sim) = (self.app, self.platform, &self.sim);
+            let results: Vec<(Vec<Placement>, Option<DsePoint>)> = thread::scope(|scope| {
+                let handles: Vec<_> = misses
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|c| ((*c).clone(), evaluate(app, platform, c, sim)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("DSE worker panicked"))
+                    .collect()
+            });
+            self.memo.extend(results);
+        }
+
+        candidates.iter().map(|c| self.memo[c].clone()).collect()
+    }
+}
+
 /// Explores the placement space and returns the best feasible design point.
 ///
 /// # Errors
@@ -149,13 +257,8 @@ pub fn explore(
     cfg: &DseConfig,
 ) -> Result<DseResult, DseError> {
     let eligible = app.hw_eligible();
-    let mut evaluated = 0usize;
+    let mut ev = Evaluator::new(app, platform, cfg);
     let mut feasible: Vec<DsePoint> = Vec::new();
-    let consider = |p: Option<DsePoint>, feasible: &mut Vec<DsePoint>| {
-        if let Some(point) = p {
-            feasible.push(point);
-        }
-    };
 
     match cfg.method {
         DseMethod::Exhaustive => {
@@ -164,29 +267,38 @@ pub fn explore(
                     eligible: eligible.len(),
                 });
             }
-            for mask in 0..(1u64 << eligible.len()) {
-                let p = placements_from_mask(app, &eligible, mask);
-                evaluated += 1;
-                consider(evaluate(app, platform, &p, &cfg.sim), &mut feasible);
+            let candidates: Vec<Vec<Placement>> = (0..(1u64 << eligible.len()))
+                .map(|mask| placements_from_mask(app, &eligible, mask))
+                .collect();
+            for point in ev.eval_batch(&candidates).into_iter().flatten() {
+                feasible.push(point);
             }
         }
         DseMethod::Greedy => {
             let mut current = placements_from_mask(app, &eligible, 0);
-            evaluated += 1;
-            let mut best = evaluate(app, platform, &current, &cfg.sim);
+            let mut best = ev.eval_one(&current);
             if let Some(p) = &best {
                 feasible.push(p.clone());
             }
             loop {
+                // One greedy round: all single-thread promotions are
+                // independent, so evaluate them as one parallel batch.
+                let moves: Vec<usize> = eligible
+                    .iter()
+                    .copied()
+                    .filter(|&t| current[t] != Placement::Hardware)
+                    .collect();
+                let candidates: Vec<Vec<Placement>> = moves
+                    .iter()
+                    .map(|&t| {
+                        let mut cand = current.clone();
+                        cand[t] = Placement::Hardware;
+                        cand
+                    })
+                    .collect();
                 let mut improvement: Option<(usize, DsePoint)> = None;
-                for &t in &eligible {
-                    if current[t] == Placement::Hardware {
-                        continue;
-                    }
-                    let mut cand = current.clone();
-                    cand[t] = Placement::Hardware;
-                    evaluated += 1;
-                    if let Some(point) = evaluate(app, platform, &cand, &cfg.sim) {
+                for (&t, point) in moves.iter().zip(ev.eval_batch(&candidates)) {
+                    if let Some(point) = point {
                         feasible.push(point.clone());
                         let better = match (&best, &improvement) {
                             (Some(b), Some((_, cur))) => {
@@ -211,10 +323,12 @@ pub fn explore(
             }
         }
         DseMethod::Anneal { iters, seed } => {
+            // Annealing is inherently sequential (each step depends on the
+            // previous acceptance), but the memo table still removes every
+            // revisit of an already-simulated placement.
             let mut rng = Xoshiro256ss::new(seed);
             let mut current = placements_from_mask(app, &eligible, 0);
-            evaluated += 1;
-            let mut current_point = evaluate(app, platform, &current, &cfg.sim);
+            let mut current_point = ev.eval_one(&current);
             if let Some(p) = &current_point {
                 feasible.push(p.clone());
             }
@@ -228,8 +342,7 @@ pub fn explore(
                     Placement::Hardware => Placement::Software,
                     Placement::Software => Placement::Hardware,
                 };
-                evaluated += 1;
-                if let Some(point) = evaluate(app, platform, &cand, &cfg.sim) {
+                if let Some(point) = ev.eval_one(&cand) {
                     feasible.push(point.clone());
                     let temperature = 1.0 - (step as f64 / iters.max(1) as f64);
                     let accept = match &current_point {
@@ -268,7 +381,8 @@ pub fn explore(
     let pareto = pareto_front(unique.clone());
     Ok(DseResult {
         best,
-        evaluated,
+        evaluated: ev.evaluated,
+        cache_hits: ev.cache_hits,
         feasible: unique,
         pareto,
     })
@@ -351,6 +465,7 @@ mod tests {
             &DseConfig {
                 method: DseMethod::Exhaustive,
                 sim: fast_sim(),
+                ..DseConfig::default()
             },
         )
         .unwrap();
@@ -372,6 +487,7 @@ mod tests {
             &DseConfig {
                 method: DseMethod::Exhaustive,
                 sim: fast_sim(),
+                ..DseConfig::default()
             },
         )
         .unwrap();
@@ -381,10 +497,41 @@ mod tests {
             &DseConfig {
                 method: DseMethod::Greedy,
                 sim: fast_sim(),
+                ..DseConfig::default()
             },
         )
         .unwrap();
         assert_eq!(gr.best.makespan, ex.best.makespan);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        let a = app(3, 64);
+        let platform = Platform::default();
+        let serial = explore(
+            &a,
+            &platform,
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let parallel = explore(
+            &a,
+            &platform,
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+                threads: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.best, parallel.best);
+        assert_eq!(serial.evaluated, parallel.evaluated);
+        assert_eq!(serial.feasible, parallel.feasible);
+        assert_eq!(serial.pareto, parallel.pareto);
     }
 
     #[test]
@@ -393,11 +540,37 @@ mod tests {
         let cfg = DseConfig {
             method: DseMethod::Anneal { iters: 8, seed: 42 },
             sim: fast_sim(),
+            ..DseConfig::default()
         };
         let r1 = explore(&a, &Platform::default(), &cfg).unwrap();
         let r2 = explore(&a, &Platform::default(), &cfg).unwrap();
         assert_eq!(r1.best.makespan, r2.best.makespan);
         assert_eq!(r1.evaluated, r2.evaluated);
+    }
+
+    #[test]
+    fn anneal_memoizes_revisited_placements() {
+        // 2 eligible threads => 4 distinct placements; 24 annealing steps
+        // must revisit, and every revisit must be a cache hit.
+        let a = app(2, 64);
+        let r = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Anneal { iters: 24, seed: 7 },
+                sim: fast_sim(),
+                ..DseConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(r.evaluated >= 25);
+        assert!(
+            r.cache_hits >= r.evaluated - 4,
+            "only 4 distinct placements exist, the rest must hit the memo \
+             ({} evaluated, {} cache hits)",
+            r.evaluated,
+            r.cache_hits
+        );
     }
 
     #[test]
@@ -409,6 +582,7 @@ mod tests {
             &DseConfig {
                 method: DseMethod::Exhaustive,
                 sim: fast_sim(),
+                ..DseConfig::default()
             },
         )
         .unwrap();
@@ -427,6 +601,7 @@ mod tests {
             &DseConfig {
                 method: DseMethod::Exhaustive,
                 sim: fast_sim(),
+                ..DseConfig::default()
             },
         )
         .unwrap_err();
@@ -460,6 +635,7 @@ mod tests {
             &DseConfig {
                 method: DseMethod::Exhaustive,
                 sim: fast_sim(),
+                ..DseConfig::default()
             },
         )
         .unwrap();

@@ -68,7 +68,10 @@ impl std::fmt::Display for SynthesisError {
                 write!(f, "over budget: need {requested}, have {budget}")
             }
             SynthesisError::TooManyHwThreads { requested, limit } => {
-                write!(f, "{requested} hardware threads exceed the limit of {limit}")
+                write!(
+                    f,
+                    "{requested} hardware threads exceed the limit of {limit}"
+                )
             }
             SynthesisError::PlacementLengthMismatch { given, expected } => {
                 write!(f, "{given} placements for {expected} threads")
@@ -296,7 +299,10 @@ mod tests {
     fn placement_length_checked() {
         let app = demo_app(2);
         let err = synthesize(&app, &Platform::default(), &[Placement::Software]).unwrap_err();
-        assert!(matches!(err, SynthesisError::PlacementLengthMismatch { .. }));
+        assert!(matches!(
+            err,
+            SynthesisError::PlacementLengthMismatch { .. }
+        ));
     }
 
     #[test]
@@ -309,7 +315,10 @@ mod tests {
         let err = synthesize(&app, &platform, &[Placement::Hardware; 3]).unwrap_err();
         assert!(matches!(
             err,
-            SynthesisError::TooManyHwThreads { requested: 3, limit: 2 }
+            SynthesisError::TooManyHwThreads {
+                requested: 3,
+                limit: 2
+            }
         ));
     }
 

@@ -426,7 +426,9 @@ pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, Si
         finished: 0,
         error: None,
     };
-    let mut sched: Sched = Scheduler::new();
+    // One step event per live thread is in flight at a time, plus wake
+    // events: size the slab once so the hot loop never reallocates it.
+    let mut sched: Sched = Scheduler::with_capacity(state.threads.len() * 2 + 8);
     for i in 0..state.threads.len() {
         schedule_step(&mut sched, state.threads[i].start, i);
     }

@@ -175,7 +175,11 @@ impl KernelBuilder {
 
     /// Terminates the current block with a conditional branch.
     pub fn branch(&mut self, cond: Value, then_to: BlockId, else_to: BlockId) {
-        self.terminate(Terminator::Branch { cond, then_to, else_to });
+        self.terminate(Terminator::Branch {
+            cond,
+            then_to,
+            else_to,
+        });
     }
 
     /// Terminates the current block with a return.

@@ -299,8 +299,7 @@ mod tests {
             .find(|&&b| b != header)
             .unwrap();
         let per_iter_on = on.enter_cost(Some(body), header) + on.enter_cost(Some(header), body);
-        let per_iter_off =
-            off.enter_cost(Some(body), header) + off.enter_cost(Some(header), body);
+        let per_iter_off = off.enter_cost(Some(body), header) + off.enter_cost(Some(header), body);
         assert!(
             per_iter_on < per_iter_off,
             "pipelined per-iteration cost {per_iter_on} must beat {per_iter_off}"

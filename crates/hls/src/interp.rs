@@ -194,6 +194,7 @@ impl Interp {
     ///
     /// Panics if called while a load is pending, after `Done`, or when the
     /// step limit is exceeded.
+    #[allow(clippy::should_implement_trait)] // established API; not an Iterator
     pub fn next(&mut self) -> InterpEvent {
         match self.state {
             State::AwaitLoad => panic!("next() called with a pending load"),
@@ -266,7 +267,11 @@ impl Interp {
                         self.transition(*t);
                         return InterpEvent::BlockChange { from, to: *t };
                     }
-                    Terminator::Branch { cond, then_to, else_to } => {
+                    Terminator::Branch {
+                        cond,
+                        then_to,
+                        else_to,
+                    } => {
                         let from = self.cur;
                         let to = if self.vals[cond.0 as usize] != 0 {
                             *then_to
@@ -496,7 +501,10 @@ mod tests {
         b.ret(Some(v));
         let k = b.finish().unwrap();
         let mut none = [0u8; 0];
-        assert_eq!(run(&k, &[-5], &mut SliceMemory(&mut none), 100).ret, Some(0));
+        assert_eq!(
+            run(&k, &[-5], &mut SliceMemory(&mut none), 100).ret,
+            Some(0)
+        );
         assert_eq!(run(&k, &[9], &mut SliceMemory(&mut none), 100).ret, Some(9));
     }
 
@@ -570,8 +578,14 @@ mod tests {
         let k = b.finish().unwrap();
         let mut none = [0u8; 0];
         // 1 iteration: x=222, y=111 -> diff = 111
-        assert_eq!(run(&k, &[1], &mut SliceMemory(&mut none), 1000).ret, Some(111));
+        assert_eq!(
+            run(&k, &[1], &mut SliceMemory(&mut none), 1000).ret,
+            Some(111)
+        );
         // 2 iterations: swapped twice -> diff = -111
-        assert_eq!(run(&k, &[2], &mut SliceMemory(&mut none), 1000).ret, Some(-111));
+        assert_eq!(
+            run(&k, &[2], &mut SliceMemory(&mut none), 1000).ret,
+            Some(-111)
+        );
     }
 }

@@ -292,7 +292,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(b) => vec![*b],
-            Terminator::Branch { then_to, else_to, .. } => vec![*then_to, *else_to],
+            Terminator::Branch {
+                then_to, else_to, ..
+            } => vec![*then_to, *else_to],
             Terminator::Return(_) => vec![],
         }
     }
@@ -384,9 +386,11 @@ impl fmt::Display for Kernel {
             }
             match &block.term {
                 Terminator::Jump(t) => writeln!(f, "  jump {t}")?,
-                Terminator::Branch { cond, then_to, else_to } => {
-                    writeln!(f, "  br {cond} ? {then_to} : {else_to}")?
-                }
+                Terminator::Branch {
+                    cond,
+                    then_to,
+                    else_to,
+                } => writeln!(f, "  br {cond} ? {then_to} : {else_to}")?,
                 Terminator::Return(Some(v)) => writeln!(f, "  ret {v}")?,
                 Terminator::Return(None) => writeln!(f, "  ret")?,
             }

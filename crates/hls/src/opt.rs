@@ -130,9 +130,7 @@ fn expr_key(op: &Op) -> Option<(u8, u64, u64, u64)> {
             Some((2, *bop as u8 as u64, x as u64, y as u64))
         }
         Op::Cmp(cop, a, b) => Some((3, *cop as u8 as u64, a.0 as u64, b.0 as u64)),
-        Op::Select(c, a, b) => {
-            Some((4, c.0 as u64, a.0 as u64, (b.0 as u64) << 32 | 0xC0FE))
-        }
+        Op::Select(c, a, b) => Some((4, c.0 as u64, a.0 as u64, (b.0 as u64) << 32 | 0xC0FE)),
         // Loads are not CSE'd: another thread may write between them.
         _ => None,
     }
@@ -322,7 +320,10 @@ mod tests {
         let mut k = b.finish().unwrap();
         optimize(&mut k);
         let mut none = [0u8; 0];
-        assert_eq!(run(&k, &[7, 9], &mut SliceMemory(&mut none), 100).ret, Some(7));
+        assert_eq!(
+            run(&k, &[7, 9], &mut SliceMemory(&mut none), 100).ret,
+            Some(7)
+        );
     }
 
     #[test]
@@ -339,9 +340,15 @@ mod tests {
         b.ret(Some(d));
         let mut k = b.finish().unwrap();
         let stats = optimize(&mut k);
-        assert!(stats.cse_removed >= 2, "duplicate mul+add must merge: {stats:?}");
+        assert!(
+            stats.cse_removed >= 2,
+            "duplicate mul+add must merge: {stats:?}"
+        );
         let mut none = [0u8; 0];
-        assert_eq!(run(&k, &[100, 3], &mut SliceMemory(&mut none), 100).ret, Some(0));
+        assert_eq!(
+            run(&k, &[100, 3], &mut SliceMemory(&mut none), 100).ret,
+            Some(0)
+        );
     }
 
     #[test]
@@ -357,7 +364,10 @@ mod tests {
         let stats = optimize(&mut k);
         assert!(stats.cse_removed >= 1);
         let mut none = [0u8; 0];
-        assert_eq!(run(&k, &[11, 31], &mut SliceMemory(&mut none), 100).ret, Some(0));
+        assert_eq!(
+            run(&k, &[11, 31], &mut SliceMemory(&mut none), 100).ret,
+            Some(0)
+        );
     }
 
     #[test]

@@ -143,17 +143,13 @@ fn iteration_edges(kernel: &Kernel, lp: &NaturalLoop, seq: &[Value]) -> Vec<Iter
             distance: 0,
         });
     }
-    if mems.len() >= 1 {
-        if let (Some(&last), Some(&first)) = (mems.last(), mems.first()) {
-            if mems.len() > 1 || true {
-                edges.push(IterEdge {
-                    from: last,
-                    to: first,
-                    delay: latency(OpClass::Mem),
-                    distance: 1,
-                });
-            }
-        }
+    if let (Some(&last), Some(&first)) = (mems.last(), mems.first()) {
+        edges.push(IterEdge {
+            from: last,
+            to: first,
+            delay: latency(OpClass::Mem),
+            distance: 1,
+        });
     }
     edges
 }
@@ -245,8 +241,8 @@ fn try_ii(
             let mut placed = false;
             for delta in 0..ii {
                 let cand = s + delta;
-                let fits =
-                    (0..span).all(|k| mrt.get(&(class, (cand + k) % ii)).copied().unwrap_or(0) < cap);
+                let fits = (0..span)
+                    .all(|k| mrt.get(&(class, (cand + k) % ii)).copied().unwrap_or(0) < cap);
                 if fits {
                     if delta == 0 {
                         for k in 0..span {
@@ -307,7 +303,9 @@ pub fn pipeline_loop(
             });
         }
     }
-    Err(PipelineError::NoFeasibleIi { tried_up_to: max_ii })
+    Err(PipelineError::NoFeasibleIi {
+        tried_up_to: max_ii,
+    })
 }
 
 #[cfg(test)]
@@ -369,14 +367,15 @@ mod tests {
         let lp = the_loop(&k);
         let p = pipeline_loop(&k, &lp, &FuBudget::default()).unwrap();
         assert!(p.ii >= p.res_mii);
-        assert!(p.ii <= 8, "sum loop should pipeline tightly, got II={}", p.ii);
+        assert!(
+            p.ii <= 8,
+            "sum loop should pipeline tightly, got II={}",
+            p.ii
+        );
         assert!(p.depth >= p.ii);
         // steady-state estimate: II per trip
         assert_eq!(p.cycles_for(1), p.depth as u64);
-        assert_eq!(
-            p.cycles_for(100),
-            p.depth as u64 + 99 * p.ii as u64
-        );
+        assert_eq!(p.cycles_for(100), p.depth as u64 + 99 * p.ii as u64);
         assert_eq!(p.cycles_for(0), 0);
     }
 
@@ -405,13 +404,8 @@ mod tests {
         let p = pipeline_loop(&k, &lp, &FuBudget::default()).unwrap();
         let seq = iteration_instrs(&k, &lp);
         for e in iteration_edges(&k, &lp, &seq) {
-            let lhs = p.starts[&e.from] as i64 + e.delay as i64
-                - (p.ii as i64) * e.distance as i64;
-            assert!(
-                lhs <= p.starts[&e.to] as i64,
-                "edge {:?} violated",
-                e
-            );
+            let lhs = p.starts[&e.from] as i64 + e.delay as i64 - (p.ii as i64) * e.distance as i64;
+            assert!(lhs <= p.starts[&e.to] as i64, "edge {:?} violated", e);
         }
     }
 

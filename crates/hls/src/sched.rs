@@ -25,8 +25,7 @@ pub struct DepEdge {
 /// Builds the intra-block dependence edges for `block`.
 pub fn block_deps(kernel: &Kernel, block: BlockId) -> Vec<DepEdge> {
     let instrs = &kernel.block(block).instrs;
-    let in_block: HashMap<Value, usize> =
-        instrs.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let in_block: HashMap<Value, usize> = instrs.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut edges = Vec::new();
     let mut last_mem: Option<Value> = None;
     for &v in instrs {
@@ -193,7 +192,7 @@ pub fn list_schedule(kernel: &Kernel, block: BlockId, budget: &FuBudget) -> Bloc
                 .iter()
                 .copied()
                 .filter(|v| {
-                    preds.get(v).map_or(true, |ps| {
+                    preds.get(v).is_none_or(|ps| {
                         ps.iter()
                             .all(|(p, d)| start.get(p).is_some_and(|&s| s + d <= cycle))
                     })

@@ -89,7 +89,10 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "phi {value} edges do not match predecessors of {block}")
             }
             VerifyError::UseNotDominated { block, value } => {
-                write!(f, "use of {value} in {block} is not dominated by its definition")
+                write!(
+                    f,
+                    "use of {value} in {block} is not dominated by its definition"
+                )
             }
             VerifyError::UnreachableBlock { block } => write!(f, "{block} is unreachable"),
             VerifyError::InstructionReused { value } => {
@@ -184,7 +187,10 @@ pub fn verify(kernel: &Kernel) -> Result<(), VerifyError> {
                         let db = def_block[pv.0 as usize]
                             .ok_or(VerifyError::DanglingValue { value: *pv })?;
                         if !cfg.dominates(db, *p) {
-                            return Err(VerifyError::UseNotDominated { block: b, value: *pv });
+                            return Err(VerifyError::UseNotDominated {
+                                block: b,
+                                value: *pv,
+                            });
                         }
                     }
                 }
@@ -217,22 +223,31 @@ pub fn verify(kernel: &Kernel) -> Result<(), VerifyError> {
         }
         match &block.term {
             Terminator::Jump(t) => check_block(*t)?,
-            Terminator::Branch { cond, then_to, else_to } => {
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
                 check_val(*cond)?;
                 let db = def_block[cond.0 as usize]
                     .ok_or(VerifyError::DanglingValue { value: *cond })?;
                 if db != b && !cfg.dominates(db, b) {
-                    return Err(VerifyError::UseNotDominated { block: b, value: *cond });
+                    return Err(VerifyError::UseNotDominated {
+                        block: b,
+                        value: *cond,
+                    });
                 }
                 check_block(*then_to)?;
                 check_block(*else_to)?;
             }
             Terminator::Return(Some(v)) => {
                 check_val(*v)?;
-                let db = def_block[v.0 as usize]
-                    .ok_or(VerifyError::DanglingValue { value: *v })?;
+                let db = def_block[v.0 as usize].ok_or(VerifyError::DanglingValue { value: *v })?;
                 if db != b && !cfg.dominates(db, b) {
-                    return Err(VerifyError::UseNotDominated { block: b, value: *v });
+                    return Err(VerifyError::UseNotDominated {
+                        block: b,
+                        value: *v,
+                    });
                 }
             }
             Terminator::Return(None) => {}
@@ -354,7 +369,10 @@ mod tests {
                 term: Terminator::Return(None),
             }],
         );
-        assert!(matches!(verify(&kernel), Err(VerifyError::BadArgIndex { index: 7 })));
+        assert!(matches!(
+            verify(&kernel),
+            Err(VerifyError::BadArgIndex { index: 7 })
+        ));
     }
 
     #[test]

@@ -51,8 +51,14 @@ mod tests {
 
     #[test]
     fn bigger_caches_cost_more() {
-        let small = memif_cost(&MemifConfig { cache_lines: 8, ..MemifConfig::default() });
-        let large = memif_cost(&MemifConfig { cache_lines: 128, ..MemifConfig::default() });
+        let small = memif_cost(&MemifConfig {
+            cache_lines: 8,
+            ..MemifConfig::default()
+        });
+        let large = memif_cost(&MemifConfig {
+            cache_lines: 128,
+            ..MemifConfig::default()
+        });
         assert!(large.lut > small.lut && large.ff > small.ff);
         assert!(large.bram36 >= small.bram36);
     }

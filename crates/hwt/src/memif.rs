@@ -294,7 +294,10 @@ mod tests {
         };
         // Map VA pages 0 and 1 to PFNs 7 and 8.
         mem.poke_u32(PhysAddr::from_frame(6), Pte::leaf(7, flags).encode());
-        mem.poke_u32(PhysAddr::from_frame(6).offset(4), Pte::leaf(8, flags).encode());
+        mem.poke_u32(
+            PhysAddr::from_frame(6).offset(4),
+            Pte::leaf(8, flags).encode(),
+        );
         let mut memif = Memif::new(MemifConfig::default(), MasterId(3));
         memif.set_context(Asid(1), root);
         (mem, memif)
@@ -304,7 +307,9 @@ mod tests {
     fn sequential_reads_hit_the_burst_cache() {
         let (mut mem, mut memif) = setup();
         mem.load(PhysAddr::from_frame(7), &(0..64).collect::<Vec<u8>>());
-        let (v0, t0) = memif.read(&mut mem, VirtAddr(0), Width::W32, Cycle(0)).unwrap();
+        let (v0, t0) = memif
+            .read(&mut mem, VirtAddr(0), Width::W32, Cycle(0))
+            .unwrap();
         assert_eq!(v0, u32::from_le_bytes([0, 1, 2, 3]) as u64);
         let (v1, t1) = memif.read(&mut mem, VirtAddr(4), Width::W32, t0).unwrap();
         assert_eq!(v1, u32::from_le_bytes([4, 5, 6, 7]) as u64);
@@ -321,7 +326,9 @@ mod tests {
         let (mut mem, mut memif) = setup();
         let mut t = Cycle(0);
         for i in 0..16u64 {
-            let (_, t1) = memif.read(&mut mem, VirtAddr(i * 4), Width::W32, t).unwrap();
+            let (_, t1) = memif
+                .read(&mut mem, VirtAddr(i * 4), Width::W32, t)
+                .unwrap();
             let (_, t2) = memif
                 .read(&mut mem, VirtAddr(4096 + i * 4), Width::W32, t1)
                 .unwrap();
@@ -364,7 +371,9 @@ mod tests {
     #[test]
     fn read_after_write_sees_new_data() {
         let (mut mem, mut memif) = setup();
-        let (_, t) = memif.read(&mut mem, VirtAddr(0), Width::W32, Cycle(0)).unwrap();
+        let (_, t) = memif
+            .read(&mut mem, VirtAddr(0), Width::W32, Cycle(0))
+            .unwrap();
         let t = memif
             .write(&mut mem, VirtAddr(0), Width::W32, 0xDEAD, t)
             .unwrap();
@@ -414,7 +423,9 @@ mod tests {
         let t = memif
             .write(&mut mem, VirtAddr(0x2000), Width::W32, 77, Cycle(0))
             .unwrap();
-        let (v, _) = memif.read(&mut mem, VirtAddr(0x2000), Width::W32, t).unwrap();
+        let (v, _) = memif
+            .read(&mut mem, VirtAddr(0x2000), Width::W32, t)
+            .unwrap();
         assert_eq!(v, 77);
         assert_eq!(mem.peek_u32(PhysAddr(0x2000)), 77);
         assert_eq!(memif.stats().get("mmu.translations"), Some(0.0));

@@ -54,8 +54,15 @@ pub enum HwStep {
 
 #[derive(Debug, Clone, Copy)]
 enum Pending {
-    Load { va: VirtAddr, width: Width },
-    Store { va: VirtAddr, width: Width, raw: u64 },
+    Load {
+        va: VirtAddr,
+        width: Width,
+    },
+    Store {
+        va: VirtAddr,
+        width: Width,
+        raw: u64,
+    },
 }
 
 /// A virtual-memory-enabled hardware thread executing one compiled kernel.
@@ -153,11 +160,7 @@ impl HwThread {
         *t = from + (cost - hidden);
     }
 
-    fn retry_pending(
-        &mut self,
-        mem: &mut MemorySystem,
-        t: &mut Cycle,
-    ) -> Result<(), HwStep> {
+    fn retry_pending(&mut self, mem: &mut MemorySystem, t: &mut Cycle) -> Result<(), HwStep> {
         if let Some(p) = self.pending {
             match p {
                 Pending::Load { va, width } => match self.memif.read(mem, va, width, *t) {
@@ -202,7 +205,10 @@ impl HwThread {
     /// Panics if called after [`HwStep::Finished`] was returned, or if no
     /// context was bound.
     pub fn advance(&mut self, mem: &mut MemorySystem, now: Cycle, budget: u64) -> HwStep {
-        assert!(!self.finished, "advance called on a finished hardware thread");
+        assert!(
+            !self.finished,
+            "advance called on a finished hardware thread"
+        );
         let mut t = now;
 
         if !self.started {
@@ -460,7 +466,12 @@ mod tests {
     fn yield_respects_budget() {
         let (mut mem, root) = setup(8);
         let ck = Arc::new(compile(&vecadd(), &HlsConfig::default()));
-        let mut t = HwThread::new(ck, &[0, 8192, 1024], &HwThreadConfig::default(), MasterId(1));
+        let mut t = HwThread::new(
+            ck,
+            &[0, 8192, 1024],
+            &HwThreadConfig::default(),
+            MasterId(1),
+        );
         t.set_context(Asid(1), root);
         match t.advance(&mut mem, Cycle(0), 50) {
             HwStep::Yielded { now } => assert!(now >= Cycle(50)),

@@ -116,9 +116,7 @@ impl Bus {
 
     /// Bytes transferred by `master` so far.
     pub fn master_bytes(&self, master: MasterId) -> u64 {
-        self.masters
-            .get(master.0 as usize)
-            .map_or(0, |m| m.bytes)
+        self.masters.get(master.0 as usize).map_or(0, |m| m.bytes)
     }
 
     /// Counter snapshot, including per-master breakdowns.
@@ -153,7 +151,11 @@ mod tests {
         assert_eq!(bus.occupancy(8), 4 + 1);
         assert_eq!(bus.occupancy(64), 4 + 8);
         assert_eq!(bus.occupancy(1), 4 + 1);
-        assert_eq!(bus.occupancy(0), 4 + 1, "empty transaction still arbitrates");
+        assert_eq!(
+            bus.occupancy(0),
+            4 + 1,
+            "empty transaction still arbitrates"
+        );
     }
 
     #[test]

@@ -73,8 +73,14 @@ impl L1Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let lines = cfg.size_bytes / cfg.line_bytes;
         let sets = (lines / cfg.ways as u64) as usize;
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(sets > 0 && (sets & (sets - 1)) == 0, "set count must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            sets > 0 && (sets & (sets - 1)) == 0,
+            "set count must be a power of two"
+        );
         L1Cache {
             cfg,
             sets: vec![vec![Line::default(); cfg.ways]; sets],
@@ -87,7 +93,10 @@ impl L1Cache {
 
     fn index(&self, pa: PhysAddr) -> (usize, u64) {
         let line = pa.0 / self.cfg.line_bytes;
-        ((line as usize) & (self.sets.len() - 1), line / self.sets.len() as u64)
+        (
+            (line as usize) & (self.sets.len() - 1),
+            line / self.sets.len() as u64,
+        )
     }
 
     /// Simulates an access; returns the implied bus traffic.
@@ -169,7 +178,6 @@ impl L1Cache {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,17 +185,24 @@ mod tests {
     #[test]
     fn hit_after_fill() {
         let mut c = L1Cache::new(CacheConfig::default());
-        assert!(matches!(c.access(PhysAddr(0x100), false), CacheOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access(PhysAddr(0x100), false),
+            CacheOutcome::Miss { .. }
+        ));
         assert_eq!(c.access(PhysAddr(0x104), false), CacheOutcome::Hit);
         assert!(c.hit_rate() > 0.0);
     }
 
     #[test]
     fn dirty_eviction_reports_victim() {
-        let cfg = CacheConfig { size_bytes: 256, line_bytes: 64, ways: 1 };
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 1,
+        };
         let mut c = L1Cache::new(cfg);
         c.access(PhysAddr(0), true); // dirty line 0 of set 0
-        // Same set (4 sets, direct mapped): line at 256 maps to set 0.
+                                     // Same set (4 sets, direct mapped): line at 256 maps to set 0.
         match c.access(PhysAddr(256), false) {
             CacheOutcome::Miss { writeback: Some(v) } => assert_eq!(v, PhysAddr(0)),
             other => panic!("expected dirty eviction, got {other:?}"),
@@ -211,6 +226,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        L1Cache::new(CacheConfig { size_bytes: 100, line_bytes: 48, ways: 1 });
+        L1Cache::new(CacheConfig {
+            size_bytes: 100,
+            line_bytes: 48,
+            ways: 1,
+        });
     }
 }

@@ -75,8 +75,14 @@ impl Dram {
     /// of two.
     pub fn new(cfg: DramConfig) -> Self {
         assert!(cfg.banks > 0, "need at least one bank");
-        assert!(cfg.row_bytes.is_power_of_two(), "row_bytes must be a power of two");
-        assert!(cfg.width_bytes.is_power_of_two(), "width_bytes must be a power of two");
+        assert!(
+            cfg.row_bytes.is_power_of_two(),
+            "row_bytes must be a power of two"
+        );
+        assert!(
+            cfg.width_bytes.is_power_of_two(),
+            "width_bytes must be a power of two"
+        );
         let banks = (0..cfg.banks)
             .map(|i| Bank {
                 open_row: None,

@@ -31,7 +31,10 @@ impl SparseMemory {
     ///
     /// Panics if `size` is zero or not page-aligned.
     pub fn new(size: u64) -> Self {
-        assert!(size > 0 && size & PAGE_MASK == 0, "size must be page-aligned");
+        assert!(
+            size > 0 && size & PAGE_MASK == 0,
+            "size must be page-aligned"
+        );
         SparseMemory {
             frames: HashMap::new(),
             size,

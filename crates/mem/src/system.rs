@@ -89,7 +89,13 @@ impl MemorySystem {
     /// Advances the timing model for a transfer of `len` bytes at `addr`
     /// arriving at `now`; returns the completion time. Shared by reads and
     /// writes (the bus is half-duplex and the model is symmetric).
-    pub fn transfer_time(&mut self, master: MasterId, addr: PhysAddr, len: u64, now: Cycle) -> Cycle {
+    pub fn transfer_time(
+        &mut self,
+        master: MasterId,
+        addr: PhysAddr,
+        len: u64,
+        now: Cycle,
+    ) -> Cycle {
         let mut t = now;
         let mut done = now;
         let mut off = 0u64;

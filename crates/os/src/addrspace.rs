@@ -299,9 +299,9 @@ impl AddressSpace {
         if !dir.is_valid() {
             return None;
         }
-        let pte = Pte::decode(mem.peek_u32(
-            PhysAddr::from_frame(dir.table_pfn()).offset(4 * va.l2_index() as u64),
-        ));
+        let pte = Pte::decode(
+            mem.peek_u32(PhysAddr::from_frame(dir.table_pfn()).offset(4 * va.l2_index() as u64)),
+        );
         if !pte.is_valid() {
             return None;
         }
@@ -423,7 +423,9 @@ mod tests {
     #[test]
     fn mmap_reserves_but_does_not_map() {
         let (mut mem, mut fa, mut asp) = setup();
-        let va = asp.mmap(3 * PAGE_SIZE, true, false, &mut fa, &mut mem).unwrap();
+        let va = asp
+            .mmap(3 * PAGE_SIZE, true, false, &mut fa, &mut mem)
+            .unwrap();
         assert_eq!(va.0, MMAP_BASE);
         assert!(asp.translate(&mem, va).is_none());
         assert_eq!(asp.mapped_pages(), 0);
@@ -448,9 +450,13 @@ mod tests {
     #[test]
     fn populate_maps_everything_up_front() {
         let (mut mem, mut fa, mut asp) = setup();
-        let va = asp.mmap(4 * PAGE_SIZE, true, true, &mut fa, &mut mem).unwrap();
+        let va = asp
+            .mmap(4 * PAGE_SIZE, true, true, &mut fa, &mut mem)
+            .unwrap();
         for p in 0..4u64 {
-            assert!(asp.translate(&mem, VirtAddr(va.0 + p * PAGE_SIZE)).is_some());
+            assert!(asp
+                .translate(&mem, VirtAddr(va.0 + p * PAGE_SIZE))
+                .is_some());
         }
         assert_eq!(asp.mapped_pages(), 4);
     }
@@ -458,7 +464,9 @@ mod tests {
     #[test]
     fn sigsegv_outside_vma_and_on_readonly_write() {
         let (mut mem, mut fa, mut asp) = setup();
-        let va = asp.mmap(PAGE_SIZE, false, false, &mut fa, &mut mem).unwrap();
+        let va = asp
+            .mmap(PAGE_SIZE, false, false, &mut fa, &mut mem)
+            .unwrap();
         let err = asp
             .handle_fault(VirtAddr(0xB000_0000), false, &mut fa, &mut mem)
             .unwrap_err();

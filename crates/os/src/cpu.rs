@@ -377,7 +377,9 @@ mod tests {
         let (end, kind) = t.run_slice(&mut os, &mut mem, Cycle(0), u64::MAX).unwrap();
         assert_eq!(
             kind,
-            SliceEnd::Finished { ret: Some((0..n as i64).sum()) }
+            SliceEnd::Finished {
+                ret: Some((0..n as i64).sum())
+            }
         );
         assert!(end > Cycle(1000));
         assert_eq!(os.sw_faults(), 1, "one page: one minor fault");
@@ -457,7 +459,9 @@ mod tests {
             &[0x7000_0000, 4],
             SwExecConfig::with_master(MasterId(0)),
         );
-        let err = t.run_slice(&mut os, &mut mem, Cycle(0), u64::MAX).unwrap_err();
+        let err = t
+            .run_slice(&mut os, &mut mem, Cycle(0), u64::MAX)
+            .unwrap_err();
         assert_eq!(err.va.page_base(), VirtAddr(0x7000_0000));
     }
 

@@ -67,10 +67,7 @@ impl Os {
         let total_frames = mem.size() / PAGE_SIZE;
         Os {
             costs: cfg.costs,
-            frames: FrameAllocator::new(
-                cfg.reserved_frames,
-                total_frames - cfg.reserved_frames,
-            ),
+            frames: FrameAllocator::new(cfg.reserved_frames, total_frames - cfg.reserved_frames),
             sync: SyncTable::new(),
             cpus: CpuPool::new(cfg.cores, cfg.costs.context_switch),
             spaces: Vec::new(),
@@ -281,7 +278,9 @@ mod tests {
         let d1 = os
             .service_fault(asid, va, true, true, &mut mem, Cycle(0))
             .unwrap();
-        let d2 = os.service_fault(asid, va, true, true, &mut mem, d1).unwrap();
+        let d2 = os
+            .service_fault(asid, va, true, true, &mut mem, d1)
+            .unwrap();
         assert!((d2 - d1).0 < (d1 - Cycle(0)).0);
     }
 

@@ -297,11 +297,20 @@ mod tests {
     fn mutex_handoff_is_fifo() {
         let mut s = SyncTable::new();
         let m = s.create_mutex();
-        assert!(matches!(s.mutex_lock(ThreadId(1), m), SyncResult::Proceed { .. }));
+        assert!(matches!(
+            s.mutex_lock(ThreadId(1), m),
+            SyncResult::Proceed { .. }
+        ));
         assert_eq!(s.mutex_lock(ThreadId(2), m), SyncResult::Block);
         assert_eq!(s.mutex_lock(ThreadId(3), m), SyncResult::Block);
-        assert_eq!(s.mutex_unlock(ThreadId(1), m), vec![Wake::Ready(ThreadId(2))]);
-        assert_eq!(s.mutex_unlock(ThreadId(2), m), vec![Wake::Ready(ThreadId(3))]);
+        assert_eq!(
+            s.mutex_unlock(ThreadId(1), m),
+            vec![Wake::Ready(ThreadId(2))]
+        );
+        assert_eq!(
+            s.mutex_unlock(ThreadId(2), m),
+            vec![Wake::Ready(ThreadId(3))]
+        );
         assert_eq!(s.mutex_unlock(ThreadId(3), m), vec![]);
         assert_eq!(s.contended(), 2);
     }
@@ -319,13 +328,22 @@ mod tests {
     fn semaphore_counts() {
         let mut s = SyncTable::new();
         let sem = s.create_sem(2);
-        assert!(matches!(s.sem_wait(ThreadId(1), sem), SyncResult::Proceed { .. }));
-        assert!(matches!(s.sem_wait(ThreadId(2), sem), SyncResult::Proceed { .. }));
+        assert!(matches!(
+            s.sem_wait(ThreadId(1), sem),
+            SyncResult::Proceed { .. }
+        ));
+        assert!(matches!(
+            s.sem_wait(ThreadId(2), sem),
+            SyncResult::Proceed { .. }
+        ));
         assert_eq!(s.sem_wait(ThreadId(3), sem), SyncResult::Block);
         assert_eq!(s.sem_post(sem), vec![Wake::Ready(ThreadId(3))]);
         // No waiter: count increments.
         assert_eq!(s.sem_post(sem), vec![]);
-        assert!(matches!(s.sem_wait(ThreadId(4), sem), SyncResult::Proceed { .. }));
+        assert!(matches!(
+            s.sem_wait(ThreadId(4), sem),
+            SyncResult::Proceed { .. }
+        ));
     }
 
     #[test]
@@ -347,8 +365,14 @@ mod tests {
     fn mbox_queue_then_block() {
         let mut s = SyncTable::new();
         let mb = s.create_mbox(2);
-        assert!(matches!(s.mbox_put(ThreadId(1), mb, 10).0, SyncResult::Proceed { .. }));
-        assert!(matches!(s.mbox_put(ThreadId(1), mb, 20).0, SyncResult::Proceed { .. }));
+        assert!(matches!(
+            s.mbox_put(ThreadId(1), mb, 10).0,
+            SyncResult::Proceed { .. }
+        ));
+        assert!(matches!(
+            s.mbox_put(ThreadId(1), mb, 20).0,
+            SyncResult::Proceed { .. }
+        ));
         // Full: the third put blocks.
         assert_eq!(s.mbox_put(ThreadId(1), mb, 30).0, SyncResult::Block);
         // A get drains one, unblocking the putter whose value lands in queue.

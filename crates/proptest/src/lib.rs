@@ -1,0 +1,271 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace ships the small subset of the proptest API its tests actually
+//! use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, integer
+//! range strategies, tuple strategies, `prop::collection::vec`, and
+//! `any::<bool>()`.
+//!
+//! Semantics: each test body runs for a fixed number of deterministic cases
+//! (seeded per test name), and a failed `prop_assert*` aborts the case with
+//! a panic that reports the case number. There is no shrinking — failures
+//! reproduce exactly because generation is deterministic.
+
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator used to drive all strategies.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a hash of a string, used to derive a per-test seed from its name.
+pub fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A value generator. The `proptest!` macro calls [`Strategy::generate`] on
+/// each argument's strategy expression once per case.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Produces one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty strategy range");
+                let v = (rng.next_u64() as u128 % span) as i128 + self.start as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` entry point (booleans and plain integers).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Rng, Strategy};
+    use std::ops::Range;
+
+    /// A strategy generating `Vec`s of `elem` values with a length drawn
+    /// uniformly from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = Strategy::generate(&self.len, rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Mirror of proptest's `prop` module path (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{any, fnv, prop, prop_assert, prop_assert_eq, proptest, Rng, Strategy};
+}
+
+/// Defines deterministic property tests. See the crate docs for the
+/// supported subset.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                const CASES: u64 = 64;
+                let mut seed_rng = $crate::Rng::new(0x5EED_CAFE ^ $crate::fnv(stringify!($name)));
+                for case in 0..CASES {
+                    let mut case_rng = $crate::Rng::new(seed_rng.next_u64());
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut case_rng);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!("property {} failed on case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ...)`: fails the
+/// current case without unwinding through generation machinery.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)`: equality assertion with `Debug` output.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let left = $a;
+        let right = $b;
+        if left != right {
+            return ::std::result::Result::Err(format!(
+                "{} != {}: {left:?} vs {right:?}",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let left = $a;
+        let right = $b;
+        if left != right {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_strategy_stays_in_bounds() {
+        let mut rng = Rng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let u = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = Rng::new(2);
+        for _ in 0..100 {
+            let v = prop::collection::vec(0u64..10, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_cases(x in 0u64..100, flips in prop::collection::vec(any::<bool>(), 1..10)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flips.len(), flips.len());
+        }
+    }
+}

@@ -45,7 +45,12 @@ impl FabricResources {
 
     /// Creates a resource vector.
     pub fn new(lut: u64, ff: u64, dsp: u64, bram36: u64) -> Self {
-        FabricResources { lut, ff, dsp, bram36 }
+        FabricResources {
+            lut,
+            ff,
+            dsp,
+            bram36,
+        }
     }
 
     /// Whether every component of `self` fits within `budget`.

@@ -41,7 +41,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::{Event, Scheduler};
+pub use event::{reference::HeapScheduler, Event, Scheduler, INLINE_EVENT_BYTES};
 pub use fabric::FabricResources;
 pub use resource::FcfsResource;
 pub use rng::Xoshiro256ss;

@@ -48,10 +48,7 @@ impl Xoshiro256ss {
 
     /// Next uniformly distributed 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -173,7 +170,7 @@ mod tests {
     fn permutation_covers_all_indices() {
         let mut r = Xoshiro256ss::new(13);
         let p = r.permutation(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

@@ -126,8 +126,12 @@ mod tests {
 
     #[test]
     fn walker_cache_adds_cost() {
-        let none = walker_cost(&WalkerConfig { walk_cache_entries: 0 });
-        let four = walker_cost(&WalkerConfig { walk_cache_entries: 4 });
+        let none = walker_cost(&WalkerConfig {
+            walk_cache_entries: 0,
+        });
+        let four = walker_cost(&WalkerConfig {
+            walk_cache_entries: 4,
+        });
         assert!(four.lut > none.lut);
         assert_eq!(none.lut, 420);
     }

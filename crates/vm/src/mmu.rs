@@ -69,7 +69,9 @@ impl std::fmt::Display for VmFault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VmFault::NotMapped { va, access } => write!(f, "page not mapped: {access} at {va}"),
-            VmFault::Protection { va, access } => write!(f, "protection violation: {access} at {va}"),
+            VmFault::Protection { va, access } => {
+                write!(f, "protection violation: {access} at {va}")
+            }
         }
     }
 }
@@ -242,7 +244,9 @@ impl Mmu {
         }
 
         // TLB miss: walk after the (failed) lookup cost.
-        let walk = self.walker.walk(mem, self.master, root, asid, va, now + hit_cost);
+        let walk = self
+            .walker
+            .walk(mem, self.master, root, asid, va, now + hit_cost);
         match walk.outcome {
             Ok(out) => {
                 let flags = out.pte.flags();
@@ -342,7 +346,13 @@ mod tests {
         let err = mmu
             .translate(&mut mem, va, Access::Write, Cycle(0))
             .unwrap_err();
-        assert_eq!(err.fault, VmFault::NotMapped { va, access: Access::Write });
+        assert_eq!(
+            err.fault,
+            VmFault::NotMapped {
+                va,
+                access: Access::Write
+            }
+        );
         assert!(err.done > Cycle(0), "fault discovery takes time");
         assert_eq!(err.fault.va(), va);
         assert_eq!(err.fault.access(), Access::Write);
@@ -356,7 +366,8 @@ mod tests {
         };
         let (mut mem, mut mmu) = setup(flags);
         // Read is fine.
-        mmu.translate(&mut mem, VirtAddr(0), Access::Read, Cycle(0)).unwrap();
+        mmu.translate(&mut mem, VirtAddr(0), Access::Read, Cycle(0))
+            .unwrap();
         // Write faults even on the now-cached entry.
         let err = mmu
             .translate(&mut mem, VirtAddr(0), Access::Write, Cycle(100))
@@ -380,7 +391,8 @@ mod tests {
     #[test]
     fn status_bits_written_back() {
         let (mut mem, mut mmu) = setup(user_rw());
-        mmu.translate(&mut mem, VirtAddr(0), Access::Write, Cycle(0)).unwrap();
+        mmu.translate(&mut mem, VirtAddr(0), Access::Write, Cycle(0))
+            .unwrap();
         let pte = Pte::decode(mem.peek_u32(PhysAddr::from_frame(11)));
         assert!(pte.flags().accessed);
         assert!(pte.flags().dirty);
@@ -389,7 +401,8 @@ mod tests {
     #[test]
     fn read_sets_accessed_not_dirty() {
         let (mut mem, mut mmu) = setup(user_rw());
-        mmu.translate(&mut mem, VirtAddr(0), Access::Read, Cycle(0)).unwrap();
+        mmu.translate(&mut mem, VirtAddr(0), Access::Read, Cycle(0))
+            .unwrap();
         let pte = Pte::decode(mem.peek_u32(PhysAddr::from_frame(11)));
         assert!(pte.flags().accessed);
         assert!(!pte.flags().dirty);
@@ -419,7 +432,8 @@ mod tests {
     #[test]
     fn stats_absorbed() {
         let (mut mem, mut mmu) = setup(user_rw());
-        mmu.translate(&mut mem, VirtAddr(0), Access::Read, Cycle(0)).unwrap();
+        mmu.translate(&mut mem, VirtAddr(0), Access::Read, Cycle(0))
+            .unwrap();
         let s = mmu.stats();
         assert_eq!(s.get("translations"), Some(1.0));
         assert_eq!(s.get("tlb.misses"), Some(1.0));

@@ -140,7 +140,10 @@ impl DirEntry {
     ///
     /// Panics if `table_pfn` does not fit in 20 bits.
     pub fn table(table_pfn: u64) -> DirEntry {
-        assert!(table_pfn < (1 << 20), "table pfn {table_pfn:#x} exceeds 20 bits");
+        assert!(
+            table_pfn < (1 << 20),
+            "table pfn {table_pfn:#x} exceeds 20 bits"
+        );
         DirEntry {
             raw: BIT_VALID | ((table_pfn as u32) << PFN_SHIFT),
         }

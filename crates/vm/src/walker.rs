@@ -75,6 +75,15 @@ pub struct WalkResult {
     pub done: Cycle,
 }
 
+/// One walk-cache slot: a cached `(asid, l1_index) -> DirEntry` mapping.
+#[derive(Debug, Clone, Copy)]
+struct WalkCacheEntry {
+    valid: bool,
+    asid: Asid,
+    l1: u32,
+    dir: DirEntry,
+}
+
 /// The hardware page-table walker with optional walk cache.
 ///
 /// # Example
@@ -100,8 +109,10 @@ pub struct WalkResult {
 #[derive(Debug, Clone)]
 pub struct PageTableWalker {
     cfg: WalkerConfig,
-    /// FIFO walk cache of `(asid, l1_index) -> DirEntry`.
-    cache: Vec<(Asid, usize, DirEntry)>,
+    /// Flat FIFO walk cache: a fixed ring scanned linearly (it is tiny) and
+    /// replaced at `cache_next`, so no `Vec` shifting on eviction.
+    cache: Box<[WalkCacheEntry]>,
+    cache_next: usize,
     walks: u64,
     l1_reads: u64,
     l2_reads: u64,
@@ -112,9 +123,16 @@ pub struct PageTableWalker {
 impl PageTableWalker {
     /// Creates a walker with a cold walk cache.
     pub fn new(cfg: WalkerConfig) -> Self {
+        let empty = WalkCacheEntry {
+            valid: false,
+            asid: Asid(0),
+            l1: 0,
+            dir: DirEntry::decode(0),
+        };
         PageTableWalker {
             cfg,
-            cache: Vec::new(),
+            cache: vec![empty; cfg.walk_cache_entries].into_boxed_slice(),
+            cache_next: 0,
             walks: 0,
             l1_reads: 0,
             l2_reads: 0,
@@ -131,27 +149,38 @@ impl PageTableWalker {
     fn cache_lookup(&mut self, asid: Asid, l1: usize) -> Option<DirEntry> {
         self.cache
             .iter()
-            .find(|(a, i, _)| *a == asid && *i == l1)
-            .map(|(_, _, e)| *e)
+            .find(|c| c.valid && c.asid == asid && c.l1 == l1 as u32)
+            .map(|c| c.dir)
     }
 
     fn cache_insert(&mut self, asid: Asid, l1: usize, e: DirEntry) {
-        if self.cfg.walk_cache_entries == 0 {
+        if self.cache.is_empty() {
             return;
         }
-        if let Some(slot) = self.cache.iter_mut().find(|(a, i, _)| *a == asid && *i == l1) {
-            slot.2 = e;
+        if let Some(slot) = self
+            .cache
+            .iter_mut()
+            .find(|c| c.valid && c.asid == asid && c.l1 == l1 as u32)
+        {
+            slot.dir = e;
             return;
         }
-        if self.cache.len() == self.cfg.walk_cache_entries {
-            self.cache.remove(0);
-        }
-        self.cache.push((asid, l1, e));
+        // FIFO ring replacement: overwrite the oldest slot in place.
+        self.cache[self.cache_next] = WalkCacheEntry {
+            valid: true,
+            asid,
+            l1: l1 as u32,
+            dir: e,
+        };
+        self.cache_next = (self.cache_next + 1) % self.cache.len();
     }
 
     /// Drops all cached directory entries (on unmap / context teardown).
     pub fn invalidate_cache(&mut self) {
-        self.cache.clear();
+        for c in self.cache.iter_mut() {
+            c.valid = false;
+        }
+        self.cache_next = 0;
     }
 
     /// Walks the two-level table rooted at `root` for `va`, issuing timed
@@ -238,7 +267,14 @@ mod tests {
         mem.poke_u32(root, DirEntry::table(101).encode());
         mem.poke_u32(
             PhysAddr::from_frame(101),
-            Pte::leaf(7, PteFlags { writable: true, ..PteFlags::default() }).encode(),
+            Pte::leaf(
+                7,
+                PteFlags {
+                    writable: true,
+                    ..PteFlags::default()
+                },
+            )
+            .encode(),
         );
         (mem, root)
     }
@@ -246,7 +282,9 @@ mod tests {
     #[test]
     fn successful_walk_reads_two_levels() {
         let (mut mem, root) = setup();
-        let mut w = PageTableWalker::new(WalkerConfig { walk_cache_entries: 0 });
+        let mut w = PageTableWalker::new(WalkerConfig {
+            walk_cache_entries: 0,
+        });
         let r = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
         let out = r.outcome.unwrap();
         assert_eq!(out.pte.pfn(), 7);
@@ -260,7 +298,9 @@ mod tests {
     #[test]
     fn walk_cache_skips_l1_read() {
         let (mut mem, root) = setup();
-        let mut w = PageTableWalker::new(WalkerConfig { walk_cache_entries: 4 });
+        let mut w = PageTableWalker::new(WalkerConfig {
+            walk_cache_entries: 4,
+        });
         let r1 = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
         let t1 = r1.done - Cycle(0);
         let r2 = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), r1.done);
@@ -299,7 +339,9 @@ mod tests {
         for i in 1..6u64 {
             mem.poke_u32(root.offset(4 * i), DirEntry::table(101).encode());
         }
-        let mut w = PageTableWalker::new(WalkerConfig { walk_cache_entries: 2 });
+        let mut w = PageTableWalker::new(WalkerConfig {
+            walk_cache_entries: 2,
+        });
         let mut t = Cycle(0);
         for i in 0..3u64 {
             let r = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(i << 22), t);
@@ -323,9 +365,13 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = WalkError::NotPresent { va: VirtAddr(0x1000) };
+        let e = WalkError::NotPresent {
+            va: VirtAddr(0x1000),
+        };
         assert!(e.to_string().contains("not present"));
-        let e = WalkError::NoTable { va: VirtAddr(0x1000) };
+        let e = WalkError::NoTable {
+            va: VirtAddr(0x1000),
+        };
         assert!(e.to_string().contains("second-level"));
     }
 }

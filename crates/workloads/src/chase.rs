@@ -88,7 +88,12 @@ pub fn chase(nodes: usize, steps: u64, seed: u64) -> Workload {
     let mut rng = Xoshiro256ss::new(seed ^ 0xC4A5);
     let (words, sum) = chase_data(nodes, steps, &mut rng);
     let app = ApplicationBuilder::new("chase")
-        .buffer("nodes", nodes as u64 * NODE_BYTES, u32s_to_bytes(&words), false)
+        .buffer(
+            "nodes",
+            nodes as u64 * NODE_BYTES,
+            u32s_to_bytes(&words),
+            false,
+        )
         .buffer("out", 4, vec![], false)
         .thread(
             "t0",
@@ -123,7 +128,7 @@ mod tests {
     fn cycle_visits_every_node() {
         let mut rng = Xoshiro256ss::new(2);
         let (words, _) = chase_data(32, 32, &mut rng);
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         let mut idx = 0usize;
         for _ in 0..32 {
             assert!(!seen[idx], "revisited node before full cycle");

@@ -53,7 +53,7 @@ pub fn i32s_to_bytes(v: &[i32]) -> Vec<u8> {
 ///
 /// Panics if the length is not a multiple of 4.
 pub fn bytes_to_i32s(b: &[u8]) -> Vec<i32> {
-    assert!(b.len() % 4 == 0, "length must be a multiple of 4");
+    assert!(b.len().is_multiple_of(4), "length must be a multiple of 4");
     b.chunks_exact(4)
         .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect()
@@ -104,7 +104,12 @@ pub fn flat_check(w: &Workload, gap: u64) {
     for (idx, expected) in &w.expected {
         let base = idx * gap as usize;
         let got = &image[base..base + expected.len()];
-        assert_eq!(got, expected.as_slice(), "{}: buffer {idx} mismatch", w.name);
+        assert_eq!(
+            got,
+            expected.as_slice(),
+            "{}: buffer {idx} mismatch",
+            w.name
+        );
     }
 }
 

@@ -104,8 +104,12 @@ pub fn matmul_ref(a: &[i32], b: &[i32], n: usize) -> Vec<i32> {
 /// Builds the `matmul` workload for `n × n` matrices.
 pub fn matmul(n: u64, seed: u64) -> Workload {
     let mut rng = Xoshiro256ss::new(seed ^ 0x4D41);
-    let a: Vec<i32> = (0..n * n).map(|_| (rng.next_u32() % 256) as i32 - 128).collect();
-    let b: Vec<i32> = (0..n * n).map(|_| (rng.next_u32() % 256) as i32 - 128).collect();
+    let a: Vec<i32> = (0..n * n)
+        .map(|_| (rng.next_u32() % 256) as i32 - 128)
+        .collect();
+    let b: Vec<i32> = (0..n * n)
+        .map(|_| (rng.next_u32() % 256) as i32 - 128)
+        .collect();
     let expected = matmul_ref(&a, &b, n as usize);
     let app = ApplicationBuilder::new("matmul")
         .buffer("a", n * n * 4, i32s_to_bytes(&a), false)

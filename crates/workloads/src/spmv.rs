@@ -113,18 +113,23 @@ pub fn random_csr(n: usize, nnz_per_row: usize, rng: &mut Xoshiro256ss) -> CsrMa
         }
         rowptr.push(col.len() as u32);
     }
-    CsrMatrix { rowptr, col, val, n }
+    CsrMatrix {
+        rowptr,
+        col,
+        val,
+        n,
+    }
 }
 
 /// Software reference.
 pub fn spmv_ref(m: &CsrMatrix, x: &[i32]) -> Vec<i32> {
     let mut y = vec![0i32; m.n];
-    for i in 0..m.n {
+    for (i, yi) in y.iter_mut().enumerate() {
         let mut acc = 0i32;
         for k in m.rowptr[i] as usize..m.rowptr[i + 1] as usize {
             acc = acc.wrapping_add(m.val[k].wrapping_mul(x[m.col[k] as usize]));
         }
-        y[i] = acc;
+        *yi = acc;
     }
     y
 }
@@ -136,9 +141,24 @@ pub fn spmv(n: usize, nnz_per_row: usize, seed: u64) -> Workload {
     let x: Vec<i32> = (0..n).map(|_| (rng.next_u32() % 128) as i32 - 64).collect();
     let expected = spmv_ref(&m, &x);
     let app = ApplicationBuilder::new("spmv")
-        .buffer("rowptr", (n as u64 + 1) * 4, u32s_to_bytes(&m.rowptr), false)
-        .buffer("col", m.col.len().max(1) as u64 * 4, u32s_to_bytes(&m.col), false)
-        .buffer("val", m.val.len().max(1) as u64 * 4, i32s_to_bytes(&m.val), false)
+        .buffer(
+            "rowptr",
+            (n as u64 + 1) * 4,
+            u32s_to_bytes(&m.rowptr),
+            false,
+        )
+        .buffer(
+            "col",
+            m.col.len().max(1) as u64 * 4,
+            u32s_to_bytes(&m.col),
+            false,
+        )
+        .buffer(
+            "val",
+            m.val.len().max(1) as u64 * 4,
+            i32s_to_bytes(&m.val),
+            false,
+        )
         .buffer("x", n as u64 * 4, i32s_to_bytes(&x), false)
         .buffer("y", n as u64 * 4, vec![], false)
         .thread(

@@ -90,11 +90,7 @@ pub fn vecadd(n: u64, seed: u64) -> Workload {
     let mut rng = Xoshiro256ss::new(seed);
     let a: Vec<i32> = (0..n).map(|_| rng.next_u32() as i32 >> 8).collect();
     let b: Vec<i32> = (0..n).map(|_| rng.next_u32() as i32 >> 8).collect();
-    let expected: Vec<i32> = a
-        .iter()
-        .zip(&b)
-        .map(|(x, y)| x.wrapping_add(*y))
-        .collect();
+    let expected: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_add(*y)).collect();
     let app = ApplicationBuilder::new("vecadd")
         .buffer("a", n * 4, i32s_to_bytes(&a), false)
         .buffer("b", n * 4, i32s_to_bytes(&b), false)

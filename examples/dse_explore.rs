@@ -3,11 +3,11 @@
 //!
 //! Run with `cargo run --release --example dse_explore`.
 
+use svmsyn::app::{ApplicationBuilder, ArgSpec};
 use svmsyn::dse::{explore, DseConfig, DseMethod};
 use svmsyn::flow::Placement;
 use svmsyn::platform::Platform;
 use svmsyn::sim::SimConfig;
-use svmsyn::app::{ApplicationBuilder, ArgSpec};
 use svmsyn_workloads::matmul::matmul_kernel;
 use svmsyn_workloads::streaming::vecadd_kernel;
 
@@ -65,7 +65,16 @@ fn main() {
         ("greedy", DseMethod::Greedy),
         ("anneal", DseMethod::Anneal { iters: 16, seed: 3 }),
     ] {
-        let r = explore(&app, &platform, &DseConfig { method, sim }).expect("exploration");
+        let r = explore(
+            &app,
+            &platform,
+            &DseConfig {
+                method,
+                sim,
+                ..DseConfig::default()
+            },
+        )
+        .expect("exploration");
         let placements: String = r
             .best
             .placements

@@ -84,10 +84,7 @@ fn main() {
     assert_eq!(got_hist, expected_hist, "software histogram of HW edges");
 
     for t in &outcome.threads {
-        println!(
-            "  {}({}) finished at {} cycles",
-            t.name, t.placement, t.end
-        );
+        println!("  {}({}) finished at {} cycles", t.name, t.placement, t.end);
     }
     println!(
         "pipeline makespan: {} cycles ({:.1} us); both stages verified ✓",

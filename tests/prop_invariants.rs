@@ -8,10 +8,89 @@ use svmsyn_hls::ir::{BinOp, CmpOp};
 use svmsyn_hls::opt::optimize;
 use svmsyn_mem::{split_at_page_boundaries, VirtAddr, PAGE_SIZE};
 use svmsyn_os::frame::FrameAllocator;
+use svmsyn_sim::{Cycle, HeapScheduler, Scheduler};
 use svmsyn_vm::pte::{Pte, PteFlags};
 use svmsyn_vm::tlb::{Asid, Replacement, Tlb, TlbConfig};
 
+/// The firing trace of one scheduler run: `(cycle, event id)` pairs.
+type SchedTrace = Vec<(u64, u32)>;
+
+/// One generated event: fired at its scheduled cycle, it logs itself and
+/// respawns `fanout` children at deterministic (id-derived) delays — a mix
+/// of zero-delay same-cycle ties, short near-future hops, and far jumps that
+/// cross any realistic wheel window. Children stop respawning once ids grow
+/// past the depth bound, so every program terminates.
+fn child_delay(id: u32, k: u8) -> u64 {
+    match k % 3 {
+        0 => 0,                                    // same-cycle tie
+        1 => (id as u64 * 37 + k as u64) % 61 + 1, // near future
+        _ => (id as u64 * 131 + 7) % 9000 + 64,    // beyond small wheels
+    }
+}
+
+const RESPAWN_BOUND: u32 = 4_000;
+
+type WheelEvent = Box<dyn FnOnce(&mut SchedTrace, &mut Scheduler<SchedTrace>)>;
+type HeapEvent = Box<dyn FnOnce(&mut SchedTrace, &mut HeapScheduler<SchedTrace>)>;
+
+fn wheel_prog_event(id: u32, fanout: u8) -> WheelEvent {
+    Box::new(move |m: &mut SchedTrace, s: &mut Scheduler<SchedTrace>| {
+        m.push((s.now().0, id));
+        if id < RESPAWN_BOUND {
+            for k in 0..fanout {
+                s.schedule_in(
+                    Cycle(child_delay(id, k)),
+                    wheel_prog_event(id + 1000 + k as u32, fanout),
+                );
+            }
+        }
+    })
+}
+
+fn heap_prog_event(id: u32, fanout: u8) -> HeapEvent {
+    Box::new(
+        move |m: &mut SchedTrace, s: &mut HeapScheduler<SchedTrace>| {
+            m.push((s.now().0, id));
+            if id < RESPAWN_BOUND {
+                for k in 0..fanout {
+                    s.schedule_in(
+                        Cycle(child_delay(id, k)),
+                        heap_prog_event(id + 1000 + k as u32, fanout),
+                    );
+                }
+            }
+        },
+    )
+}
+
 proptest! {
+    /// The timing-wheel scheduler fires an arbitrary schedule in the exact
+    /// `(time, insertion order)` sequence the retired heap engine produced,
+    /// including same-cycle ties, pop-then-reschedule chains, and overflow
+    /// promotion across wheel windows of every size.
+    #[test]
+    fn timing_wheel_matches_heap_scheduler(
+        roots in prop::collection::vec((0u64..5_000, 0u8..4), 1..32),
+        wheel_bits in 6u32..13,
+    ) {
+        let mut wheel: Scheduler<SchedTrace> = Scheduler::with_wheel_bits(wheel_bits);
+        let mut heap: HeapScheduler<SchedTrace> = HeapScheduler::new();
+        for (i, &(t, fanout)) in roots.iter().enumerate() {
+            wheel.schedule_at(Cycle(t), wheel_prog_event(i as u32, fanout));
+            heap.schedule_at(Cycle(t), heap_prog_event(i as u32, fanout));
+        }
+        let mut wheel_trace = SchedTrace::new();
+        let mut heap_trace = SchedTrace::new();
+        let wheel_end = wheel.run(&mut wheel_trace);
+        let heap_end = heap.run(&mut heap_trace);
+        prop_assert_eq!(wheel.events_fired(), heap.events_fired());
+        prop_assert_eq!(wheel_end, heap_end);
+        prop_assert_eq!(wheel_trace, heap_trace);
+        // Both drained completely.
+        prop_assert_eq!(wheel.pending(), 0);
+        prop_assert_eq!(heap.pending(), 0);
+    }
+
     #[test]
     fn pte_roundtrips(pfn in 0u64..(1 << 20), bits in 0u8..32) {
         let flags = PteFlags {
