@@ -7,6 +7,10 @@
 //! Run with `cargo bench --bench micro`. Results are printed as a table and
 //! written to `BENCH_baseline.json` at the workspace root so future changes
 //! have a perf trajectory to compare against.
+//!
+//! `cargo bench --bench micro -- --smoke` runs every benchmark at a fraction
+//! of the iteration count and does *not* write the baseline: a CI-friendly
+//! "does the harness still run" check, not a measurement.
 
 use std::hint::black_box;
 use std::path::Path;
@@ -16,6 +20,7 @@ use svmsyn::dse::{explore, DseConfig, DseMethod};
 use svmsyn::platform::Platform;
 use svmsyn::sim::SimConfig;
 use svmsyn_bench::{hw_design, run_checked};
+use svmsyn_hls::decode::DecodedKernel;
 use svmsyn_hls::fsmd::{compile, HlsConfig};
 use svmsyn_hls::ir::Width;
 use svmsyn_hls::resource::FuBudget;
@@ -70,7 +75,6 @@ impl SchedModel {
 }
 
 const SCHED_DEPTH: u64 = 4096;
-const SCHED_EVENTS: u64 = 2_000_000;
 
 fn wheel_tick(m: &mut SchedModel, s: &mut Scheduler<SchedModel>) {
     m.fired += 1;
@@ -88,11 +92,11 @@ fn heap_tick(m: &mut SchedModel, s: &mut HeapScheduler<SchedModel>) {
     }
 }
 
-fn bench_scheduler_wheel() -> f64 {
+fn bench_scheduler_wheel(events: u64) -> f64 {
     let secs = time(|| {
         let mut model = SchedModel {
             fired: 0,
-            limit: SCHED_EVENTS,
+            limit: events,
             lcg: 0x1234_5678,
         };
         let mut s: Scheduler<SchedModel> = Scheduler::with_capacity(SCHED_DEPTH as usize);
@@ -100,17 +104,17 @@ fn bench_scheduler_wheel() -> f64 {
             s.schedule_at(Cycle(i % 997), wheel_tick);
         }
         s.run(&mut model);
-        assert_eq!(model.fired, SCHED_EVENTS);
+        assert_eq!(model.fired, events);
         black_box(s.now());
     });
-    SCHED_EVENTS as f64 / secs
+    events as f64 / secs
 }
 
-fn bench_scheduler_heap() -> f64 {
+fn bench_scheduler_heap(events: u64) -> f64 {
     let secs = time(|| {
         let mut model = SchedModel {
             fired: 0,
-            limit: SCHED_EVENTS,
+            limit: events,
             lcg: 0x1234_5678,
         };
         let mut s: HeapScheduler<SchedModel> = HeapScheduler::new();
@@ -118,18 +122,17 @@ fn bench_scheduler_heap() -> f64 {
             s.schedule_at(Cycle(i % 997), heap_tick);
         }
         s.run(&mut model);
-        assert_eq!(model.fired, SCHED_EVENTS);
+        assert_eq!(model.fired, events);
         black_box(s.now());
     });
-    SCHED_EVENTS as f64 / secs
+    events as f64 / secs
 }
 
 // ---------------------------------------------------------------------------
 // TLB lookup throughput (flat-array path), mixed hits and misses.
 // ---------------------------------------------------------------------------
 
-fn bench_tlb(policy: Replacement) -> f64 {
-    const LOOKUPS: u64 = 4_000_000;
+fn bench_tlb(policy: Replacement, lookups: u64) -> f64 {
     let secs = time(|| {
         let mut tlb = Tlb::new(TlbConfig {
             entries: 64,
@@ -141,13 +144,35 @@ fn bench_tlb(policy: Replacement) -> f64 {
             tlb.insert(Asid(1), vpn, vpn + 100, PteFlags::default());
         }
         let mut vpn = 0u64;
-        for _ in 0..LOOKUPS {
+        for _ in 0..lookups {
             vpn = (vpn + 7) % 96; // mix of hits and misses
             black_box(tlb.lookup(Asid(1), vpn));
         }
         black_box(tlb.occupancy());
     });
-    LOOKUPS as f64 / secs
+    lookups as f64 / secs
+}
+
+// ---------------------------------------------------------------------------
+// L1 cache access throughput (flat set-major array path): a strided sweep
+// larger than the cache, mixing hits within lines, misses, and dirty
+// evictions.
+// ---------------------------------------------------------------------------
+
+fn bench_cache_access(accesses: u64) -> f64 {
+    use svmsyn_mem::cache::{CacheConfig, L1Cache};
+    let secs = time(|| {
+        let mut cache = L1Cache::new(CacheConfig::default());
+        let mut addr = 0u64;
+        for i in 0..accesses {
+            // 20-byte stride wraps a 64 KiB window (2x the cache) so reuse
+            // and eviction both happen; every 4th access dirties the line.
+            addr = (addr + 20) & 0xFFFF;
+            black_box(cache.access(PhysAddr(addr), i % 4 == 0));
+        }
+        black_box(cache.hit_rate());
+    });
+    accesses as f64 / secs
 }
 
 // ---------------------------------------------------------------------------
@@ -172,8 +197,7 @@ fn setup_mapped_memory() -> (MemorySystem, PhysAddr) {
     (mem, root)
 }
 
-fn bench_walker() -> f64 {
-    const WALKS: u64 = 1_000_000;
+fn bench_walker(walks: u64) -> f64 {
     let secs = time(|| {
         let (mut mem, root) = setup_mapped_memory();
         let mut walker = PageTableWalker::new(WalkerConfig {
@@ -181,7 +205,7 @@ fn bench_walker() -> f64 {
         });
         let mut now = Cycle(0);
         let mut page = 0u64;
-        for _ in 0..WALKS {
+        for _ in 0..walks {
             page = (page + 1) % 64;
             let r = walker.walk(
                 &mut mem,
@@ -195,7 +219,7 @@ fn bench_walker() -> f64 {
             black_box(r.outcome.unwrap().pte);
         }
     });
-    WALKS as f64 / secs
+    walks as f64 / secs
 }
 
 // ---------------------------------------------------------------------------
@@ -203,8 +227,7 @@ fn bench_walker() -> f64 {
 // through the MMU + burst cache, exercising the single-line fast path.
 // ---------------------------------------------------------------------------
 
-fn bench_memif_stream(line_bytes: u64) -> f64 {
-    const READS: u64 = 1_000_000;
+fn bench_memif_stream(line_bytes: u64, reads: u64) -> f64 {
     let secs = time(|| {
         let (mut mem, root) = setup_mapped_memory();
         let mut memif = Memif::new(
@@ -217,7 +240,7 @@ fn bench_memif_stream(line_bytes: u64) -> f64 {
         memif.set_context(Asid(1), root);
         let mut addr = 0u64;
         let mut now = Cycle(0);
-        for _ in 0..READS {
+        for _ in 0..reads {
             let (v, t) = memif
                 .read(&mut mem, VirtAddr(addr), Width::W32, now)
                 .expect("mapped");
@@ -226,53 +249,65 @@ fn bench_memif_stream(line_bytes: u64) -> f64 {
             black_box(v);
         }
     });
-    READS as f64 / secs
+    reads as f64 / secs
 }
 
 // ---------------------------------------------------------------------------
 // HLS compilation of the matmul kernel, plus block-level list scheduling.
 // ---------------------------------------------------------------------------
 
-fn bench_hls_compile() -> f64 {
-    const COMPILES: u64 = 200;
+fn bench_hls_compile(compiles: u64) -> f64 {
     let kernel = svmsyn_workloads::matmul::matmul_kernel();
     let secs = time(|| {
-        for _ in 0..COMPILES {
+        for _ in 0..compiles {
             black_box(compile(&kernel, &HlsConfig::default()));
         }
     });
-    COMPILES as f64 / secs
+    compiles as f64 / secs
 }
 
-fn bench_list_schedule() -> f64 {
-    const ROUNDS: u64 = 2_000;
+fn bench_list_schedule(rounds: u64) -> f64 {
     let kernel = svmsyn_workloads::matmul::matmul_kernel();
     let budget = FuBudget::default();
     let secs = time(|| {
-        for _ in 0..ROUNDS {
+        for _ in 0..rounds {
             for blk in kernel.block_ids() {
                 black_box(list_schedule(&kernel, blk, &budget));
             }
         }
     });
-    ROUNDS as f64 / secs
+    rounds as f64 / secs
+}
+
+// ---------------------------------------------------------------------------
+// Kernel pre-decoding: IR -> flat micro-op program (the cached step the
+// interpreter rework added; cheap, but it sits on every cold kernel path).
+// ---------------------------------------------------------------------------
+
+fn bench_interp_decode(decodes: u64) -> f64 {
+    let kernel = svmsyn_workloads::matmul::matmul_kernel();
+    let secs = time(|| {
+        for _ in 0..decodes {
+            black_box(DecodedKernel::decode(&kernel));
+        }
+    });
+    decodes as f64 / secs
 }
 
 // ---------------------------------------------------------------------------
 // Full-system simulation (vecadd on a hardware thread, verified output).
 // ---------------------------------------------------------------------------
 
-fn bench_full_system() -> f64 {
-    const RUNS: u64 = 5;
+fn bench_full_system(runs: u64) -> f64 {
     let w = vecadd(1024, 5);
     let platform = Platform::default();
     let design = hw_design(&w, &platform);
     let secs = time(|| {
-        for _ in 0..RUNS {
+        for _ in 0..runs {
             black_box(run_checked(&w, &design).makespan);
         }
     });
-    RUNS as f64 / secs
+    runs as f64 / secs
 }
 
 // ---------------------------------------------------------------------------
@@ -338,10 +373,14 @@ fn write_baseline(results: &[Result], path: &Path) {
 }
 
 fn main() {
+    // `--smoke`: scaled-down pass for CI — exercises every harness, writes
+    // no baseline, applies no perf expectations.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale: u64 = if smoke { 40 } else { 1 };
     let mut results: Vec<Result> = Vec::new();
 
-    let wheel = bench_scheduler_wheel();
-    let heap = bench_scheduler_heap();
+    let wheel = bench_scheduler_wheel(2_000_000 / scale);
+    let heap = bench_scheduler_heap(2_000_000 / scale);
     let ratio = wheel / heap;
     results.push(Result {
         name: "scheduler_wheel_events_per_sec",
@@ -366,14 +405,20 @@ fn main() {
     ] {
         results.push(Result {
             name,
-            value: bench_tlb(policy),
+            value: bench_tlb(policy, 4_000_000 / scale),
             unit: "lookups/s",
         });
     }
 
     results.push(Result {
+        name: "cache_access_per_sec",
+        value: bench_cache_access(4_000_000 / scale),
+        unit: "accesses/s",
+    });
+
+    results.push(Result {
         name: "page_table_walks_per_sec",
-        value: bench_walker(),
+        value: bench_walker(1_000_000 / scale),
         unit: "walks/s",
     });
 
@@ -385,24 +430,29 @@ fn main() {
     ] {
         results.push(Result {
             name,
-            value: bench_memif_stream(line),
+            value: bench_memif_stream(line, 1_000_000 / scale),
             unit: "reads/s",
         });
     }
 
     results.push(Result {
         name: "hls_compile_matmul_per_sec",
-        value: bench_hls_compile(),
+        value: bench_hls_compile(if smoke { 5 } else { 200 }),
         unit: "compiles/s",
     });
     results.push(Result {
         name: "hls_list_schedule_matmul_per_sec",
-        value: bench_list_schedule(),
+        value: bench_list_schedule(2_000 / scale),
         unit: "rounds/s",
     });
     results.push(Result {
+        name: "interp_decode_matmul_per_sec",
+        value: bench_interp_decode(20_000 / scale),
+        unit: "decodes/s",
+    });
+    results.push(Result {
         name: "full_system_vecadd1k_runs_per_sec",
-        value: bench_full_system(),
+        value: bench_full_system(if smoke { 2 } else { 20 }),
         unit: "runs/s",
     });
 
@@ -427,6 +477,11 @@ fn main() {
     println!("{:<44} {:>16}  unit", "benchmark", "value");
     for r in &results {
         println!("{:<44} {:>16.3}  {}", r.name, r.value, r.unit);
+    }
+
+    if smoke {
+        println!("\nsmoke mode: baseline not written");
+        return;
     }
 
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");

@@ -32,7 +32,7 @@ fn main() {
         let sw_us = sw.makespan.as_micros(platform.fabric_mhz);
         let hw_us = hw.wall_micros(&hw_d);
         let tlb_hit = hw.threads[0]
-            .stats
+            .stats()
             .get("memif.mmu.tlb.hit_rate")
             .unwrap_or(0.0);
         t.row_owned(vec![
@@ -42,7 +42,7 @@ fn main() {
             fmt_ratio(sw_us / hw_us),
             format!("{hw_us:.1}"),
             format!("{:.1}", tlb_hit * 100.0),
-            format!("{:.0}", hw.stats.get("os.hw_faults").unwrap_or(0.0)),
+            format!("{:.0}", hw.stats().get("os.hw_faults").unwrap_or(0.0)),
         ]);
     }
     println!("{t}");

@@ -17,7 +17,7 @@ fn run_series(w: &Workload, entries: usize, walk_cache: usize) -> (u64, f64, f64
     platform.memif.mmu.walker.walk_cache_entries = walk_cache;
     let design = hw_design(w, &platform);
     let outcome = run_checked(w, &design);
-    let stats = &outcome.threads[0].stats;
+    let stats = outcome.threads[0].stats();
     (
         outcome.makespan.0,
         stats.get("memif.mmu.tlb.hit_rate").unwrap_or(0.0),

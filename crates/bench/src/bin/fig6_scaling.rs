@@ -74,7 +74,7 @@ fn main() {
             base = tput;
         }
         let util =
-            outcome.stats.get("mem.bus.busy_cycles").unwrap_or(0.0) / outcome.makespan.0 as f64;
+            outcome.stats().get("mem.bus.busy_cycles").unwrap_or(0.0) / outcome.makespan.0 as f64;
         t.row_owned(vec![
             k.to_string(),
             fmt_cycles(outcome.makespan.0),

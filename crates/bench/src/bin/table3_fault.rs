@@ -52,7 +52,7 @@ fn main() {
     }
     let d_out = run_checked(&demand, &hw_design(&demand, &platform));
     let p_out = run_checked(&populated, &hw_design(&populated, &platform));
-    let faults = d_out.stats.get("os.hw_faults").unwrap_or(0.0);
+    let faults = d_out.stats().get("os.hw_faults").unwrap_or(0.0);
     let marginal = (d_out.makespan.0 as f64 - p_out.makespan.0 as f64) / faults.max(1.0);
     t.row_owned(vec![
         format!("measured marginal / fault ({faults:.0} faults, vecadd n={n})"),

@@ -7,6 +7,9 @@
 //! threads become hardware, the runtime gives both kinds the same
 //! primitives.
 
+use std::sync::Arc;
+
+use svmsyn_hls::decode::DecodedKernel;
 use svmsyn_hls::ir::Kernel;
 
 /// How a shared buffer is initialized and mapped.
@@ -86,6 +89,10 @@ pub struct ThreadSpec {
     pub name: String,
     /// The kernel this thread executes.
     pub kernel: Kernel,
+    /// The kernel pre-decoded to micro-ops, shared by every simulation of
+    /// this application (cloning an `Application` shares the decode, so DSE
+    /// re-evaluations never re-decode).
+    pub decoded: Arc<DecodedKernel>,
     /// Launch arguments (must match `kernel.num_args`).
     pub args: Vec<ArgSpec>,
     /// Sync actions before the kernel runs.
@@ -318,9 +325,11 @@ impl ApplicationBuilder {
         post: Vec<SyncAction>,
         hw_eligible: bool,
     ) -> Self {
+        let decoded = Arc::new(DecodedKernel::decode(&kernel));
         self.app.threads.push(ThreadSpec {
             name: name.into(),
             kernel,
+            decoded,
             args,
             pre,
             post,

@@ -9,12 +9,14 @@
 //!
 //! Evaluation is the cost center — every point is a full-system simulation —
 //! so the sweep engine batches independent candidates across worker threads
-//! (`std::thread::scope`; the build environment has no crates.io access, so
-//! no rayon) and memoizes results by placement vector: a configuration the
-//! search revisits is never re-simulated. Simulation is deterministic, so
-//! the parallel sweep returns bit-identical results to the serial one.
+//! (`std::thread::scope` with an atomic work-stealing claim index; the build
+//! environment has no crates.io access, so no rayon) and memoizes results by
+//! placement vector: a configuration the search revisits is never
+//! re-simulated. Simulation is deterministic, so the parallel sweep returns
+//! bit-identical results to the serial one.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use svmsyn_sim::{Cycle, FabricResources, Xoshiro256ss};
@@ -219,17 +221,30 @@ impl<'a> Evaluator<'a> {
                 self.memo.insert(c.clone(), point);
             }
         } else {
+            // Work stealing via a shared atomic claim index: per-candidate
+            // evaluation times are skewed (all-hardware points simulate much
+            // faster than all-software ones), so fixed chunks leave workers
+            // idle while one chews the expensive tail. Each worker claims
+            // the next unevaluated candidate as it frees up. Evaluation is
+            // deterministic per candidate and the results land in the memo
+            // table keyed by placement, so claim order cannot change any
+            // observable result — the parallel sweep stays bit-identical to
+            // the serial one.
             let workers = self.workers.min(misses.len());
-            let chunk = misses.len().div_ceil(workers);
             let (app, platform, sim) = (self.app, self.platform, &self.sim);
+            let misses = &misses;
+            let next = AtomicUsize::new(0);
             let results: Vec<(Vec<Placement>, Option<DsePoint>)> = thread::scope(|scope| {
-                let handles: Vec<_> = misses
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || {
-                            part.iter()
-                                .map(|c| ((*c).clone(), evaluate(app, platform, c, sim)))
-                                .collect::<Vec<_>>()
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(c) = misses.get(i) else { break };
+                                done.push(((*c).clone(), evaluate(app, platform, c, sim)));
+                            }
+                            done
                         })
                     })
                     .collect();

@@ -8,9 +8,9 @@
 //! synchronize through the same primitives, and fault into the same OS —
 //! the paper's execution model end to end.
 
+use std::cell::OnceCell;
 use std::sync::Arc;
 
-use svmsyn_hls::ir::Kernel;
 use svmsyn_hwt::thread::{HwStep, HwThread, HwThreadConfig};
 use svmsyn_mem::{MasterId, MemorySystem, VirtAddr};
 use svmsyn_os::addrspace::{OsError, Sigsegv};
@@ -100,8 +100,24 @@ pub struct ThreadMetrics {
     pub end: Cycle,
     /// Kernel return value, if any.
     pub ret: Option<i64>,
+    /// The retired execution body (source of the lazy counter snapshot).
+    body: Body,
+    /// Cached snapshot; assembled on first [`stats`][Self::stats] call.
+    stats: OnceCell<StatSet>,
+}
+
+impl ThreadMetrics {
     /// The thread's own counters (MEMIF/MMU or cache/TLB absorbed).
-    pub stats: StatSet,
+    ///
+    /// Assembled lazily on first call: counter snapshots allocate a keyed
+    /// map, which is measurable overhead for sweeps that only read the
+    /// makespan (DSE evaluates thousands of runs).
+    pub fn stats(&self) -> &StatSet {
+        self.stats.get_or_init(|| match &self.body {
+            Body::Sw(sw) => sw.stats(),
+            Body::Hw(hw) => hw.stats(),
+        })
+    }
 }
 
 /// The outcome of a full-system simulation.
@@ -111,8 +127,8 @@ pub struct SimOutcome {
     pub makespan: Cycle,
     /// Per-thread metrics, in application order.
     pub threads: Vec<ThreadMetrics>,
-    /// System-wide counters (OS, bus, DRAM absorbed).
-    pub stats: StatSet,
+    /// Cached system-wide counters; see [`stats`][Self::stats].
+    stats: OnceCell<StatSet>,
     /// Where each application buffer was mapped.
     pub buffer_vas: Vec<VirtAddr>,
     /// Final memory image (for checkers).
@@ -124,6 +140,18 @@ pub struct SimOutcome {
 }
 
 impl SimOutcome {
+    /// System-wide counters (OS, bus, DRAM absorbed), assembled lazily on
+    /// first call — simulation itself never pays for the snapshot.
+    pub fn stats(&self) -> &StatSet {
+        self.stats.get_or_init(|| {
+            let mut stats = StatSet::new();
+            stats.put("makespan", self.makespan.0 as f64);
+            stats.absorb("os", self.os.stats());
+            stats.absorb("mem", self.mem.stats());
+            stats
+        })
+    }
+
     /// Copies the final contents of application buffer `idx` into `buf`.
     ///
     /// # Panics
@@ -140,7 +168,11 @@ impl SimOutcome {
     }
 }
 
-#[derive(Debug)]
+// The size gap between the variants is fine: bodies live in a short Vec
+// (one per thread) and boxing the large variant would cost an indirection
+// on every scheduler step.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
 enum Body {
     Sw(SwExec),
     Hw(HwThread),
@@ -390,16 +422,13 @@ pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, Si
                 hw.set_context(asid, root);
                 Body::Hw(hw)
             }
-            Placement::Software => {
-                let kernel: Arc<Kernel> = Arc::new(spec.kernel.clone());
-                Body::Sw(SwExec::new(
-                    ThreadId(i as u32),
-                    asid,
-                    kernel,
-                    &args,
-                    SwExecConfig::with_master(master),
-                ))
-            }
+            Placement::Software => Body::Sw(SwExec::new(
+                ThreadId(i as u32),
+                asid,
+                Arc::clone(&spec.decoded),
+                &args,
+                SwExecConfig::with_master(master),
+            )),
         };
         // Thread spawn is serialized through the parent (one syscall each).
         let start = Cycle(i as u64 * os.costs.syscall);
@@ -459,33 +488,24 @@ pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, Si
         .filter_map(|t| t.end)
         .max()
         .unwrap_or(Cycle::ZERO);
-    let mut stats = StatSet::new();
-    stats.put("makespan", makespan.0 as f64);
-    stats.absorb("os", state.os.stats());
-    stats.absorb("mem", state.mem.stats());
     let threads = state
         .threads
         .into_iter()
-        .map(|t| {
-            let body_stats = match &t.body {
-                Body::Sw(sw) => sw.stats(),
-                Body::Hw(hw) => hw.stats(),
-            };
-            ThreadMetrics {
-                name: t.name,
-                placement: t.placement,
-                start: t.start,
-                end: t.end.expect("all threads finished"),
-                ret: t.ret,
-                stats: body_stats,
-            }
+        .map(|t| ThreadMetrics {
+            name: t.name,
+            placement: t.placement,
+            start: t.start,
+            end: t.end.expect("all threads finished"),
+            ret: t.ret,
+            body: t.body,
+            stats: OnceCell::new(),
         })
         .collect();
 
     Ok(SimOutcome {
         makespan,
         threads,
-        stats,
+        stats: OnceCell::new(),
         buffer_vas,
         mem: state.mem,
         os: state.os,
@@ -500,7 +520,7 @@ mod tests {
     use crate::flow::synthesize;
     use crate::platform::Platform;
     use svmsyn_hls::builder::KernelBuilder;
-    use svmsyn_hls::ir::{BinOp, CmpOp, Width};
+    use svmsyn_hls::ir::{BinOp, CmpOp, Kernel, Width};
 
     /// dst[i] = src[i] * 3 for i in 0..n.
     fn scale_kernel() -> Kernel {
@@ -573,7 +593,7 @@ mod tests {
         check_scaled(&o, 512);
         assert!(o.makespan > Cycle(0));
         assert_eq!(o.threads.len(), 1);
-        assert!(o.stats.get("os.sw_faults").unwrap() >= 1.0);
+        assert!(o.stats().get("os.sw_faults").unwrap() >= 1.0);
     }
 
     #[test]
@@ -583,7 +603,7 @@ mod tests {
         let o = simulate(&d, &SimConfig::default()).unwrap();
         check_scaled(&o, 512);
         // dst is demand-paged: the HW thread faulted at least once.
-        assert!(o.stats.get("os.hw_faults").unwrap() >= 1.0);
+        assert!(o.stats().get("os.hw_faults").unwrap() >= 1.0);
         assert!(o.wall_micros(&d) > 0.0);
     }
 
@@ -731,6 +751,6 @@ mod tests {
         let d = synthesize(&app, &Platform::default(), &[Placement::Software; 2]).unwrap();
         let o = simulate(&d, &SimConfig::default()).unwrap();
         assert_eq!(o.threads.len(), 2);
-        assert!(o.stats.get("os.sync_contended").unwrap() >= 1.0);
+        assert!(o.stats().get("os.sync_contended").unwrap() >= 1.0);
     }
 }

@@ -1,0 +1,532 @@
+//! Pre-decoding: lowering a [`Kernel`] into a flat micro-op program.
+//!
+//! The resumable interpreter used to walk the IR directly: every step was a
+//! `BlockId` → `Vec<Block>` lookup, a `Value` → instruction-arena lookup, and
+//! a fresh `match` over the boxed [`Op`] enum — three dependent indirections
+//! per executed operation, paid again on every run of the same kernel. A
+//! [`DecodedKernel`] pays those costs once, at decode time:
+//!
+//! * the whole kernel becomes one dense `Vec<MicroOp>` of small fixed-size
+//!   records with operands resolved to direct value-table indices;
+//! * block bodies are laid out contiguously and terminators carry
+//!   precomputed micro-op offsets, so control transfer is a single `pc`
+//!   assignment;
+//! * phi nodes are lowered into explicit parallel-move sequences on each CFG
+//!   edge (cycles broken through one scratch slot), so block entry never
+//!   searches incoming-edge lists;
+//! * free operations (constants, arguments, phis) are folded away entirely:
+//!   constants and arguments pre-initialize the value table at launch, and
+//!   their retired-instruction counts are batched onto the next real
+//!   micro-op so [`Interp::steps`](crate::interp::Interp::steps) stays
+//!   exact.
+//!
+//! Decode once, run many times: callers that re-run a kernel (full-system
+//! simulation, DSE sweeps over hundreds of placements) share one
+//! `Arc<DecodedKernel>` across all runs. The determinism contract is
+//! checked by the differential suite against the retained
+//! [`reference::SlowInterp`](crate::interp::reference::SlowInterp): both
+//! interpreters yield byte-identical event traces for every kernel.
+
+use crate::ir::{BinOp, BlockId, CmpOp, Kernel, Op, Terminator, Width};
+
+/// Sentinel operand: "no value" (e.g. a `ret` without a result).
+pub(crate) const NO_VAL: u32 = u32::MAX;
+
+/// Micro-op opcodes. Each [`BinOp`]/[`CmpOp`] gets its own opcode so the
+/// execution loop dispatches straight to the right arithmetic — no second
+/// `match` over an operator enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UCode {
+    // Binary ALU / MUL / DIV ops: dst = a <op> b. Yield `Op(class)`.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sra,
+    Min,
+    Max,
+    // Comparisons: dst = (a <op> b) as i64. Yield `Op(Alu)`.
+    CmpEq,
+    CmpNe,
+    CmpLt,
+    CmpLe,
+    CmpGt,
+    CmpGe,
+    CmpUlt,
+    CmpUle,
+    /// dst = c != 0 ? a : b. Yields `Op(Alu)`.
+    Select,
+    /// Load `width` bytes from address `vals[a]` into dst. Yields `Load`.
+    Load,
+    /// Store `vals[b]` (truncated to `width`) to address `vals[a]`.
+    /// Yields `Store`.
+    Store,
+    /// Edge parallel-move leg: dst = vals[a]. Silent.
+    Move,
+    /// Control transfer: pc = dst; `a`/`b` are the from/to block ids.
+    /// Yields `BlockChange`.
+    Jump,
+    /// Two-way select of the next pc: pc = vals[c] != 0 ? dst : a. Silent
+    /// (the edge's `Jump` yields the `BlockChange`).
+    Branch,
+    /// Kernel return with optional result `a`. Yields `Done`.
+    Ret,
+    /// Retired-instruction bookkeeping only (overflow spill of folded free
+    /// ops). Silent.
+    Nop,
+}
+
+/// One pre-decoded micro-op: a fixed 20-byte record with all operands
+/// resolved to value-table indices.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MicroOp {
+    /// Dispatch code.
+    pub code: UCode,
+    /// Access width (meaningful for `Load`/`Store` only).
+    pub width: Width,
+    /// Source-IR instructions this micro-op retires when executed: itself
+    /// plus any free ops (constants/arguments/phis) folded into it. Keeps
+    /// the interpreter's step counter exact without executing free ops.
+    pub steps: u16,
+    /// Destination value index; `Jump`/`Branch` reuse it as a pc target.
+    pub dst: u32,
+    /// First operand (or from-block id / else-pc / return value).
+    pub a: u32,
+    /// Second operand (or to-block id).
+    pub b: u32,
+    /// Third operand (`Select`/`Branch` condition).
+    pub c: u32,
+}
+
+/// How a value-table slot is pre-initialized at launch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ValInit {
+    /// A compile-time constant.
+    Const(i64),
+    /// The n-th launch argument.
+    Arg(u16),
+}
+
+/// A kernel lowered to a flat micro-op program (see the module docs).
+///
+/// Build one with [`DecodedKernel::decode`] and run it with
+/// [`Interp::from_decoded`](crate::interp::Interp::from_decoded). Decoding
+/// is cheap (one pass over the IR) but not free — cache the `Arc` wherever a
+/// kernel runs more than once.
+#[derive(Debug)]
+pub struct DecodedKernel {
+    name: String,
+    num_args: u16,
+    /// Value-table length: one slot per arena instruction plus one scratch
+    /// slot (index `nvals - 1`) for cyclic parallel moves.
+    nvals: usize,
+    entry_pc: u32,
+    uops: Vec<MicroOp>,
+    /// `(value index, initializer)` pairs applied at launch.
+    init: Vec<(u32, ValInit)>,
+}
+
+impl DecodedKernel {
+    /// The kernel's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of launch arguments the kernel expects.
+    pub fn num_args(&self) -> u16 {
+        self.num_args
+    }
+
+    /// Length of the micro-op program.
+    pub fn num_uops(&self) -> usize {
+        self.uops.len()
+    }
+
+    pub(crate) fn nvals(&self) -> usize {
+        self.nvals
+    }
+
+    pub(crate) fn entry_pc(&self) -> u32 {
+        self.entry_pc
+    }
+
+    pub(crate) fn uops(&self) -> &[MicroOp] {
+        &self.uops
+    }
+
+    pub(crate) fn init(&self) -> &[(u32, ValInit)] {
+        &self.init
+    }
+
+    /// Lowers `kernel` into a micro-op program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed IR (e.g. a phi missing an incoming edge for a
+    /// CFG-present predecessor). Kernels from
+    /// [`KernelBuilder::finish`](crate::builder::KernelBuilder::finish) are
+    /// verified and never trip this.
+    pub fn decode(kernel: &Kernel) -> DecodedKernel {
+        Decoder::new(kernel).run()
+    }
+}
+
+struct Decoder<'k> {
+    kernel: &'k Kernel,
+    uops: Vec<MicroOp>,
+    /// Deferred `Jump.dst` patches: `(uop index, target block)`.
+    fixups: Vec<(usize, BlockId)>,
+    body_start: Vec<u32>,
+    /// Scratch value-table slot for cyclic parallel moves.
+    scratch: u32,
+}
+
+fn uop(code: UCode) -> MicroOp {
+    MicroOp {
+        code,
+        width: Width::W64,
+        steps: 0,
+        dst: NO_VAL,
+        a: NO_VAL,
+        b: NO_VAL,
+        c: NO_VAL,
+    }
+}
+
+impl<'k> Decoder<'k> {
+    fn new(kernel: &'k Kernel) -> Self {
+        Decoder {
+            kernel,
+            uops: Vec::with_capacity(kernel.instrs.len() + kernel.blocks.len() * 2),
+            fixups: Vec::new(),
+            body_start: vec![0; kernel.blocks.len()],
+            scratch: kernel.instrs.len() as u32,
+        }
+    }
+
+    fn run(mut self) -> DecodedKernel {
+        let kernel = self.kernel;
+
+        // Constants and arguments never change during a run, so they
+        // pre-initialize the value table instead of executing (dead entries
+        // included — harmless, their slots are simply never read).
+        let mut init = Vec::new();
+        for (i, instr) in kernel.instrs.iter().enumerate() {
+            match instr.op {
+                Op::Const(c) => init.push((i as u32, ValInit::Const(c))),
+                Op::Arg(n) => init.push((i as u32, ValInit::Arg(n))),
+                _ => {}
+            }
+        }
+
+        for b in kernel.block_ids() {
+            self.lower_block(b);
+        }
+        for (i, target) in std::mem::take(&mut self.fixups) {
+            self.uops[i].dst = self.body_start[target.0 as usize];
+        }
+
+        DecodedKernel {
+            name: kernel.name.clone(),
+            num_args: kernel.num_args,
+            nvals: kernel.instrs.len() + 1,
+            entry_pc: self.body_start[kernel.entry.0 as usize],
+            uops: self.uops,
+            init,
+        }
+    }
+
+    /// Spills a step total beyond the `u16` field into `Nop` bookkeeping
+    /// micro-ops; returns the in-range remainder.
+    fn spill_steps(&mut self, mut total: u64) -> u16 {
+        while total > u16::MAX as u64 {
+            let mut pad = uop(UCode::Nop);
+            pad.steps = u16::MAX;
+            self.uops.push(pad);
+            total -= u16::MAX as u64;
+        }
+        total as u16
+    }
+
+    /// Adds `free + 1` retired instructions to `u` (itself plus the folded
+    /// free ops preceding it).
+    fn charge_steps(&mut self, mut u: MicroOp, free: &mut u32) -> MicroOp {
+        let total = *free as u64 + 1;
+        *free = 0;
+        u.steps = self.spill_steps(total);
+        u
+    }
+
+    fn lower_block(&mut self, b: BlockId) {
+        self.body_start[b.0 as usize] = self.uops.len() as u32;
+        let block = self.kernel.block(b);
+        // Free ops folded since the last emitted micro-op; attributed to the
+        // next real op (or the terminator) so the step count stays exact.
+        let mut free: u32 = 0;
+        for &v in &block.instrs {
+            let lowered = match &self.kernel.instr(v).op {
+                Op::Const(_) | Op::Arg(_) | Op::Phi(_) => {
+                    free += 1;
+                    continue;
+                }
+                Op::Bin(bop, a, bb) => {
+                    let code = match bop {
+                        BinOp::Add => UCode::Add,
+                        BinOp::Sub => UCode::Sub,
+                        BinOp::Mul => UCode::Mul,
+                        BinOp::Div => UCode::Div,
+                        BinOp::Rem => UCode::Rem,
+                        BinOp::And => UCode::And,
+                        BinOp::Or => UCode::Or,
+                        BinOp::Xor => UCode::Xor,
+                        BinOp::Shl => UCode::Shl,
+                        BinOp::Shr => UCode::Shr,
+                        BinOp::Sra => UCode::Sra,
+                        BinOp::Min => UCode::Min,
+                        BinOp::Max => UCode::Max,
+                    };
+                    let mut u = uop(code);
+                    u.dst = v.0;
+                    u.a = a.0;
+                    u.b = bb.0;
+                    u
+                }
+                Op::Cmp(cop, a, bb) => {
+                    let code = match cop {
+                        CmpOp::Eq => UCode::CmpEq,
+                        CmpOp::Ne => UCode::CmpNe,
+                        CmpOp::Lt => UCode::CmpLt,
+                        CmpOp::Le => UCode::CmpLe,
+                        CmpOp::Gt => UCode::CmpGt,
+                        CmpOp::Ge => UCode::CmpGe,
+                        CmpOp::Ult => UCode::CmpUlt,
+                        CmpOp::Ule => UCode::CmpUle,
+                    };
+                    let mut u = uop(code);
+                    u.dst = v.0;
+                    u.a = a.0;
+                    u.b = bb.0;
+                    u
+                }
+                Op::Select(c, a, bb) => {
+                    let mut u = uop(UCode::Select);
+                    u.dst = v.0;
+                    u.c = c.0;
+                    u.a = a.0;
+                    u.b = bb.0;
+                    u
+                }
+                Op::Load { addr, width } => {
+                    let mut u = uop(UCode::Load);
+                    u.dst = v.0;
+                    u.a = addr.0;
+                    u.width = *width;
+                    u
+                }
+                Op::Store { addr, value, width } => {
+                    let mut u = uop(UCode::Store);
+                    u.a = addr.0;
+                    u.b = value.0;
+                    u.width = *width;
+                    u
+                }
+            };
+            let charged = self.charge_steps(lowered, &mut free);
+            self.uops.push(charged);
+        }
+
+        match block.term.clone() {
+            Terminator::Return(v) => {
+                let mut u = uop(UCode::Ret);
+                u.a = v.map_or(NO_VAL, |v| v.0);
+                u.steps = self.terminator_steps(&mut free);
+                self.uops.push(u);
+            }
+            Terminator::Jump(t) => {
+                let steps = self.terminator_steps(&mut free);
+                self.emit_edge(b, t, steps);
+            }
+            Terminator::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                let mut sel = uop(UCode::Branch);
+                sel.c = cond.0;
+                sel.steps = self.terminator_steps(&mut free);
+                let sel_idx = self.uops.len();
+                self.uops.push(sel);
+                let then_pc = self.uops.len() as u32;
+                self.emit_edge(b, then_to, 0);
+                let else_pc = self.uops.len() as u32;
+                self.emit_edge(b, else_to, 0);
+                self.uops[sel_idx].dst = then_pc;
+                self.uops[sel_idx].a = else_pc;
+            }
+        }
+    }
+
+    /// Trailing folded free ops are charged on the terminator-position
+    /// micro-op (terminators themselves retire no instruction).
+    fn terminator_steps(&mut self, free: &mut u32) -> u16 {
+        let total = *free as u64;
+        *free = 0;
+        self.spill_steps(total)
+    }
+
+    /// Emits the edge `from -> to`: the phi parallel-move sequence followed
+    /// by the `Jump` that yields the `BlockChange` and redirects the pc.
+    fn emit_edge(&mut self, from: BlockId, to: BlockId, steps: u16) {
+        for (dst, src) in sequentialize_moves(edge_moves(self.kernel, from, to), self.scratch) {
+            let mut m = uop(UCode::Move);
+            m.dst = dst;
+            m.a = src;
+            self.uops.push(m);
+        }
+        let mut j = uop(UCode::Jump);
+        j.a = from.0;
+        j.b = to.0;
+        j.steps = steps;
+        self.fixups.push((self.uops.len(), to));
+        self.uops.push(j);
+    }
+}
+
+/// The `(dst, src)` phi assignments for the CFG edge `from -> to`,
+/// identity moves removed. Phi semantics are *parallel*: all sources are
+/// read before any destination is written.
+fn edge_moves(kernel: &Kernel, from: BlockId, to: BlockId) -> Vec<(u32, u32)> {
+    let mut moves = Vec::new();
+    for &v in &kernel.block(to).instrs {
+        match &kernel.instr(v).op {
+            Op::Phi(incoming) => {
+                let src = incoming
+                    .iter()
+                    .find(|(p, _)| *p == from)
+                    .map(|(_, val)| *val)
+                    .unwrap_or_else(|| panic!("phi {v} has no edge from {from}"));
+                if src != v {
+                    moves.push((v.0, src.0));
+                }
+            }
+            _ => break, // phis are a prefix of the block
+        }
+    }
+    moves
+}
+
+/// Orders parallel moves into an equivalent sequential program. A move is
+/// safe to emit once its destination is no longer read by a pending move;
+/// cycles (the classic phi swap) are broken by saving one destination's old
+/// value to the scratch slot.
+fn sequentialize_moves(mut pending: Vec<(u32, u32)>, scratch: u32) -> Vec<(u32, u32)> {
+    let mut out = Vec::with_capacity(pending.len());
+    while !pending.is_empty() {
+        match pending
+            .iter()
+            .position(|&(d, _)| !pending.iter().any(|&(_, s)| s == d))
+        {
+            Some(i) => out.push(pending.swap_remove(i)),
+            None => {
+                // Every destination is still read: pure cycle(s). Park the
+                // first destination's current value in the scratch slot and
+                // redirect its readers there; the move then becomes safe.
+                let (d, _) = pending[0];
+                out.push((scratch, d));
+                for m in pending.iter_mut() {
+                    if m.1 == d {
+                        m.1 = scratch;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::{BinOp, CmpOp};
+
+    #[test]
+    fn straight_line_folds_free_ops() {
+        let mut b = KernelBuilder::new("k", 2);
+        let x = b.arg(0);
+        let y = b.arg(1);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s));
+        let dk = DecodedKernel::decode(&b.finish().unwrap());
+        // Two args fold into the add; the ret carries no trailing frees.
+        assert_eq!(dk.num_uops(), 2);
+        assert_eq!(dk.uops()[0].steps, 3);
+        assert_eq!(dk.uops()[1].steps, 0);
+        assert_eq!(dk.init().len(), 2);
+    }
+
+    #[test]
+    fn branch_legs_share_no_pc() {
+        let mut b = KernelBuilder::new("br", 1);
+        let t = b.new_block();
+        let e = b.new_block();
+        let x = b.arg(0);
+        let zero = b.constant(0);
+        let c = b.cmp(CmpOp::Gt, x, zero);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.ret(Some(x));
+        b.switch_to(e);
+        b.ret(Some(zero));
+        let dk = DecodedKernel::decode(&b.finish().unwrap());
+        let sel = dk
+            .uops()
+            .iter()
+            .find(|u| u.code == UCode::Branch)
+            .expect("branch selector");
+        assert_ne!(sel.dst, sel.a, "then/else legs must be distinct");
+        // Both legs end in a Jump that targets a Ret.
+        for pc in [sel.dst, sel.a] {
+            let leg = &dk.uops()[pc as usize];
+            assert_eq!(leg.code, UCode::Jump);
+            assert_eq!(dk.uops()[leg.dst as usize].code, UCode::Ret);
+        }
+    }
+
+    #[test]
+    fn swap_cycle_uses_scratch() {
+        // Parallel moves a<-b, b<-a must sequentialize through the scratch.
+        let seq = sequentialize_moves(vec![(0, 1), (1, 0)], 99);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[0], (99, 0));
+        assert!(seq.contains(&(0, 1)));
+        assert!(seq.contains(&(1, 99)));
+    }
+
+    #[test]
+    fn two_disjoint_cycles_reuse_one_scratch() {
+        let seq = sequentialize_moves(vec![(0, 1), (1, 0), (2, 3), (3, 2)], 99);
+        // Each cycle costs one extra move; the scratch is consumed before
+        // it is overwritten by the second cycle break.
+        assert_eq!(seq.len(), 6);
+        let mut vals = [10i64, 11, 12, 13, 0];
+        let idx = |v: u32| if v == 99 { 4 } else { v as usize };
+        for (d, s) in seq {
+            vals[idx(d)] = vals[idx(s)];
+        }
+        assert_eq!(&vals[..4], &[11, 10, 13, 12]);
+    }
+
+    #[test]
+    fn chain_moves_ordered_safely() {
+        // a<-b, b<-c: must emit a<-b before b<-c.
+        let seq = sequentialize_moves(vec![(0, 1), (1, 2)], 99);
+        assert_eq!(seq, vec![(0, 1), (1, 2)]);
+    }
+}

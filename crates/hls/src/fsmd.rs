@@ -11,11 +11,13 @@
 //! * Table 2 prints everything.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use svmsyn_sim::FabricResources;
 
 use crate::bind::bind;
 use crate::cfg::Cfg;
+use crate::decode::DecodedKernel;
 use crate::ir::{BlockId, Kernel};
 use crate::opt::{optimize, PassStats};
 use crate::pipeline::{pipeline_loop, LoopPipeline};
@@ -49,6 +51,13 @@ impl Default for HlsConfig {
 pub struct CompiledKernel {
     /// The (optimized) kernel.
     pub kernel: Kernel,
+    /// The kernel pre-decoded to micro-ops, shared by every execution of
+    /// this compilation (decode once, run many times).
+    pub decoded: Arc<DecodedKernel>,
+    /// [`enter_cost`][Self::enter_cost] flattened to a `(from + 1) × to`
+    /// matrix (row 0 = kernel start), built once here so execution engines
+    /// index it directly on every block transition.
+    pub enter_costs: Box<[u64]>,
     /// Per-block list schedules, indexed by block id.
     pub schedules: Vec<BlockSchedule>,
     /// Successfully pipelined loops, keyed by header block.
@@ -185,8 +194,11 @@ pub fn compile(kernel: &Kernel, cfg: &HlsConfig) -> CompiledKernel {
     let resources = kernel_cost(&binding, states);
     let fmax_mhz = kernel_fmax_mhz(&binding, max_ops);
 
-    CompiledKernel {
+    let decoded = Arc::new(DecodedKernel::decode(&kernel));
+    let mut ck = CompiledKernel {
         kernel,
+        decoded,
+        enter_costs: Box::new([]),
         schedules,
         pipelines,
         binding,
@@ -194,7 +206,18 @@ pub fn compile(kernel: &Kernel, cfg: &HlsConfig) -> CompiledKernel {
         fmax_mhz,
         states,
         pass_stats,
+    };
+    let nblocks = ck.kernel.blocks.len();
+    let mut enter_costs = vec![0u64; (nblocks + 1) * nblocks];
+    for to in 0..nblocks {
+        enter_costs[to] = ck.enter_cost(None, BlockId(to as u32));
+        for from in 0..nblocks {
+            enter_costs[(from + 1) * nblocks + to] =
+                ck.enter_cost(Some(BlockId(from as u32)), BlockId(to as u32));
+        }
     }
+    ck.enter_costs = enter_costs.into_boxed_slice();
+    ck
 }
 
 #[cfg(test)]

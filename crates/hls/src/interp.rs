@@ -13,10 +13,20 @@
 //! The interpreter *yields* at every costed operation instead of owning the
 //! clock: `next()` returns an [`InterpEvent`]; memory loads pause the machine
 //! until the caller supplies data via [`Interp::provide_load`].
+//!
+//! Since the pre-decode rework, [`Interp`] executes a flat
+//! [`DecodedKernel`] micro-op program (see [`crate::decode`]) instead of
+//! walking the IR: one dense array, direct value-table operand indices,
+//! phis lowered to edge moves, and free ops folded out of the hot loop. The
+//! original IR-walking implementation is retained as
+//! [`reference::SlowInterp`] — the oracle the differential tests replay
+//! every workload against. The two must yield identical event sequences,
+//! return values, and step counts for any verified kernel.
 
 use std::sync::Arc;
 
-use crate::ir::{BlockId, Kernel, Op, OpClass, Terminator, Value, Width};
+use crate::decode::{DecodedKernel, UCode, ValInit, NO_VAL};
+use crate::ir::{BinOp, BlockId, Kernel, OpClass, Width};
 
 /// An event yielded by the interpreter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +71,7 @@ enum State {
     Finished,
 }
 
-/// The resumable interpreter over a kernel.
+/// The resumable interpreter over a pre-decoded kernel.
 ///
 /// # Example
 ///
@@ -90,39 +100,54 @@ enum State {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Interp {
-    kernel: Arc<Kernel>,
-    args: Vec<i64>,
+    prog: Arc<DecodedKernel>,
     vals: Vec<i64>,
-    cur: BlockId,
-    idx: usize,
-    pending_load: Option<(Value, Width)>,
+    pc: u32,
+    pending_load: Option<(u32, Width)>,
     state: State,
     steps: u64,
     step_limit: u64,
 }
 
 impl Interp {
-    /// Starts a run with the given arguments.
+    /// Starts a run with the given arguments, decoding the kernel first.
+    ///
+    /// Callers that run the same kernel repeatedly should decode once with
+    /// [`DecodedKernel::decode`] and use [`Interp::from_decoded`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `args.len()` differs from the kernel's declared count.
     pub fn new(kernel: Arc<Kernel>, args: &[i64]) -> Self {
+        Self::from_decoded(Arc::new(DecodedKernel::decode(&kernel)), args)
+    }
+
+    /// Starts a run over an already-decoded program (the hot path: decode
+    /// once, run many times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len()` differs from the kernel's declared count.
+    pub fn from_decoded(prog: Arc<DecodedKernel>, args: &[i64]) -> Self {
         assert_eq!(
             args.len(),
-            kernel.num_args as usize,
+            prog.num_args() as usize,
             "kernel {} expects {} args",
-            kernel.name,
-            kernel.num_args
+            prog.name(),
+            prog.num_args()
         );
-        let nvals = kernel.instrs.len();
-        let entry = kernel.entry;
+        let mut vals = vec![0i64; prog.nvals()];
+        for &(v, init) in prog.init() {
+            vals[v as usize] = match init {
+                ValInit::Const(c) => c,
+                ValInit::Arg(n) => args[n as usize],
+            };
+        }
+        let entry_pc = prog.entry_pc();
         Interp {
-            kernel,
-            args: args.to_vec(),
-            vals: vec![0; nvals],
-            cur: entry,
-            idx: 0,
+            prog,
+            vals,
+            pc: entry_pc,
             pending_load: None,
             state: State::Running,
             steps: 0,
@@ -130,21 +155,32 @@ impl Interp {
         }
     }
 
+    /// The decoded program this interpreter executes.
+    pub fn decoded(&self) -> &Arc<DecodedKernel> {
+        &self.prog
+    }
+
     /// Caps the number of executed instructions (defaults to unlimited).
     ///
     /// Exceeding the cap panics — it indicates a non-terminating kernel in a
-    /// test, not a recoverable condition.
+    /// test, not a recoverable condition. Counting is in source-IR
+    /// instructions (free ops included), the same units as [`steps`][Self::steps];
+    /// because folded free ops are charged in batches, the panic may trigger
+    /// on the micro-op that crosses the cap rather than the exact free op.
     pub fn set_step_limit(&mut self, limit: u64) {
         self.step_limit = limit;
     }
 
-    /// Instructions executed so far.
+    /// Source-IR instructions executed so far (free ops included).
     pub fn steps(&self) -> u64 {
         self.steps
     }
 
     /// The current value of `v` (primarily for tests/debugging).
-    pub fn value(&self, v: Value) -> i64 {
+    ///
+    /// Constants and arguments are pre-initialized at launch, so their
+    /// values are visible even before "executing".
+    pub fn value(&self, v: crate::ir::Value) -> i64 {
         self.vals[v.0 as usize]
     }
 
@@ -154,38 +190,12 @@ impl Interp {
     ///
     /// Panics if no load is pending.
     pub fn provide_load(&mut self, raw: u64) {
-        let (v, width) = self
+        let (dst, width) = self
             .pending_load
             .take()
             .expect("provide_load called with no pending load");
-        self.vals[v.0 as usize] = width.sign_extend(raw);
+        self.vals[dst as usize] = width.sign_extend(raw);
         self.state = State::Running;
-    }
-
-    fn transition(&mut self, to: BlockId) {
-        // Evaluate all phis of `to` in parallel over the edge `cur -> to`.
-        let from = self.cur;
-        let kernel = Arc::clone(&self.kernel);
-        let block = kernel.block(to);
-        let mut updates: Vec<(Value, i64)> = Vec::new();
-        for &v in &block.instrs {
-            match &kernel.instr(v).op {
-                Op::Phi(incoming) => {
-                    let src = incoming
-                        .iter()
-                        .find(|(p, _)| *p == from)
-                        .map(|(_, val)| *val)
-                        .unwrap_or_else(|| panic!("phi {v} has no edge from {from}"));
-                    updates.push((v, self.vals[src.0 as usize]));
-                }
-                _ => break, // phis are a prefix of the block
-            }
-        }
-        for (v, val) in updates {
-            self.vals[v.0 as usize] = val;
-        }
-        self.cur = to;
-        self.idx = 0;
     }
 
     /// Executes until the next costed event.
@@ -196,96 +206,375 @@ impl Interp {
     /// step limit is exceeded.
     #[allow(clippy::should_implement_trait)] // established API; not an Iterator
     pub fn next(&mut self) -> InterpEvent {
+        self.step::<true>()
+    }
+
+    /// Like [`next`][Self::next], but executes compute operations silently:
+    /// only `Load`/`Store`/`BlockChange`/`Done` are yielded, never
+    /// [`InterpEvent::Op`]. Values, memory events, and step counts are
+    /// identical to driving [`next`][Self::next] and discarding the `Op`
+    /// yields — which is exactly what the FSMD engine does, since block
+    /// compute time comes from the schedule, not per-op CPI. Skipping the
+    /// yield round-trips keeps the hardware-thread hot loop tight.
+    pub fn next_mem(&mut self) -> InterpEvent {
+        self.step::<false>()
+    }
+
+    fn step<const YIELD_OPS: bool>(&mut self) -> InterpEvent {
         match self.state {
             State::AwaitLoad => panic!("next() called with a pending load"),
             State::Finished => panic!("next() called after Done"),
             State::Running => {}
         }
-        let kernel = Arc::clone(&self.kernel);
+        // Destructure into disjoint borrows so the dispatch loop runs over a
+        // directly-held uop slice and value table, with pc/steps hoisted
+        // into locals (written back at every yield).
+        let Interp {
+            prog,
+            vals,
+            pc,
+            pending_load,
+            state,
+            steps,
+            step_limit,
+        } = self;
+        let uops = prog.uops();
+        let vals = vals.as_mut_slice();
+        let mut pcv = *pc;
+        let mut stepsv = *steps;
+        macro_rules! yield_ev {
+            ($ev:expr) => {{
+                *pc = pcv;
+                *steps = stepsv;
+                return $ev;
+            }};
+        }
+        macro_rules! bin {
+            ($u:ident, $class:expr, $f:expr) => {{
+                let a = vals[$u.a as usize];
+                let b = vals[$u.b as usize];
+                vals[$u.dst as usize] = $f(a, b);
+                if YIELD_OPS {
+                    yield_ev!(InterpEvent::Op($class));
+                }
+            }};
+        }
+        macro_rules! cmp {
+            ($u:ident, $f:expr) => {{
+                let a = vals[$u.a as usize];
+                let b = vals[$u.b as usize];
+                vals[$u.dst as usize] = $f(a, b) as i64;
+                if YIELD_OPS {
+                    yield_ev!(InterpEvent::Op(OpClass::Alu));
+                }
+            }};
+        }
         loop {
-            let block = kernel.block(self.cur);
-            if self.idx < block.instrs.len() {
-                let v = block.instrs[self.idx];
-                self.idx += 1;
-                self.steps += 1;
+            // `MicroOp` is a 20-byte `Copy` record: copying it out keeps the
+            // borrow checker away from the value-table writes below.
+            let u = uops[pcv as usize];
+            pcv += 1;
+            if u.steps != 0 {
+                stepsv += u.steps as u64;
                 assert!(
-                    self.steps <= self.step_limit,
+                    stepsv <= *step_limit,
                     "kernel {} exceeded the step limit of {}",
-                    self.kernel.name,
-                    self.step_limit
+                    prog.name(),
+                    step_limit
                 );
-                let op = &kernel.instr(v).op;
-                match op {
-                    Op::Const(c) => {
-                        self.vals[v.0 as usize] = *c;
-                    }
-                    Op::Arg(n) => {
-                        self.vals[v.0 as usize] = self.args[*n as usize];
-                    }
-                    Op::Phi(_) => {
-                        // Assigned during transition; at kernel start an
-                        // entry-block phi reads 0 (documented).
-                    }
-                    Op::Bin(bop, a, b) => {
-                        self.vals[v.0 as usize] =
-                            bop.eval(self.vals[a.0 as usize], self.vals[b.0 as usize]);
-                        return InterpEvent::Op(op.class());
-                    }
-                    Op::Cmp(cop, a, b) => {
-                        self.vals[v.0 as usize] =
-                            cop.eval(self.vals[a.0 as usize], self.vals[b.0 as usize]);
-                        return InterpEvent::Op(OpClass::Alu);
-                    }
-                    Op::Select(c, a, b) => {
-                        self.vals[v.0 as usize] = if self.vals[c.0 as usize] != 0 {
-                            self.vals[a.0 as usize]
-                        } else {
-                            self.vals[b.0 as usize]
-                        };
-                        return InterpEvent::Op(OpClass::Alu);
-                    }
-                    Op::Load { addr, width } => {
-                        self.pending_load = Some((v, *width));
-                        self.state = State::AwaitLoad;
-                        return InterpEvent::Load {
-                            addr: self.vals[addr.0 as usize] as u64,
-                            width: *width,
-                        };
-                    }
-                    Op::Store { addr, value, width } => {
-                        return InterpEvent::Store {
-                            addr: self.vals[addr.0 as usize] as u64,
-                            width: *width,
-                            value: width.truncate(self.vals[value.0 as usize]),
-                        };
+            }
+            match u.code {
+                UCode::Add => bin!(u, OpClass::Alu, i64::wrapping_add),
+                UCode::Sub => bin!(u, OpClass::Alu, i64::wrapping_sub),
+                UCode::Mul => bin!(u, OpClass::Mul, i64::wrapping_mul),
+                UCode::Div => bin!(u, OpClass::Div, |a, b| BinOp::Div.eval(a, b)),
+                UCode::Rem => bin!(u, OpClass::Div, |a, b| BinOp::Rem.eval(a, b)),
+                UCode::And => bin!(u, OpClass::Alu, |a, b| a & b),
+                UCode::Or => bin!(u, OpClass::Alu, |a, b| a | b),
+                UCode::Xor => bin!(u, OpClass::Alu, |a, b| a ^ b),
+                UCode::Shl => bin!(
+                    u,
+                    OpClass::Alu,
+                    |a: i64, b: i64| ((a as u64) << (b as u64 & 63)) as i64
+                ),
+                UCode::Shr => bin!(
+                    u,
+                    OpClass::Alu,
+                    |a: i64, b: i64| ((a as u64) >> (b as u64 & 63)) as i64
+                ),
+                UCode::Sra => bin!(u, OpClass::Alu, |a: i64, b: i64| a >> (b as u64 & 63)),
+                UCode::Min => bin!(u, OpClass::Alu, i64::min),
+                UCode::Max => bin!(u, OpClass::Alu, i64::max),
+                UCode::CmpEq => cmp!(u, |a, b| a == b),
+                UCode::CmpNe => cmp!(u, |a, b| a != b),
+                UCode::CmpLt => cmp!(u, |a, b| a < b),
+                UCode::CmpLe => cmp!(u, |a, b| a <= b),
+                UCode::CmpGt => cmp!(u, |a, b| a > b),
+                UCode::CmpGe => cmp!(u, |a, b| a >= b),
+                UCode::CmpUlt => cmp!(u, |a: i64, b: i64| (a as u64) < (b as u64)),
+                UCode::CmpUle => cmp!(u, |a: i64, b: i64| (a as u64) <= (b as u64)),
+                UCode::Select => {
+                    vals[u.dst as usize] = if vals[u.c as usize] != 0 {
+                        vals[u.a as usize]
+                    } else {
+                        vals[u.b as usize]
+                    };
+                    if YIELD_OPS {
+                        yield_ev!(InterpEvent::Op(OpClass::Alu));
                     }
                 }
-            } else {
-                match &block.term {
-                    Terminator::Jump(t) => {
-                        let from = self.cur;
-                        self.transition(*t);
-                        return InterpEvent::BlockChange { from, to: *t };
-                    }
-                    Terminator::Branch {
-                        cond,
-                        then_to,
-                        else_to,
-                    } => {
-                        let from = self.cur;
-                        let to = if self.vals[cond.0 as usize] != 0 {
-                            *then_to
+                UCode::Load => {
+                    *pending_load = Some((u.dst, u.width));
+                    *state = State::AwaitLoad;
+                    yield_ev!(InterpEvent::Load {
+                        addr: vals[u.a as usize] as u64,
+                        width: u.width,
+                    });
+                }
+                UCode::Store => {
+                    yield_ev!(InterpEvent::Store {
+                        addr: vals[u.a as usize] as u64,
+                        width: u.width,
+                        value: u.width.truncate(vals[u.b as usize]),
+                    });
+                }
+                UCode::Move => {
+                    vals[u.dst as usize] = vals[u.a as usize];
+                }
+                UCode::Jump => {
+                    pcv = u.dst;
+                    yield_ev!(InterpEvent::BlockChange {
+                        from: BlockId(u.a),
+                        to: BlockId(u.b),
+                    });
+                }
+                UCode::Branch => {
+                    pcv = if vals[u.c as usize] != 0 { u.dst } else { u.a };
+                }
+                UCode::Ret => {
+                    *state = State::Finished;
+                    yield_ev!(InterpEvent::Done {
+                        ret: if u.a == NO_VAL {
+                            None
                         } else {
-                            *else_to
-                        };
-                        self.transition(to);
-                        return InterpEvent::BlockChange { from, to };
+                            Some(vals[u.a as usize])
+                        },
+                    });
+                }
+                UCode::Nop => {}
+            }
+        }
+    }
+}
+
+/// The retained IR-walking interpreter, kept as the differential oracle.
+pub mod reference {
+    use std::sync::Arc;
+
+    use super::{InterpEvent, State};
+    use crate::ir::{BlockId, Kernel, Op, OpClass, Terminator, Value, Width};
+
+    /// The original resumable interpreter: walks the IR block-by-block,
+    /// re-interpreting each [`Op`] on every execution. Slower than
+    /// [`Interp`](super::Interp) by design — it exists so differential tests
+    /// can replay workloads on both engines and assert identical event
+    /// traces, return values, and step counts.
+    #[derive(Debug, Clone)]
+    pub struct SlowInterp {
+        kernel: Arc<Kernel>,
+        args: Vec<i64>,
+        vals: Vec<i64>,
+        cur: BlockId,
+        idx: usize,
+        pending_load: Option<(Value, Width)>,
+        state: State,
+        steps: u64,
+        step_limit: u64,
+    }
+
+    impl SlowInterp {
+        /// Starts a run with the given arguments.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `args.len()` differs from the kernel's declared count.
+        pub fn new(kernel: Arc<Kernel>, args: &[i64]) -> Self {
+            assert_eq!(
+                args.len(),
+                kernel.num_args as usize,
+                "kernel {} expects {} args",
+                kernel.name,
+                kernel.num_args
+            );
+            let nvals = kernel.instrs.len();
+            let entry = kernel.entry;
+            SlowInterp {
+                kernel,
+                args: args.to_vec(),
+                vals: vec![0; nvals],
+                cur: entry,
+                idx: 0,
+                pending_load: None,
+                state: State::Running,
+                steps: 0,
+                step_limit: u64::MAX,
+            }
+        }
+
+        /// Caps the number of executed instructions (defaults to unlimited).
+        pub fn set_step_limit(&mut self, limit: u64) {
+            self.step_limit = limit;
+        }
+
+        /// Instructions executed so far.
+        pub fn steps(&self) -> u64 {
+            self.steps
+        }
+
+        /// The current value of `v` (primarily for tests/debugging).
+        pub fn value(&self, v: Value) -> i64 {
+            self.vals[v.0 as usize]
+        }
+
+        /// Supplies the raw data for the pending load.
+        ///
+        /// # Panics
+        ///
+        /// Panics if no load is pending.
+        pub fn provide_load(&mut self, raw: u64) {
+            let (v, width) = self
+                .pending_load
+                .take()
+                .expect("provide_load called with no pending load");
+            self.vals[v.0 as usize] = width.sign_extend(raw);
+            self.state = State::Running;
+        }
+
+        fn transition(&mut self, to: BlockId) {
+            // Evaluate all phis of `to` in parallel over the edge `cur -> to`.
+            let from = self.cur;
+            let kernel = Arc::clone(&self.kernel);
+            let block = kernel.block(to);
+            let mut updates: Vec<(Value, i64)> = Vec::new();
+            for &v in &block.instrs {
+                match &kernel.instr(v).op {
+                    Op::Phi(incoming) => {
+                        let src = incoming
+                            .iter()
+                            .find(|(p, _)| *p == from)
+                            .map(|(_, val)| *val)
+                            .unwrap_or_else(|| panic!("phi {v} has no edge from {from}"));
+                        updates.push((v, self.vals[src.0 as usize]));
                     }
-                    Terminator::Return(v) => {
-                        self.state = State::Finished;
-                        return InterpEvent::Done {
-                            ret: v.map(|v| self.vals[v.0 as usize]),
-                        };
+                    _ => break, // phis are a prefix of the block
+                }
+            }
+            for (v, val) in updates {
+                self.vals[v.0 as usize] = val;
+            }
+            self.cur = to;
+            self.idx = 0;
+        }
+
+        /// Executes until the next costed event.
+        ///
+        /// # Panics
+        ///
+        /// Panics if called while a load is pending, after `Done`, or when
+        /// the step limit is exceeded.
+        #[allow(clippy::should_implement_trait)] // established API; not an Iterator
+        pub fn next(&mut self) -> InterpEvent {
+            match self.state {
+                State::AwaitLoad => panic!("next() called with a pending load"),
+                State::Finished => panic!("next() called after Done"),
+                State::Running => {}
+            }
+            let kernel = Arc::clone(&self.kernel);
+            loop {
+                let block = kernel.block(self.cur);
+                if self.idx < block.instrs.len() {
+                    let v = block.instrs[self.idx];
+                    self.idx += 1;
+                    self.steps += 1;
+                    assert!(
+                        self.steps <= self.step_limit,
+                        "kernel {} exceeded the step limit of {}",
+                        self.kernel.name,
+                        self.step_limit
+                    );
+                    let op = &kernel.instr(v).op;
+                    match op {
+                        Op::Const(c) => {
+                            self.vals[v.0 as usize] = *c;
+                        }
+                        Op::Arg(n) => {
+                            self.vals[v.0 as usize] = self.args[*n as usize];
+                        }
+                        Op::Phi(_) => {
+                            // Assigned during transition; at kernel start an
+                            // entry-block phi reads 0 (documented).
+                        }
+                        Op::Bin(bop, a, b) => {
+                            self.vals[v.0 as usize] =
+                                bop.eval(self.vals[a.0 as usize], self.vals[b.0 as usize]);
+                            return InterpEvent::Op(op.class());
+                        }
+                        Op::Cmp(cop, a, b) => {
+                            self.vals[v.0 as usize] =
+                                cop.eval(self.vals[a.0 as usize], self.vals[b.0 as usize]);
+                            return InterpEvent::Op(OpClass::Alu);
+                        }
+                        Op::Select(c, a, b) => {
+                            self.vals[v.0 as usize] = if self.vals[c.0 as usize] != 0 {
+                                self.vals[a.0 as usize]
+                            } else {
+                                self.vals[b.0 as usize]
+                            };
+                            return InterpEvent::Op(OpClass::Alu);
+                        }
+                        Op::Load { addr, width } => {
+                            self.pending_load = Some((v, *width));
+                            self.state = State::AwaitLoad;
+                            return InterpEvent::Load {
+                                addr: self.vals[addr.0 as usize] as u64,
+                                width: *width,
+                            };
+                        }
+                        Op::Store { addr, value, width } => {
+                            return InterpEvent::Store {
+                                addr: self.vals[addr.0 as usize] as u64,
+                                width: *width,
+                                value: width.truncate(self.vals[value.0 as usize]),
+                            };
+                        }
+                    }
+                } else {
+                    match &block.term {
+                        Terminator::Jump(t) => {
+                            let from = self.cur;
+                            self.transition(*t);
+                            return InterpEvent::BlockChange { from, to: *t };
+                        }
+                        Terminator::Branch {
+                            cond,
+                            then_to,
+                            else_to,
+                        } => {
+                            let from = self.cur;
+                            let to = if self.vals[cond.0 as usize] != 0 {
+                                *then_to
+                            } else {
+                                *else_to
+                            };
+                            self.transition(to);
+                            return InterpEvent::BlockChange { from, to };
+                        }
+                        Terminator::Return(v) => {
+                            self.state = State::Finished;
+                            return InterpEvent::Done {
+                                ret: v.map(|v| self.vals[v.0 as usize]),
+                            };
+                        }
                     }
                 }
             }
@@ -378,6 +667,7 @@ pub fn run(kernel: &Kernel, args: &[i64], port: &mut dyn DataPort, step_limit: u
 
 #[cfg(test)]
 mod tests {
+    use super::reference::SlowInterp;
     use super::*;
     use crate::builder::KernelBuilder;
     use crate::ir::{BinOp, CmpOp};
@@ -587,5 +877,63 @@ mod tests {
             run(&k, &[2], &mut SliceMemory(&mut none), 1000).ret,
             Some(-111)
         );
+    }
+
+    #[test]
+    fn decoded_matches_reference_on_sum() {
+        // Quick in-crate oracle check: decoded and reference interpreters
+        // agree on yields and results for a loop kernel (including a
+        // zero-trip run). The exhaustive trace-equivalence contract —
+        // workloads, optimized kernels, property-generated CFGs — lives in
+        // `tests/interp_equivalence.rs` at the workspace root.
+        let k = sum_kernel();
+        let mut buf = vec![0u8; 64];
+        for i in 0..16u32 {
+            buf[(i * 4) as usize..(i * 4 + 4) as usize]
+                .copy_from_slice(&(i as i32).wrapping_mul(3).to_le_bytes());
+        }
+        for n in [16i64, 0] {
+            let mut fast_mem = buf.clone();
+            let mut slow_mem = buf.clone();
+            let mut fast = Interp::new(Arc::new(k.clone()), &[0, n]);
+            let mut slow = SlowInterp::new(Arc::new(k.clone()), &[0, n]);
+            loop {
+                let ef = fast.next();
+                assert_eq!(ef, slow.next());
+                assert_eq!(fast.steps(), slow.steps());
+                match ef {
+                    InterpEvent::Load { addr, width } => {
+                        fast.provide_load(SliceMemory(&mut fast_mem).read(addr, width));
+                        slow.provide_load(SliceMemory(&mut slow_mem).read(addr, width));
+                    }
+                    InterpEvent::Done { ret } => {
+                        assert_eq!(ret, Some((0..n).sum::<i64>() * 3));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(fast_mem, slow_mem);
+        }
+    }
+
+    #[test]
+    fn from_decoded_shares_the_program() {
+        let k = Arc::new(sum_kernel());
+        let dk = Arc::new(DecodedKernel::decode(&k));
+        let mut a = Interp::from_decoded(Arc::clone(&dk), &[0, 0]);
+        let mut b = Interp::from_decoded(Arc::clone(&dk), &[0, 0]);
+        loop {
+            if let InterpEvent::Done { ret } = a.next() {
+                assert_eq!(ret, Some(0));
+                break;
+            }
+        }
+        loop {
+            if let InterpEvent::Done { ret } = b.next() {
+                assert_eq!(ret, Some(0));
+                break;
+            }
+        }
     }
 }

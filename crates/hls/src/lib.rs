@@ -42,6 +42,7 @@
 pub mod bind;
 pub mod builder;
 pub mod cfg;
+pub mod decode;
 pub mod fsmd;
 pub mod interp;
 pub mod ir;
@@ -53,6 +54,7 @@ pub mod verify;
 pub mod verilog;
 
 pub use builder::KernelBuilder;
+pub use decode::DecodedKernel;
 pub use fsmd::{compile, CompiledKernel, HlsConfig};
 pub use interp::{DataPort, Interp, InterpEvent, RunSummary, SliceMemory};
 pub use ir::{BinOp, Block, BlockId, CmpOp, Instr, Kernel, Op, OpClass, Terminator, Value, Width};

@@ -99,7 +99,7 @@ impl HwThread {
         master: MasterId,
     ) -> Self {
         let entry = compiled.kernel.entry;
-        let interp = Interp::new(Arc::new(compiled.kernel.clone()), args);
+        let interp = Interp::from_decoded(Arc::clone(&compiled.decoded), args);
         HwThread {
             compiled,
             interp,
@@ -213,7 +213,7 @@ impl HwThread {
 
         if !self.started {
             self.started = true;
-            let cost = self.compiled.enter_cost(None, self.compiled.kernel.entry);
+            let cost = self.compiled.enter_costs[self.compiled.kernel.entry.0 as usize];
             self.charge(&mut t, cost);
         }
         // Retry a faulted access first (the OS has serviced the fault).
@@ -225,34 +225,57 @@ impl HwThread {
             if (t - now).0 >= budget {
                 return HwStep::Yielded { now: t };
             }
-            match self.interp.next() {
-                InterpEvent::Op(_) => {
-                    // Compute time is charged per block via the schedule.
-                }
+            // `next_mem` never yields compute ops — block compute time is
+            // charged per transition via the schedule-derived cost matrix.
+            match self.interp.next_mem() {
+                InterpEvent::Op(_) => unreachable!("next_mem never yields Op"),
                 InterpEvent::BlockChange { from, to } => {
-                    let cost = self.compiled.enter_cost(Some(from), to);
+                    let nblocks = self.compiled.kernel.blocks.len();
+                    let cost =
+                        self.compiled.enter_costs[(from.0 as usize + 1) * nblocks + to.0 as usize];
                     self.charge(&mut t, cost);
                     self.cur_block = to;
                 }
                 InterpEvent::Load { addr, width } => {
                     self.mem_ops += 1;
-                    self.pending = Some(Pending::Load {
-                        va: VirtAddr(addr),
-                        width,
-                    });
-                    if let Err(step) = self.retry_pending(mem, &mut t) {
-                        return step;
+                    // Fault-free fast path: only a faulting access goes
+                    // through the `pending` retry machinery.
+                    match self.memif.read(mem, VirtAddr(addr), width, t) {
+                        Ok((raw, done)) => {
+                            let from = t;
+                            self.charge_mem(&mut t, from, done);
+                            self.interp.provide_load(raw);
+                        }
+                        Err(f) => {
+                            self.pending = Some(Pending::Load {
+                                va: VirtAddr(addr),
+                                width,
+                            });
+                            return HwStep::PageFault {
+                                fault: f.fault,
+                                now: f.done,
+                            };
+                        }
                     }
                 }
                 InterpEvent::Store { addr, width, value } => {
                     self.mem_ops += 1;
-                    self.pending = Some(Pending::Store {
-                        va: VirtAddr(addr),
-                        width,
-                        raw: value,
-                    });
-                    if let Err(step) = self.retry_pending(mem, &mut t) {
-                        return step;
+                    match self.memif.write(mem, VirtAddr(addr), width, value, t) {
+                        Ok(done) => {
+                            let from = t;
+                            self.charge_mem(&mut t, from, done);
+                        }
+                        Err(f) => {
+                            self.pending = Some(Pending::Store {
+                                va: VirtAddr(addr),
+                                width,
+                                raw: value,
+                            });
+                            return HwStep::PageFault {
+                                fault: f.fault,
+                                now: f.done,
+                            };
+                        }
                     }
                 }
                 InterpEvent::Done { ret } => {

@@ -33,19 +33,40 @@ impl Default for CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    valid: bool,
-    tag: u64,
-    dirty: bool,
-    stamp: u64,
-}
+/// Sentinel tag marking an invalid way. Tags are `line >> log2(sets)`, so a
+/// real tag of `u64::MAX` would require a ~2^64-byte address space.
+const TAG_EMPTY: u64 = u64::MAX;
 
 /// A write-back, write-allocate timing cache.
+///
+/// Line state lives in contiguous set-major parallel arrays
+/// (`set * ways + way`), the same flattening the TLB uses: the hit scan
+/// sweeps a dense `u64` tag vector (validity folded into a sentinel tag)
+/// instead of chasing per-set `Vec` allocations through 24-byte records,
+/// and the set stride is precomputed at construction. This matters most for
+/// the MEMIF burst cache, which is configured fully associative (one set,
+/// 64 ways) and scans on every access.
 #[derive(Debug, Clone)]
 pub struct L1Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Set-major tags; `TAG_EMPTY` marks an invalid way.
+    tags: Box<[u64]>,
+    /// Set-major LRU stamps (`0` for never-touched ways).
+    stamps: Box<[u64]>,
+    /// Set-major dirty bits.
+    dirty: Box<[bool]>,
+    /// Number of sets (power of two).
+    sets: usize,
+    /// Set index mask (`sets - 1`).
+    set_mask: u64,
+    /// `log2(line_bytes)`: the line index is a shift, not a division.
+    line_shift: u32,
+    /// `log2(sets)`.
+    set_shift: u32,
+    /// The most recent distinct hit/fill slots, probed before the set scan:
+    /// streaming kernels cycle through a handful of lines (one per stream —
+    /// vecadd touches three), which these catch in O(1). `u32::MAX` = empty.
+    recent: [u32; 4],
     clock: u64,
     hits: u64,
     misses: u64,
@@ -81,9 +102,17 @@ impl L1Cache {
             sets > 0 && (sets & (sets - 1)) == 0,
             "set count must be a power of two"
         );
+        let lines = sets * cfg.ways;
         L1Cache {
             cfg,
-            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            tags: vec![TAG_EMPTY; lines].into_boxed_slice(),
+            stamps: vec![0u64; lines].into_boxed_slice(),
+            dirty: vec![false; lines].into_boxed_slice(),
+            sets,
+            set_mask: sets as u64 - 1,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
+            recent: [u32::MAX; 4],
             clock: 0,
             hits: 0,
             misses: 0,
@@ -91,46 +120,79 @@ impl L1Cache {
         }
     }
 
+    #[inline]
+    fn note_recent(&mut self, slot: usize) {
+        let slot = slot as u32;
+        if self.recent[0] != slot {
+            // Shift-in at the front; duplicates further back age out.
+            self.recent = [slot, self.recent[0], self.recent[1], self.recent[2]];
+        }
+    }
+
     fn index(&self, pa: PhysAddr) -> (usize, u64) {
-        let line = pa.0 / self.cfg.line_bytes;
-        (
-            (line as usize) & (self.sets.len() - 1),
-            line / self.sets.len() as u64,
-        )
+        let line = pa.0 >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.set_shift)
     }
 
     /// Simulates an access; returns the implied bus traffic.
+    #[inline]
     pub fn access(&mut self, pa: PhysAddr, write: bool) -> CacheOutcome {
         self.clock += 1;
         let (set_idx, tag) = self.index(pa);
-        let sets_n = self.sets.len() as u64;
-        let line_bytes = self.cfg.line_bytes;
-        let clock = self.clock;
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.stamp = clock;
-            line.dirty |= write;
+        let base = set_idx * self.cfg.ways;
+        // Recent-slot probes first (a stale slot simply mismatches on tag).
+        for (i, r) in self.recent.into_iter().enumerate() {
+            let r = r as usize;
+            if r >= base && r < base + self.cfg.ways && self.tags[r] == tag {
+                self.stamps[r] = self.clock;
+                self.dirty[r] |= write;
+                self.hits += 1;
+                if i != 0 {
+                    self.note_recent(r);
+                }
+                return CacheOutcome::Hit;
+            }
+        }
+        self.access_slow(base, set_idx, tag, write)
+    }
+
+    /// The non-recent-slot path: set scan, then fill/eviction.
+    fn access_slow(&mut self, base: usize, set_idx: usize, tag: u64, write: bool) -> CacheOutcome {
+        // A dense equality scan over the set's tag vector.
+        let tags = &self.tags[base..base + self.cfg.ways];
+        if let Some(way) = tags.iter().position(|&t| t == tag) {
+            let slot = base + way;
+            self.stamps[slot] = self.clock;
+            self.dirty[slot] |= write;
             self.hits += 1;
+            self.note_recent(slot);
             return CacheOutcome::Hit;
         }
         self.misses += 1;
-        let victim = set
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
-            .expect("ways > 0");
-        let writeback = if victim.valid && victim.dirty {
+        // LRU victim; never-touched ways (stamp 0) win ties in way order,
+        // matching the original "invalid counts as stamp 0" policy.
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        let stamps = &self.stamps[base..base + self.cfg.ways];
+        for (w, (&t, &s)) in tags.iter().zip(stamps).enumerate() {
+            let key = if t == TAG_EMPTY { 0 } else { s };
+            if key < best {
+                best = key;
+                victim = w;
+            }
+        }
+        let slot = base + victim;
+        let writeback = if self.tags[slot] != TAG_EMPTY && self.dirty[slot] {
             self.writebacks += 1;
-            let victim_line = victim.tag * sets_n + set_idx as u64;
-            Some(PhysAddr(victim_line * line_bytes))
+            let victim_line = self.tags[slot] * self.sets as u64 + set_idx as u64;
+            Some(PhysAddr(victim_line * self.cfg.line_bytes))
         } else {
             None
         };
-        *victim = Line {
-            valid: true,
-            tag,
-            dirty: write,
-            stamp: clock,
-        };
+        self.tags[slot] = tag;
+        self.stamps[slot] = self.clock;
+        self.dirty[slot] = write;
+        self.note_recent(slot);
         CacheOutcome::Miss { writeback }
     }
 
@@ -163,15 +225,15 @@ impl L1Cache {
     /// clean (the final flush at kernel completion). Lines stay resident.
     pub fn drain_dirty(&mut self) -> Vec<PhysAddr> {
         let mut out = Vec::new();
-        let sets_n = self.sets.len() as u64;
-        for (set_idx, set) in self.sets.iter_mut().enumerate() {
-            for line in set {
-                if line.valid && line.dirty {
-                    line.dirty = false;
-                    self.writebacks += 1;
-                    let victim_line = line.tag * sets_n + set_idx as u64;
-                    out.push(PhysAddr(victim_line * self.cfg.line_bytes));
-                }
+        let sets_n = self.sets as u64;
+        let ways = self.cfg.ways;
+        for i in 0..self.tags.len() {
+            if self.tags[i] != TAG_EMPTY && self.dirty[i] {
+                self.dirty[i] = false;
+                self.writebacks += 1;
+                let set_idx = (i / ways) as u64;
+                let victim_line = self.tags[i] * sets_n + set_idx;
+                out.push(PhysAddr(victim_line * self.cfg.line_bytes));
             }
         }
         out

@@ -7,8 +7,46 @@
 
 use crate::addr::{PhysAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative (Fibonacci) hasher for frame numbers: frame lookups sit
+/// on the simulator's per-access hot path, where SipHash's per-lookup setup
+/// dominates the table probe itself. Not DoS-resistant — keys are simulated
+/// frame numbers, not attacker input.
+#[derive(Debug, Default, Clone)]
+pub struct FrameHasher(u64);
+
+impl Hasher for FrameHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+type FrameIndex = HashMap<u64, u32, BuildHasherDefault<FrameHasher>>;
+
+/// Slots in the direct-mapped frame-lookup memo (power of two).
+const MEMO_SLOTS: usize = 16;
+/// Memo slot sentinel: no frame cached.
+const MEMO_EMPTY: u64 = u64::MAX;
 
 /// A sparse, byte-accurate physical memory image.
+///
+/// Frame payloads live in an append-only arena (`pages`) indexed through a
+/// frame-number map, with a small direct-mapped memo short-circuiting the
+/// map for recently touched frames — the simulator hot loop streams over a
+/// handful of frames at a time, so most accesses never reach the map.
 ///
 /// # Example
 ///
@@ -20,7 +58,12 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SparseMemory {
-    frames: HashMap<u64, Box<[u8]>>,
+    index: FrameIndex,
+    pages: Vec<Box<[u8]>>,
+    /// `(frame, arena index)` memo, direct-mapped by `frame % MEMO_SLOTS`.
+    /// Interior-mutable so reads can refresh it; arena indices are stable
+    /// (frames are never removed), so entries never go stale.
+    memo: [std::cell::Cell<(u64, u32)>; MEMO_SLOTS],
     size: u64,
 }
 
@@ -36,7 +79,9 @@ impl SparseMemory {
             "size must be page-aligned"
         );
         SparseMemory {
-            frames: HashMap::new(),
+            index: FrameIndex::default(),
+            pages: Vec::new(),
+            memo: [const { std::cell::Cell::new((MEMO_EMPTY, 0)) }; MEMO_SLOTS],
             size,
         }
     }
@@ -48,7 +93,7 @@ impl SparseMemory {
 
     /// Number of frames actually materialized.
     pub fn resident_frames(&self) -> usize {
-        self.frames.len()
+        self.pages.len()
     }
 
     fn check(&self, addr: PhysAddr, len: u64) {
@@ -59,10 +104,38 @@ impl SparseMemory {
         );
     }
 
+    /// Looks up a materialized frame, memo first.
+    fn frame(&self, frame: u64) -> Option<&[u8]> {
+        let slot = &self.memo[(frame as usize) & (MEMO_SLOTS - 1)];
+        let (k, idx) = slot.get();
+        if k == frame {
+            return Some(&self.pages[idx as usize]);
+        }
+        let idx = *self.index.get(&frame)?;
+        slot.set((frame, idx));
+        Some(&self.pages[idx as usize])
+    }
+
     fn frame_mut(&mut self, frame: u64) -> &mut [u8] {
-        self.frames
-            .entry(frame)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        let slot = (frame as usize) & (MEMO_SLOTS - 1);
+        let (k, idx) = self.memo[slot].get();
+        let idx = if k == frame {
+            idx
+        } else {
+            let idx = match self.index.get(&frame) {
+                Some(&i) => i,
+                None => {
+                    let i = self.pages.len() as u32;
+                    self.pages
+                        .push(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+                    self.index.insert(frame, i);
+                    i
+                }
+            };
+            self.memo[slot].set((frame, idx));
+            idx
+        };
+        &mut self.pages[idx as usize]
     }
 
     /// Copies `buf.len()` bytes starting at `addr` into `buf`.
@@ -73,13 +146,35 @@ impl SparseMemory {
     /// addresses here are post-translation physical addresses).
     pub fn read(&self, addr: PhysAddr, buf: &mut [u8]) {
         self.check(addr, buf.len() as u64);
+        // Word-sized single-frame accesses dominate the simulator hot path.
+        let in_page = (addr.0 & PAGE_MASK) as usize;
+        if buf.len() <= 8 && in_page + buf.len() <= PAGE_SIZE as usize {
+            match self.frame(addr.0 >> PAGE_SHIFT) {
+                Some(data) => {
+                    for (i, b) in buf.iter_mut().enumerate() {
+                        *b = data[in_page + i];
+                    }
+                }
+                None => buf.fill(0),
+            }
+            return;
+        }
         let mut off = 0usize;
         while off < buf.len() {
             let cur = addr.0 + off as u64;
             let frame = cur >> PAGE_SHIFT;
             let in_page = (cur & PAGE_MASK) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
-            match self.frames.get(&frame) {
+            match self.frame(frame) {
+                // Word-sized accesses dominate the simulator hot path; a
+                // bounded byte loop compiles to straight-line code instead
+                // of a libc memcpy call for a runtime-length slice copy.
+                #[allow(clippy::manual_memcpy)]
+                Some(data) if n <= 8 => {
+                    for i in 0..n {
+                        buf[off + i] = data[in_page + i];
+                    }
+                }
                 Some(data) => buf[off..off + n].copy_from_slice(&data[in_page..in_page + n]),
                 None => buf[off..off + n].fill(0),
             }
@@ -94,13 +189,30 @@ impl SparseMemory {
     /// Panics if the range exceeds the memory size.
     pub fn write(&mut self, addr: PhysAddr, data: &[u8]) {
         self.check(addr, data.len() as u64);
+        let in_page = (addr.0 & PAGE_MASK) as usize;
+        if data.len() <= 8 && in_page + data.len() <= PAGE_SIZE as usize {
+            let dst = self.frame_mut(addr.0 >> PAGE_SHIFT);
+            for (i, &b) in data.iter().enumerate() {
+                dst[in_page + i] = b;
+            }
+            return;
+        }
         let mut off = 0usize;
         while off < data.len() {
             let cur = addr.0 + off as u64;
             let frame = cur >> PAGE_SHIFT;
             let in_page = (cur & PAGE_MASK) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(data.len() - off);
-            self.frame_mut(frame)[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            let dst = self.frame_mut(frame);
+            if n <= 8 {
+                // Bounded byte loop: no memcpy call for word-sized writes.
+                #[allow(clippy::manual_memcpy)]
+                for i in 0..n {
+                    dst[in_page + i] = data[off + i];
+                }
+            } else {
+                dst[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            }
             off += n;
         }
     }
@@ -139,7 +251,7 @@ impl SparseMemory {
             let frame = cur >> PAGE_SHIFT;
             let in_page = (cur & PAGE_MASK) as usize;
             let n = (PAGE_SIZE - in_page as u64).min(len - off);
-            if byte == 0 && !self.frames.contains_key(&frame) {
+            if byte == 0 && !self.index.contains_key(&frame) {
                 // Unmaterialized frames already read as zero.
             } else {
                 self.frame_mut(frame)[in_page..in_page + n as usize].fill(byte);

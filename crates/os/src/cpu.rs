@@ -10,8 +10,9 @@
 
 use std::sync::Arc;
 
+use svmsyn_hls::decode::DecodedKernel;
 use svmsyn_hls::interp::{Interp, InterpEvent};
-use svmsyn_hls::ir::{Kernel, OpClass, Width};
+use svmsyn_hls::ir::{OpClass, Width};
 use svmsyn_mem::{MasterId, MemorySystem, PhysAddr, VirtAddr};
 
 pub use svmsyn_mem::cache::{CacheConfig, CacheOutcome, L1Cache};
@@ -102,6 +103,7 @@ pub enum SliceEnd {
 /// ```
 /// use std::sync::Arc;
 /// use svmsyn_hls::builder::KernelBuilder;
+/// use svmsyn_hls::decode::DecodedKernel;
 /// use svmsyn_hls::ir::BinOp;
 /// use svmsyn_mem::{MasterId, MemConfig, MemorySystem};
 /// use svmsyn_os::cpu::{SliceEnd, SwExec, SwExecConfig};
@@ -114,7 +116,7 @@ pub enum SliceEnd {
 /// let y = b.arg(1);
 /// let s = b.bin(BinOp::Add, x, y);
 /// b.ret(Some(s));
-/// let k = Arc::new(b.finish().unwrap());
+/// let k = Arc::new(DecodedKernel::decode(&b.finish().unwrap()));
 ///
 /// let mut mem = MemorySystem::new(MemConfig::default());
 /// let mut os = Os::new(&OsConfig::default(), &mem);
@@ -138,18 +140,20 @@ pub struct SwExec {
 }
 
 impl SwExec {
-    /// Creates a software thread over `kernel` with launch `args`.
+    /// Creates a software thread over the pre-decoded `kernel` with launch
+    /// `args`. Callers decode once per kernel ([`DecodedKernel::decode`])
+    /// and share the `Arc` across every run.
     pub fn new(
         tid: ThreadId,
         asid: Asid,
-        kernel: Arc<Kernel>,
+        kernel: Arc<DecodedKernel>,
         args: &[i64],
         cfg: SwExecConfig,
     ) -> Self {
         SwExec {
             tid,
             asid,
-            interp: Interp::new(kernel, args),
+            interp: Interp::from_decoded(kernel, args),
             cfg,
             tlb: Tlb::new(cfg.tlb),
             cache: L1Cache::new(cfg.cache),
@@ -329,7 +333,7 @@ mod tests {
     }
 
     /// store i at base+4i for i in 0..n, return sum of loads back.
-    fn touch_kernel() -> Arc<Kernel> {
+    fn touch_kernel() -> Arc<DecodedKernel> {
         let mut b = KernelBuilder::new("touch", 2);
         let entry = b.current_block();
         let header = b.new_block();
@@ -358,7 +362,7 @@ mod tests {
         b.ret(Some(acc));
         b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
         b.set_phi_incoming(acc, &[(entry, zero), (body, acc2)]);
-        Arc::new(b.finish().unwrap())
+        Arc::new(DecodedKernel::decode(&b.finish().unwrap()))
     }
 
     #[test]
@@ -439,7 +443,7 @@ mod tests {
         let cold = (e1 - Cycle(0)).0;
         // Reuse the same exec's warm cache state via a fresh interp run.
         let mut t2 = SwExec {
-            interp: Interp::new(k, &[va.0 as i64, n]),
+            interp: Interp::from_decoded(k, &[va.0 as i64, n]),
             ..t1.clone()
         };
         let (e2, _) = t2.run_slice(&mut os, &mut mem, e1, u64::MAX).unwrap();
@@ -477,7 +481,7 @@ mod tests {
             v = b.bin(BinOp::Add, v, x);
         }
         b.ret(Some(v));
-        let k = Arc::new(b.finish().unwrap());
+        let k = Arc::new(DecodedKernel::decode(&b.finish().unwrap()));
         let mut t = SwExec::new(
             ThreadId(1),
             asid,

@@ -207,7 +207,13 @@ impl StatSet {
     /// `prefix` + `"."`.
     pub fn absorb(&mut self, prefix: &str, other: StatSet) {
         for (k, v) in other.values {
-            self.values.insert(format!("{prefix}.{k}"), v);
+            // Manual concat: this runs per key on every per-run stats
+            // snapshot, where `format!`'s formatting machinery is measurable.
+            let mut key = String::with_capacity(prefix.len() + 1 + k.len());
+            key.push_str(prefix);
+            key.push('.');
+            key.push_str(&k);
+            self.values.insert(key, v);
         }
     }
 

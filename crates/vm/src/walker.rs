@@ -76,6 +76,8 @@ pub struct WalkResult {
 }
 
 /// One walk-cache slot: a cached `(asid, l1_index) -> DirEntry` mapping.
+/// The entry is stored *decoded* — a hit skips both the L1 bus read and the
+/// `DirEntry::decode` of the raw bits.
 #[derive(Debug, Clone, Copy)]
 struct WalkCacheEntry {
     valid: bool,
@@ -242,6 +244,17 @@ impl PageTableWalker {
         }
     }
 
+    /// Fraction of walks whose first level was served by the walk cache,
+    /// in `[0, 1]`. The ROADMAP's L2-walk-cache follow-up sizes itself on
+    /// this number.
+    pub fn walk_cache_hit_rate(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.walks as f64
+        }
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> StatSet {
         let mut s = StatSet::new();
@@ -249,6 +262,7 @@ impl PageTableWalker {
         s.put("l1_reads", self.l1_reads as f64);
         s.put("l2_reads", self.l2_reads as f64);
         s.put("walk_cache_hits", self.cache_hits as f64);
+        s.put("walk_cache_hit_rate", self.walk_cache_hit_rate());
         s.put("walk_faults", self.faults as f64);
         s
     }
@@ -308,6 +322,8 @@ mod tests {
         assert!(t2 < t1, "cached walk must be faster ({t2} vs {t1})");
         assert_eq!(w.stats().get("walk_cache_hits"), Some(1.0));
         assert_eq!(w.stats().get("l1_reads"), Some(1.0));
+        assert_eq!(w.stats().get("walk_cache_hit_rate"), Some(0.5));
+        assert_eq!(w.walk_cache_hit_rate(), 0.5);
     }
 
     #[test]

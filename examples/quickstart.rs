@@ -86,7 +86,7 @@ fn main() {
             outcome.wall_micros(&design),
             design.system_mhz,
             design.total_resources,
-            outcome.stats.get("os.hw_faults").unwrap_or(0.0),
+            outcome.stats().get("os.hw_faults").unwrap_or(0.0),
         );
     }
 }

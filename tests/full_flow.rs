@@ -78,8 +78,8 @@ fn simulation_is_deterministic() {
     let b = simulate(&design, &SimConfig::default()).expect("second run");
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(
-        a.stats.get("mem.bus.busy_cycles"),
-        b.stats.get("mem.bus.busy_cycles")
+        a.stats().get("mem.bus.busy_cycles"),
+        b.stats().get("mem.bus.busy_cycles")
     );
 }
 
@@ -127,5 +127,5 @@ fn vm_enabled_threads_fault_exactly_once_per_fresh_page() {
     w.verify(&outcome).unwrap();
     // Only dst is written; src buffers were faulted in by the loader. The
     // HW thread demand-faults exactly the dst pages.
-    assert_eq!(outcome.stats.get("os.hw_faults"), Some(2.0));
+    assert_eq!(outcome.stats().get("os.hw_faults"), Some(2.0));
 }

@@ -1,0 +1,374 @@
+//! Differential testing of the pre-decoded interpreter against the retained
+//! IR-walking reference (`reference::SlowInterp`).
+//!
+//! The determinism contract: for any verified kernel, both interpreters
+//! yield the *identical* event sequence (same events, same payloads, same
+//! order), the same retired-instruction counts at every yield, the same
+//! return value, and the same final memory image. The suite replays
+//!
+//! * every workload kernel in `svmsyn-workloads` (as built, and as
+//!   optimized by the HLS pipeline — the form hardware threads execute),
+//! * property-generated random kernels (loops, diamonds, phi joins, mixed
+//!   widths), pausing/resuming across `provide_load` at every load.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use svmsyn::app::ArgSpec;
+use svmsyn_hls::builder::KernelBuilder;
+use svmsyn_hls::fsmd::{compile, HlsConfig};
+use svmsyn_hls::interp::reference::SlowInterp;
+use svmsyn_hls::interp::{DataPort, Interp, InterpEvent, SliceMemory};
+use svmsyn_hls::ir::{BinOp, CmpOp, Kernel, Value, Width};
+use svmsyn_workloads::{default_suite, small_suite, Workload};
+
+/// Replays `kernel` on both interpreters over a flat memory image,
+/// asserting identical yields, step counts, and final memory.
+/// Returns the event count.
+fn assert_equivalent(kernel: &Kernel, args: &[i64], image: &[u8]) -> u64 {
+    let mut fast_mem = image.to_vec();
+    let mut slow_mem = image.to_vec();
+    let mut fast = Interp::new(Arc::new(kernel.clone()), args);
+    let mut slow = SlowInterp::new(Arc::new(kernel.clone()), args);
+    let mut events = 0u64;
+    loop {
+        let ef = fast.next();
+        let es = slow.next();
+        assert_eq!(ef, es, "kernel {}: event #{events} diverged", kernel.name);
+        assert_eq!(
+            fast.steps(),
+            slow.steps(),
+            "kernel {}: step count diverged at event #{events}",
+            kernel.name
+        );
+        events += 1;
+        match ef {
+            InterpEvent::Load { addr, width } => {
+                fast.provide_load(SliceMemory(&mut fast_mem).read(addr, width));
+                slow.provide_load(SliceMemory(&mut slow_mem).read(addr, width));
+            }
+            InterpEvent::Store { addr, width, value } => {
+                SliceMemory(&mut fast_mem).write(addr, width, value);
+                SliceMemory(&mut slow_mem).write(addr, width, value);
+            }
+            InterpEvent::Done { .. } => break,
+            _ => {}
+        }
+        assert!(events < 50_000_000, "kernel {}: runaway trace", kernel.name);
+    }
+    assert_eq!(
+        fast_mem, slow_mem,
+        "kernel {}: final memory diverged",
+        kernel.name
+    );
+    events
+}
+
+/// Lays a workload's buffers into a flat image at `gap`-byte strides (the
+/// same convention as `svmsyn_workloads::common::flat_check`) and resolves
+/// its launch arguments against that layout.
+fn workload_layout(w: &Workload, gap: u64) -> (Vec<i64>, Vec<u8>) {
+    let mut image = vec![0u8; gap as usize * w.app.buffers.len()];
+    for (i, b) in w.app.buffers.iter().enumerate() {
+        assert!(b.len <= gap, "buffer {i} larger than the gap");
+        let base = i * gap as usize;
+        image[base..base + b.init.len()].copy_from_slice(&b.init);
+    }
+    let args = w.app.threads[0]
+        .args
+        .iter()
+        .map(|a| match a {
+            ArgSpec::Buffer(bi, off) => (*bi as u64 * gap + off) as i64,
+            ArgSpec::Value(v) => *v,
+        })
+        .collect();
+    (args, image)
+}
+
+#[test]
+fn all_workloads_trace_identically() {
+    const GAP: u64 = 1 << 20;
+    for w in small_suite(123).into_iter().chain(default_suite(7)) {
+        let (args, image) = workload_layout(&w, GAP);
+        let spec = &w.app.threads[0];
+        let events = assert_equivalent(&spec.kernel, &args, &image);
+        assert!(events > 0, "{}: empty trace", w.name);
+    }
+}
+
+#[test]
+fn optimized_workload_kernels_trace_identically() {
+    // Hardware threads execute the *optimized* kernel; the decoded program
+    // must match the reference on that form too.
+    const GAP: u64 = 1 << 20;
+    for w in small_suite(55) {
+        let (args, image) = workload_layout(&w, GAP);
+        let ck = compile(&w.app.threads[0].kernel, &HlsConfig::default());
+        assert_equivalent(&ck.kernel, &args, &image);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property-generated kernels.
+// ---------------------------------------------------------------------------
+
+const BUF_BYTES: usize = 1032; // 0x3F8 max masked offset + 8-byte access
+
+const BIN_OPS: [BinOp; 13] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Sra,
+    BinOp::Min,
+    BinOp::Max,
+];
+
+const CMP_OPS: [CmpOp; 8] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+    CmpOp::Ult,
+    CmpOp::Ule,
+];
+
+const WIDTHS: [Width; 4] = [Width::W8, Width::W16, Width::W32, Width::W64];
+
+fn pick<T: Copy>(rng: &mut Rng, pool: &[T]) -> T {
+    pool[(rng.next_u64() % pool.len() as u64) as usize]
+}
+
+/// Emits a bounds-masked memory address: `base + (x & 0x3F8)`.
+fn masked_addr(b: &mut KernelBuilder, base: Value, x: Value, mask: Value) -> Value {
+    let off = b.bin(BinOp::And, x, mask);
+    b.bin(BinOp::Add, base, off)
+}
+
+/// Builds a random but *structured* kernel guaranteed to terminate and to
+/// verify: `entry -> header -> body -> then/else -> join(latch) -> header`,
+/// with `exit` off the header. Every operand choice respects dominance.
+///
+/// `kernel(base, n)`: loops `n` times over random ALU/memory work.
+fn random_kernel(seed: u64) -> Kernel {
+    let mut rng = Rng::new(seed);
+    let mut b = KernelBuilder::new(format!("prop{seed:x}"), 2);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let then_b = b.new_block();
+    let else_b = b.new_block();
+    let join = b.new_block();
+    let exit = b.new_block();
+
+    let base = b.arg(0);
+    let n = b.arg(1);
+    let mask = b.constant(0x3F8);
+    let one = b.constant(1);
+    let zero = b.constant(0);
+    // Values safe as operands anywhere (defined in entry).
+    let mut entry_pool = vec![n, mask, one, zero];
+    for _ in 0..2 + rng.next_u64() % 3 {
+        let c = b.constant(rng.next_u64() as i64 >> (rng.next_u64() % 60));
+        entry_pool.push(c);
+    }
+    b.jump(header);
+
+    b.switch_to(header);
+    let i = b.phi();
+    let n_accs = 1 + (rng.next_u64() % 3) as usize;
+    let accs: Vec<Value> = (0..n_accs).map(|_| b.phi()).collect();
+    let mut header_pool = entry_pool.clone();
+    header_pool.push(i);
+    header_pool.extend(&accs);
+    let cont = b.cmp(CmpOp::Lt, i, n);
+    b.branch(cont, body, exit);
+
+    b.switch_to(body);
+    let mut body_pool = header_pool.clone();
+    for _ in 0..1 + rng.next_u64() % 6 {
+        let v = match rng.next_u64() % 10 {
+            0..=4 => {
+                let (x, y) = (pick(&mut rng, &body_pool), pick(&mut rng, &body_pool));
+                b.bin(pick(&mut rng, &BIN_OPS), x, y)
+            }
+            5 => {
+                let (x, y) = (pick(&mut rng, &body_pool), pick(&mut rng, &body_pool));
+                b.cmp(pick(&mut rng, &CMP_OPS), x, y)
+            }
+            6 => {
+                let (c, x, y) = (
+                    pick(&mut rng, &body_pool),
+                    pick(&mut rng, &body_pool),
+                    pick(&mut rng, &body_pool),
+                );
+                b.select(c, x, y)
+            }
+            7 | 8 => {
+                let x = pick(&mut rng, &body_pool);
+                let a = masked_addr(&mut b, base, x, mask);
+                b.load(a, pick(&mut rng, &WIDTHS))
+            }
+            _ => {
+                let x = pick(&mut rng, &body_pool);
+                let val = pick(&mut rng, &body_pool);
+                let a = masked_addr(&mut b, base, x, mask);
+                b.store(a, val, pick(&mut rng, &WIDTHS));
+                continue;
+            }
+        };
+        body_pool.push(v);
+    }
+    let diamond_cond = b.cmp(
+        pick(&mut rng, &CMP_OPS),
+        pick(&mut rng, &body_pool),
+        pick(&mut rng, &body_pool),
+    );
+    b.branch(diamond_cond, then_b, else_b);
+
+    // Diamond arms: one op each (arm-local defs reach only the join phi).
+    b.switch_to(then_b);
+    let tv = b.bin(
+        pick(&mut rng, &BIN_OPS),
+        pick(&mut rng, &body_pool),
+        pick(&mut rng, &body_pool),
+    );
+    b.jump(join);
+    b.switch_to(else_b);
+    let ev = b.bin(
+        pick(&mut rng, &BIN_OPS),
+        pick(&mut rng, &body_pool),
+        pick(&mut rng, &body_pool),
+    );
+    b.jump(join);
+
+    b.switch_to(join);
+    let merged = b.phi();
+    b.set_phi_incoming(merged, &[(then_b, tv), (else_b, ev)]);
+    let mut join_pool = body_pool.clone();
+    join_pool.push(merged);
+    if rng.next_u64().is_multiple_of(2) {
+        let x = pick(&mut rng, &join_pool);
+        let a = masked_addr(&mut b, base, merged, mask);
+        b.store(a, x, pick(&mut rng, &WIDTHS));
+    }
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.jump(header);
+
+    b.switch_to(exit);
+    if rng.next_u64().is_multiple_of(8) {
+        b.ret(None);
+    } else {
+        b.ret(Some(pick(&mut rng, &header_pool)));
+    }
+
+    // Loop-carried values: anything that dominates the join's jump. Using
+    // other phis as sources exercises the parallel-move cycle breaker.
+    b.set_phi_incoming(i, &[(entry, zero), (join, i2)]);
+    for &acc in &accs {
+        let carried = pick(&mut rng, &join_pool);
+        b.set_phi_incoming(
+            acc,
+            &[(entry, pick(&mut rng, &entry_pool)), (join, carried)],
+        );
+    }
+    b.finish().expect("generated kernel must verify")
+}
+
+proptest! {
+    #[test]
+    fn random_kernels_trace_identically(seed in 0u64..1_000_000_000, trips in 0u64..6) {
+        let k = random_kernel(seed);
+        let mut rng = Rng::new(seed ^ 0xDEAD_BEEF);
+        let image: Vec<u8> = (0..BUF_BYTES).map(|_| rng.next_u64() as u8).collect();
+        let events = assert_equivalent(&k, &[0, trips as i64], &image);
+        prop_assert!(events >= 1);
+    }
+}
+
+#[test]
+fn phi_cycle_kernels_trace_identically() {
+    // Dedicated sweep for phi permutation cycles: rotate three values
+    // through a loop, which the decoder must lower through its scratch slot.
+    let mut b = KernelBuilder::new("rot3", 1);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    let n = b.arg(0);
+    let zero = b.constant(0);
+    let c1 = b.constant(10);
+    let c2 = b.constant(20);
+    let c3 = b.constant(30);
+    b.jump(header);
+    b.switch_to(header);
+    let i = b.phi();
+    let x = b.phi();
+    let y = b.phi();
+    let z = b.phi();
+    let cont = b.cmp(CmpOp::Lt, i, n);
+    b.branch(cont, body, exit);
+    b.switch_to(body);
+    let one = b.constant(1);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.jump(header);
+    b.switch_to(exit);
+    let xy = b.bin(BinOp::Mul, x, y);
+    let xyz = b.bin(BinOp::Sub, xy, z);
+    b.ret(Some(xyz));
+    b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+    // x <- y <- z <- x: a 3-cycle on the latch edge.
+    b.set_phi_incoming(x, &[(entry, c1), (body, y)]);
+    b.set_phi_incoming(y, &[(entry, c2), (body, z)]);
+    b.set_phi_incoming(z, &[(entry, c3), (body, x)]);
+    let k = b.finish().unwrap();
+    for trips in 0..7 {
+        assert_equivalent(&k, &[trips], &[]);
+    }
+}
+
+#[test]
+fn resume_state_is_isolated_per_interp() {
+    // Two interps over one shared decoded program, paused at different
+    // loads, must not interfere (the decode cache is immutable state).
+    let w = small_suite(9).remove(0); // vecadd
+    let (args, image) = workload_layout(&w, 1 << 20);
+    let dk = Arc::new(svmsyn_hls::DecodedKernel::decode(&w.app.threads[0].kernel));
+    let mut a = Interp::from_decoded(Arc::clone(&dk), &args);
+    let mut b = Interp::from_decoded(Arc::clone(&dk), &args);
+    let mut mem_a = image.clone();
+    let mut mem_b = image;
+    // Drive `a` two loads ahead of `b`, then let both finish; results agree.
+    let drive = |i: &mut Interp, m: &mut Vec<u8>, stop_after_loads: u64| -> Option<InterpEvent> {
+        let mut loads = 0;
+        loop {
+            match i.next() {
+                InterpEvent::Load { addr, width } => {
+                    i.provide_load(SliceMemory(m).read(addr, width));
+                    loads += 1;
+                    if loads == stop_after_loads {
+                        return None;
+                    }
+                }
+                InterpEvent::Store { addr, width, value } => {
+                    SliceMemory(m).write(addr, width, value)
+                }
+                e @ InterpEvent::Done { .. } => return Some(e),
+                _ => {}
+            }
+        }
+    };
+    assert!(drive(&mut a, &mut mem_a, 2).is_none());
+    let done_b = drive(&mut b, &mut mem_b, u64::MAX).unwrap();
+    let done_a = drive(&mut a, &mut mem_a, u64::MAX).unwrap();
+    assert_eq!(done_a, done_b);
+    assert_eq!(mem_a, mem_b);
+}
