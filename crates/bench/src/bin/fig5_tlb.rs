@@ -9,12 +9,13 @@ use svmsyn::platform::Platform;
 use svmsyn::report::{fmt_cycles, Table};
 use svmsyn_bench::{hw_design, run_checked};
 use svmsyn_vm::tlb::TlbConfig;
+use svmsyn_vm::walker::WalkerConfig;
 use svmsyn_workloads::{chase::chase, streaming::vecadd, Workload};
 
-fn run_series(w: &Workload, entries: usize, walk_cache: usize) -> (u64, f64, f64) {
+fn run_series(w: &Workload, entries: usize, walk_cache: WalkerConfig) -> (u64, f64, f64) {
     let mut platform = Platform::default();
     platform.memif.mmu.tlb = TlbConfig::fully_associative(entries);
-    platform.memif.mmu.walker.walk_cache_entries = walk_cache;
+    platform.memif.mmu.walker = walk_cache;
     let design = hw_design(w, &platform);
     let outcome = run_checked(w, &design);
     let stats = outcome.threads[0].stats();
@@ -27,11 +28,14 @@ fn run_series(w: &Workload, entries: usize, walk_cache: usize) -> (u64, f64, f64
 
 fn main() {
     let walk_cache = if std::env::args().any(|a| a == "--no-walk-cache") {
-        0
+        WalkerConfig::disabled()
     } else {
-        4
+        WalkerConfig::default()
     };
-    println!("walk cache entries: {walk_cache}");
+    println!(
+        "walk cache entries: l1={} l2={}",
+        walk_cache.l1_entries, walk_cache.l2_entries
+    );
     let streaming = vecadd(8192, 42);
     let pointer = chase(4096, 8192, 42);
     let mut t = Table::new(

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use svmsyn_sim::{Cycle, FabricResources, Xoshiro256ss};
+use svmsyn_vm::walker::WalkerConfig;
 
 use crate::app::Application;
 use crate::flow::{synthesize, Placement};
@@ -44,7 +45,7 @@ pub enum DseMethod {
 }
 
 /// DSE options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DseConfig {
     /// Search strategy.
     pub method: DseMethod,
@@ -53,15 +54,22 @@ pub struct DseConfig {
     /// Worker threads for batch candidate evaluation; `0` means one per
     /// available core. `1` forces the serial sweep.
     pub threads: usize,
+    /// Walk-cache geometries to sweep as an extra design axis: the placement
+    /// search runs once per variant (each pays its own fabric cost and walks
+    /// with its own cache). Empty means the platform's configured walker
+    /// only.
+    pub walker_axis: Vec<WalkerConfig>,
 }
 
 impl Default for DseConfig {
-    /// Greedy search with default simulation options, auto-parallel.
+    /// Greedy search with default simulation options, auto-parallel, no
+    /// walk-cache sweep.
     fn default() -> Self {
         DseConfig {
             method: DseMethod::Greedy,
             sim: SimConfig::default(),
             threads: 0,
+            walker_axis: Vec::new(),
         }
     }
 }
@@ -71,6 +79,8 @@ impl Default for DseConfig {
 pub struct DsePoint {
     /// The placement vector.
     pub placements: Vec<Placement>,
+    /// The per-thread walk-cache geometry this point was evaluated with.
+    pub walker: WalkerConfig,
     /// Fabric usage of the design.
     pub resources: FabricResources,
     /// Simulated makespan.
@@ -132,6 +142,7 @@ fn evaluate(
     let outcome = simulate(&design, sim).ok()?;
     Some(DsePoint {
         placements: placements.to_vec(),
+        walker: platform.memif.mmu.walker,
         resources: design.total_resources,
         makespan: outcome.makespan,
     })
@@ -161,12 +172,21 @@ fn pareto_front(mut feasible: Vec<DsePoint>) -> Vec<DsePoint> {
 }
 
 /// The memoizing, batching evaluation engine behind every search method.
+///
+/// The walk-cache axis adds a second memo dimension: one memo table per
+/// variant, so revisits of a placement under the same walker geometry never
+/// re-simulate while distinct geometries stay distinct points — and probes
+/// still borrow the placement slice (no per-lookup allocation).
 struct Evaluator<'a> {
     app: &'a Application,
-    platform: &'a Platform,
+    /// One platform per walk-cache variant, in axis order.
+    variants: Vec<Platform>,
+    /// Index into `variants` the search is currently exploring.
+    current: usize,
     sim: SimConfig,
     workers: usize,
-    memo: HashMap<Vec<Placement>, Option<DsePoint>>,
+    /// One memo table per walk-cache variant, keyed by placement vector.
+    memo: Vec<HashMap<Vec<Placement>, Option<DsePoint>>>,
     evaluated: usize,
     cache_hits: usize,
 }
@@ -178,26 +198,40 @@ impl<'a> Evaluator<'a> {
         } else {
             cfg.threads
         };
+        let variants: Vec<Platform> = if cfg.walker_axis.is_empty() {
+            vec![platform.clone()]
+        } else {
+            cfg.walker_axis
+                .iter()
+                .map(|w| platform.with_walker(*w))
+                .collect()
+        };
+        let memo = vec![HashMap::new(); variants.len()];
         Evaluator {
             app,
-            platform,
+            variants,
+            current: 0,
             sim: cfg.sim,
             workers,
-            memo: HashMap::new(),
+            memo,
             evaluated: 0,
             cache_hits: 0,
         }
     }
 
+    fn platform(&self) -> &Platform {
+        &self.variants[self.current]
+    }
+
     /// Evaluates one candidate, consulting the memo table first.
     fn eval_one(&mut self, placements: &[Placement]) -> Option<DsePoint> {
         self.evaluated += 1;
-        if let Some(cached) = self.memo.get(placements) {
+        if let Some(cached) = self.memo[self.current].get(placements) {
             self.cache_hits += 1;
             return cached.clone();
         }
-        let point = evaluate(self.app, self.platform, placements, &self.sim);
-        self.memo.insert(placements.to_vec(), point.clone());
+        let point = evaluate(self.app, self.platform(), placements, &self.sim);
+        self.memo[self.current].insert(placements.to_vec(), point.clone());
         point
     }
 
@@ -206,10 +240,11 @@ impl<'a> Evaluator<'a> {
     /// callers observe exactly the serial sweep's sequence.
     fn eval_batch(&mut self, candidates: &[Vec<Placement>]) -> Vec<Option<DsePoint>> {
         self.evaluated += candidates.len();
+        let variant = self.current;
         let mut misses: Vec<&Vec<Placement>> = Vec::new();
         let mut seen: HashSet<&Vec<Placement>> = HashSet::new();
         for c in candidates {
-            if !self.memo.contains_key(c) && seen.insert(c) {
+            if !self.memo[variant].contains_key(c) && seen.insert(c) {
                 misses.push(c);
             }
         }
@@ -217,8 +252,8 @@ impl<'a> Evaluator<'a> {
 
         if misses.len() <= 1 || self.workers <= 1 {
             for c in misses {
-                let point = evaluate(self.app, self.platform, c, &self.sim);
-                self.memo.insert(c.clone(), point);
+                let point = evaluate(self.app, &self.variants[variant], c, &self.sim);
+                self.memo[variant].insert(c.clone(), point);
             }
         } else {
             // Work stealing via a shared atomic claim index: per-candidate
@@ -231,7 +266,7 @@ impl<'a> Evaluator<'a> {
             // observable result — the parallel sweep stays bit-identical to
             // the serial one.
             let workers = self.workers.min(misses.len());
-            let (app, platform, sim) = (self.app, self.platform, &self.sim);
+            let (app, platform, sim) = (self.app, &self.variants[variant], &self.sim);
             let misses = &misses;
             let next = AtomicUsize::new(0);
             let results: Vec<(Vec<Placement>, Option<DsePoint>)> = thread::scope(|scope| {
@@ -253,10 +288,13 @@ impl<'a> Evaluator<'a> {
                     .flat_map(|h| h.join().expect("DSE worker panicked"))
                     .collect()
             });
-            self.memo.extend(results);
+            self.memo[variant].extend(results);
         }
 
-        candidates.iter().map(|c| self.memo[c].clone()).collect()
+        candidates
+            .iter()
+            .map(|c| self.memo[variant][c].clone())
+            .collect()
     }
 }
 
@@ -275,106 +313,112 @@ pub fn explore(
     let mut ev = Evaluator::new(app, platform, cfg);
     let mut feasible: Vec<DsePoint> = Vec::new();
 
-    match cfg.method {
-        DseMethod::Exhaustive => {
-            if eligible.len() > 12 {
-                return Err(DseError::TooManyEligible {
-                    eligible: eligible.len(),
-                });
-            }
-            let candidates: Vec<Vec<Placement>> = (0..(1u64 << eligible.len()))
-                .map(|mask| placements_from_mask(app, &eligible, mask))
-                .collect();
-            for point in ev.eval_batch(&candidates).into_iter().flatten() {
-                feasible.push(point);
-            }
-        }
-        DseMethod::Greedy => {
-            let mut current = placements_from_mask(app, &eligible, 0);
-            let mut best = ev.eval_one(&current);
-            if let Some(p) = &best {
-                feasible.push(p.clone());
-            }
-            loop {
-                // One greedy round: all single-thread promotions are
-                // independent, so evaluate them as one parallel batch.
-                let moves: Vec<usize> = eligible
-                    .iter()
-                    .copied()
-                    .filter(|&t| current[t] != Placement::Hardware)
+    // The walk-cache axis: run the placement search once per walker
+    // geometry. Each variant pays its own fabric cost and simulates with
+    // its own walk caches, so its points land on the shared Pareto front.
+    for variant in 0..ev.variants.len() {
+        ev.current = variant;
+        match cfg.method {
+            DseMethod::Exhaustive => {
+                if eligible.len() > 12 {
+                    return Err(DseError::TooManyEligible {
+                        eligible: eligible.len(),
+                    });
+                }
+                let candidates: Vec<Vec<Placement>> = (0..(1u64 << eligible.len()))
+                    .map(|mask| placements_from_mask(app, &eligible, mask))
                     .collect();
-                let candidates: Vec<Vec<Placement>> = moves
-                    .iter()
-                    .map(|&t| {
-                        let mut cand = current.clone();
-                        cand[t] = Placement::Hardware;
-                        cand
-                    })
-                    .collect();
-                let mut improvement: Option<(usize, DsePoint)> = None;
-                for (&t, point) in moves.iter().zip(ev.eval_batch(&candidates)) {
-                    if let Some(point) = point {
-                        feasible.push(point.clone());
-                        let better = match (&best, &improvement) {
-                            (Some(b), Some((_, cur))) => {
-                                point.makespan < b.makespan && point.makespan < cur.makespan
-                            }
-                            (Some(b), None) => point.makespan < b.makespan,
-                            (None, Some((_, cur))) => point.makespan < cur.makespan,
-                            (None, None) => true,
-                        };
-                        if better {
-                            improvement = Some((t, point));
-                        }
-                    }
-                }
-                match improvement {
-                    Some((t, point)) => {
-                        current[t] = Placement::Hardware;
-                        best = Some(point);
-                    }
-                    None => break,
+                for point in ev.eval_batch(&candidates).into_iter().flatten() {
+                    feasible.push(point);
                 }
             }
-        }
-        DseMethod::Anneal { iters, seed } => {
-            // Annealing is inherently sequential (each step depends on the
-            // previous acceptance), but the memo table still removes every
-            // revisit of an already-simulated placement.
-            let mut rng = Xoshiro256ss::new(seed);
-            let mut current = placements_from_mask(app, &eligible, 0);
-            let mut current_point = ev.eval_one(&current);
-            if let Some(p) = &current_point {
-                feasible.push(p.clone());
-            }
-            for step in 0..iters {
-                if eligible.is_empty() {
-                    break;
+            DseMethod::Greedy => {
+                let mut current = placements_from_mask(app, &eligible, 0);
+                let mut best = ev.eval_one(&current);
+                if let Some(p) = &best {
+                    feasible.push(p.clone());
                 }
-                let t = eligible[rng.range(eligible.len() as u64) as usize];
-                let mut cand = current.clone();
-                cand[t] = match cand[t] {
-                    Placement::Hardware => Placement::Software,
-                    Placement::Software => Placement::Hardware,
-                };
-                if let Some(point) = ev.eval_one(&cand) {
-                    feasible.push(point.clone());
-                    let temperature = 1.0 - (step as f64 / iters.max(1) as f64);
-                    let accept = match &current_point {
-                        None => true,
-                        Some(cur) => {
-                            if point.makespan <= cur.makespan {
-                                true
-                            } else {
-                                let delta = (point.makespan.0 - cur.makespan.0) as f64
-                                    / cur.makespan.0.max(1) as f64;
-                                rng.chance((-delta / temperature.max(1e-3)).exp() * 0.5)
+                loop {
+                    // One greedy round: all single-thread promotions are
+                    // independent, so evaluate them as one parallel batch.
+                    let moves: Vec<usize> = eligible
+                        .iter()
+                        .copied()
+                        .filter(|&t| current[t] != Placement::Hardware)
+                        .collect();
+                    let candidates: Vec<Vec<Placement>> = moves
+                        .iter()
+                        .map(|&t| {
+                            let mut cand = current.clone();
+                            cand[t] = Placement::Hardware;
+                            cand
+                        })
+                        .collect();
+                    let mut improvement: Option<(usize, DsePoint)> = None;
+                    for (&t, point) in moves.iter().zip(ev.eval_batch(&candidates)) {
+                        if let Some(point) = point {
+                            feasible.push(point.clone());
+                            let better = match (&best, &improvement) {
+                                (Some(b), Some((_, cur))) => {
+                                    point.makespan < b.makespan && point.makespan < cur.makespan
+                                }
+                                (Some(b), None) => point.makespan < b.makespan,
+                                (None, Some((_, cur))) => point.makespan < cur.makespan,
+                                (None, None) => true,
+                            };
+                            if better {
+                                improvement = Some((t, point));
                             }
                         }
+                    }
+                    match improvement {
+                        Some((t, point)) => {
+                            current[t] = Placement::Hardware;
+                            best = Some(point);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            DseMethod::Anneal { iters, seed } => {
+                // Annealing is inherently sequential (each step depends on the
+                // previous acceptance), but the memo table still removes every
+                // revisit of an already-simulated placement.
+                let mut rng = Xoshiro256ss::new(seed);
+                let mut current = placements_from_mask(app, &eligible, 0);
+                let mut current_point = ev.eval_one(&current);
+                if let Some(p) = &current_point {
+                    feasible.push(p.clone());
+                }
+                for step in 0..iters {
+                    if eligible.is_empty() {
+                        break;
+                    }
+                    let t = eligible[rng.range(eligible.len() as u64) as usize];
+                    let mut cand = current.clone();
+                    cand[t] = match cand[t] {
+                        Placement::Hardware => Placement::Software,
+                        Placement::Software => Placement::Hardware,
                     };
-                    if accept {
-                        current = cand;
-                        current_point = Some(point);
+                    if let Some(point) = ev.eval_one(&cand) {
+                        feasible.push(point.clone());
+                        let temperature = 1.0 - (step as f64 / iters.max(1) as f64);
+                        let accept = match &current_point {
+                            None => true,
+                            Some(cur) => {
+                                if point.makespan <= cur.makespan {
+                                    true
+                                } else {
+                                    let delta = (point.makespan.0 - cur.makespan.0) as f64
+                                        / cur.makespan.0.max(1) as f64;
+                                    rng.chance((-delta / temperature.max(1e-3)).exp() * 0.5)
+                                }
+                            }
+                        };
+                        if accept {
+                            current = cand;
+                            current_point = Some(point);
+                        }
                     }
                 }
             }
@@ -386,10 +430,15 @@ pub fn explore(
         .min_by_key(|p| p.makespan)
         .cloned()
         .ok_or(DseError::NoFeasiblePoint)?;
-    // Dedup identical placements before the front (heuristics revisit).
+    // Dedup identical design points before the front (heuristics revisit);
+    // the same placement under a different walk-cache geometry is a
+    // distinct point.
     let mut unique: Vec<DsePoint> = Vec::new();
     for p in feasible {
-        if !unique.iter().any(|q| q.placements == p.placements) {
+        if !unique
+            .iter()
+            .any(|q| q.placements == p.placements && q.walker == p.walker)
+        {
             unique.push(p);
         }
     }
@@ -530,6 +579,7 @@ mod tests {
                 method: DseMethod::Exhaustive,
                 sim: fast_sim(),
                 threads: 1,
+                ..DseConfig::default()
             },
         )
         .unwrap();
@@ -540,6 +590,7 @@ mod tests {
                 method: DseMethod::Exhaustive,
                 sim: fast_sim(),
                 threads: 4,
+                ..DseConfig::default()
             },
         )
         .unwrap();
@@ -605,6 +656,72 @@ mod tests {
             assert!(w[0].resources.lut <= w[1].resources.lut);
             assert!(w[0].makespan > w[1].makespan, "front must strictly improve");
         }
+    }
+
+    #[test]
+    fn walk_cache_axis_explores_every_variant() {
+        use svmsyn_vm::walker::WalkerConfig;
+        let a = app(2, 64);
+        let axis = vec![
+            WalkerConfig::disabled(),
+            WalkerConfig::l1_only(4),
+            WalkerConfig::two_level(4, 16),
+        ];
+        let r = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+                walker_axis: axis.clone(),
+                ..DseConfig::default()
+            },
+        )
+        .unwrap();
+        // 4 placements x 3 walker variants, every variant represented.
+        assert_eq!(r.evaluated, 12);
+        for w in &axis {
+            assert!(
+                r.feasible.iter().any(|p| p.walker == *w),
+                "axis variant {w:?} missing from feasible set"
+            );
+        }
+        assert!(axis.contains(&r.best.walker));
+        // Same placement, different walker => distinct design points with
+        // different fabric cost for any point that has hardware threads.
+        let all_hw: Vec<_> = r
+            .feasible
+            .iter()
+            .filter(|p| p.placements.iter().all(|pl| *pl == Placement::Hardware))
+            .collect();
+        assert_eq!(all_hw.len(), 3);
+        assert!(all_hw[0].resources.lut < all_hw[2].resources.lut);
+    }
+
+    #[test]
+    fn walk_cache_axis_memoizes_per_variant() {
+        use svmsyn_vm::walker::WalkerConfig;
+        let a = app(2, 64);
+        let r = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Anneal { iters: 12, seed: 3 },
+                sim: fast_sim(),
+                walker_axis: vec![WalkerConfig::disabled(), WalkerConfig::two_level(4, 8)],
+                ..DseConfig::default()
+            },
+        )
+        .unwrap();
+        // 2 variants x 4 distinct placements: everything beyond 8 unique
+        // simulations must come from the memo table.
+        assert!(r.evaluated > 8);
+        assert!(
+            r.cache_hits >= r.evaluated - 8,
+            "revisits must hit the per-variant memo ({} evaluated, {} hits)",
+            r.evaluated,
+            r.cache_hits
+        );
     }
 
     #[test]

@@ -51,6 +51,14 @@ impl Default for Platform {
 }
 
 impl Platform {
+    /// The same platform with the per-thread page-table-walker geometry
+    /// replaced — the variant constructor behind the DSE walk-cache axis.
+    pub fn with_walker(&self, walker: svmsyn_vm::walker::WalkerConfig) -> Self {
+        let mut p = self.clone();
+        p.memif.mmu.walker = walker;
+        p
+    }
+
     /// A smaller Zynq-7010-class budget, useful to make the DSE budget
     /// binding in experiments.
     pub fn small() -> Self {

@@ -148,6 +148,23 @@ impl SimOutcome {
             stats.put("makespan", self.makespan.0 as f64);
             stats.absorb("os", self.os.stats());
             stats.absorb("mem", self.mem.stats());
+            // System-wide walker health: the hardware threads' per-level
+            // walk-cache hit rates, aggregated over all MMUs. Software
+            // threads have no walker and contribute nothing.
+            let (mut walks, mut l1_hits, mut l2_hits) = (0.0, 0.0, 0.0);
+            for t in &self.threads {
+                let s = t.stats();
+                if let Some(w) = s.get("memif.mmu.walker.walks") {
+                    walks += w;
+                    l1_hits += s.get("memif.mmu.walker.l1_walk_hits").unwrap_or(0.0)
+                        + s.get("memif.mmu.walker.dir_coalesced").unwrap_or(0.0);
+                    l2_hits += s.get("memif.mmu.walker.l2_walk_hits").unwrap_or(0.0);
+                }
+            }
+            stats.put("vm.walks", walks);
+            let rate = |hits: f64| if walks > 0.0 { hits / walks } else { 0.0 };
+            stats.put("vm.l1_walk_hit_rate", rate(l1_hits));
+            stats.put("vm.l2_walk_hit_rate", rate(l2_hits));
             stats
         })
     }

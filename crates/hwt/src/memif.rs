@@ -75,6 +75,24 @@ pub struct MemifFault {
     pub done: Cycle,
 }
 
+/// Splits an access into its per-line chunks: `(start va, byte count)`.
+/// Accesses are at most 8 bytes, so this is one chunk in the common case
+/// and two or three when the access straddles line boundaries.
+fn access_chunks(line_bytes: u64, va: VirtAddr, len: u64) -> Vec<(VirtAddr, u64)> {
+    // Only called once the single-line fast path has been ruled out, so
+    // there are always at least two chunks.
+    let mut chunks = Vec::with_capacity(2);
+    let mut off = 0u64;
+    while off < len {
+        let cur = VirtAddr(va.0 + off);
+        let line_end = (cur.0 & !(line_bytes - 1)) + line_bytes;
+        let n = (line_end - cur.0).min(len - off);
+        chunks.push((cur, n));
+        off += n;
+    }
+    chunks
+}
+
 /// The per-thread memory interface (MMU + burst cache).
 ///
 /// # Example
@@ -175,6 +193,61 @@ impl Memif {
         }
     }
 
+    /// Resolves a page-crossing access's chunks as one batched MMU epoch:
+    /// the translations issue together and misses share the walker's
+    /// directory-coalescing [`walk_many`] path. The earliest faulting chunk
+    /// wins (the retry re-executes the whole access).
+    ///
+    /// [`walk_many`]: svmsyn_vm::walker::PageTableWalker::walk_many
+    fn resolve_batch(
+        &mut self,
+        mem: &mut MemorySystem,
+        chunks: &[(VirtAddr, u64)],
+        access: Access,
+        now: Cycle,
+    ) -> Result<Vec<(PhysAddr, Cycle)>, MemifFault> {
+        let accesses: Vec<(VirtAddr, Access)> =
+            chunks.iter().map(|&(va, _)| (va, access)).collect();
+        let mut out = Vec::with_capacity(chunks.len());
+        for tr in self.mmu.translate_many(mem, &accesses, now) {
+            match tr {
+                Ok(tr) => out.push((tr.paddr, tr.done)),
+                Err(e) => {
+                    self.faults += 1;
+                    return Err(MemifFault {
+                        fault: e.fault,
+                        done: e.done,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batches the chunk translations when the access crosses a page
+    /// boundary (only then can more than one translation miss at once);
+    /// same-page chunks keep the incremental per-chunk resolve.
+    fn maybe_batch(
+        &mut self,
+        mem: &mut MemorySystem,
+        chunks: &[(VirtAddr, u64)],
+        access: Access,
+        now: Cycle,
+    ) -> Result<Option<Vec<(PhysAddr, Cycle)>>, MemifFault> {
+        let crosses_page = chunks.first().map(|c| c.0.vpn()) != chunks.last().map(|c| c.0.vpn());
+        if self.cfg.mode == MemifMode::Virtual && crosses_page {
+            Ok(Some(self.resolve_batch(mem, chunks, access, now)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Whether an access of `len` bytes at `va` stays within one burst line.
+    #[inline]
+    fn fits_one_line(&self, va: VirtAddr, len: u64) -> bool {
+        va.0 + len <= (va.0 & !(self.cfg.line_bytes - 1)) + self.cfg.line_bytes
+    }
+
     /// Charges the timing of one cached access at physical address `pa`.
     fn charge(&mut self, mem: &mut MemorySystem, pa: PhysAddr, write: bool, now: Cycle) -> Cycle {
         let line = self.cfg.line_bytes;
@@ -206,14 +279,24 @@ impl Memif {
         self.loads += 1;
         let len = width.bytes();
         let mut bytes = [0u8; 8];
+        // Fast path: the access fits inside one line (the overwhelmingly
+        // common case) — one translation, one charge, no chunk list.
+        if self.fits_one_line(va, len) {
+            let (pa, ready) = self.resolve(mem, va, Access::Read, now)?;
+            let t = self.charge(mem, pa, false, ready);
+            mem.dump(pa, &mut bytes[..len as usize]);
+            return Ok((u64::from_le_bytes(bytes), t));
+        }
+        let chunks = access_chunks(self.cfg.line_bytes, va, len);
+        let batched = self.maybe_batch(mem, &chunks, Access::Read, now)?;
         let mut t = now;
         let mut off = 0u64;
-        while off < len {
-            let cur = VirtAddr(va.0 + off);
-            let line_end = (cur.0 & !(self.cfg.line_bytes - 1)) + self.cfg.line_bytes;
-            let n = (line_end - cur.0).min(len - off);
-            let (pa, t_tr) = self.resolve(mem, cur, Access::Read, t)?;
-            t = self.charge(mem, pa, false, t_tr);
+        for (i, &(cur, n)) in chunks.iter().enumerate() {
+            let (pa, ready) = match &batched {
+                Some(b) => b[i],
+                None => self.resolve(mem, cur, Access::Read, t)?,
+            };
+            t = self.charge(mem, pa, false, t.max(ready));
             mem.dump(pa, &mut bytes[off as usize..(off + n) as usize]);
             off += n;
         }
@@ -237,14 +320,23 @@ impl Memif {
         self.stores += 1;
         let len = width.bytes();
         let data = raw.to_le_bytes();
+        if self.fits_one_line(va, len) {
+            let (pa, ready) = self.resolve(mem, va, Access::Write, now)?;
+            let t = self.charge(mem, pa, true, ready);
+            // Bytes land in memory immediately (functional coherence).
+            mem.load(pa, &data[..len as usize]);
+            return Ok(t);
+        }
+        let chunks = access_chunks(self.cfg.line_bytes, va, len);
+        let batched = self.maybe_batch(mem, &chunks, Access::Write, now)?;
         let mut t = now;
         let mut off = 0u64;
-        while off < len {
-            let cur = VirtAddr(va.0 + off);
-            let line_end = (cur.0 & !(self.cfg.line_bytes - 1)) + self.cfg.line_bytes;
-            let n = (line_end - cur.0).min(len - off);
-            let (pa, t_tr) = self.resolve(mem, cur, Access::Write, t)?;
-            t = self.charge(mem, pa, true, t_tr);
+        for (i, &(cur, n)) in chunks.iter().enumerate() {
+            let (pa, ready) = match &batched {
+                Some(b) => b[i],
+                None => self.resolve(mem, cur, Access::Write, t)?,
+            };
+            t = self.charge(mem, pa, true, t.max(ready));
             // Bytes land in memory immediately (functional coherence).
             mem.load(pa, &data[off as usize..(off + n) as usize]);
             off += n;

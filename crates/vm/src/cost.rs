@@ -48,13 +48,17 @@ pub fn tlb_cost(cfg: &TlbConfig) -> FabricResources {
     }
 }
 
-/// Estimated fabric cost of the page-table walker (two-level FSM plus the
-/// optional walk cache).
+/// Estimated fabric cost of the page-table walker: the two-level FSM with
+/// the pipelined issue path, plus the per-level walk caches. Directory
+/// entries are narrow (a table PFN); leaf slots carry the full decoded PTE
+/// and its physical address, so an L2 entry costs more registers but less
+/// match logic (it is probed once, not per level).
 pub fn walker_cost(cfg: &WalkerConfig) -> FabricResources {
-    let wc = cfg.walk_cache_entries as u64;
+    let l1 = cfg.l1_entries as u64;
+    let l2 = cfg.l2_entries as u64;
     FabricResources {
-        lut: 420 + 60 * wc,
-        ff: 380 + 40 * wc,
+        lut: 420 + 60 * l1 + 42 * l2,
+        ff: 380 + 40 * l1 + 58 * l2,
         dsp: 0,
         bram36: 0,
     }
@@ -125,14 +129,13 @@ mod tests {
     }
 
     #[test]
-    fn walker_cache_adds_cost() {
-        let none = walker_cost(&WalkerConfig {
-            walk_cache_entries: 0,
-        });
-        let four = walker_cost(&WalkerConfig {
-            walk_cache_entries: 4,
-        });
-        assert!(four.lut > none.lut);
+    fn walker_cache_adds_cost_per_level() {
+        let none = walker_cost(&WalkerConfig::disabled());
+        let l1_only = walker_cost(&WalkerConfig::l1_only(4));
+        let two_level = walker_cost(&WalkerConfig::two_level(4, 8));
+        assert!(l1_only.lut > none.lut);
+        assert!(two_level.lut > l1_only.lut);
+        assert!(two_level.ff > l1_only.ff);
         assert_eq!(none.lut, 420);
     }
 

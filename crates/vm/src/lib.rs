@@ -9,7 +9,9 @@
 //! * [`tlb`] — the parametric, ASID-tagged TLB whose geometry is the central
 //!   sizing knob of the VM infrastructure.
 //! * [`walker`] — the hardware page-table walker: two dependent timed bus
-//!   reads per miss, with an optional directory walk cache.
+//!   reads per miss, short-circuited by a two-level walk cache (directory
+//!   entries and leaf PTEs), with a pipelined issue path and batched
+//!   miss-coalescing walks.
 //! * [`mmu`] — the per-thread MMU combining the two and reporting faults for
 //!   OS service.
 //! * [`cost`] — fabric-resource and Fmax estimates (Table 1's formulas).

@@ -189,10 +189,18 @@ impl Mmu {
         &self.tlb
     }
 
+    /// Read-only walker view (conformance checking reads its predicted bus
+    /// counts and per-level hit counters).
+    pub fn walker(&self) -> &PageTableWalker {
+        &self.walker
+    }
+
     /// Invalidates one page translation (after the OS unmaps or remaps it).
+    /// Precise on both the TLB and the walk caches: other pages' cached
+    /// state stays warm.
     pub fn invalidate_page(&mut self, asid: Asid, va: VirtAddr) {
         self.tlb.invalidate_page(asid, va.vpn());
-        self.walker.invalidate_cache();
+        self.walker.invalidate_page(asid, va);
     }
 
     /// Full shootdown (context destruction).
@@ -248,37 +256,7 @@ impl Mmu {
             .walker
             .walk(mem, self.master, root, asid, va, now + hit_cost);
         match walk.outcome {
-            Ok(out) => {
-                let flags = out.pte.flags();
-                if !flags.user {
-                    self.faults += 1;
-                    return Err(FaultedTranslation {
-                        fault: VmFault::Protection { va, access },
-                        done: walk.done,
-                    });
-                }
-                if access == Access::Write && !flags.writable {
-                    self.faults += 1;
-                    return Err(FaultedTranslation {
-                        fault: VmFault::Protection { va, access },
-                        done: walk.done,
-                    });
-                }
-                // Status-bit write-back, folded into the walk cost.
-                let mut updated = out.pte.with_accessed();
-                if access == Access::Write {
-                    updated = updated.with_dirty();
-                }
-                if updated != out.pte {
-                    mem.poke_u32(out.pte_addr, updated.encode());
-                }
-                self.tlb.insert(asid, va.vpn(), out.pte.pfn(), flags);
-                Ok(Translated {
-                    paddr: PhysAddr::from_frame(out.pte.pfn()).offset(va.page_offset()),
-                    done: walk.done,
-                    tlb_hit: false,
-                })
-            }
+            Ok(out) => self.admit_walk(mem, asid, va, access, out),
             Err(WalkError::NoTable { .. }) | Err(WalkError::NotPresent { .. }) => {
                 self.faults += 1;
                 Err(FaultedTranslation {
@@ -287,6 +265,125 @@ impl Mmu {
                 })
             }
         }
+    }
+
+    /// Checks permissions for a successful walk/TLB hit and finishes the
+    /// translation bookkeeping (status-bit write-back, TLB fill).
+    fn admit_walk(
+        &mut self,
+        mem: &mut MemorySystem,
+        asid: Asid,
+        va: VirtAddr,
+        access: Access,
+        out: crate::walker::WalkOutcome,
+    ) -> Result<Translated, FaultedTranslation> {
+        let flags = out.pte.flags();
+        if !flags.user || (access == Access::Write && !flags.writable) {
+            self.faults += 1;
+            return Err(FaultedTranslation {
+                fault: VmFault::Protection { va, access },
+                done: out.done,
+            });
+        }
+        // Status-bit write-back, folded into the walk cost.
+        let mut updated = out.pte.with_accessed();
+        if access == Access::Write {
+            updated = updated.with_dirty();
+        }
+        if updated != out.pte {
+            mem.poke_u32(out.pte_addr, updated.encode());
+        }
+        self.tlb.insert(asid, va.vpn(), out.pte.pfn(), flags);
+        Ok(Translated {
+            paddr: PhysAddr::from_frame(out.pte.pfn()).offset(va.page_offset()),
+            done: out.done,
+            tlb_hit: false,
+        })
+    }
+
+    /// Translates a batch of accesses that are all outstanding at `now` (a
+    /// page-crossing access, or several hardware threads' misses gathered in
+    /// one epoch). TLB hits resolve per entry; the misses go to the walker's
+    /// batched [`walk_many`](crate::walker::PageTableWalker::walk_many)
+    /// entry point, which coalesces reads to the same directory line.
+    ///
+    /// Results come back in request order; each is exactly what
+    /// [`translate`](Self::translate) would return for that request, modulo
+    /// the shared walk timing. Requests resolve *independently*: a batch
+    /// with several faulting requests counts (and reports) each fault —
+    /// unlike a serial chunk loop, which would stop at the first one. This
+    /// is the hardware semantics of concurrent outstanding misses; callers
+    /// that model one logical access (MEMIF's page-crossing path) surface
+    /// only the earliest fault and retry the whole access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no context has been bound via [`set_context`](Self::set_context).
+    pub fn translate_many(
+        &mut self,
+        mem: &mut MemorySystem,
+        accesses: &[(VirtAddr, Access)],
+        now: Cycle,
+    ) -> Vec<Result<Translated, FaultedTranslation>> {
+        let (asid, root) = self.context.expect("MMU used without a bound context");
+        let hit_cost = self.cfg.tlb.hit_cycles;
+        self.translations += accesses.len() as u64;
+
+        // TLB probes happen in parallel across the batch; collect the misses.
+        let mut results: Vec<Option<Result<Translated, FaultedTranslation>>> =
+            Vec::with_capacity(accesses.len());
+        let mut miss_idx: Vec<usize> = Vec::new();
+        let mut miss_vas: Vec<VirtAddr> = Vec::new();
+        for (i, &(va, access)) in accesses.iter().enumerate() {
+            match self.tlb.lookup(asid, va.vpn()) {
+                Some(hit) => {
+                    let done = now + hit_cost;
+                    if access == Access::Write && !hit.flags.writable {
+                        self.faults += 1;
+                        results.push(Some(Err(FaultedTranslation {
+                            fault: VmFault::Protection { va, access },
+                            done,
+                        })));
+                    } else {
+                        results.push(Some(Ok(Translated {
+                            paddr: PhysAddr::from_frame(hit.pfn).offset(va.page_offset()),
+                            done,
+                            tlb_hit: true,
+                        })));
+                    }
+                }
+                None => {
+                    results.push(None);
+                    miss_idx.push(i);
+                    miss_vas.push(va);
+                }
+            }
+        }
+
+        if !miss_vas.is_empty() {
+            let walks =
+                self.walker
+                    .walk_many(mem, self.master, root, asid, &miss_vas, now + hit_cost);
+            for (&i, walk) in miss_idx.iter().zip(walks) {
+                let (va, access) = accesses[i];
+                let r = match walk.outcome {
+                    Ok(out) => self.admit_walk(mem, asid, va, access, out),
+                    Err(WalkError::NoTable { .. }) | Err(WalkError::NotPresent { .. }) => {
+                        self.faults += 1;
+                        Err(FaultedTranslation {
+                            fault: VmFault::NotMapped { va, access },
+                            done: walk.done,
+                        })
+                    }
+                };
+                results[i] = Some(r);
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every request resolved"))
+            .collect()
     }
 
     /// Counter snapshot, absorbing TLB and walker sub-stats.
@@ -438,6 +535,58 @@ mod tests {
         assert_eq!(s.get("translations"), Some(1.0));
         assert_eq!(s.get("tlb.misses"), Some(1.0));
         assert_eq!(s.get("walker.walks"), Some(1.0));
+    }
+
+    #[test]
+    fn translate_many_matches_translate() {
+        let (mut mem, mut mmu) = setup(user_rw());
+        // Second page mapped too, third unmapped.
+        mem.poke_u32(
+            PhysAddr::from_frame(11).offset(4),
+            Pte::leaf(0x78, user_rw()).encode(),
+        );
+        let accesses = [
+            (VirtAddr(0x8), Access::Read),
+            (VirtAddr(0x1004), Access::Write),
+            (VirtAddr(5 << 22), Access::Read),
+        ];
+        let batch = mmu.translate_many(&mut mem, &accesses, Cycle(0));
+        assert_eq!(batch.len(), 3);
+        assert_eq!(
+            batch[0].as_ref().unwrap().paddr,
+            PhysAddr::from_frame(0x77).offset(0x8)
+        );
+        assert_eq!(
+            batch[1].as_ref().unwrap().paddr,
+            PhysAddr::from_frame(0x78).offset(0x4)
+        );
+        assert!(matches!(
+            batch[2].as_ref().unwrap_err().fault,
+            VmFault::NotMapped { .. }
+        ));
+        // A reference MMU translating serially agrees on every outcome.
+        let (mut mem2, mut ref_mmu) = setup(user_rw());
+        mem2.poke_u32(
+            PhysAddr::from_frame(11).offset(4),
+            Pte::leaf(0x78, user_rw()).encode(),
+        );
+        for (&(va, access), got) in accesses.iter().zip(&batch) {
+            match (ref_mmu.translate(&mut mem2, va, access, Cycle(0)), got) {
+                (Ok(a), Ok(b)) => assert_eq!(a.paddr, b.paddr),
+                (Err(a), Err(b)) => assert_eq!(a.fault, b.fault),
+                (a, b) => panic!("batched/serial diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn translate_many_uses_tlb_for_hot_entries() {
+        let (mut mem, mut mmu) = setup(user_rw());
+        let t = mmu
+            .translate(&mut mem, VirtAddr(0), Access::Read, Cycle(0))
+            .unwrap();
+        let batch = mmu.translate_many(&mut mem, &[(VirtAddr(0x10), Access::Read)], t.done);
+        assert!(batch[0].as_ref().unwrap().tlb_hit);
     }
 
     #[test]

@@ -512,6 +512,140 @@ mod tests {
         }
     }
 
+    // -- Property tests: the live-occupancy counter and the LRU victim
+    //    choice, checked against brute-force reference models on arbitrary
+    //    insert/evict/flush sequences. --
+
+    use proptest::prelude::*;
+
+    /// Full rescan of the entry array (the thing the live counter replaced).
+    fn recount(t: &Tlb) -> usize {
+        t.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// A reference LRU set: recency-ordered vector, most recent last.
+    struct RefLruSet {
+        cap: usize,
+        entries: Vec<(Asid, u64, u64)>,
+    }
+
+    impl RefLruSet {
+        fn lookup(&mut self, asid: Asid, vpn: u64) -> Option<u64> {
+            let i = self
+                .entries
+                .iter()
+                .position(|&(a, v, _)| a == asid && v == vpn)?;
+            let e = self.entries.remove(i);
+            self.entries.push(e);
+            Some(e.2)
+        }
+
+        fn insert(&mut self, asid: Asid, vpn: u64, pfn: u64) {
+            if let Some(i) = self
+                .entries
+                .iter()
+                .position(|&(a, v, _)| a == asid && v == vpn)
+            {
+                self.entries.remove(i);
+            } else if self.entries.len() == self.cap {
+                self.entries.remove(0); // evict the least recently touched
+            }
+            self.entries.push((asid, vpn, pfn));
+        }
+
+        fn invalidate(&mut self, asid: Asid, vpn: u64) {
+            self.entries.retain(|&(a, v, _)| a != asid || v != vpn);
+        }
+    }
+
+    proptest! {
+        /// After any interleaving of inserts, evictions, page/ASID/full
+        /// flushes, and lookups, the O(1) occupancy counter equals a full
+        /// rescan of the entry array — for every replacement policy and a
+        /// set-associative as well as a fully-associative geometry.
+        #[test]
+        fn occupancy_counter_matches_recount(
+            ops in prop::collection::vec((0u8..6, 0u16..3, 0u64..24), 1..120),
+            policy in 0u8..3,
+            ways_sel in 0u8..2,
+        ) {
+            let replacement = [Replacement::Lru, Replacement::Fifo, Replacement::Random]
+                [policy as usize];
+            let ways = if ways_sel == 0 { 8 } else { 2 };
+            let mut t = Tlb::new(TlbConfig { entries: 8, ways, replacement, hit_cycles: 1 });
+            for &(op, asid, vpn) in &ops {
+                let asid = Asid(asid);
+                match op {
+                    0..=2 => t.insert(asid, vpn, vpn + 100, PteFlags::default()),
+                    3 => t.invalidate_page(asid, vpn),
+                    4 => { t.lookup(asid, vpn); }
+                    _ => {
+                        if vpn % 7 == 0 {
+                            t.invalidate_all();
+                        } else {
+                            t.invalidate_asid(asid);
+                        }
+                    }
+                }
+                prop_assert_eq!(t.occupancy(), recount(&t));
+                prop_assert!(t.occupancy() <= 8);
+            }
+        }
+
+        /// Under LRU the real TLB behaves exactly like a recency-ordered
+        /// reference model: every lookup agrees (hit/miss and PFN), so the
+        /// victim chosen on each overflowing insert must have been the least
+        /// recently used entry of its set.
+        #[test]
+        fn lru_victim_matches_reference_model(
+            ops in prop::collection::vec((0u8..3, 0u16..2, 0u64..16), 1..150),
+            ways_sel in 0u8..2,
+        ) {
+            let (entries, ways) = if ways_sel == 0 { (4, 4) } else { (8, 2) };
+            let sets = entries / ways;
+            let mut t = Tlb::new(TlbConfig {
+                entries,
+                ways,
+                replacement: Replacement::Lru,
+                hit_cycles: 1,
+            });
+            let mut reference: Vec<RefLruSet> = (0..sets)
+                .map(|_| RefLruSet { cap: ways, entries: Vec::new() })
+                .collect();
+            for &(op, asid, vpn) in &ops {
+                let asid = Asid(asid);
+                let set = &mut reference[(vpn as usize) % sets];
+                match op {
+                    0..=1 => {
+                        t.insert(asid, vpn, vpn + 200, PteFlags::default());
+                        set.insert(asid, vpn, vpn + 200);
+                    }
+                    2 => {
+                        let got = t.lookup(asid, vpn).map(|h| h.pfn);
+                        let want = set.lookup(asid, vpn);
+                        prop_assert_eq!(got, want);
+                    }
+                    _ => {
+                        t.invalidate_page(asid, vpn);
+                        set.invalidate(asid, vpn);
+                    }
+                }
+            }
+            // Final state: same population, entry for entry.
+            let total: usize = reference.iter().map(|s| s.entries.len()).sum();
+            prop_assert_eq!(t.occupancy(), total);
+            for set in &mut reference {
+                let entries = set.entries.clone();
+                for (asid, vpn, pfn) in entries {
+                    let hit = t.lookup(asid, vpn);
+                    prop_assert!(hit.is_some());
+                    prop_assert_eq!(hit.unwrap().pfn, pfn);
+                    set.lookup(asid, vpn); // mirror the recency refresh
+                }
+            }
+        }
+    }
+
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {

@@ -117,6 +117,42 @@ fn quantum_choice_does_not_change_results_much() {
 }
 
 #[test]
+fn walker_hit_rates_surface_per_level_in_outcome_snapshots() {
+    // The old lumped `walk_cache_hit_rate` stat is gone: both per-level
+    // rates must appear in the per-thread snapshot and, aggregated, in the
+    // system-wide one. A pointer chase over many pages thrashes the TLB,
+    // so the L2 (leaf) walk cache actually gets hits worth reporting.
+    use svmsyn_workloads::chase::chase;
+    let platform = Platform::default();
+    let w = chase(1024, 2048, 11);
+    let design = synthesize(&w.app, &platform, &[Placement::Hardware]).expect("synthesis");
+    let outcome = simulate(&design, &SimConfig::default()).expect("sim");
+    w.verify(&outcome).unwrap();
+
+    let thread = outcome.threads[0].stats();
+    let l1 = thread
+        .get("memif.mmu.walker.l1_walk_hit_rate")
+        .expect("per-thread l1_walk_hit_rate missing");
+    let l2 = thread
+        .get("memif.mmu.walker.l2_walk_hit_rate")
+        .expect("per-thread l2_walk_hit_rate missing");
+    assert!((0.0..=1.0).contains(&l1));
+    assert!((0.0..=1.0).contains(&l2));
+    assert!(
+        thread.get("memif.mmu.walker.walk_cache_hit_rate").is_none(),
+        "the lumped walker stat must be gone"
+    );
+
+    let sys = outcome.stats();
+    assert!(sys.get("vm.walks").unwrap() > 0.0);
+    let sys_l1 = sys.get("vm.l1_walk_hit_rate").expect("system l1 rate");
+    let sys_l2 = sys.get("vm.l2_walk_hit_rate").expect("system l2 rate");
+    assert_eq!(sys_l1, l1, "single-thread app: rates must agree");
+    assert_eq!(sys_l2, l2);
+    assert!(sys_l1 > 0.0, "chase revisits directory lines");
+}
+
+#[test]
 fn vm_enabled_threads_fault_exactly_once_per_fresh_page() {
     use svmsyn_workloads::streaming::vecadd;
     let platform = Platform::default();

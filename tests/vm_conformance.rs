@@ -1,0 +1,398 @@
+//! Differential VM-conformance suite.
+//!
+//! A `SlowMmu` reference oracle — the naive walker: two dependent reads per
+//! translation, no TLB, no walk caches — is replayed against the real
+//! [`Mmu`] (TLB + two-level walk cache + pipelined/batched walker) on
+//! proptest-generated address streams: random ASIDs, map/unmap/protect
+//! interleavings, context switches, and multi-thread miss bursts. The two
+//! must agree on every translation (physical address) and every fault kind,
+//! and the real MMU's bus traffic must match the walker cost model's
+//! predicted read count exactly.
+
+use proptest::prelude::*;
+
+use svmsyn_mem::{MasterId, MemConfig, MemorySystem, PhysAddr, VirtAddr};
+use svmsyn_sim::Cycle;
+use svmsyn_vm::mmu::{Access, Mmu, MmuConfig, VmFault};
+use svmsyn_vm::pte::{DirEntry, Pte, PteFlags};
+use svmsyn_vm::tlb::{Asid, Replacement, TlbConfig};
+use svmsyn_vm::walker::WalkerConfig;
+
+/// The reference oracle: a naive two-read page-table walk straight off the
+/// in-memory tables. No TLB, no walk caches, no timing — only the paper's
+/// translation semantics, expressed as simply as possible.
+struct SlowMmu;
+
+impl SlowMmu {
+    fn translate(
+        mem: &MemorySystem,
+        root: PhysAddr,
+        va: VirtAddr,
+        access: Access,
+    ) -> Result<PhysAddr, VmFault> {
+        // First read: the directory entry.
+        let dir = DirEntry::decode(mem.peek_u32(root.offset(4 * va.l1_index() as u64)));
+        if !dir.is_valid() {
+            return Err(VmFault::NotMapped { va, access });
+        }
+        // Second (dependent) read: the leaf PTE.
+        let pte = Pte::decode(
+            mem.peek_u32(PhysAddr::from_frame(dir.table_pfn()).offset(4 * va.l2_index() as u64)),
+        );
+        if !pte.is_valid() {
+            return Err(VmFault::NotMapped { va, access });
+        }
+        let flags = pte.flags();
+        if !flags.user || (access == Access::Write && !flags.writable) {
+            return Err(VmFault::Protection { va, access });
+        }
+        Ok(PhysAddr::from_frame(pte.pfn()).offset(va.page_offset()))
+    }
+}
+
+const SPACES: usize = 3;
+const THREADS: usize = 2;
+
+/// The shared machine under test: one memory system holding the page tables
+/// of `SPACES` address spaces, translated through `THREADS` hardware-thread
+/// MMUs (each its own bus master, TLB, and walk caches).
+struct Harness {
+    mem: MemorySystem,
+    roots: [PhysAddr; SPACES],
+    next_table_frame: u64,
+    mmus: Vec<Mmu>,
+    clocks: Vec<Cycle>,
+}
+
+impl Harness {
+    fn new(mmu_cfg: MmuConfig) -> Self {
+        let mem = MemorySystem::new(MemConfig::default());
+        // Frames 10..10+SPACES hold the (zeroed) first-level tables.
+        let roots = std::array::from_fn(|i| PhysAddr::from_frame(10 + i as u64));
+        let mut mmus = Vec::new();
+        for t in 0..THREADS {
+            let mut mmu = Mmu::new(mmu_cfg, MasterId(t as u16 + 1));
+            mmu.set_context(Asid(0), roots[0]);
+            mmus.push(mmu);
+        }
+        Harness {
+            mem,
+            roots,
+            next_table_frame: 20,
+            mmus,
+            clocks: vec![Cycle(0); THREADS],
+        }
+    }
+
+    fn asid(i: usize) -> Asid {
+        Asid(i as u16)
+    }
+
+    /// Physical address of the leaf slot for `(space, vpn)`, allocating the
+    /// second-level table on first use (as the OS's `install_pte` would).
+    fn leaf_slot(&mut self, space: usize, vpn: u64) -> PhysAddr {
+        let va = VirtAddr::from_vpn(vpn);
+        let l1_addr = self.roots[space].offset(4 * va.l1_index() as u64);
+        let dir = DirEntry::decode(self.mem.peek_u32(l1_addr));
+        let table = if dir.is_valid() {
+            PhysAddr::from_frame(dir.table_pfn())
+        } else {
+            let frame = self.next_table_frame;
+            self.next_table_frame += 1;
+            self.mem.poke_u32(l1_addr, DirEntry::table(frame).encode());
+            PhysAddr::from_frame(frame)
+        };
+        table.offset(4 * va.l2_index() as u64)
+    }
+
+    fn map(&mut self, space: usize, vpn: u64, pfn: u64, writable: bool, user: bool) {
+        let slot = self.leaf_slot(space, vpn);
+        let flags = PteFlags {
+            writable,
+            user,
+            ..PteFlags::default()
+        };
+        self.mem.poke_u32(slot, Pte::leaf(pfn, flags).encode());
+        self.shootdown(space, vpn);
+    }
+
+    fn unmap(&mut self, space: usize, vpn: u64) {
+        let slot = self.leaf_slot(space, vpn);
+        self.mem.poke_u32(slot, 0);
+        self.shootdown(space, vpn);
+    }
+
+    /// Rewrites the permission bits of an existing mapping (no-op when the
+    /// page is not mapped, like a failed mprotect).
+    fn protect(&mut self, space: usize, vpn: u64, writable: bool, user: bool) {
+        let slot = self.leaf_slot(space, vpn);
+        let pte = Pte::decode(self.mem.peek_u32(slot));
+        if !pte.is_valid() {
+            return;
+        }
+        let flags = PteFlags {
+            writable,
+            user,
+            ..pte.flags()
+        };
+        self.mem
+            .poke_u32(slot, Pte::leaf(pte.pfn(), flags).encode());
+        self.shootdown(space, vpn);
+    }
+
+    /// TLB/walk-cache shootdown on every MMU, as the OS does after any
+    /// page-table mutation.
+    fn shootdown(&mut self, space: usize, vpn: u64) {
+        for mmu in &mut self.mmus {
+            mmu.invalidate_page(Self::asid(space), VirtAddr::from_vpn(vpn));
+        }
+    }
+
+    /// Binds MMU `t` to address space `space` (a context switch; ASID tags
+    /// keep the TLB and walk caches warm across it).
+    fn bind(&mut self, t: usize, space: usize) {
+        self.mmus[t].set_context(Self::asid(space), self.roots[space]);
+    }
+
+    /// The space MMU `t` is currently bound to.
+    fn bound_space(&self, t: usize) -> usize {
+        self.mmus[t].context().expect("always bound").0 .0 as usize
+    }
+
+    /// Translates through the real MMU and checks it against the oracle.
+    fn check_translate(&mut self, t: usize, vpn: u64, access: Access) -> Result<(), String> {
+        let space = self.bound_space(t);
+        let va = VirtAddr(VirtAddr::from_vpn(vpn).0 + (vpn % 64) * 4); // stir the offset
+        let expect = SlowMmu::translate(&self.mem, self.roots[space], va, access);
+        let now = self.clocks[t];
+        match self.mmus[t].translate(&mut self.mem, va, access, now) {
+            Ok(tr) => {
+                self.clocks[t] = tr.done;
+                match expect {
+                    Ok(pa) if pa == tr.paddr => Ok(()),
+                    other => Err(format!(
+                        "thread {t} {access} at {va}: real Ok({:?}) vs oracle {other:?}",
+                        tr.paddr
+                    )),
+                }
+            }
+            Err(f) => {
+                self.clocks[t] = f.done;
+                match expect {
+                    Err(want) if want == f.fault => Ok(()),
+                    other => Err(format!(
+                        "thread {t} {access} at {va}: real Err({:?}) vs oracle {other:?}",
+                        f.fault
+                    )),
+                }
+            }
+        }
+    }
+
+    /// A burst of translations through the batched entry point, each checked
+    /// against the oracle.
+    fn check_burst(&mut self, t: usize, accesses: &[(VirtAddr, Access)]) -> Result<(), String> {
+        let space = self.bound_space(t);
+        let expects: Vec<Result<PhysAddr, VmFault>> = accesses
+            .iter()
+            .map(|&(va, access)| SlowMmu::translate(&self.mem, self.roots[space], va, access))
+            .collect();
+        let now = self.clocks[t];
+        let got = self.mmus[t].translate_many(&mut self.mem, accesses, now);
+        for ((&(va, access), want), got) in accesses.iter().zip(&expects).zip(&got) {
+            match (want, got) {
+                (Ok(pa), Ok(tr)) if *pa == tr.paddr => {}
+                (Err(want), Err(f)) if *want == f.fault => {}
+                (want, got) => {
+                    return Err(format!(
+                        "thread {t} burst {access} at {va}: real {got:?} vs oracle {want:?}"
+                    ))
+                }
+            }
+        }
+        // Advance to the batch's completion: the max done over all results
+        // (success or fault), so the thread's clock never moves backwards.
+        let batch_done = got
+            .iter()
+            .map(|r| match r {
+                Ok(tr) => tr.done,
+                Err(f) => f.done,
+            })
+            .max();
+        if let Some(done) = batch_done {
+            self.clocks[t] = done;
+        }
+        Ok(())
+    }
+
+    /// The cost-model identity: the bus reads the memory system observed are
+    /// exactly the walkers' read counters, which are exactly what the model
+    /// predicts from walk and hit counts.
+    fn check_bus_reads(&self) -> Result<(), String> {
+        let observed = self.mem.stats().get("reads").unwrap_or(0.0) as u64;
+        let mut counted = 0u64;
+        let mut predicted = 0u64;
+        for mmu in &self.mmus {
+            let w = mmu.stats();
+            counted += (w.get("walker.l1_reads").unwrap_or(0.0)
+                + w.get("walker.l2_reads").unwrap_or(0.0)) as u64;
+            predicted += mmu.walker().predicted_bus_reads();
+        }
+        if observed != counted {
+            return Err(format!(
+                "memory saw {observed} reads but the walkers issued {counted}"
+            ));
+        }
+        if observed != predicted {
+            return Err(format!(
+                "memory saw {observed} reads but the cost model predicts {predicted}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Applies one generated operation. `sel` packs the op kind and the acting
+/// thread; `bits` seeds flags and access kinds.
+fn apply_op(h: &mut Harness, sel: u8, space: usize, vpn: u64, bits: u8) -> Result<(), String> {
+    let t = (sel as usize / 8) % THREADS;
+    let writable = bits & 1 != 0;
+    let user = !bits.is_multiple_of(4); // mostly user pages, some kernel ones
+    let access = if bits & 2 != 0 {
+        Access::Write
+    } else {
+        Access::Read
+    };
+    match sel % 8 {
+        0 => h.map(
+            space,
+            vpn,
+            0x100 + vpn + 0x40 * space as u64,
+            writable,
+            user,
+        ),
+        1 => h.unmap(space, vpn),
+        2 => h.protect(space, vpn, writable, user),
+        3 => h.bind(t, space),
+        4..=6 => {
+            // Translate against the thread's current context (rebinding
+            // first on a subset of ops keeps ASID mixes interesting).
+            if sel % 8 == 4 {
+                h.bind(t, space);
+            }
+            h.check_translate(t, vpn, access)?;
+        }
+        _ => {
+            // Multi-miss burst: neighbouring and far pages in one epoch,
+            // including a duplicate to exercise in-batch reuse.
+            h.bind(t, space);
+            let vas: Vec<(VirtAddr, Access)> = [vpn, vpn + 1, (vpn + 17) % 32, vpn]
+                .iter()
+                .map(|&v| (VirtAddr::from_vpn(v), access))
+                .collect();
+            h.check_burst(t, &vas)?;
+        }
+    }
+    Ok(())
+}
+
+fn real_mmu_configs() -> Vec<MmuConfig> {
+    vec![
+        // The default machine.
+        MmuConfig::default(),
+        // A thrash-prone TLB over a big two-level walk cache.
+        MmuConfig {
+            tlb: TlbConfig {
+                entries: 4,
+                ways: 2,
+                replacement: Replacement::Fifo,
+                hit_cycles: 1,
+            },
+            walker: WalkerConfig::two_level(8, 32),
+        },
+        // No walk caches at all: the real MMU degenerates to the oracle's
+        // walk (plus the TLB).
+        MmuConfig {
+            tlb: TlbConfig::fully_associative(8),
+            walker: WalkerConfig::disabled(),
+        },
+    ]
+}
+
+proptest! {
+    /// The real MMU agrees with the naive oracle on every translation and
+    /// fault across arbitrary map/unmap/protect/translate/burst
+    /// interleavings over multiple ASIDs and threads — and its bus traffic
+    /// is exactly what the walker cost model predicts.
+    #[test]
+    fn real_mmu_matches_slow_oracle(
+        ops in prop::collection::vec((0u8..16, 0u8..3, 0u64..32, any::<u8>()), 1..80),
+        cfg_sel in 0u8..3,
+    ) {
+        let cfg = real_mmu_configs()[cfg_sel as usize];
+        let mut h = Harness::new(cfg);
+        for &(sel, space, vpn, bits) in &ops {
+            let r = apply_op(&mut h, sel, space as usize, vpn, bits);
+            prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+        }
+        let r = h.check_bus_reads();
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+}
+
+#[test]
+fn cold_burst_coalesces_directory_reads() {
+    // Eight cold misses in one directory line, batched: one directory read
+    // serves the whole epoch, and the cost model prices it exactly.
+    let mut h = Harness::new(MmuConfig::default());
+    for vpn in 0..8 {
+        h.map(0, vpn, 0x200 + vpn, true, true);
+    }
+    let vas: Vec<(VirtAddr, Access)> = (0..8)
+        .map(|v| (VirtAddr::from_vpn(v), Access::Read))
+        .collect();
+    h.check_burst(0, &vas).unwrap();
+    let w = h.mmus[0].stats();
+    assert_eq!(w.get("walker.l1_reads"), Some(1.0));
+    assert_eq!(w.get("walker.dir_coalesced"), Some(7.0));
+    assert_eq!(w.get("walker.l2_reads"), Some(8.0));
+    h.check_bus_reads().unwrap();
+}
+
+#[test]
+fn two_threads_share_tables_but_pay_their_own_walks() {
+    // Both hardware threads translate the same pages of the same space;
+    // each MMU walks privately, and the combined bus traffic still matches
+    // the per-walker predictions summed.
+    let mut h = Harness::new(MmuConfig::default());
+    for vpn in 0..4 {
+        h.map(1, vpn, 0x300 + vpn, true, true);
+    }
+    h.bind(0, 1);
+    h.bind(1, 1);
+    for vpn in 0..4 {
+        h.check_translate(0, vpn, Access::Read).unwrap();
+        h.check_translate(1, vpn, Access::Write).unwrap();
+    }
+    let walks: f64 = h
+        .mmus
+        .iter()
+        .map(|m| m.stats().get("walker.walks").unwrap_or(0.0))
+        .sum();
+    assert_eq!(walks, 8.0, "no cross-thread TLB sharing");
+    h.check_bus_reads().unwrap();
+}
+
+#[test]
+fn protect_then_write_faults_identically_after_shootdown() {
+    let mut h = Harness::new(MmuConfig::default());
+    h.map(0, 5, 0x111, true, true);
+    h.check_translate(0, 5, Access::Write).unwrap();
+    h.protect(0, 5, false, true);
+    // Stale TLB/walk-cache state was shot down; both models must now fault.
+    h.check_translate(0, 5, Access::Write).unwrap();
+    h.check_translate(0, 5, Access::Read).unwrap();
+    h.unmap(0, 5);
+    h.check_translate(0, 5, Access::Read).unwrap();
+    h.check_bus_reads().unwrap();
+}
