@@ -26,7 +26,8 @@ use svmsyn_hls::ir::Width;
 use svmsyn_hls::resource::FuBudget;
 use svmsyn_hls::sched::list_schedule;
 use svmsyn_hwt::memif::{Memif, MemifConfig};
-use svmsyn_mem::{MasterId, MemConfig, MemorySystem, PhysAddr, VirtAddr};
+use svmsyn_mem::fabric::two_master_stream_cycles;
+use svmsyn_mem::{FabricConfig, FabricPort, MasterId, MemConfig, MemorySystem, PhysAddr, VirtAddr};
 use svmsyn_sim::{Cycle, HeapScheduler, Scheduler};
 use svmsyn_vm::pte::{DirEntry, Pte, PteFlags};
 use svmsyn_vm::tlb::{Asid, Replacement, Tlb, TlbConfig};
@@ -207,7 +208,7 @@ fn bench_walker(walks: u64) -> f64 {
             page = (page + 1) % 64;
             let r = walker.walk(
                 &mut mem,
-                MasterId(0),
+                FabricPort::new(MasterId(0)),
                 root,
                 Asid(1),
                 VirtAddr(page << 12),
@@ -241,7 +242,7 @@ fn bench_walker_chase(cfg: WalkerConfig, walks: u64) -> f64 {
             let page = (lcg >> 33) % 64;
             let r = walker.walk(
                 &mut mem,
-                MasterId(0),
+                FabricPort::new(MasterId(0)),
                 root,
                 Asid(1),
                 VirtAddr(page << 12),
@@ -272,7 +273,14 @@ fn bench_walker_batched(walks: u64) -> f64 {
                 *va = VirtAddr(((base + i as u64) % 64) << 12);
             }
             base = (base + 8) % 64;
-            let rs = walker.walk_many(&mut mem, MasterId(0), root, Asid(1), &vas, now);
+            let rs = walker.walk_many(
+                &mut mem,
+                FabricPort::new(MasterId(0)),
+                root,
+                Asid(1),
+                &vas,
+                now,
+            );
             now = rs.last().expect("batch").done;
             black_box(rs.len());
         }
@@ -308,6 +316,26 @@ fn bench_memif_stream(line_bytes: u64, reads: u64) -> f64 {
         }
     });
     reads as f64 / secs
+}
+
+// ---------------------------------------------------------------------------
+// Split-transaction fabric: two independent masters streaming bank-strided
+// 64 B reads through the issue/complete API. The windowed configuration
+// keeps several transactions outstanding per master (DRAM latencies
+// overlap); the `window=1` blocking configuration round-trips each read —
+// the ratio of their *simulated* end times is the overlap speedup the
+// redesign exists for (CI asserts > 1.3x in tests/fabric_conformance.rs).
+// ---------------------------------------------------------------------------
+
+/// Host-side throughput of the overlapped two-master stream (the hot
+/// issue/poll path of the fabric), plus the simulated overlap speedup.
+fn bench_fabric_overlap(reads: u64) -> (f64, f64) {
+    let secs = time(|| {
+        black_box(two_master_stream_cycles(FabricConfig::default(), reads));
+    });
+    let overlapped = two_master_stream_cycles(FabricConfig::default(), 4096);
+    let serial = two_master_stream_cycles(FabricConfig::blocking(), 4096);
+    ((2 * reads) as f64 / secs, serial as f64 / overlapped as f64)
 }
 
 // ---------------------------------------------------------------------------
@@ -517,6 +545,18 @@ fn main() {
         });
     }
 
+    let (fabric_reads, fabric_speedup) = bench_fabric_overlap(1_000_000 / scale);
+    results.push(Result {
+        name: "fabric_overlapped_reads_per_sec",
+        value: fabric_reads,
+        unit: "reads/s",
+    });
+    results.push(Result {
+        name: "fabric_overlap_speedup",
+        value: fabric_speedup,
+        unit: "x",
+    });
+
     results.push(Result {
         name: "hls_compile_matmul_per_sec",
         value: bench_hls_compile(if smoke { 5 } else { 200 }),
@@ -556,6 +596,15 @@ fn main() {
         unit: "x",
     });
 
+    // Host core count, recorded alongside the numbers: a ~1.0x
+    // `dse_parallel_speedup` on a 1-CPU container is expected, not a
+    // regression — this entry makes the artifact self-describing.
+    results.push(Result {
+        name: "host_cores",
+        value: std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64),
+        unit: "cores",
+    });
+
     println!("{:<44} {:>16}  unit", "benchmark", "value");
     for r in &results {
         println!("{:<44} {:>16.3}  {}", r.name, r.value, r.unit);
@@ -567,6 +616,24 @@ fn main() {
         assert!(
             results.iter().any(|r| r.name == "walker_walks_per_sec"),
             "walker_walks_per_sec missing from the benchmark set"
+        );
+        // CI contract: the fabric-overlap entry must exist and its
+        // *simulated* speedup (deterministic, host-load-independent) must
+        // clear the redesign's 1.3x acceptance bar.
+        let overlap = results
+            .iter()
+            .find(|r| r.name == "fabric_overlap_speedup")
+            .expect("fabric_overlap_speedup missing from the benchmark set");
+        assert!(
+            results
+                .iter()
+                .any(|r| r.name == "fabric_overlapped_reads_per_sec"),
+            "fabric_overlapped_reads_per_sec missing from the benchmark set"
+        );
+        assert!(
+            overlap.value > 1.3,
+            "fabric overlap speedup {:.2}x below the 1.3x bar",
+            overlap.value
         );
         println!("\nsmoke mode: baseline not written");
         return;

@@ -73,8 +73,8 @@ fn main() {
         if k == 1 {
             base = tput;
         }
-        let util =
-            outcome.stats().get("mem.bus.busy_cycles").unwrap_or(0.0) / outcome.makespan.0 as f64;
+        let util = outcome.stats().get("mem.fabric.busy_cycles").unwrap_or(0.0)
+            / outcome.makespan.0 as f64;
         t.row_owned(vec![
             k.to_string(),
             fmt_cycles(outcome.makespan.0),

@@ -19,6 +19,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
+use svmsyn_mem::FabricConfig;
 use svmsyn_sim::{Cycle, FabricResources, Xoshiro256ss};
 use svmsyn_vm::walker::WalkerConfig;
 
@@ -59,6 +60,10 @@ pub struct DseConfig {
     /// with its own cache). Empty means the platform's configured walker
     /// only.
     pub walker_axis: Vec<WalkerConfig>,
+    /// Memory-fabric configurations (outstanding window depth, MSHR count)
+    /// to sweep as a design axis, crossed with `walker_axis`. Empty means
+    /// the platform's configured fabric only.
+    pub fabric_axis: Vec<FabricConfig>,
 }
 
 impl Default for DseConfig {
@@ -70,6 +75,7 @@ impl Default for DseConfig {
             sim: SimConfig::default(),
             threads: 0,
             walker_axis: Vec::new(),
+            fabric_axis: Vec::new(),
         }
     }
 }
@@ -81,6 +87,8 @@ pub struct DsePoint {
     pub placements: Vec<Placement>,
     /// The per-thread walk-cache geometry this point was evaluated with.
     pub walker: WalkerConfig,
+    /// The memory-fabric configuration this point was evaluated with.
+    pub fabric: FabricConfig,
     /// Fabric usage of the design.
     pub resources: FabricResources,
     /// Simulated makespan.
@@ -143,6 +151,7 @@ fn evaluate(
     Some(DsePoint {
         placements: placements.to_vec(),
         walker: platform.memif.mmu.walker,
+        fabric: platform.mem.fabric.clone(),
         resources: design.total_resources,
         makespan: outcome.makespan,
     })
@@ -198,12 +207,22 @@ impl<'a> Evaluator<'a> {
         } else {
             cfg.threads
         };
-        let variants: Vec<Platform> = if cfg.walker_axis.is_empty() {
+        // The variant list is the cross product of the walk-cache and
+        // fabric axes; an empty axis contributes the platform's own value.
+        let walker_variants: Vec<Platform> = if cfg.walker_axis.is_empty() {
             vec![platform.clone()]
         } else {
             cfg.walker_axis
                 .iter()
                 .map(|w| platform.with_walker(*w))
+                .collect()
+        };
+        let variants: Vec<Platform> = if cfg.fabric_axis.is_empty() {
+            walker_variants
+        } else {
+            walker_variants
+                .iter()
+                .flat_map(|p| cfg.fabric_axis.iter().map(|f| p.with_fabric(f.clone())))
                 .collect()
         };
         let memo = vec![HashMap::new(); variants.len()];
@@ -431,13 +450,13 @@ pub fn explore(
         .cloned()
         .ok_or(DseError::NoFeasiblePoint)?;
     // Dedup identical design points before the front (heuristics revisit);
-    // the same placement under a different walk-cache geometry is a
-    // distinct point.
+    // the same placement under a different walk-cache geometry or fabric
+    // configuration is a distinct point.
     let mut unique: Vec<DsePoint> = Vec::new();
     for p in feasible {
         if !unique
             .iter()
-            .any(|q| q.placements == p.placements && q.walker == p.walker)
+            .any(|q| q.placements == p.placements && q.walker == p.walker && q.fabric == p.fabric)
         {
             unique.push(p);
         }
@@ -722,6 +741,72 @@ mod tests {
             r.evaluated,
             r.cache_hits
         );
+    }
+
+    #[test]
+    fn fabric_axis_explores_outstanding_depths() {
+        use svmsyn_mem::FabricConfig;
+        let a = app(2, 64);
+        let axis = vec![FabricConfig::blocking(), FabricConfig::default()];
+        let r = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+                fabric_axis: axis.clone(),
+                ..DseConfig::default()
+            },
+        )
+        .unwrap();
+        // 4 placements x 2 fabric variants, every variant represented.
+        assert_eq!(r.evaluated, 8);
+        for f in &axis {
+            assert!(
+                r.feasible.iter().any(|p| p.fabric == *f),
+                "axis variant {f:?} missing from feasible set"
+            );
+        }
+        assert!(axis.contains(&r.best.fabric));
+        // On the all-hardware placement the windowed fabric must not lose
+        // to the blocking one: outstanding transactions only add overlap.
+        let all_hw_makespan = |f: &FabricConfig| {
+            r.feasible
+                .iter()
+                .filter(|p| {
+                    p.fabric == *f && p.placements.iter().all(|pl| *pl == Placement::Hardware)
+                })
+                .map(|p| p.makespan)
+                .min()
+                .expect("all-hw point per variant")
+        };
+        assert!(all_hw_makespan(&axis[1]) <= all_hw_makespan(&axis[0]));
+    }
+
+    #[test]
+    fn fabric_axis_crosses_with_walker_axis() {
+        use svmsyn_mem::FabricConfig;
+        let a = app(2, 64);
+        let r = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+                walker_axis: vec![WalkerConfig::disabled(), WalkerConfig::default()],
+                fabric_axis: vec![FabricConfig::blocking(), FabricConfig::default()],
+                ..DseConfig::default()
+            },
+        )
+        .unwrap();
+        // 4 placements x 2 walkers x 2 fabrics.
+        assert_eq!(r.evaluated, 16);
+        let distinct: std::collections::HashSet<_> = r
+            .feasible
+            .iter()
+            .map(|p| (p.walker, p.fabric.clone()))
+            .collect();
+        assert_eq!(distinct.len(), 4, "every (walker, fabric) combination");
     }
 
     #[test]

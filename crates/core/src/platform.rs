@@ -59,6 +59,15 @@ impl Platform {
         p
     }
 
+    /// The same platform with the memory-fabric parameters (outstanding
+    /// window depth, MSHR count, …) replaced — the variant constructor
+    /// behind the DSE fabric axis.
+    pub fn with_fabric(&self, fabric: svmsyn_mem::FabricConfig) -> Self {
+        let mut p = self.clone();
+        p.mem.fabric = fabric;
+        p
+    }
+
     /// A smaller Zynq-7010-class budget, useful to make the DSE budget
     /// binding in experiments.
     pub fn small() -> Self {

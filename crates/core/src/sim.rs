@@ -165,6 +165,22 @@ impl SimOutcome {
             let rate = |hits: f64| if walks > 0.0 { hits / walks } else { 0.0 };
             stats.put("vm.l1_walk_hit_rate", rate(l1_hits));
             stats.put("vm.l2_walk_hit_rate", rate(l2_hits));
+            // Fabric health: how much the split-transaction fabric actually
+            // overlapped. `outstanding_mean` is the system-wide average
+            // number of in-flight transactions (Σ per-master occupancy
+            // integrals over the makespan); per-master `overlap` and
+            // `window_stall_cycles` breakdowns live under `mem.fabric.mN.*`.
+            let f = self.mem.fabric().stats();
+            let span = self.makespan.0.max(1) as f64;
+            stats.put(
+                "fabric.outstanding_mean",
+                f.get("inflight_cycles").unwrap_or(0.0) / span,
+            );
+            stats.put("fabric.merges", f.get("merges").unwrap_or(0.0));
+            stats.put(
+                "fabric.data_utilization",
+                self.mem.fabric().utilization(self.makespan),
+            );
             stats
         })
     }

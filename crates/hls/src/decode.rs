@@ -113,6 +113,32 @@ pub(crate) enum ValInit {
     Arg(u16),
 }
 
+/// Per-block compute-operation mix, tallied at decode time.
+///
+/// Blocks are straight-line, so every costed compute op of a block executes
+/// exactly once per entry — a CPI model can therefore charge the whole
+/// block's compute time in one step at block entry instead of driving the
+/// interpreter op by op. Loads, stores, and terminators are *not* counted
+/// here: they yield their own events and are costed individually.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockMix {
+    /// ALU-class ops (arithmetic/logic, compares, selects).
+    pub alu: u32,
+    /// Multiplies.
+    pub mul: u32,
+    /// Divides and remainders.
+    pub div: u32,
+}
+
+impl BlockMix {
+    /// Total compute ops in the block — the number of
+    /// [`InterpEvent::Op`](crate::interp::InterpEvent::Op) yields a
+    /// per-op driver would have seen for one entry of this block.
+    pub fn ops(&self) -> u64 {
+        self.alu as u64 + self.mul as u64 + self.div as u64
+    }
+}
+
 /// A kernel lowered to a flat micro-op program (see the module docs).
 ///
 /// Build one with [`DecodedKernel::decode`] and run it with
@@ -127,9 +153,12 @@ pub struct DecodedKernel {
     /// slot (index `nvals - 1`) for cyclic parallel moves.
     nvals: usize,
     entry_pc: u32,
+    entry_block: BlockId,
     uops: Vec<MicroOp>,
     /// `(value index, initializer)` pairs applied at launch.
     init: Vec<(u32, ValInit)>,
+    /// Per-block compute-op mix, indexed by [`BlockId`].
+    block_mix: Vec<BlockMix>,
 }
 
 impl DecodedKernel {
@@ -164,6 +193,21 @@ impl DecodedKernel {
         &self.init
     }
 
+    /// The block execution starts in.
+    pub fn entry_block(&self) -> BlockId {
+        self.entry_block
+    }
+
+    /// Number of basic blocks in the source kernel.
+    pub fn num_blocks(&self) -> usize {
+        self.block_mix.len()
+    }
+
+    /// The compute-op mix of `block` (see [`BlockMix`]).
+    pub fn block_mix(&self, block: BlockId) -> BlockMix {
+        self.block_mix[block.0 as usize]
+    }
+
     /// Lowers `kernel` into a micro-op program.
     ///
     /// # Panics
@@ -183,6 +227,8 @@ struct Decoder<'k> {
     /// Deferred `Jump.dst` patches: `(uop index, target block)`.
     fixups: Vec<(usize, BlockId)>,
     body_start: Vec<u32>,
+    /// Per-block compute-op tallies (CPI batching).
+    block_mix: Vec<BlockMix>,
     /// Scratch value-table slot for cyclic parallel moves.
     scratch: u32,
 }
@@ -206,6 +252,7 @@ impl<'k> Decoder<'k> {
             uops: Vec::with_capacity(kernel.instrs.len() + kernel.blocks.len() * 2),
             fixups: Vec::new(),
             body_start: vec![0; kernel.blocks.len()],
+            block_mix: vec![BlockMix::default(); kernel.blocks.len()],
             scratch: kernel.instrs.len() as u32,
         }
     }
@@ -237,8 +284,10 @@ impl<'k> Decoder<'k> {
             num_args: kernel.num_args,
             nvals: kernel.instrs.len() + 1,
             entry_pc: self.body_start[kernel.entry.0 as usize],
+            entry_block: kernel.entry,
             uops: self.uops,
             init,
+            block_mix: self.block_mix,
         }
     }
 
@@ -276,6 +325,12 @@ impl<'k> Decoder<'k> {
                     continue;
                 }
                 Op::Bin(bop, a, bb) => {
+                    let mix = &mut self.block_mix[b.0 as usize];
+                    match bop {
+                        BinOp::Mul => mix.mul += 1,
+                        BinOp::Div | BinOp::Rem => mix.div += 1,
+                        _ => mix.alu += 1,
+                    }
                     let code = match bop {
                         BinOp::Add => UCode::Add,
                         BinOp::Sub => UCode::Sub,
@@ -298,6 +353,7 @@ impl<'k> Decoder<'k> {
                     u
                 }
                 Op::Cmp(cop, a, bb) => {
+                    self.block_mix[b.0 as usize].alu += 1;
                     let code = match cop {
                         CmpOp::Eq => UCode::CmpEq,
                         CmpOp::Ne => UCode::CmpNe,
@@ -315,6 +371,7 @@ impl<'k> Decoder<'k> {
                     u
                 }
                 Op::Select(c, a, bb) => {
+                    self.block_mix[b.0 as usize].alu += 1;
                     let mut u = uop(UCode::Select);
                     u.dst = v.0;
                     u.c = c.0;

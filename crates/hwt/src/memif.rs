@@ -13,7 +13,10 @@
 //! covers a line. Faults are *returned*, not handled: the hardware thread
 //! raises them to its delegate and retries after OS service.
 
-use svmsyn_mem::{CacheConfig, CacheOutcome, L1Cache, MasterId, MemorySystem, PhysAddr, VirtAddr};
+use svmsyn_mem::{
+    CacheConfig, CacheOutcome, FabricPort, L1Cache, MasterId, MemorySystem, PhysAddr, TxnKind,
+    VirtAddr,
+};
 use svmsyn_sim::{Cycle, StatSet};
 use svmsyn_vm::mmu::{Access, Mmu, MmuConfig, VmFault};
 use svmsyn_vm::tlb::Asid;
@@ -121,7 +124,7 @@ fn access_chunks(line_bytes: u64, va: VirtAddr, len: u64) -> Vec<(VirtAddr, u64)
 pub struct Memif {
     cfg: MemifConfig,
     mmu: Mmu,
-    master: MasterId,
+    port: FabricPort,
     cache: L1Cache,
     loads: u64,
     stores: u64,
@@ -145,7 +148,7 @@ impl Memif {
         Memif {
             cfg,
             mmu: Mmu::new(cfg.mmu, master),
-            master,
+            port: FabricPort::new(master),
             cache: L1Cache::new(cfg.cache_config()),
             loads: 0,
             stores: 0,
@@ -249,16 +252,30 @@ impl Memif {
     }
 
     /// Charges the timing of one cached access at physical address `pa`.
-    fn charge(&mut self, mem: &mut MemorySystem, pa: PhysAddr, write: bool, now: Cycle) -> Cycle {
+    /// Returns `(data ready, next issue)`: when the access's data is in
+    /// hand, and when the interface may hand the fabric its next sequenced
+    /// transaction.
+    fn charge(
+        &mut self,
+        mem: &mut MemorySystem,
+        pa: PhysAddr,
+        write: bool,
+        now: Cycle,
+    ) -> (Cycle, Cycle) {
         let line = self.cfg.line_bytes;
         match self.cache.access(pa, write) {
-            CacheOutcome::Hit => now + 1,
+            CacheOutcome::Hit => (now + 1, now + 1),
             CacheOutcome::Miss { writeback } => {
+                let master = self.port.master();
                 let mut t = now;
                 if let Some(victim) = writeback {
-                    t = mem.transfer_time(self.master, victim, line, t);
+                    // Fire-and-forget: the victim drains from a writeback
+                    // buffer; the fill waits only for its address handshake,
+                    // not its completion.
+                    let (_, next) = mem.transfer_handshake(master, victim, line, TxnKind::Write, t);
+                    t = next;
                 }
-                mem.transfer_time(self.master, PhysAddr(pa.0 & !(line - 1)), line, t)
+                mem.transfer_handshake(master, PhysAddr(pa.0 & !(line - 1)), line, TxnKind::Read, t)
             }
         }
     }
@@ -283,24 +300,31 @@ impl Memif {
         // common case) — one translation, one charge, no chunk list.
         if self.fits_one_line(va, len) {
             let (pa, ready) = self.resolve(mem, va, Access::Read, now)?;
-            let t = self.charge(mem, pa, false, ready);
+            let (t, _) = self.charge(mem, pa, false, ready);
             mem.dump(pa, &mut bytes[..len as usize]);
             return Ok((u64::from_le_bytes(bytes), t));
         }
         let chunks = access_chunks(self.cfg.line_bytes, va, len);
         let batched = self.maybe_batch(mem, &chunks, Access::Read, now)?;
+        // Chunk fills chain on the previous fill's address handshake, so on
+        // a windowed fabric a page-crossing access's line fills overlap
+        // each other (and the batch's walks); the access's data is in hand
+        // when the last outstanding fill completes.
         let mut t = now;
+        let mut done = now;
         let mut off = 0u64;
         for (i, &(cur, n)) in chunks.iter().enumerate() {
             let (pa, ready) = match &batched {
                 Some(b) => b[i],
                 None => self.resolve(mem, cur, Access::Read, t)?,
             };
-            t = self.charge(mem, pa, false, t.max(ready));
+            let (d, next) = self.charge(mem, pa, false, t.max(ready));
+            done = done.max(d);
+            t = next;
             mem.dump(pa, &mut bytes[off as usize..(off + n) as usize]);
             off += n;
         }
-        Ok((u64::from_le_bytes(bytes), t))
+        Ok((u64::from_le_bytes(bytes), done))
     }
 
     /// Writes the low `width` bytes of `raw` at `va`; returns the completion
@@ -322,7 +346,7 @@ impl Memif {
         let data = raw.to_le_bytes();
         if self.fits_one_line(va, len) {
             let (pa, ready) = self.resolve(mem, va, Access::Write, now)?;
-            let t = self.charge(mem, pa, true, ready);
+            let (t, _) = self.charge(mem, pa, true, ready);
             // Bytes land in memory immediately (functional coherence).
             mem.load(pa, &data[..len as usize]);
             return Ok(t);
@@ -330,29 +354,43 @@ impl Memif {
         let chunks = access_chunks(self.cfg.line_bytes, va, len);
         let batched = self.maybe_batch(mem, &chunks, Access::Write, now)?;
         let mut t = now;
+        let mut done = now;
         let mut off = 0u64;
         for (i, &(cur, n)) in chunks.iter().enumerate() {
             let (pa, ready) = match &batched {
                 Some(b) => b[i],
                 None => self.resolve(mem, cur, Access::Write, t)?,
             };
-            t = self.charge(mem, pa, true, t.max(ready));
+            let (d, next) = self.charge(mem, pa, true, t.max(ready));
+            done = done.max(d);
+            t = next;
             // Bytes land in memory immediately (functional coherence).
             mem.load(pa, &data[off as usize..(off + n) as usize]);
             off += n;
         }
-        Ok(t)
+        Ok(done)
     }
 
-    /// Drains all dirty lines (kernel completion); returns the time when the
-    /// last writeback completes.
+    /// Drains all dirty lines (kernel completion) as a stream of
+    /// outstanding write transactions; returns the time when the last one
+    /// completes. On a windowed fabric the writebacks' DRAM latencies
+    /// overlap instead of draining one round-trip at a time.
     pub fn flush(&mut self, mem: &mut MemorySystem, now: Cycle) -> Cycle {
         let mut t = now;
+        let mut done = now;
         for line in self.cache.drain_dirty() {
             self.flush_writebacks += 1;
-            t = mem.transfer_time(self.master, line, self.cfg.line_bytes, t);
+            let (d, next) = mem.transfer_handshake(
+                self.port.master(),
+                line,
+                self.cfg.line_bytes,
+                TxnKind::Write,
+                t,
+            );
+            t = next;
+            done = done.max(d);
         }
-        t
+        done
     }
 
     /// Counter snapshot (burst cache and MMU absorbed).

@@ -5,7 +5,11 @@
 //!
 //! * [`PhysAddr`] / [`VirtAddr`] — address newtypes and page geometry.
 //! * [`SparseMemory`] — lazily materialized backing store holding real bytes.
-//! * [`Bus`] — the shared FCFS system bus with per-master accounting.
+//! * [`SplitFabric`] — the split-transaction memory fabric: issue/complete
+//!   transactions, per-master outstanding windows, MSHR merging, decoupled
+//!   address/data phases. [`FabricPort`] is the per-master handle.
+//! * [`reference::FcfsBus`](reference) — the retained blocking FCFS bus,
+//!   kept as the differential oracle for the fabric.
 //! * [`Dram`] — banked DRAM with an open-row policy.
 //! * [`MemorySystem`] — the façade every bus master talks to; timed accesses
 //!   move real data *and* advance the timing model.
@@ -24,15 +28,16 @@
 //! ```
 
 pub mod addr;
-pub mod bus;
 pub mod cache;
 pub mod dram;
+pub mod fabric;
+pub mod reference;
 pub mod store;
 pub mod system;
 
 pub use addr::{split_at_page_boundaries, PhysAddr, VirtAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
-pub use bus::{Bus, BusConfig, MasterId};
 pub use cache::{CacheConfig, CacheOutcome, L1Cache};
 pub use dram::{Dram, DramConfig};
+pub use fabric::{FabricConfig, FabricPort, MasterId, SplitFabric, TxnDesc, TxnId, TxnKind};
 pub use store::SparseMemory;
 pub use system::{MemConfig, MemorySystem};

@@ -1,24 +1,20 @@
-//! The shared system bus.
+//! The retained blocking FCFS bus — the differential oracle for the
+//! split-transaction fabric.
 //!
-//! All masters (CPU, page-table walkers, hardware-thread burst engines, the
-//! DMA engine of the copy-based baseline) share one bus to DRAM. The bus is a
-//! single FCFS resource: each transaction occupies it for an arbitration +
-//! address phase plus one data beat per `width_bytes`. Per-master counters
-//! let experiments attribute traffic and waiting time.
+//! Before the fabric redesign every master went through
+//! `Bus::grant(master, bytes, now) -> (start, done)`: one call-return per
+//! transaction, the whole address+data occupancy held on a single FCFS
+//! calendar. That model survives here, unchanged, as [`FcfsBus`] so the
+//! conformance suite (`tests/fabric_conformance.rs`) can replay
+//! proptest-generated multi-master streams against both implementations:
+//! with `window = 1, mshrs = 0` the [`SplitFabric`](crate::SplitFabric)
+//! must be cycle-identical to this oracle.
 
 use svmsyn_sim::{Cycle, FcfsResource, StatSet};
 
-/// Identifies a bus master for accounting purposes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct MasterId(pub u16);
+use crate::fabric::MasterId;
 
-impl std::fmt::Display for MasterId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "m{}", self.0)
-    }
-}
-
-/// Bus parameters (times in fabric cycles).
+/// Oracle bus parameters (times in fabric cycles).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BusConfig {
     /// Data bytes transferred per cycle.
@@ -44,26 +40,27 @@ struct MasterStats {
     wait_cycles: u64,
 }
 
-/// The shared FCFS system bus.
+/// The blocking FCFS system bus (the pre-redesign model, kept as oracle).
 ///
 /// # Example
 ///
 /// ```
-/// use svmsyn_mem::{Bus, BusConfig, MasterId};
+/// use svmsyn_mem::reference::{BusConfig, FcfsBus};
+/// use svmsyn_mem::MasterId;
 /// use svmsyn_sim::Cycle;
-/// let mut bus = Bus::new(BusConfig::default());
+/// let mut bus = FcfsBus::new(BusConfig::default());
 /// let (s0, _d0) = bus.grant(MasterId(0), 64, Cycle(0));
 /// let (s1, _d1) = bus.grant(MasterId(1), 64, Cycle(0));
 /// assert!(s1 > s0, "second master waits for the first");
 /// ```
 #[derive(Debug, Clone)]
-pub struct Bus {
+pub struct FcfsBus {
     cfg: BusConfig,
     cal: FcfsResource,
     masters: Vec<MasterStats>,
 }
 
-impl Bus {
+impl FcfsBus {
     /// Creates an idle bus.
     ///
     /// # Panics
@@ -71,7 +68,7 @@ impl Bus {
     /// Panics if `width_bytes` is zero.
     pub fn new(cfg: BusConfig) -> Self {
         assert!(cfg.width_bytes > 0, "bus width must be positive");
-        Bus {
+        FcfsBus {
             cfg,
             cal: FcfsResource::new("bus"),
             masters: Vec::new(),
@@ -147,7 +144,7 @@ mod tests {
 
     #[test]
     fn occupancy_includes_arbitration() {
-        let bus = Bus::new(BusConfig::default());
+        let bus = FcfsBus::new(BusConfig::default());
         assert_eq!(bus.occupancy(8), 4 + 1);
         assert_eq!(bus.occupancy(64), 4 + 8);
         assert_eq!(bus.occupancy(1), 4 + 1);
@@ -160,7 +157,7 @@ mod tests {
 
     #[test]
     fn masters_contend_fcfs() {
-        let mut bus = Bus::new(BusConfig::default());
+        let mut bus = FcfsBus::new(BusConfig::default());
         let (s0, d0) = bus.grant(MasterId(0), 64, Cycle(0));
         let (s1, d1) = bus.grant(MasterId(1), 64, Cycle(0));
         assert_eq!(s0, Cycle(0));
@@ -170,7 +167,7 @@ mod tests {
 
     #[test]
     fn per_master_accounting() {
-        let mut bus = Bus::new(BusConfig::default());
+        let mut bus = FcfsBus::new(BusConfig::default());
         bus.grant(MasterId(0), 64, Cycle(0));
         bus.grant(MasterId(2), 32, Cycle(0));
         assert_eq!(bus.master_bytes(MasterId(0)), 64);
@@ -183,17 +180,12 @@ mod tests {
 
     #[test]
     fn utilization_and_reset() {
-        let mut bus = Bus::new(BusConfig::default());
+        let mut bus = FcfsBus::new(BusConfig::default());
         bus.grant(MasterId(0), 8, Cycle(0));
         assert!(bus.utilization(Cycle(10)) > 0.0);
         assert_eq!(bus.busy_cycles(), 5);
         bus.reset();
         assert_eq!(bus.busy_cycles(), 0);
         assert_eq!(bus.master_bytes(MasterId(0)), 0);
-    }
-
-    #[test]
-    fn display_master_id() {
-        assert_eq!(MasterId(3).to_string(), "m3");
     }
 }

@@ -1,15 +1,24 @@
-//! The memory-system façade: backing store + bus + DRAM timing.
+//! The memory-system façade: backing store + split-transaction fabric +
+//! DRAM timing.
 //!
-//! [`MemorySystem`] is the single component every master talks to. A timed
-//! access moves real bytes *and* advances the timing model; functional
-//! (`load`/`dump`) accesses move bytes with no timing, and are used by
-//! loaders and checkers that exist outside the simulated machine.
+//! [`MemorySystem`] is the single component every master talks to. The
+//! transaction API ([`issue`](MemorySystem::issue) /
+//! [`completion`](MemorySystem::completion) /
+//! [`drain_completions`](MemorySystem::drain_completions)) is the native
+//! interface: a master issues a [`TxnDesc`] and observes completion later.
+//! [`read`](MemorySystem::read) / [`write`](MemorySystem::write) remain as
+//! thin *sequenced* wrappers over it — they split a transfer into bursts,
+//! chain each burst's issue on the previous address handshake, and return
+//! the last completion — for callers that genuinely block (loaders, the
+//! software page-fault path). Functional (`load`/`dump`) accesses move
+//! bytes with no timing, for loaders and checkers outside the simulated
+//! machine.
 
 use svmsyn_sim::{Cycle, StatSet};
 
 use crate::addr::PhysAddr;
-use crate::bus::{Bus, BusConfig, MasterId};
 use crate::dram::{Dram, DramConfig};
+use crate::fabric::{FabricConfig, MasterId, SplitFabric, TxnDesc, TxnId, TxnKind};
 use crate::store::SparseMemory;
 
 /// Configuration of the whole memory path.
@@ -17,8 +26,8 @@ use crate::store::SparseMemory;
 pub struct MemConfig {
     /// Physical memory size in bytes (page-aligned).
     pub size_bytes: u64,
-    /// Shared-bus parameters.
-    pub bus: BusConfig,
+    /// Split-transaction fabric parameters.
+    pub fabric: FabricConfig,
     /// DRAM timing parameters.
     pub dram: DramConfig,
     /// Largest single bus transaction; longer transfers are split into
@@ -27,14 +36,43 @@ pub struct MemConfig {
 }
 
 impl Default for MemConfig {
-    /// The `DESIGN.md` §4 platform: 512 MiB, 8 B/cycle bus, 256 B bursts.
+    /// The `DESIGN.md` §4 platform: 512 MiB, 8 B/cycle channel, 256 B
+    /// bursts, 4-deep outstanding windows with 4 MSHRs.
     fn default() -> Self {
         MemConfig {
             size_bytes: 512 << 20,
-            bus: BusConfig::default(),
+            fabric: FabricConfig::default(),
             dram: DramConfig::default(),
             max_burst_bytes: 256,
         }
+    }
+}
+
+/// Little-endian scalar moved by the typed timed accessors. Sealed: the
+/// widths the simulated machine has (`u32` PTEs, `u64` words).
+trait LeScalar: Copy {
+    const BYTES: usize;
+    fn from_le(buf: &[u8]) -> Self;
+    fn to_le(self, buf: &mut [u8]);
+}
+
+impl LeScalar for u32 {
+    const BYTES: usize = 4;
+    fn from_le(buf: &[u8]) -> Self {
+        u32::from_le_bytes(buf.try_into().expect("u32 width"))
+    }
+    fn to_le(self, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl LeScalar for u64 {
+    const BYTES: usize = 8;
+    fn from_le(buf: &[u8]) -> Self {
+        u64::from_le_bytes(buf.try_into().expect("u64 width"))
+    }
+    fn to_le(self, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.to_le_bytes());
     }
 }
 
@@ -55,7 +93,7 @@ impl Default for MemConfig {
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     store: SparseMemory,
-    bus: Bus,
+    fabric: SplitFabric,
     dram: Dram,
     max_burst: u64,
     reads: u64,
@@ -68,12 +106,12 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Panics on invalid configuration (zero/unaligned sizes); see
-    /// [`SparseMemory::new`], [`Bus::new`], [`Dram::new`].
+    /// [`SparseMemory::new`], [`SplitFabric::new`], [`Dram::new`].
     pub fn new(cfg: MemConfig) -> Self {
         assert!(cfg.max_burst_bytes > 0, "max_burst_bytes must be positive");
         MemorySystem {
             store: SparseMemory::new(cfg.size_bytes),
-            bus: Bus::new(cfg.bus),
+            fabric: SplitFabric::new(cfg.fabric),
             dram: Dram::new(cfg.dram),
             max_burst: cfg.max_burst_bytes,
             reads: 0,
@@ -86,31 +124,161 @@ impl MemorySystem {
         self.store.size()
     }
 
-    /// Advances the timing model for a transfer of `len` bytes at `addr`
-    /// arriving at `now`; returns the completion time. Shared by reads and
-    /// writes (the bus is half-duplex and the model is symmetric).
-    pub fn transfer_time(
+    // ------------------------------------------------------------------
+    // The transaction API — the native interface of the split fabric.
+    // ------------------------------------------------------------------
+
+    /// Issues one fabric transaction (at most one burst; use the sequenced
+    /// wrappers for longer transfers). Timing only — pair with
+    /// [`read_txn`](Self::read_txn)/[`write_txn`](Self::write_txn) or the
+    /// functional accessors to move bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desc.bytes` exceeds `max_burst_bytes` — longer transfers
+    /// must be burst-split (see [`transfer`](Self::transfer)), as the old
+    /// blocking path always did.
+    pub fn issue(&mut self, desc: TxnDesc, now: Cycle) -> TxnId {
+        assert!(
+            desc.bytes <= self.max_burst,
+            "transaction of {} bytes exceeds max_burst_bytes ({}); burst-split it",
+            desc.bytes,
+            self.max_burst
+        );
+        self.fabric.issue(&mut self.dram, desc, now)
+    }
+
+    /// Completion time of an issued transaction.
+    pub fn completion(&self, id: TxnId) -> Cycle {
+        self.fabric.poll(id)
+    }
+
+    /// Earliest time the issuing master may hand the fabric its next
+    /// sequenced transaction (the address-channel handshake of `id`).
+    pub fn next_issue(&self, id: TxnId) -> Cycle {
+        self.fabric.next_issue(id)
+    }
+
+    /// Drains `master`'s completion queue up to `upto`, oldest first.
+    pub fn drain_completions(&mut self, master: MasterId, upto: Cycle) -> Vec<(TxnId, Cycle)> {
+        self.fabric.drain_completions(master, upto)
+    }
+
+    /// Issues a read transaction *and* moves the bytes into `buf`
+    /// (functionally, at issue — the completion time says when the data is
+    /// architecturally visible to the master).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the physical range is out of bounds or `buf` exceeds one
+    /// burst.
+    pub fn read_txn(
+        &mut self,
+        master: MasterId,
+        addr: PhysAddr,
+        buf: &mut [u8],
+        now: Cycle,
+    ) -> TxnId {
+        assert!(
+            buf.len() as u64 <= self.max_burst,
+            "read_txn is single-burst; use read() for longer transfers"
+        );
+        self.store.read(addr, buf);
+        self.reads += 1;
+        self.issue(
+            TxnDesc {
+                master,
+                addr,
+                bytes: buf.len() as u64,
+                kind: TxnKind::Read,
+            },
+            now,
+        )
+    }
+
+    /// Issues a write transaction and moves `data` into memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the physical range is out of bounds or `data` exceeds one
+    /// burst.
+    pub fn write_txn(
+        &mut self,
+        master: MasterId,
+        addr: PhysAddr,
+        data: &[u8],
+        now: Cycle,
+    ) -> TxnId {
+        assert!(
+            data.len() as u64 <= self.max_burst,
+            "write_txn is single-burst; use write() for longer transfers"
+        );
+        self.store.write(addr, data);
+        self.writes += 1;
+        self.issue(
+            TxnDesc {
+                master,
+                addr,
+                bytes: data.len() as u64,
+                kind: TxnKind::Write,
+            },
+            now,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Sequenced wrappers: blocking-style transfers over the fabric.
+    // ------------------------------------------------------------------
+
+    /// Times a transfer of `len` bytes at `addr` arriving at `now` as a
+    /// chain of burst transactions: each burst issues at the previous
+    /// burst's address handshake (so a windowed fabric overlaps their DRAM
+    /// latencies), and the transfer completes when the last outstanding
+    /// burst does.
+    pub fn transfer(
         &mut self,
         master: MasterId,
         addr: PhysAddr,
         len: u64,
+        kind: TxnKind,
         now: Cycle,
     ) -> Cycle {
+        self.transfer_handshake(master, addr, len, kind, now).0
+    }
+
+    /// Like [`transfer`](Self::transfer) but also returns the chain's final
+    /// address handshake — when the master may hand the fabric its next
+    /// sequenced transfer. Masters that stream dependent work (MEMIF line
+    /// fills, CPU cache fills) key off the handshake; blocking callers use
+    /// the completion.
+    pub fn transfer_handshake(
+        &mut self,
+        master: MasterId,
+        addr: PhysAddr,
+        len: u64,
+        kind: TxnKind,
+        now: Cycle,
+    ) -> (Cycle, Cycle) {
         let mut t = now;
         let mut done = now;
         let mut off = 0u64;
         let len = len.max(1);
         while off < len {
             let blen = self.max_burst.min(len - off);
-            let (bus_start, bus_done) = self.bus.grant(master, blen, t);
-            let bank_done = self.dram.access(addr.offset(off), blen, bus_start);
-            done = bus_done.max(bank_done);
-            // The next burst may arbitrate as soon as the bus frees; DRAM
-            // latency overlaps with the following arbitration.
-            t = bus_done;
+            let id = self.issue(
+                TxnDesc {
+                    master,
+                    addr: addr.offset(off),
+                    bytes: blen,
+                    kind,
+                },
+                t,
+            );
+            t = self.fabric.next_issue(id);
+            done = done.max(self.fabric.poll(id));
             off += blen;
         }
-        done
+        (done, t)
     }
 
     /// Timed read: copies bytes into `buf` and returns the completion time.
@@ -122,7 +290,7 @@ impl MemorySystem {
     pub fn read(&mut self, master: MasterId, addr: PhysAddr, buf: &mut [u8], now: Cycle) -> Cycle {
         self.store.read(addr, buf);
         self.reads += 1;
-        self.transfer_time(master, addr, buf.len() as u64, now)
+        self.transfer(master, addr, buf.len() as u64, TxnKind::Read, now)
     }
 
     /// Timed write: copies `data` into memory and returns the completion time.
@@ -133,32 +301,64 @@ impl MemorySystem {
     pub fn write(&mut self, master: MasterId, addr: PhysAddr, data: &[u8], now: Cycle) -> Cycle {
         self.store.write(addr, data);
         self.writes += 1;
-        self.transfer_time(master, addr, data.len() as u64, now)
+        self.transfer(master, addr, data.len() as u64, TxnKind::Write, now)
+    }
+
+    /// Timed little-endian scalar read (one transaction) behind the typed
+    /// `read_u32`/`read_u64` pair.
+    fn read_scalar<T: LeScalar>(
+        &mut self,
+        master: MasterId,
+        addr: PhysAddr,
+        now: Cycle,
+    ) -> (T, Cycle) {
+        let mut b = [0u8; 8];
+        let id = self.read_txn(master, addr, &mut b[..T::BYTES], now);
+        (T::from_le(&b[..T::BYTES]), self.completion(id))
+    }
+
+    /// Timed little-endian scalar write behind the typed pair.
+    fn write_scalar<T: LeScalar>(
+        &mut self,
+        master: MasterId,
+        addr: PhysAddr,
+        v: T,
+        now: Cycle,
+    ) -> Cycle {
+        let mut b = [0u8; 8];
+        v.to_le(&mut b[..T::BYTES]);
+        let id = self.write_txn(master, addr, &b[..T::BYTES], now);
+        self.completion(id)
     }
 
     /// Timed little-endian `u32` read (one bus transaction), as used by the
     /// page-table walker.
     pub fn read_u32(&mut self, master: MasterId, addr: PhysAddr, now: Cycle) -> (u32, Cycle) {
+        self.read_scalar(master, addr, now)
+    }
+
+    /// Like [`read_u32`](Self::read_u32) but returns the outstanding
+    /// transaction instead of its completion — the walker's issue-side
+    /// entry point.
+    pub fn read_u32_txn(&mut self, master: MasterId, addr: PhysAddr, now: Cycle) -> (u32, TxnId) {
         let mut b = [0u8; 4];
-        let done = self.read(master, addr, &mut b, now);
-        (u32::from_le_bytes(b), done)
+        let id = self.read_txn(master, addr, &mut b, now);
+        (u32::from_le_bytes(b), id)
     }
 
     /// Timed little-endian `u32` write.
     pub fn write_u32(&mut self, master: MasterId, addr: PhysAddr, v: u32, now: Cycle) -> Cycle {
-        self.write(master, addr, &v.to_le_bytes(), now)
+        self.write_scalar(master, addr, v, now)
     }
 
     /// Timed little-endian `u64` read.
     pub fn read_u64(&mut self, master: MasterId, addr: PhysAddr, now: Cycle) -> (u64, Cycle) {
-        let mut b = [0u8; 8];
-        let done = self.read(master, addr, &mut b, now);
-        (u64::from_le_bytes(b), done)
+        self.read_scalar(master, addr, now)
     }
 
     /// Timed little-endian `u64` write.
     pub fn write_u64(&mut self, master: MasterId, addr: PhysAddr, v: u64, now: Cycle) -> Cycle {
-        self.write(master, addr, &v.to_le_bytes(), now)
+        self.write_scalar(master, addr, v, now)
     }
 
     /// Functional write with no timing (loaders, OS metadata setup whose cost
@@ -198,9 +398,9 @@ impl MemorySystem {
         self.store.fill(addr, len, 0);
     }
 
-    /// Shared-bus view (for utilization reporting).
-    pub fn bus(&self) -> &Bus {
-        &self.bus
+    /// Fabric view (for utilization and overlap reporting).
+    pub fn fabric(&self) -> &SplitFabric {
+        &self.fabric
     }
 
     /// DRAM view (for row-buffer statistics).
@@ -208,12 +408,12 @@ impl MemorySystem {
         &self.dram
     }
 
-    /// Counter snapshot including bus and DRAM sub-stats.
+    /// Counter snapshot including fabric and DRAM sub-stats.
     pub fn stats(&self) -> StatSet {
         let mut s = StatSet::new();
         s.put("reads", self.reads as f64);
         s.put("writes", self.writes as f64);
-        s.absorb("bus", self.bus.stats());
+        s.absorb("fabric", self.fabric.stats());
         s.absorb("dram", self.dram.stats());
         s
     }
@@ -242,9 +442,9 @@ mod tests {
     #[test]
     fn longer_transfers_take_longer() {
         let mut a = mem();
-        let short = a.transfer_time(MasterId(0), PhysAddr(0), 8, Cycle(0));
+        let short = a.transfer(MasterId(0), PhysAddr(0), 8, TxnKind::Read, Cycle(0));
         let mut b = mem();
-        let long = b.transfer_time(MasterId(0), PhysAddr(0), 4096, Cycle(0));
+        let long = b.transfer(MasterId(0), PhysAddr(0), 4096, TxnKind::Read, Cycle(0));
         assert!(long > short);
     }
 
@@ -255,9 +455,9 @@ mod tests {
             max_burst_bytes: 64,
             ..MemConfig::default()
         });
-        m.transfer_time(MasterId(0), PhysAddr(0), 256, Cycle(0));
-        // 256 bytes at 64 B/burst = 4 bus transactions.
-        assert_eq!(m.bus().stats().get("transactions"), Some(4.0));
+        m.transfer(MasterId(0), PhysAddr(0), 256, TxnKind::Read, Cycle(0));
+        // 256 bytes at 64 B/burst = 4 fabric transactions.
+        assert_eq!(m.fabric().stats().get("transactions"), Some(4.0));
     }
 
     #[test]
@@ -265,11 +465,71 @@ mod tests {
         let mut m = mem();
         let alone = {
             let mut solo = mem();
-            solo.transfer_time(MasterId(0), PhysAddr(0), 4096, Cycle(0))
+            solo.transfer(MasterId(0), PhysAddr(0), 4096, TxnKind::Read, Cycle(0))
         };
-        m.transfer_time(MasterId(1), PhysAddr(65536), 4096, Cycle(0));
-        let contended = m.transfer_time(MasterId(0), PhysAddr(0), 4096, Cycle(0));
-        assert!(contended > alone, "sharing the bus must slow master 0 down");
+        m.transfer(MasterId(1), PhysAddr(65536), 4096, TxnKind::Read, Cycle(0));
+        let contended = m.transfer(MasterId(0), PhysAddr(0), 4096, TxnKind::Read, Cycle(0));
+        assert!(
+            contended > alone,
+            "sharing the data channel must slow master 0 down"
+        );
+    }
+
+    #[test]
+    fn windowed_fabric_overlaps_bank_strided_reads() {
+        // Bank-strided 64 B reads (8 KiB stride rotates DRAM banks): a
+        // blocking master round-trips each one; a windowed master keeps
+        // several outstanding, so independent bank latencies overlap.
+        let run = |fabric: FabricConfig, blocking: bool| {
+            let mut m = MemorySystem::new(MemConfig {
+                size_bytes: 1 << 20,
+                fabric,
+                ..MemConfig::default()
+            });
+            let mut t = Cycle(0);
+            let mut end = Cycle(0);
+            for i in 0..8u64 {
+                let id = m.issue(
+                    TxnDesc {
+                        master: MasterId(0),
+                        addr: PhysAddr(i * 8192),
+                        bytes: 64,
+                        kind: TxnKind::Read,
+                    },
+                    t,
+                );
+                end = end.max(m.completion(id));
+                t = if blocking {
+                    m.completion(id)
+                } else {
+                    m.next_issue(id)
+                };
+            }
+            end
+        };
+        let serial = run(FabricConfig::blocking(), true);
+        let overlapped = run(FabricConfig::default(), false);
+        assert!(
+            overlapped < serial,
+            "outstanding reads must overlap DRAM latency ({overlapped} vs {serial})"
+        );
+    }
+
+    #[test]
+    fn issue_poll_drain_roundtrip() {
+        let mut m = mem();
+        let desc = TxnDesc {
+            master: MasterId(2),
+            addr: PhysAddr(128),
+            bytes: 64,
+            kind: TxnKind::Read,
+        };
+        let id = m.issue(desc, Cycle(0));
+        let done = m.completion(id);
+        assert!(done > Cycle(0));
+        assert!(m.next_issue(id) <= done);
+        let drained = m.drain_completions(MasterId(2), done);
+        assert_eq!(drained, vec![(id, done)]);
     }
 
     #[test]
@@ -279,7 +539,7 @@ mod tests {
         let mut b = [0u8; 2];
         m.dump(PhysAddr(0), &mut b);
         assert_eq!(b, [9, 9]);
-        assert_eq!(m.bus().busy_cycles(), 0);
+        assert_eq!(m.fabric().busy_cycles(), 0);
         assert_eq!(m.stats().get("reads"), Some(0.0));
     }
 
@@ -293,6 +553,9 @@ mod tests {
         let t3 = m.write_u64(MasterId(0), PhysAddr(24), 0x1122_3344_5566_7788, t2);
         let (w, _) = m.read_u64(MasterId(0), PhysAddr(24), t3);
         assert_eq!(w, 0x1122_3344_5566_7788);
+        let (v2, id) = m.read_u32_txn(MasterId(0), PhysAddr(16), t3);
+        assert_eq!(v2, 0xCAFE_F00D);
+        assert!(m.completion(id) > t3);
     }
 
     #[test]
@@ -311,7 +574,7 @@ mod tests {
         m.write(MasterId(0), PhysAddr(0), &[1], Cycle(0));
         let s = m.stats();
         assert_eq!(s.get("writes"), Some(1.0));
-        assert!(s.get("bus.busy_cycles").unwrap() > 0.0);
+        assert!(s.get("fabric.busy_cycles").unwrap() > 0.0);
         assert!(s.get("dram.accesses").unwrap() > 0.0);
     }
 }

@@ -535,14 +535,21 @@ mod tests {
     fn translations_readable_by_hardware_walker() {
         // The bytes written by install_pte must decode identically through
         // the svmsyn-vm walker (shared codec, shared memory).
-        use svmsyn_mem::MasterId;
+        use svmsyn_mem::{FabricPort, MasterId};
         use svmsyn_sim::Cycle;
         use svmsyn_vm::walker::{PageTableWalker, WalkerConfig};
         let (mut mem, mut fa, mut asp) = setup();
         let va = asp.mmap(PAGE_SIZE, true, false, &mut fa, &mut mem).unwrap();
         asp.handle_fault(va, true, &mut fa, &mut mem).unwrap();
         let mut w = PageTableWalker::new(WalkerConfig::default());
-        let r = w.walk(&mut mem, MasterId(0), asp.root(), asp.asid(), va, Cycle(0));
+        let r = w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            asp.root(),
+            asp.asid(),
+            va,
+            Cycle(0),
+        );
         let out = r.outcome.unwrap();
         let (pa, _) = asp.translate(&mem, va).unwrap();
         assert_eq!(PhysAddr::from_frame(out.pte.pfn()), pa.page_base());

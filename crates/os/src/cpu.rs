@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use svmsyn_hls::decode::DecodedKernel;
 use svmsyn_hls::interp::{Interp, InterpEvent};
-use svmsyn_hls::ir::{OpClass, Width};
-use svmsyn_mem::{MasterId, MemorySystem, PhysAddr, VirtAddr};
+use svmsyn_hls::ir::Width;
+use svmsyn_mem::{FabricPort, MasterId, MemorySystem, PhysAddr, TxnKind, VirtAddr};
 
 pub use svmsyn_mem::cache::{CacheConfig, CacheOutcome, L1Cache};
 use svmsyn_sim::{Cycle, StatSet};
@@ -132,9 +132,16 @@ pub struct SwExec {
     asid: Asid,
     interp: Interp,
     cfg: SwExecConfig,
+    port: FabricPort,
     tlb: Tlb,
     cache: L1Cache,
     cpu_half_cycles: u64, // CPU cycles pending conversion (2 per fabric cycle)
+    /// Precomputed per-block compute CPI (CPU cycles) and op counts, indexed
+    /// by `BlockId`: the whole block's compute time is charged once at block
+    /// entry instead of per yielded op (see `run_slice`).
+    block_cpi: Vec<u64>,
+    block_ops: Vec<u64>,
+    entry_charged: bool,
     instrs: u64,
     faults: u64,
 }
@@ -150,14 +157,32 @@ impl SwExec {
         args: &[i64],
         cfg: SwExecConfig,
     ) -> Self {
+        // Per-block CPI sums: blocks are straight-line, so their compute
+        // cost per entry is a decode-time constant.
+        let nblocks = kernel.num_blocks();
+        let mut block_cpi = Vec::with_capacity(nblocks);
+        let mut block_ops = Vec::with_capacity(nblocks);
+        for b in 0..nblocks {
+            let mix = kernel.block_mix(svmsyn_hls::ir::BlockId(b as u32));
+            block_cpi.push(
+                mix.alu as u64 * cfg.costs.alu
+                    + mix.mul as u64 * cfg.costs.mul
+                    + mix.div as u64 * cfg.costs.div,
+            );
+            block_ops.push(mix.ops());
+        }
         SwExec {
             tid,
             asid,
             interp: Interp::from_decoded(kernel, args),
             cfg,
+            port: FabricPort::new(cfg.master),
             tlb: Tlb::new(cfg.tlb),
             cache: L1Cache::new(cfg.cache),
             cpu_half_cycles: 0,
+            block_cpi,
+            block_ops,
+            entry_charged: false,
             instrs: 0,
             faults: 0,
         }
@@ -234,17 +259,52 @@ impl SwExec {
             CacheOutcome::Hit => {}
             CacheOutcome::Miss { writeback } => {
                 let line = self.cache.line_bytes();
+                let master = self.port.master();
+                let mut issue = *t;
                 if let Some(victim) = writeback {
-                    *t = mem.transfer_time(self.cfg.master, victim, line, *t);
+                    // Writeback-buffer drain: the fill waits only for the
+                    // victim's address handshake, not its completion.
+                    let (_, next) =
+                        mem.transfer_handshake(master, victim, line, TxnKind::Write, issue);
+                    issue = next;
                 }
-                *t = mem.transfer_time(self.cfg.master, PhysAddr(pa.0 & !(line - 1)), line, *t);
+                let (done, _) = mem.transfer_handshake(
+                    master,
+                    PhysAddr(pa.0 & !(line - 1)),
+                    line,
+                    TxnKind::Read,
+                    issue,
+                );
+                *t = done;
             }
         }
         Ok(pa)
     }
 
+    /// Charges a whole block's precomputed compute CPI at block entry.
+    fn charge_block(&mut self, t: &mut Cycle, block: svmsyn_hls::ir::BlockId) {
+        let b = block.0 as usize;
+        self.instrs += self.block_ops[b];
+        let cpi = self.block_cpi[b];
+        self.charge_cpu(t, cpi);
+    }
+
     /// Runs until the kernel finishes or `budget` fabric cycles elapse.
     /// Returns the end time and how the slice ended.
+    ///
+    /// CPI batching: the interpreter is driven through `next_mem()`, which
+    /// executes compute ops silently; each block's compute CPI is the
+    /// decode-time sum charged once when the block is entered (entry block
+    /// at launch, every other block at its `BlockChange`). For any run
+    /// that completes its blocks, totals are identical to per-op charging —
+    /// blocks are straight-line — but the slice budget is now checked at
+    /// event granularity only, so a slice may overrun `budget` by up to one
+    /// block's compute time; loads within a block issue after the block's
+    /// compute cost instead of interleaved with it; and a thread killed by
+    /// `Sigsegv` mid-block has already been charged (and retired) the ops
+    /// after the faulting access — acceptable, since a segfault aborts the
+    /// whole simulation. `batched_cpi_shifts_slice_boundaries_only` locks
+    /// the boundary shift down.
     ///
     /// # Errors
     ///
@@ -257,21 +317,17 @@ impl SwExec {
         budget: u64,
     ) -> Result<(Cycle, SliceEnd), Sigsegv> {
         let mut t = start;
+        if !self.entry_charged {
+            self.entry_charged = true;
+            let entry = self.interp.decoded().entry_block();
+            self.charge_block(&mut t, entry);
+        }
         loop {
             if (t - start).0 >= budget {
                 return Ok((t, SliceEnd::BudgetExhausted));
             }
-            match self.interp.next() {
-                InterpEvent::Op(class) => {
-                    self.instrs += 1;
-                    let cpi = match class {
-                        OpClass::Alu => self.cfg.costs.alu,
-                        OpClass::Mul => self.cfg.costs.mul,
-                        OpClass::Div => self.cfg.costs.div,
-                        _ => 1,
-                    };
-                    self.charge_cpu(&mut t, cpi);
-                }
+            match self.interp.next_mem() {
+                InterpEvent::Op(_) => unreachable!("next_mem never yields Op"),
                 InterpEvent::Load { addr, width } => {
                     self.instrs += 1;
                     let pa = self.data_access(os, mem, VirtAddr(addr), false, &mut t)?;
@@ -283,9 +339,10 @@ impl SwExec {
                     let pa = self.data_access(os, mem, VirtAddr(addr), true, &mut t)?;
                     write_raw(mem, pa, width, value);
                 }
-                InterpEvent::BlockChange { .. } => {
+                InterpEvent::BlockChange { to, .. } => {
                     self.instrs += 1;
                     self.charge_cpu(&mut t, self.cfg.costs.branch);
+                    self.charge_block(&mut t, to);
                 }
                 InterpEvent::Done { ret } => {
                     return Ok((t, SliceEnd::Finished { ret }));
@@ -467,6 +524,41 @@ mod tests {
             .run_slice(&mut os, &mut mem, Cycle(0), u64::MAX)
             .unwrap_err();
         assert_eq!(err.va.page_base(), VirtAddr(0x7000_0000));
+    }
+
+    #[test]
+    fn batched_cpi_shifts_slice_boundaries_only() {
+        // One straight-line block of 200 ALU ops (100 CPU cycles = 50
+        // fabric cycles of compute). With per-block CPI batching the whole
+        // block charges at entry, so a 10-cycle slice budget overruns to
+        // the block boundary — but the total time and retired-instruction
+        // count are exactly what per-op charging would produce.
+        let (mut mem, mut os) = boot();
+        let asid = os.create_space(&mut mem).unwrap();
+        let mut b = KernelBuilder::new("blockalu", 1);
+        let x = b.arg(0);
+        let mut v = x;
+        for _ in 0..200 {
+            v = b.bin(BinOp::Add, v, x);
+        }
+        b.ret(Some(v));
+        let k = Arc::new(DecodedKernel::decode(&b.finish().unwrap()));
+        let mut t = SwExec::new(
+            ThreadId(1),
+            asid,
+            k,
+            &[1],
+            SwExecConfig::with_master(MasterId(0)),
+        );
+        let (end, kind) = t.run_slice(&mut os, &mut mem, Cycle(0), 10).unwrap();
+        // The slice boundary shifted past the budget to the block boundary:
+        // all 200 ALU CPU-cycles landed in one charge.
+        assert_eq!(kind, SliceEnd::BudgetExhausted);
+        assert_eq!((end - Cycle(0)).0, 100, "whole block charged at entry");
+        let (end2, kind2) = t.run_slice(&mut os, &mut mem, end, u64::MAX).unwrap();
+        assert_eq!(kind2, SliceEnd::Finished { ret: Some(201) });
+        assert_eq!(end2, end, "no compute left after the batched charge");
+        assert_eq!(t.instrs(), 200, "batched charging retires every op");
     }
 
     #[test]

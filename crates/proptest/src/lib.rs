@@ -87,6 +87,8 @@ tuple_strategy!(A);
 tuple_strategy!(A, B);
 tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
 
 /// Strategy returned by [`any`].
 #[derive(Debug, Clone, Copy, Default)]

@@ -6,7 +6,7 @@
 //! handled: the MEMIF raises them to the delegate thread, the OS services
 //! them, and the access is retried — the paper's SVM execution model.
 
-use svmsyn_mem::{MasterId, MemorySystem, PhysAddr, VirtAddr};
+use svmsyn_mem::{FabricPort, MasterId, MemorySystem, PhysAddr, VirtAddr};
 use svmsyn_sim::{Cycle, StatSet};
 
 use crate::tlb::{Asid, Tlb, TlbConfig};
@@ -137,7 +137,7 @@ pub struct Mmu {
     cfg: MmuConfig,
     tlb: Tlb,
     walker: PageTableWalker,
-    master: MasterId,
+    port: FabricPort,
     context: Option<(Asid, PhysAddr)>,
     translations: u64,
     faults: u64,
@@ -151,7 +151,7 @@ impl Mmu {
             cfg,
             tlb: Tlb::new(cfg.tlb),
             walker: PageTableWalker::new(cfg.walker),
-            master,
+            port: FabricPort::new(master),
             context: None,
             translations: 0,
             faults: 0,
@@ -165,7 +165,12 @@ impl Mmu {
 
     /// The bus master id used for walks.
     pub fn master(&self) -> MasterId {
-        self.master
+        self.port.master()
+    }
+
+    /// The fabric port the walker issues its read transactions through.
+    pub fn port(&self) -> FabricPort {
+        self.port
     }
 
     /// Binds the MMU to an address space: the ASID and the physical address
@@ -254,7 +259,7 @@ impl Mmu {
         // TLB miss: walk after the (failed) lookup cost.
         let walk = self
             .walker
-            .walk(mem, self.master, root, asid, va, now + hit_cost);
+            .walk(mem, self.port, root, asid, va, now + hit_cost);
         match walk.outcome {
             Ok(out) => self.admit_walk(mem, asid, va, access, out),
             Err(WalkError::NoTable { .. }) | Err(WalkError::NotPresent { .. }) => {
@@ -363,7 +368,7 @@ impl Mmu {
         if !miss_vas.is_empty() {
             let walks =
                 self.walker
-                    .walk_many(mem, self.master, root, asid, &miss_vas, now + hit_cost);
+                    .walk_many(mem, self.port, root, asid, &miss_vas, now + hit_cost);
             for (&i, walk) in miss_idx.iter().zip(walks) {
                 let (va, access) = accesses[i];
                 let r = match walk.outcome {

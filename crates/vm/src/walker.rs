@@ -18,8 +18,20 @@
 //! concurrent misses that land on the same directory line share one
 //! directory read (miss coalescing), the behaviour of a walker serving
 //! several outstanding requests in the same epoch.
+//!
+//! Since the split-transaction fabric redesign the walker is a first-class
+//! fabric master behind a [`FabricPort`]: every directory and leaf read is
+//! an *issued transaction*, not a blocking call. `walk_many` issues all of
+//! a batch's directory reads up front — they sit outstanding in the
+//! walker's fabric window and their DRAM latencies overlap — and each leaf
+//! read issues at its directory's completion. On the degenerate blocking
+//! fabric each transaction still holds the single channel end to end in
+//! issue order (no overlap), though a multi-miss batch's reads now slot
+//! dirs-then-leaves rather than the old interleaved dir/leaf order — read
+//! *counts* are unchanged and remain oracle-checked by the conformance
+//! suite.
 
-use svmsyn_mem::{MasterId, MemorySystem, PhysAddr, VirtAddr};
+use svmsyn_mem::{FabricPort, MemorySystem, PhysAddr, VirtAddr};
 use svmsyn_sim::{Cycle, StatSet};
 
 use crate::pte::{DirEntry, Pte};
@@ -153,7 +165,7 @@ struct PendingDir {
 /// # Example
 ///
 /// ```
-/// use svmsyn_mem::{MasterId, MemConfig, MemorySystem, PhysAddr, VirtAddr};
+/// use svmsyn_mem::{FabricPort, MasterId, MemConfig, MemorySystem, PhysAddr, VirtAddr};
 /// use svmsyn_sim::Cycle;
 /// use svmsyn_vm::pte::{DirEntry, Pte, PteFlags};
 /// use svmsyn_vm::tlb::Asid;
@@ -167,10 +179,11 @@ struct PendingDir {
 /// mem.poke_u32(PhysAddr::from_frame(17), Pte::leaf(0x42, PteFlags::default()).encode());
 ///
 /// let mut w = PageTableWalker::new(WalkerConfig::default());
-/// let r = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
+/// let port = FabricPort::new(MasterId(0));
+/// let r = w.walk(&mut mem, port, root, Asid(0), VirtAddr(0), Cycle(0));
 /// assert_eq!(r.outcome.unwrap().pte.pfn(), 0x42);
 /// // A re-walk of the same page hits the leaf cache: no bus read at all.
-/// let r2 = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), r.done);
+/// let r2 = w.walk(&mut mem, port, root, Asid(0), VirtAddr(0), r.done);
 /// assert_eq!((r2.done - r.done).0, 1);
 /// ```
 #[derive(Debug, Clone)]
@@ -327,11 +340,12 @@ impl PageTableWalker {
     }
 
     /// Finishes a walk whose directory entry is already in hand: issues the
-    /// dependent leaf read at `t_issue` and classifies the result.
+    /// dependent leaf read as an outstanding transaction at `t_issue` and
+    /// classifies the result at its completion.
     fn finish_with_dir(
         &mut self,
         mem: &mut MemorySystem,
-        master: MasterId,
+        port: FabricPort,
         asid: Asid,
         va: VirtAddr,
         dir: DirEntry,
@@ -346,7 +360,8 @@ impl PageTableWalker {
         }
         let pte_addr = PhysAddr::from_frame(dir.table_pfn()).offset(4 * va.l2_index() as u64);
         self.l2_reads += 1;
-        let (raw, t_after_l2) = mem.read_u32(master, pte_addr, t_issue);
+        let (raw, txn) = mem.read_u32_txn(port.master(), pte_addr, t_issue);
+        let t_after_l2 = mem.completion(txn);
         let pte = Pte::decode(raw);
         if !pte.is_valid() {
             self.not_present_faults += 1;
@@ -366,8 +381,44 @@ impl PageTableWalker {
         }
     }
 
-    /// Walks the two-level table rooted at `root` for `va`, issuing timed
-    /// reads on `mem` as bus master `master`.
+    /// Resolves the directory entry for `va` inside a batch: an in-flight
+    /// batch read of the same line (coalesced), the L1 walk cache, or a
+    /// fresh directory-read transaction issued at `now`.
+    #[allow(clippy::too_many_arguments)] // internal batch helper; the tuple of walk context is deliberate
+    fn resolve_dir(
+        &mut self,
+        mem: &mut MemorySystem,
+        port: FabricPort,
+        root: PhysAddr,
+        asid: Asid,
+        l1: usize,
+        pending: &mut Vec<PendingDir>,
+        now: Cycle,
+    ) -> (DirEntry, Cycle) {
+        // Probe the in-flight batch reads *before* the L1 cache: a line
+        // read earlier in this batch is also in the cache by now, but its
+        // data is only ready at the read's completion time.
+        if let Some(p) = pending.iter().find(|p| p.l1 == l1).copied() {
+            self.dir_coalesced += 1;
+            return (p.dir, p.ready);
+        }
+        if let Some(dir) = self.l1_lookup(asid, l1) {
+            self.l1_hits += 1;
+            return (dir, now);
+        }
+        self.l1_reads += 1;
+        let (raw, txn) = mem.read_u32_txn(port.master(), root.offset(4 * l1 as u64), now);
+        let ready = mem.completion(txn);
+        let dir = DirEntry::decode(raw);
+        if dir.is_valid() {
+            self.l1_insert(asid, l1, dir);
+        }
+        pending.push(PendingDir { l1, dir, ready });
+        (dir, ready)
+    }
+
+    /// Walks the two-level table rooted at `root` for `va`, issuing read
+    /// transactions on `mem` through `port`.
     ///
     /// Cost shape: an L2 hit is one probe cycle and zero bus reads; an L1
     /// (directory) hit issues the leaf read immediately (the probe overlaps
@@ -376,7 +427,7 @@ impl PageTableWalker {
     pub fn walk(
         &mut self,
         mem: &mut MemorySystem,
-        master: MasterId,
+        port: FabricPort,
         root: PhysAddr,
         asid: Asid,
         va: VirtAddr,
@@ -403,84 +454,138 @@ impl PageTableWalker {
                 // Pipelined: the directory probe overlaps with issuing the
                 // leaf read, so the walk is one bus access end to end.
                 self.l1_hits += 1;
-                self.finish_with_dir(mem, master, asid, va, dir, now)
+                self.finish_with_dir(mem, port, asid, va, dir, now)
             }
             None => {
                 self.l1_reads += 1;
-                let (raw, t_after_l1) = mem.read_u32(master, root.offset(4 * l1 as u64), now);
+                let (raw, txn) = mem.read_u32_txn(port.master(), root.offset(4 * l1 as u64), now);
+                let t_after_l1 = mem.completion(txn);
                 let dir = DirEntry::decode(raw);
                 if dir.is_valid() {
                     self.l1_insert(asid, l1, dir);
                 }
-                self.finish_with_dir(mem, master, asid, va, dir, t_after_l1)
+                self.finish_with_dir(mem, port, asid, va, dir, t_after_l1)
             }
         }
     }
 
     /// Batched walk: all of `vas` issue in the same epoch starting at `now`,
     /// and misses that land on the same directory line share one directory
-    /// read (miss coalescing). Results come back in request order; the bus
-    /// model serializes the underlying reads.
+    /// read (miss coalescing). Results come back in request order.
+    ///
+    /// Split-transaction issue order: the batch's directory reads all issue
+    /// first (outstanding together at `now`, throttled only by the walker's
+    /// fabric window), then each miss's dependent leaf read issues at its
+    /// directory's completion. On a windowed fabric the directory reads'
+    /// DRAM latencies overlap; on the blocking configuration the calendar
+    /// serializes them exactly as the old call-return walker did.
     ///
     /// This is the entry point the MMU uses when several accesses miss the
     /// TLB at once (page-crossing bursts, multi-threaded miss epochs).
     pub fn walk_many(
         &mut self,
         mem: &mut MemorySystem,
-        master: MasterId,
+        port: FabricPort,
         root: PhysAddr,
         asid: Asid,
         vas: &[VirtAddr],
         now: Cycle,
     ) -> Vec<WalkResult> {
-        // Directory and leaf reads issued earlier in this batch, newest
-        // last. Batches are short, so a linear scan beats a map.
+        /// Phase-1 classification of one request.
+        enum Cls {
+            /// Pre-batch L2 walk-cache hit: complete, one probe cycle.
+            Hit(Pte, PhysAddr),
+            /// Needs a leaf read; the directory entry is in hand (data
+            /// ready at the carried cycle).
+            Miss(DirEntry, Cycle),
+            /// Same VPN as an earlier miss in this batch: resolves in
+            /// phase 2 against the leader's leaf read.
+            Dup,
+        }
+
+        // Directory reads issued in this batch, newest last. Batches are
+        // short, so a linear scan beats a map.
         let mut pending: Vec<PendingDir> = Vec::new();
-        let mut pending_leaf: Vec<(u64, Cycle)> = Vec::new();
-        let mut out = Vec::with_capacity(vas.len());
+        let mut miss_vpns: Vec<u64> = Vec::new();
+        let mut cls: Vec<Cls> = Vec::with_capacity(vas.len());
+
+        // Phase 1: probe the leaf cache and issue every distinct miss's
+        // directory read up front, so they sit outstanding together.
         for &va in vas {
             self.walks += 1;
-
             if let Some((pte, pte_addr)) = self.l2_lookup(asid, va.vpn()) {
                 self.l2_hits += 1;
-                // A leaf fetched earlier in this same batch is only ready
-                // when its bus read completes; a pre-batch cache entry is
-                // one probe cycle away.
-                let done = pending_leaf
-                    .iter()
-                    .find(|p| p.0 == va.vpn())
-                    .map_or(now + 1, |p| p.1);
-                out.push(WalkResult {
-                    outcome: Ok(WalkOutcome {
-                        pte,
-                        pte_addr,
-                        done,
-                    }),
-                    done,
-                });
+                cls.push(Cls::Hit(pte, pte_addr));
                 continue;
             }
+            if miss_vpns.contains(&va.vpn()) {
+                cls.push(Cls::Dup);
+                continue;
+            }
+            miss_vpns.push(va.vpn());
+            let (dir, ready) =
+                self.resolve_dir(mem, port, root, asid, va.l1_index(), &mut pending, now);
+            cls.push(Cls::Miss(dir, ready));
+        }
 
-            let l1 = va.l1_index();
-            // Probe the in-flight batch reads *before* the L1 cache: a line
-            // read earlier in this batch is also in the cache by now, but its
-            // data is only ready at the read's completion time.
-            let r = if let Some(p) = pending.iter().find(|p| p.l1 == l1).copied() {
-                // Coalesced: ride the directory read already in flight.
-                self.dir_coalesced += 1;
-                self.finish_with_dir(mem, master, asid, va, p.dir, p.ready)
-            } else if let Some(dir) = self.l1_lookup(asid, l1) {
-                self.l1_hits += 1;
-                self.finish_with_dir(mem, master, asid, va, dir, now)
-            } else {
-                self.l1_reads += 1;
-                let (raw, ready) = mem.read_u32(master, root.offset(4 * l1 as u64), now);
-                let dir = DirEntry::decode(raw);
-                if dir.is_valid() {
-                    self.l1_insert(asid, l1, dir);
+        // Phase 2: chase the dependent leaf reads in request order. Leaves
+        // fetched earlier in the batch (`pending_leaf`) serve duplicates at
+        // their read's completion time, not one probe cycle into the epoch.
+        let mut pending_leaf: Vec<(u64, Cycle)> = Vec::new();
+        let mut out = Vec::with_capacity(vas.len());
+        for (&va, c) in vas.iter().zip(cls) {
+            let r = match c {
+                Cls::Hit(pte, pte_addr) => {
+                    let done = now + 1;
+                    WalkResult {
+                        outcome: Ok(WalkOutcome {
+                            pte,
+                            pte_addr,
+                            done,
+                        }),
+                        done,
+                    }
                 }
-                pending.push(PendingDir { l1, dir, ready });
-                self.finish_with_dir(mem, master, asid, va, dir, ready)
+                Cls::Miss(dir, ready) => self.finish_with_dir(mem, port, asid, va, dir, ready),
+                Cls::Dup => match self.l2_lookup(asid, va.vpn()) {
+                    // Reuse happens through the leaf cache, exactly like a
+                    // serial re-walk would: the leader's insert is only
+                    // there if the cache is enabled and the slot survived
+                    // the rest of the batch. Data fetched in this batch is
+                    // ready at its read's completion, not one probe cycle
+                    // into the epoch.
+                    Some((pte, pte_addr)) => {
+                        self.l2_hits += 1;
+                        let done = pending_leaf
+                            .iter()
+                            .find(|p| p.0 == va.vpn())
+                            .map_or(now + 1, |p| p.1);
+                        WalkResult {
+                            outcome: Ok(WalkOutcome {
+                                pte,
+                                pte_addr,
+                                done,
+                            }),
+                            done,
+                        }
+                    }
+                    None => {
+                        // The leader faulted, the leaf cache is disabled,
+                        // or the slot was evicted mid-batch: re-walk,
+                        // riding the batch's directory read where one
+                        // exists.
+                        let (dir, ready) = self.resolve_dir(
+                            mem,
+                            port,
+                            root,
+                            asid,
+                            va.l1_index(),
+                            &mut pending,
+                            now,
+                        );
+                        self.finish_with_dir(mem, port, asid, va, dir, ready)
+                    }
+                },
             };
             if r.outcome.is_ok() {
                 pending_leaf.push((va.vpn(), r.done));
@@ -545,7 +650,7 @@ impl PageTableWalker {
 mod tests {
     use super::*;
     use crate::pte::PteFlags;
-    use svmsyn_mem::MemConfig;
+    use svmsyn_mem::{MasterId, MemConfig};
 
     fn setup() -> (MemorySystem, PhysAddr) {
         let mut mem = MemorySystem::new(MemConfig::default());
@@ -570,7 +675,14 @@ mod tests {
     fn successful_walk_reads_two_levels() {
         let (mut mem, root) = setup();
         let mut w = PageTableWalker::new(WalkerConfig::disabled());
-        let r = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
+        let r = w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            VirtAddr(0),
+            Cycle(0),
+        );
         let out = r.outcome.unwrap();
         assert_eq!(out.pte.pfn(), 7);
         assert!(out.pte.flags().writable);
@@ -585,9 +697,23 @@ mod tests {
     fn l1_hit_pipelines_the_leaf_read() {
         let (mut mem, root) = setup();
         let mut w = PageTableWalker::new(WalkerConfig::l1_only(4));
-        let r1 = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
+        let r1 = w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            VirtAddr(0),
+            Cycle(0),
+        );
         let t1 = r1.done - Cycle(0);
-        let r2 = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), r1.done);
+        let r2 = w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            VirtAddr(0),
+            r1.done,
+        );
         let t2 = r2.done - r1.done;
         assert!(t2 < t1, "pipelined walk must be faster ({t2} vs {t1})");
         assert_eq!(w.stats().get("l1_walk_hits"), Some(1.0));
@@ -601,9 +727,23 @@ mod tests {
     fn l2_hit_costs_no_bus_read() {
         let (mut mem, root) = setup();
         let mut w = PageTableWalker::new(WalkerConfig::default());
-        let r1 = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
+        let r1 = w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            VirtAddr(0),
+            Cycle(0),
+        );
         let reads_after_first = mem.stats().get("reads").unwrap();
-        let r2 = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), r1.done);
+        let r2 = w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            VirtAddr(0),
+            r1.done,
+        );
         assert_eq!((r2.done - r1.done).0, 1, "leaf hit is one probe cycle");
         assert_eq!(mem.stats().get("reads"), Some(reads_after_first));
         assert_eq!(r2.outcome.unwrap().pte.pfn(), 7);
@@ -617,7 +757,14 @@ mod tests {
         let mut w = PageTableWalker::new(WalkerConfig::default());
         // l1 index 1 was never written -> invalid
         let va = VirtAddr(1 << 22);
-        let r = w.walk(&mut mem, MasterId(0), root, Asid(0), va, Cycle(0));
+        let r = w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            va,
+            Cycle(0),
+        );
         assert_eq!(r.outcome.unwrap_err(), WalkError::NoTable { va });
         assert_eq!(w.stats().get("l2_reads"), Some(0.0));
         assert_eq!(w.stats().get("walk_faults"), Some(1.0));
@@ -629,12 +776,26 @@ mod tests {
         let (mut mem, root) = setup();
         let mut w = PageTableWalker::new(WalkerConfig::default());
         let va = VirtAddr(1 << 12); // l2 index 1: invalid leaf
-        let r = w.walk(&mut mem, MasterId(0), root, Asid(0), va, Cycle(0));
+        let r = w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            va,
+            Cycle(0),
+        );
         assert_eq!(r.outcome.unwrap_err(), WalkError::NotPresent { va });
         assert_eq!(w.stats().get("l2_reads"), Some(1.0));
         assert_eq!(w.predicted_bus_reads(), 2);
         // The invalid leaf must not have been cached.
-        let r2 = w.walk(&mut mem, MasterId(0), root, Asid(0), va, r.done);
+        let r2 = w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            va,
+            r.done,
+        );
         assert!(r2.outcome.is_err());
         assert_eq!(w.stats().get("l2_walk_hits"), Some(0.0));
     }
@@ -649,13 +810,27 @@ mod tests {
         let mut w = PageTableWalker::new(WalkerConfig::two_level(2, 2));
         let mut t = Cycle(0);
         for i in 0..3u64 {
-            let r = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(i << 22), t);
+            let r = w.walk(
+                &mut mem,
+                FabricPort::new(MasterId(0)),
+                root,
+                Asid(0),
+                VirtAddr(i << 22),
+                t,
+            );
             t = r.done;
         }
         // Entry for l1=0 was evicted by l1=2; a re-walk reads L1 again (and
         // its direct-mapped leaf slot was overwritten by the conflicting
         // vpn of the l1=2 walk).
-        w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), t);
+        w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            VirtAddr(0),
+            t,
+        );
         assert_eq!(w.stats().get("l1_reads"), Some(4.0));
         assert_eq!(w.stats().get("l1_walk_hits"), Some(0.0));
         assert_eq!(w.stats().get("l2_walk_hits"), Some(0.0));
@@ -670,18 +845,46 @@ mod tests {
         );
         let mut w = PageTableWalker::new(WalkerConfig::default());
         let t = w
-            .walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0))
+            .walk(
+                &mut mem,
+                FabricPort::new(MasterId(0)),
+                root,
+                Asid(0),
+                VirtAddr(0),
+                Cycle(0),
+            )
             .done;
         let t = w
-            .walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(1 << 12), t)
+            .walk(
+                &mut mem,
+                FabricPort::new(MasterId(0)),
+                root,
+                Asid(0),
+                VirtAddr(1 << 12),
+                t,
+            )
             .done;
         // Shoot down page 0 only: page 1's leaf entry must stay warm.
         w.invalidate_page(Asid(0), VirtAddr(0));
         let t = w
-            .walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(1 << 12), t)
+            .walk(
+                &mut mem,
+                FabricPort::new(MasterId(0)),
+                root,
+                Asid(0),
+                VirtAddr(1 << 12),
+                t,
+            )
             .done;
         assert_eq!(w.stats().get("l2_walk_hits"), Some(1.0), "page 1 cached");
-        w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), t);
+        w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            VirtAddr(0),
+            t,
+        );
         assert_eq!(
             w.stats().get("l1_reads"),
             Some(2.0),
@@ -693,9 +896,23 @@ mod tests {
     fn invalidate_cache_forces_reread() {
         let (mut mem, root) = setup();
         let mut w = PageTableWalker::new(WalkerConfig::default());
-        let r = w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), Cycle(0));
+        let r = w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            VirtAddr(0),
+            Cycle(0),
+        );
         w.invalidate_cache();
-        w.walk(&mut mem, MasterId(0), root, Asid(0), VirtAddr(0), r.done);
+        w.walk(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            VirtAddr(0),
+            r.done,
+        );
         assert_eq!(w.stats().get("l1_reads"), Some(2.0));
         assert_eq!(w.stats().get("l2_walk_hits"), Some(0.0));
     }
@@ -713,7 +930,14 @@ mod tests {
         }
         let mut w = PageTableWalker::new(WalkerConfig::disabled());
         let vas = [VirtAddr(0), VirtAddr(1 << 12), VirtAddr(2 << 12)];
-        let rs = w.walk_many(&mut mem, MasterId(0), root, Asid(0), &vas, Cycle(0));
+        let rs = w.walk_many(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            &vas,
+            Cycle(0),
+        );
         assert_eq!(rs.len(), 3);
         for (i, r) in rs.iter().enumerate() {
             assert_eq!(r.outcome.unwrap().pte.pfn(), 7 + i as u64);
@@ -736,10 +960,24 @@ mod tests {
         );
         let vas = [VirtAddr(0), VirtAddr(1 << 12), VirtAddr(5 << 22)];
         let mut batched = PageTableWalker::new(WalkerConfig::default());
-        let rs = batched.walk_many(&mut mem.clone(), MasterId(0), root, Asid(0), &vas, Cycle(0));
+        let rs = batched.walk_many(
+            &mut mem.clone(),
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            &vas,
+            Cycle(0),
+        );
         let mut serial = PageTableWalker::new(WalkerConfig::default());
         for (va, r) in vas.iter().zip(&rs) {
-            let s = serial.walk(&mut mem, MasterId(0), root, Asid(0), *va, Cycle(0));
+            let s = serial.walk(
+                &mut mem,
+                FabricPort::new(MasterId(0)),
+                root,
+                Asid(0),
+                *va,
+                Cycle(0),
+            );
             match (s.outcome, r.outcome) {
                 (Ok(a), Ok(b)) => {
                     assert_eq!(a.pte, b.pte);
@@ -756,7 +994,14 @@ mod tests {
         let (mut mem, root) = setup();
         let mut w = PageTableWalker::new(WalkerConfig::default());
         let vas = [VirtAddr(0), VirtAddr(0)];
-        let rs = w.walk_many(&mut mem, MasterId(0), root, Asid(0), &vas, Cycle(0));
+        let rs = w.walk_many(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            &vas,
+            Cycle(0),
+        );
         let leader = rs[0].outcome.unwrap();
         let follower = rs[1].outcome.unwrap();
         assert_eq!(follower.pte, leader.pte);
@@ -770,7 +1015,7 @@ mod tests {
         // A later, separate walk of the same page is a normal cache probe.
         let r3 = w.walk(
             &mut mem,
-            MasterId(0),
+            FabricPort::new(MasterId(0)),
             root,
             Asid(0),
             VirtAddr(0),
@@ -784,7 +1029,14 @@ mod tests {
         let (mut mem, root) = setup();
         let mut w = PageTableWalker::new(WalkerConfig::disabled());
         let vas = [VirtAddr(7 << 22), VirtAddr((7 << 22) | (3 << 12))];
-        let rs = w.walk_many(&mut mem, MasterId(0), root, Asid(0), &vas, Cycle(0));
+        let rs = w.walk_many(
+            &mut mem,
+            FabricPort::new(MasterId(0)),
+            root,
+            Asid(0),
+            &vas,
+            Cycle(0),
+        );
         for r in &rs {
             assert!(matches!(r.outcome, Err(WalkError::NoTable { .. })));
         }

@@ -78,8 +78,8 @@ fn simulation_is_deterministic() {
     let b = simulate(&design, &SimConfig::default()).expect("second run");
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(
-        a.stats().get("mem.bus.busy_cycles"),
-        b.stats().get("mem.bus.busy_cycles")
+        a.stats().get("mem.fabric.busy_cycles"),
+        b.stats().get("mem.fabric.busy_cycles")
     );
 }
 
