@@ -141,6 +141,7 @@ fn drive_hw(
     loop {
         match thread.advance(mem, now, 1_000_000) {
             HwStep::Yielded { now: n } => now = n,
+            HwStep::Parked { wake } => now = wake,
             HwStep::Finished { now, .. } => return Ok(now),
             HwStep::PageFault { fault, now: at } => {
                 let write = fault.access() == svmsyn_vm::mmu::Access::Write;

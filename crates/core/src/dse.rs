@@ -64,6 +64,12 @@ pub struct DseConfig {
     /// to sweep as a design axis, crossed with `walker_axis`. Empty means
     /// the platform's configured fabric only.
     pub fabric_axis: Vec<FabricConfig>,
+    /// MEMIF outstanding-miss depths (hit-under-miss windows) to sweep as
+    /// a design axis, crossed with `fabric_axis` and `walker_axis` — depth
+    /// `1` is the blocking interface, deeper windows let a hardware thread
+    /// run past its misses. Empty means the platform's configured depth
+    /// only.
+    pub memif_axis: Vec<u32>,
 }
 
 impl Default for DseConfig {
@@ -76,6 +82,7 @@ impl Default for DseConfig {
             threads: 0,
             walker_axis: Vec::new(),
             fabric_axis: Vec::new(),
+            memif_axis: Vec::new(),
         }
     }
 }
@@ -89,6 +96,8 @@ pub struct DsePoint {
     pub walker: WalkerConfig,
     /// The memory-fabric configuration this point was evaluated with.
     pub fabric: FabricConfig,
+    /// The MEMIF outstanding-miss depth this point was evaluated with.
+    pub miss_depth: u32,
     /// Fabric usage of the design.
     pub resources: FabricResources,
     /// Simulated makespan.
@@ -152,6 +161,7 @@ fn evaluate(
         placements: placements.to_vec(),
         walker: platform.memif.mmu.walker,
         fabric: platform.mem.fabric.clone(),
+        miss_depth: platform.memif.miss_depth,
         resources: design.total_resources,
         makespan: outcome.makespan,
     })
@@ -217,12 +227,20 @@ impl<'a> Evaluator<'a> {
                 .map(|w| platform.with_walker(*w))
                 .collect()
         };
-        let variants: Vec<Platform> = if cfg.fabric_axis.is_empty() {
+        let fabric_variants: Vec<Platform> = if cfg.fabric_axis.is_empty() {
             walker_variants
         } else {
             walker_variants
                 .iter()
                 .flat_map(|p| cfg.fabric_axis.iter().map(|f| p.with_fabric(f.clone())))
+                .collect()
+        };
+        let variants: Vec<Platform> = if cfg.memif_axis.is_empty() {
+            fabric_variants
+        } else {
+            fabric_variants
+                .iter()
+                .flat_map(|p| cfg.memif_axis.iter().map(|&d| p.with_miss_depth(d)))
                 .collect()
         };
         let memo = vec![HashMap::new(); variants.len()];
@@ -450,14 +468,16 @@ pub fn explore(
         .cloned()
         .ok_or(DseError::NoFeasiblePoint)?;
     // Dedup identical design points before the front (heuristics revisit);
-    // the same placement under a different walk-cache geometry or fabric
-    // configuration is a distinct point.
+    // the same placement under a different walk-cache geometry, fabric
+    // configuration, or miss depth is a distinct point.
     let mut unique: Vec<DsePoint> = Vec::new();
     for p in feasible {
-        if !unique
-            .iter()
-            .any(|q| q.placements == p.placements && q.walker == p.walker && q.fabric == p.fabric)
-        {
+        if !unique.iter().any(|q| {
+            q.placements == p.placements
+                && q.walker == p.walker
+                && q.fabric == p.fabric
+                && q.miss_depth == p.miss_depth
+        }) {
             unique.push(p);
         }
     }
@@ -807,6 +827,71 @@ mod tests {
             .map(|p| (p.walker, p.fabric.clone()))
             .collect();
         assert_eq!(distinct.len(), 4, "every (walker, fabric) combination");
+    }
+
+    #[test]
+    fn memif_axis_explores_outstanding_miss_depths() {
+        let a = app(2, 64);
+        let axis = vec![1u32, 4];
+        let r = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+                memif_axis: axis.clone(),
+                ..DseConfig::default()
+            },
+        )
+        .unwrap();
+        // 4 placements x 2 miss depths, every depth represented.
+        assert_eq!(r.evaluated, 8);
+        for &d in &axis {
+            assert!(
+                r.feasible.iter().any(|p| p.miss_depth == d),
+                "axis depth {d} missing from feasible set"
+            );
+        }
+        assert!(axis.contains(&r.best.miss_depth));
+        // On the all-hardware placement the non-blocking interface must not
+        // lose to the blocking one: hit-under-miss only adds overlap.
+        let all_hw_makespan = |d: u32| {
+            r.feasible
+                .iter()
+                .filter(|p| {
+                    p.miss_depth == d && p.placements.iter().all(|pl| *pl == Placement::Hardware)
+                })
+                .map(|p| p.makespan)
+                .min()
+                .expect("all-hw point per depth")
+        };
+        assert!(all_hw_makespan(4) <= all_hw_makespan(1));
+    }
+
+    #[test]
+    fn memif_axis_crosses_with_fabric_axis() {
+        use svmsyn_mem::FabricConfig;
+        let a = app(2, 64);
+        let r = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+                fabric_axis: vec![FabricConfig::blocking(), FabricConfig::default()],
+                memif_axis: vec![1, 8],
+                ..DseConfig::default()
+            },
+        )
+        .unwrap();
+        // 4 placements x 2 fabrics x 2 depths.
+        assert_eq!(r.evaluated, 16);
+        let distinct: std::collections::HashSet<_> = r
+            .feasible
+            .iter()
+            .map(|p| (p.fabric.clone(), p.miss_depth))
+            .collect();
+        assert_eq!(distinct.len(), 4, "every (fabric, miss depth) combination");
     }
 
     #[test]

@@ -68,6 +68,16 @@ impl Platform {
         p
     }
 
+    /// The same platform with the per-thread MEMIF outstanding-miss depth
+    /// replaced — the variant constructor behind the DSE hit-under-miss
+    /// axis (`1` = blocking interface, `>1` = non-blocking with that many
+    /// fills in flight).
+    pub fn with_miss_depth(&self, depth: u32) -> Self {
+        let mut p = self.clone();
+        p.memif.miss_depth = depth;
+        p
+    }
+
     /// A smaller Zynq-7010-class budget, useful to make the DSE budget
     /// binding in experiments.
     pub fn small() -> Self {

@@ -152,6 +152,10 @@ impl SimOutcome {
             // walk-cache hit rates, aggregated over all MMUs. Software
             // threads have no walker and contribute nothing.
             let (mut walks, mut l1_hits, mut l2_hits) = (0.0, 0.0, 0.0);
+            // Hit-under-miss health of the non-blocking MEMIFs: accesses
+            // that retired while a fill was outstanding, and the fill
+            // latency hidden behind execution instead of stalling.
+            let (mut hum, mut overlap, mut parks) = (0.0, 0.0, 0.0);
             for t in &self.threads {
                 let s = t.stats();
                 if let Some(w) = s.get("memif.mmu.walker.walks") {
@@ -160,7 +164,13 @@ impl SimOutcome {
                         + s.get("memif.mmu.walker.dir_coalesced").unwrap_or(0.0);
                     l2_hits += s.get("memif.mmu.walker.l2_walk_hits").unwrap_or(0.0);
                 }
+                hum += s.get("memif.hit_under_miss").unwrap_or(0.0);
+                overlap += s.get("memif.miss_overlap_cycles").unwrap_or(0.0);
+                parks += s.get("miss_parks").unwrap_or(0.0);
             }
+            stats.put("memif.hit_under_miss", hum);
+            stats.put("memif.miss_overlap_cycles", overlap);
+            stats.put("memif.miss_parks", parks);
             stats.put("vm.walks", walks);
             let rate = |hits: f64| if walks > 0.0 { hits / walks } else { 0.0 };
             stats.put("vm.l1_walk_hit_rate", rate(l1_hits));
@@ -252,6 +262,15 @@ fn schedule_step(sched: &mut Sched, at: Cycle, i: usize) {
     });
 }
 
+/// Completion delivery for a parked thread: wakes it at the fill's exact
+/// completion cycle (clamped to `now` if the completion already elapsed
+/// while the thread was descheduled — `schedule_wake`'s contract).
+fn schedule_wake_step(sched: &mut Sched, wake: Cycle, i: usize) {
+    sched.schedule_wake(wake, move |state: &mut SystemState, sched: &mut Sched| {
+        step_thread(state, sched, i)
+    });
+}
+
 fn wake_cost(state: &SystemState, j: usize) -> u64 {
     match state.threads[j].placement {
         Placement::Software => state.os.costs.context_switch,
@@ -324,6 +343,9 @@ fn handle_sync(state: &mut SystemState, sched: &mut Sched, i: usize, k: usize, i
 
 enum BodyOutcome {
     Reschedule(Cycle),
+    /// A hardware thread parked on an outstanding miss: wake at exactly
+    /// the fill's completion cycle via the scheduler's wake path.
+    Wake(Cycle),
     Finished(Option<i64>, Cycle),
     Fault(Sigsegv),
 }
@@ -340,6 +362,10 @@ fn run_body(state: &mut SystemState, sched: &mut Sched, i: usize) {
         match &mut rt.body {
             Body::Hw(hw) => match hw.advance(mem, now, quantum) {
                 HwStep::Yielded { now } => BodyOutcome::Reschedule(now),
+                // Event-driven completion delivery: the thread parked a
+                // dependent micro-op on an outstanding miss; the timing
+                // wheel wakes it at the fill's exact completion cycle.
+                HwStep::Parked { wake } => BodyOutcome::Wake(wake),
                 HwStep::PageFault { fault, now } => {
                     let write = fault.access() == Access::Write;
                     match os.service_fault(asid, fault.va(), write, true, mem, now) {
@@ -362,6 +388,7 @@ fn run_body(state: &mut SystemState, sched: &mut Sched, i: usize) {
     };
     match outcome {
         BodyOutcome::Reschedule(at) => schedule_step(sched, at, i),
+        BodyOutcome::Wake(wake) => schedule_wake_step(sched, wake, i),
         BodyOutcome::Finished(ret, at) => {
             let rt = &mut state.threads[i];
             rt.ret = ret;
@@ -438,6 +465,10 @@ pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, Si
             })
             .collect();
         let master = MasterId(i as u16 + 1);
+        // Attach every configured master up front: a thread that wedges
+        // before its first transaction still gets its (all-zero) fabric
+        // stats row, so starvation is visible instead of silent.
+        mem.attach_master(master);
         let body = match design.placements[i] {
             Placement::Hardware => {
                 let ck = design.threads[i]

@@ -107,6 +107,15 @@ pub struct Interp {
     state: State,
     steps: u64,
     step_limit: u64,
+    /// Per-value dependence tags for hit-under-miss timing (see
+    /// [`next_mem_dep`](Self::next_mem_dep)): `poison[v]` is the caller's
+    /// token for the youngest outstanding load `v` transitively depends on,
+    /// `0` when clean. Empty until dependence tracking is first requested —
+    /// the plain `next`/`next_mem` paths never touch it.
+    poison: Vec<u32>,
+    /// Pending control dependence: the poison of the last executed
+    /// `Branch`'s condition, delivered with the next `BlockChange`.
+    ctrl_poison: u32,
 }
 
 impl Interp {
@@ -152,6 +161,8 @@ impl Interp {
             state: State::Running,
             steps: 0,
             step_limit: u64::MAX,
+            poison: Vec::new(),
+            ctrl_poison: 0,
         }
     }
 
@@ -190,11 +201,28 @@ impl Interp {
     ///
     /// Panics if no load is pending.
     pub fn provide_load(&mut self, raw: u64) {
+        self.provide_load_dep(raw, 0);
+    }
+
+    /// Supplies the pending load's data *and* its dependence token: `token`
+    /// is the caller's handle for the load's outstanding fill (`0` = data
+    /// already in hand). The token poisons the destination slot and
+    /// propagates through every computation that consumes it, so later
+    /// events report (via [`next_mem_dep`](Self::next_mem_dep)) exactly
+    /// which outstanding miss they must wait for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no load is pending.
+    pub fn provide_load_dep(&mut self, raw: u64, token: u32) {
         let (dst, width) = self
             .pending_load
             .take()
             .expect("provide_load called with no pending load");
         self.vals[dst as usize] = width.sign_extend(raw);
+        if !self.poison.is_empty() {
+            self.poison[dst as usize] = token;
+        }
         self.state = State::Running;
     }
 
@@ -206,7 +234,7 @@ impl Interp {
     /// step limit is exceeded.
     #[allow(clippy::should_implement_trait)] // established API; not an Iterator
     pub fn next(&mut self) -> InterpEvent {
-        self.step::<true>()
+        self.step::<true, false>().0
     }
 
     /// Like [`next`][Self::next], but executes compute operations silently:
@@ -217,10 +245,33 @@ impl Interp {
     /// compute time comes from the schedule, not per-op CPI. Skipping the
     /// yield round-trips keeps the hardware-thread hot loop tight.
     pub fn next_mem(&mut self) -> InterpEvent {
-        self.step::<false>()
+        self.step::<false, false>().0
     }
 
-    fn step<const YIELD_OPS: bool>(&mut self) -> InterpEvent {
+    /// Like [`next_mem`][Self::next_mem], but additionally reports the
+    /// event's **dependence token**: the caller-assigned token (see
+    /// [`provide_load_dep`](Self::provide_load_dep)) of the youngest
+    /// outstanding load this event transitively depends on, or `0` if it
+    /// depends on no outstanding data. Dependences are exact, derived from
+    /// the micro-op operand graph:
+    ///
+    /// * a `Load`'s token is its *address* operand's;
+    /// * a `Store`'s is the max of its address and data operands';
+    /// * a `BlockChange` carries the condition poison of the branch that
+    ///   chose it (control dependence) — unconditional jumps are clean;
+    /// * `Done` carries the return value's poison.
+    ///
+    /// Tokens must be assigned in monotonically increasing order, so "max"
+    /// selects the youngest dependence. Event sequences and values are
+    /// identical to [`next_mem`][Self::next_mem]; only the token is extra.
+    pub fn next_mem_dep(&mut self) -> (InterpEvent, u32) {
+        if self.poison.is_empty() {
+            self.poison = vec![0; self.vals.len().max(1)];
+        }
+        self.step::<false, true>()
+    }
+
+    fn step<const YIELD_OPS: bool, const TRACK: bool>(&mut self) -> (InterpEvent, u32) {
         match self.state {
             State::AwaitLoad => panic!("next() called with a pending load"),
             State::Finished => panic!("next() called after Done"),
@@ -237,16 +288,24 @@ impl Interp {
             state,
             steps,
             step_limit,
+            poison,
+            ctrl_poison,
         } = self;
         let uops = prog.uops();
         let vals = vals.as_mut_slice();
+        let poison = poison.as_mut_slice();
         let mut pcv = *pc;
         let mut stepsv = *steps;
+        let mut ctrlv = *ctrl_poison;
         macro_rules! yield_ev {
-            ($ev:expr) => {{
+            ($ev:expr) => {
+                yield_ev!($ev, 0)
+            };
+            ($ev:expr, $dep:expr) => {{
                 *pc = pcv;
                 *steps = stepsv;
-                return $ev;
+                *ctrl_poison = ctrlv;
+                return ($ev, $dep);
             }};
         }
         macro_rules! bin {
@@ -254,6 +313,9 @@ impl Interp {
                 let a = vals[$u.a as usize];
                 let b = vals[$u.b as usize];
                 vals[$u.dst as usize] = $f(a, b);
+                if TRACK {
+                    poison[$u.dst as usize] = poison[$u.a as usize].max(poison[$u.b as usize]);
+                }
                 if YIELD_OPS {
                     yield_ev!(InterpEvent::Op($class));
                 }
@@ -264,6 +326,9 @@ impl Interp {
                 let a = vals[$u.a as usize];
                 let b = vals[$u.b as usize];
                 vals[$u.dst as usize] = $f(a, b) as i64;
+                if TRACK {
+                    poison[$u.dst as usize] = poison[$u.a as usize].max(poison[$u.b as usize]);
+                }
                 if YIELD_OPS {
                     yield_ev!(InterpEvent::Op(OpClass::Alu));
                 }
@@ -319,6 +384,11 @@ impl Interp {
                     } else {
                         vals[u.b as usize]
                     };
+                    if TRACK {
+                        poison[u.dst as usize] = poison[u.c as usize]
+                            .max(poison[u.a as usize])
+                            .max(poison[u.b as usize]);
+                    }
                     if YIELD_OPS {
                         yield_ev!(InterpEvent::Op(OpClass::Alu));
                     }
@@ -326,40 +396,68 @@ impl Interp {
                 UCode::Load => {
                     *pending_load = Some((u.dst, u.width));
                     *state = State::AwaitLoad;
-                    yield_ev!(InterpEvent::Load {
-                        addr: vals[u.a as usize] as u64,
-                        width: u.width,
-                    });
+                    let dep = if TRACK { poison[u.a as usize] } else { 0 };
+                    yield_ev!(
+                        InterpEvent::Load {
+                            addr: vals[u.a as usize] as u64,
+                            width: u.width,
+                        },
+                        dep
+                    );
                 }
                 UCode::Store => {
-                    yield_ev!(InterpEvent::Store {
-                        addr: vals[u.a as usize] as u64,
-                        width: u.width,
-                        value: u.width.truncate(vals[u.b as usize]),
-                    });
+                    let dep = if TRACK {
+                        poison[u.a as usize].max(poison[u.b as usize])
+                    } else {
+                        0
+                    };
+                    yield_ev!(
+                        InterpEvent::Store {
+                            addr: vals[u.a as usize] as u64,
+                            width: u.width,
+                            value: u.width.truncate(vals[u.b as usize]),
+                        },
+                        dep
+                    );
                 }
                 UCode::Move => {
                     vals[u.dst as usize] = vals[u.a as usize];
+                    if TRACK {
+                        poison[u.dst as usize] = poison[u.a as usize];
+                    }
                 }
                 UCode::Jump => {
                     pcv = u.dst;
-                    yield_ev!(InterpEvent::BlockChange {
-                        from: BlockId(u.a),
-                        to: BlockId(u.b),
-                    });
+                    // The branch that selected this edge (if any) left its
+                    // condition poison pending: this BlockChange is where
+                    // the control dependence surfaces, then it is spent.
+                    let dep = ctrlv;
+                    ctrlv = 0;
+                    yield_ev!(
+                        InterpEvent::BlockChange {
+                            from: BlockId(u.a),
+                            to: BlockId(u.b),
+                        },
+                        dep
+                    );
                 }
                 UCode::Branch => {
                     pcv = if vals[u.c as usize] != 0 { u.dst } else { u.a };
+                    if TRACK {
+                        ctrlv = ctrlv.max(poison[u.c as usize]);
+                    }
                 }
                 UCode::Ret => {
                     *state = State::Finished;
-                    yield_ev!(InterpEvent::Done {
-                        ret: if u.a == NO_VAL {
-                            None
-                        } else {
-                            Some(vals[u.a as usize])
-                        },
-                    });
+                    let (ret, dep) = if u.a == NO_VAL {
+                        (None, 0)
+                    } else {
+                        (
+                            Some(vals[u.a as usize]),
+                            if TRACK { poison[u.a as usize] } else { 0 },
+                        )
+                    };
+                    yield_ev!(InterpEvent::Done { ret }, dep);
                 }
                 UCode::Nop => {}
             }
@@ -915,6 +1013,90 @@ mod tests {
             }
             assert_eq!(fast_mem, slow_mem);
         }
+    }
+
+    #[test]
+    fn dep_tokens_track_data_dependences() {
+        // a = load(base); chase = load(a); ind = load(64); store(base, a+ind)
+        let mut b = KernelBuilder::new("dep", 1);
+        let base = b.arg(0);
+        let a = b.load(base, Width::W32);
+        let chase = b.load(a, Width::W32); // address depends on `a`
+        let ind = b.constant(64);
+        let c = b.load(ind, Width::W32); // independent address
+        let s = b.bin(BinOp::Add, chase, c);
+        b.store(base, s, Width::W32);
+        b.ret(None);
+        let k = b.finish().unwrap();
+        let mut i = Interp::new(Arc::new(k), &[8]);
+
+        let (ev, dep) = i.next_mem_dep();
+        assert!(matches!(ev, InterpEvent::Load { addr: 8, .. }));
+        assert_eq!(dep, 0, "first load's address is an argument");
+        i.provide_load_dep(16, 7); // outstanding fill, token 7
+
+        let (ev, dep) = i.next_mem_dep();
+        assert!(matches!(ev, InterpEvent::Load { addr: 16, .. }));
+        assert_eq!(dep, 7, "pointer chase depends on the outstanding load");
+        i.provide_load_dep(5, 9);
+
+        let (ev, dep) = i.next_mem_dep();
+        assert!(matches!(ev, InterpEvent::Load { addr: 64, .. }));
+        assert_eq!(dep, 0, "independent stream rides under the miss");
+        i.provide_load_dep(3, 0); // a hit: clean
+
+        let (ev, dep) = i.next_mem_dep();
+        assert!(matches!(ev, InterpEvent::Store { value: 8, .. }));
+        assert_eq!(dep, 9, "store data depends on the youngest poisoned load");
+
+        let (ev, dep) = i.next_mem_dep();
+        assert!(matches!(ev, InterpEvent::Done { ret: None }));
+        assert_eq!(dep, 0);
+    }
+
+    #[test]
+    fn dep_tokens_track_control_dependences() {
+        // if (load(base) != 0) store(base, 1); unconditional jumps clean.
+        let mut b = KernelBuilder::new("ctrl", 1);
+        let then_b = b.new_block();
+        let exit = b.new_block();
+        let base = b.arg(0);
+        let v = b.load(base, Width::W32);
+        let zero = b.constant(0);
+        let c = b.cmp(CmpOp::Ne, v, zero);
+        b.branch(c, then_b, exit);
+        b.switch_to(then_b);
+        let one = b.constant(1);
+        b.store(base, one, Width::W32);
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret(Some(v));
+        let k = b.finish().unwrap();
+        let mut i = Interp::new(Arc::new(k), &[0]);
+
+        let (ev, dep) = i.next_mem_dep();
+        assert!(matches!(ev, InterpEvent::Load { .. }));
+        assert_eq!(dep, 0);
+        i.provide_load_dep(1, 3);
+
+        let (ev, dep) = i.next_mem_dep();
+        assert!(matches!(ev, InterpEvent::BlockChange { .. }));
+        assert_eq!(dep, 3, "taken branch carries the condition's poison");
+
+        let (ev, dep) = i.next_mem_dep();
+        assert!(matches!(ev, InterpEvent::Store { .. }));
+        assert_eq!(
+            dep, 0,
+            "store of a constant to an argument address is clean"
+        );
+
+        let (ev, dep) = i.next_mem_dep();
+        assert!(matches!(ev, InterpEvent::BlockChange { .. }));
+        assert_eq!(dep, 0, "unconditional jump is control-clean");
+
+        let (ev, dep) = i.next_mem_dep();
+        assert!(matches!(ev, InterpEvent::Done { ret: Some(1) }));
+        assert_eq!(dep, 3, "return value is the poisoned load");
     }
 
     #[test]

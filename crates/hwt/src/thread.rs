@@ -35,6 +35,17 @@ pub enum HwStep {
         /// Current thread-local time.
         now: Cycle,
     },
+    /// A micro-op depends on an outstanding miss: the thread parked it and
+    /// handed control back. Wake it with `advance(mem, wake, …)` — `wake`
+    /// is the *exact* fabric completion cycle of the fill (the registered
+    /// waiter), so the discrete-event scheduler delivers the completion
+    /// with no early/late drift. Only the non-blocking configuration
+    /// (`miss_depth > 1`) parks; the blocking one stalls in place exactly
+    /// as the pre-event-delivery analytic path did.
+    Parked {
+        /// The fill completion cycle to resume at.
+        wake: Cycle,
+    },
     /// A page fault needs OS service; call `advance` again with the
     /// post-service time (the faulting access is retried automatically).
     PageFault {
@@ -87,6 +98,23 @@ pub struct HwThread {
     /// spent. Misses (line fills, faults) spill past it — the stall model.
     mem_credit: u64,
     hidden_mem_cycles: u64,
+    /// Outstanding load fills by dependence token: `(token, completion)`.
+    /// Tokens are handed to the interpreter's poison tracker; a micro-op
+    /// yielding with a live token parks until that fill's completion.
+    /// Completions here are clamped monotone in token order (the
+    /// interface's fill-return queue is in order), so the poison tracker's
+    /// "max token = youngest dependence" rule is exact: waiting for the
+    /// youngest token waits for every older one too, even when a
+    /// cross-master MSHR merge lets a later fill land first on the fabric.
+    dep_fills: Vec<(u32, Cycle)>,
+    next_token: u32,
+    /// Completion of the most recently tokenized fill (the in-order
+    /// fill-return clamp).
+    last_fill_done: Cycle,
+    /// A micro-op parked on an outstanding miss, with its wake cycle.
+    parked: Option<(InterpEvent, Cycle)>,
+    /// Times a dependent micro-op actually parked on a miss.
+    miss_parks: u64,
 }
 
 impl HwThread {
@@ -112,6 +140,11 @@ impl HwThread {
             compute_cycles: 0,
             mem_credit: 0,
             hidden_mem_cycles: 0,
+            dep_fills: Vec::new(),
+            next_token: 0,
+            last_fill_done: Cycle::ZERO,
+            parked: None,
+            miss_parks: 0,
         }
     }
 
@@ -160,41 +193,117 @@ impl HwThread {
         *t = from + (cost - hidden);
     }
 
-    fn retry_pending(&mut self, mem: &mut MemorySystem, t: &mut Cycle) -> Result<(), HwStep> {
-        if let Some(p) = self.pending {
-            match p {
-                Pending::Load { va, width } => match self.memif.read(mem, va, width, *t) {
-                    Ok((raw, done)) => {
-                        let from = *t;
-                        self.charge_mem(t, from, done);
-                        self.interp.provide_load(raw);
-                        self.pending = None;
-                    }
-                    Err(f) => {
-                        return Err(HwStep::PageFault {
-                            fault: f.fault,
-                            now: f.done,
-                        })
-                    }
-                },
-                Pending::Store { va, width, raw } => {
-                    match self.memif.write(mem, va, width, raw, *t) {
-                        Ok(done) => {
-                            let from = *t;
-                            self.charge_mem(t, from, done);
-                            self.pending = None;
-                        }
-                        Err(f) => {
-                            return Err(HwStep::PageFault {
-                                fault: f.fault,
-                                now: f.done,
-                            })
-                        }
-                    }
-                }
+    /// Allocates a dependence token for an access that rides an outstanding
+    /// fill completing after `t`; `0` (clean) when the data is in hand.
+    ///
+    /// Completions are clamped monotone in token order: the interface
+    /// returns fill data in issue order (the simplest hardware), so a
+    /// younger token never delivers before an older one. This keeps the
+    /// poison tracker's max-token rule sound when a cross-master MSHR
+    /// merge would let a later fill complete earlier on the fabric.
+    fn fill_token(&mut self, fill: Option<Cycle>, t: Cycle) -> u32 {
+        match fill {
+            Some(done) if done > t => {
+                // Prune landed fills here, not only at dependence checks:
+                // a dependence-free stretch (e.g. a pure reduction) must
+                // not grow the ring without bound.
+                self.dep_fills.retain(|&(_, d)| d > t);
+                let done = done.max(self.last_fill_done);
+                self.last_fill_done = done;
+                self.next_token += 1;
+                self.dep_fills.push((self.next_token, done));
+                self.next_token
+            }
+            _ => 0,
+        }
+    }
+
+    /// Executes one load: the non-blocking path charges only the interface
+    /// handshake and hands the interpreter a dependence token for any
+    /// outstanding fill; the blocking path charges to completion (the
+    /// pre-event-delivery discipline). On a fault, records the pending
+    /// retry and returns the `PageFault` step.
+    fn do_load(
+        &mut self,
+        mem: &mut MemorySystem,
+        va: VirtAddr,
+        width: Width,
+        t: &mut Cycle,
+        nonblocking: bool,
+    ) -> Result<(), HwStep> {
+        let from = *t;
+        let res = if nonblocking {
+            self.memif
+                .read_nb(mem, va, width, from)
+                .map(|acc| (acc.raw, acc.next, acc.fill))
+        } else {
+            self.memif
+                .read(mem, va, width, from)
+                .map(|(raw, done)| (raw, done, None))
+        };
+        match res {
+            Ok((raw, until, fill)) => {
+                self.charge_mem(t, from, until);
+                let token = self.fill_token(fill, *t);
+                self.interp.provide_load_dep(raw, token);
+                self.pending = None;
+                Ok(())
+            }
+            Err(f) => {
+                self.pending = Some(Pending::Load { va, width });
+                Err(HwStep::PageFault {
+                    fault: f.fault,
+                    now: f.done,
+                })
             }
         }
-        Ok(())
+    }
+
+    /// Executes one store: fire-and-forget at the handshake on the
+    /// non-blocking path, charged to completion on the blocking one. On a
+    /// fault, records the pending retry and returns the `PageFault` step.
+    fn do_store(
+        &mut self,
+        mem: &mut MemorySystem,
+        va: VirtAddr,
+        width: Width,
+        raw: u64,
+        t: &mut Cycle,
+        nonblocking: bool,
+    ) -> Result<(), HwStep> {
+        let from = *t;
+        let res = if nonblocking {
+            self.memif
+                .write_nb(mem, va, width, raw, from)
+                .map(|acc| acc.next)
+        } else {
+            self.memif.write(mem, va, width, raw, from)
+        };
+        match res {
+            Ok(until) => {
+                self.charge_mem(t, from, until);
+                self.pending = None;
+                Ok(())
+            }
+            Err(f) => {
+                self.pending = Some(Pending::Store { va, width, raw });
+                Err(HwStep::PageFault {
+                    fault: f.fault,
+                    now: f.done,
+                })
+            }
+        }
+    }
+
+    fn retry_pending(&mut self, mem: &mut MemorySystem, t: &mut Cycle) -> Result<(), HwStep> {
+        let nonblocking = self.memif.miss_depth() > 1;
+        match self.pending {
+            Some(Pending::Load { va, width }) => self.do_load(mem, va, width, t, nonblocking),
+            Some(Pending::Store { va, width, raw }) => {
+                self.do_store(mem, va, width, raw, t, nonblocking)
+            }
+            None => Ok(()),
+        }
     }
 
     /// Advances execution from `now` until the kernel finishes, a page fault
@@ -221,13 +330,37 @@ impl HwThread {
             return step;
         }
 
+        let nonblocking = self.memif.miss_depth() > 1;
         loop {
             if (t - now).0 >= budget {
                 return HwStep::Yielded { now: t };
             }
+            // A parked micro-op resumes first: its wake was scheduled at
+            // the fill's exact completion cycle, and the stall was already
+            // booked when it parked.
             // `next_mem` never yields compute ops — block compute time is
             // charged per transition via the schedule-derived cost matrix.
-            match self.interp.next_mem() {
+            let (ev, dep) = match self.parked.take() {
+                Some((ev, wake)) => {
+                    t = t.max(wake);
+                    (ev, 0)
+                }
+                None if nonblocking => self.interp.next_mem_dep(),
+                None => (self.interp.next_mem(), 0),
+            };
+            // Hit-under-miss dependence check: a micro-op carrying a live
+            // token parks until that fill's completion; everything else
+            // keeps retiring under the outstanding misses.
+            if dep != 0 {
+                self.dep_fills.retain(|&(_, done)| done > t);
+                if let Some(&(_, done)) = self.dep_fills.iter().find(|&&(tok, _)| tok == dep) {
+                    self.miss_parks += 1;
+                    self.memif.note_miss_stall((done - t).0);
+                    self.parked = Some((ev, done));
+                    return HwStep::Parked { wake: done };
+                }
+            }
+            match ev {
                 InterpEvent::Op(_) => unreachable!("next_mem never yields Op"),
                 InterpEvent::BlockChange { from, to } => {
                     let nblocks = self.compiled.kernel.blocks.len();
@@ -239,48 +372,32 @@ impl HwThread {
                 InterpEvent::Load { addr, width } => {
                     self.mem_ops += 1;
                     // Fault-free fast path: only a faulting access goes
-                    // through the `pending` retry machinery.
-                    match self.memif.read(mem, VirtAddr(addr), width, t) {
-                        Ok((raw, done)) => {
-                            let from = t;
-                            self.charge_mem(&mut t, from, done);
-                            self.interp.provide_load(raw);
-                        }
-                        Err(f) => {
-                            self.pending = Some(Pending::Load {
-                                va: VirtAddr(addr),
-                                width,
-                            });
-                            return HwStep::PageFault {
-                                fault: f.fault,
-                                now: f.done,
-                            };
-                        }
+                    // through the `pending` retry machinery. Non-blocking,
+                    // the thread pays only the interface occupancy — the
+                    // fill latency parks the *dependent* micro-op.
+                    if let Err(step) = self.do_load(mem, VirtAddr(addr), width, &mut t, nonblocking)
+                    {
+                        return step;
                     }
                 }
                 InterpEvent::Store { addr, width, value } => {
                     self.mem_ops += 1;
-                    match self.memif.write(mem, VirtAddr(addr), width, value, t) {
-                        Ok(done) => {
-                            let from = t;
-                            self.charge_mem(&mut t, from, done);
-                        }
-                        Err(f) => {
-                            self.pending = Some(Pending::Store {
-                                va: VirtAddr(addr),
-                                width,
-                                raw: value,
-                            });
-                            return HwStep::PageFault {
-                                fault: f.fault,
-                                now: f.done,
-                            };
-                        }
+                    // Fire-and-forget when non-blocking: the store buffer
+                    // absorbs the access at the handshake; a write-allocate
+                    // miss's fill stays tracked in the MEMIF miss window.
+                    if let Err(step) =
+                        self.do_store(mem, VirtAddr(addr), width, value, &mut t, nonblocking)
+                    {
+                        return step;
                     }
                 }
                 InterpEvent::Done { ret } => {
-                    let done = self.memif.flush(mem, t);
+                    // Outstanding fills land before the final flush: the
+                    // kernel is only done when its last miss is.
+                    let drained = self.memif.drain_outstanding(mem, t);
+                    let done = self.memif.flush(mem, drained);
                     self.finished = true;
+                    self.dep_fills.clear();
                     return HwStep::Finished { ret, now: done };
                 }
             }
@@ -293,6 +410,7 @@ impl HwThread {
         s.put("mem_ops", self.mem_ops as f64);
         s.put("compute_cycles", self.compute_cycles as f64);
         s.put("hidden_mem_cycles", self.hidden_mem_cycles as f64);
+        s.put("miss_parks", self.miss_parks as f64);
         s.put("instrs", self.interp.steps() as f64);
         s.absorb("memif", self.memif.stats());
         s
@@ -365,6 +483,7 @@ mod tests {
         loop {
             match t.advance(mem, now, 10_000) {
                 HwStep::Yielded { now: n } => now = n,
+                HwStep::Parked { wake } => now = wake,
                 HwStep::Finished { ret, now } => return (ret, now),
                 HwStep::PageFault { fault, .. } => panic!("unexpected fault: {fault}"),
             }
@@ -410,10 +529,17 @@ mod tests {
             MasterId(1),
         );
         t.set_context(Asid(1), root);
-        let step = t.advance(&mut mem, Cycle(0), u64::MAX);
-        let (fault, at) = match step {
-            HwStep::PageFault { fault, now } => (fault, now),
-            other => panic!("expected fault, got {other:?}"),
+        // The faulting store's value depends on a missed load, so the
+        // non-blocking thread may park on that fill before reaching the
+        // fault — drive through parks until the fault surfaces.
+        let mut now = Cycle(0);
+        let (fault, at) = loop {
+            match t.advance(&mut mem, now, u64::MAX) {
+                HwStep::PageFault { fault, now } => break (fault, now),
+                HwStep::Parked { wake } => now = wake,
+                HwStep::Yielded { now: n } => now = n,
+                other => panic!("expected fault, got {other:?}"),
+            }
         };
         assert_eq!(fault.va().page_base(), VirtAddr(4096));
         // "Service" the fault by installing the mapping, then resume.
@@ -435,6 +561,7 @@ mod tests {
                     break;
                 }
                 HwStep::Yielded { now: n2 } => now = n2,
+                HwStep::Parked { wake } => now = wake,
                 HwStep::PageFault { fault, .. } => panic!("second fault: {fault}"),
             }
         }

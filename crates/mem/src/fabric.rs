@@ -173,6 +173,11 @@ struct MasterStats {
     /// Σ (completion − arrival): the occupancy integral. Divided by the
     /// master's busy span this is its mean outstanding depth.
     inflight_cycles: u64,
+    /// Completions evicted from the bounded completion FIFO before a
+    /// FIFO-consuming master drained them — a lost event, asserted zero by
+    /// the conformance suite. Analytic (poll-only) masters never consume
+    /// the FIFO and are not counted.
+    dropped_completions: u64,
     first_issue: Option<Cycle>,
     last_completion: Cycle,
 }
@@ -187,6 +192,14 @@ struct MasterState {
     /// Undrained completions, oldest first, capped at
     /// `window + COMPLETION_SLACK`.
     completions: VecDeque<(TxnId, Cycle)>,
+    /// Whether this master has ever drained its completion FIFO. Analytic
+    /// masters that only `poll` never consume the FIFO, so its recycling
+    /// is not a lost event for them; drops are only counted for consumers.
+    fifo_consumer: bool,
+    /// Registered completion waiters `(txn, completion)`, in registration
+    /// order. A waiter survives until [`SplitFabric::drain_woken`] removes
+    /// it — it never ages out, so a registered wakeup cannot be lost.
+    waiters: Vec<(TxnId, Cycle)>,
     stats: MasterStats,
 }
 
@@ -196,6 +209,8 @@ impl MasterState {
             window_ring: vec![Cycle::ZERO; window.max(1) as usize],
             issued: 0,
             completions: VecDeque::new(),
+            fifo_consumer: false,
+            waiters: Vec::new(),
             stats: MasterStats::default(),
         }
     }
@@ -428,7 +443,13 @@ impl SplitFabric {
         m.completions.push_back((id, completion));
         let cap = window as usize + COMPLETION_SLACK;
         while m.completions.len() > cap {
+            // Every eviction is counted; `stats()` reports the count only
+            // for FIFO-consuming masters (so a master that starts draining
+            // late still surfaces its earlier losses, while analytic
+            // poll-only masters — which are expected to let the FIFO
+            // recycle — don't read as lossy).
             m.completions.pop_front();
+            m.stats.dropped_completions += 1;
         }
         let s = &mut m.stats;
         s.transactions += 1;
@@ -478,9 +499,13 @@ impl SplitFabric {
     /// Drains `master`'s completion queue up to and including `upto`,
     /// oldest first. Completions older than the queue depth
     /// (`window + 8`) are dropped at issue time, mirroring a completion
-    /// FIFO sized to the window.
+    /// FIFO sized to the window; each drop is counted in
+    /// `m{i}.dropped_completions` — a lost wakeup under event-driven
+    /// delivery, so well-behaved masters keep it at zero (or register a
+    /// [waiter](Self::register_waiter), which never ages out).
     pub fn drain_completions(&mut self, master: MasterId, upto: Cycle) -> Vec<(TxnId, Cycle)> {
         let m = self.master_state(master);
+        m.fifo_consumer = true;
         let mut out = Vec::new();
         while let Some(&(id, done)) = m.completions.front() {
             if done > upto {
@@ -497,6 +522,62 @@ impl SplitFabric {
         self.masters
             .get(master.0 as usize)
             .map_or(0, |m| m.completions.len())
+    }
+
+    /// Attaches `master` to the fabric without issuing anything: its
+    /// per-master stats row is emitted (all zeros until it transacts), so a
+    /// configured-but-wedged master stays visible in
+    /// [`stats`](Self::stats) instead of silently vanishing.
+    pub fn attach(&mut self, master: MasterId) {
+        self.master_state(master);
+    }
+
+    // ------------------------------------------------------------------
+    // Completion-event hook: registered waiters per (master, TxnId).
+    //
+    // The timing model is calendar-analytic — a transaction's completion
+    // cycle is known at issue — so "delivering" a completion event means
+    // scheduling a wake at exactly that cycle. A consumer that parks on a
+    // transaction registers a waiter; the returned cycle is the exact wake
+    // time to hand the discrete-event scheduler, and `drain_woken` confirms
+    // delivery (waiters never age out, unlike the bounded completion FIFO,
+    // so a registered wakeup cannot be lost).
+    // ------------------------------------------------------------------
+
+    /// Registers a completion waiter for `(master, id)` and returns the
+    /// exact completion cycle to schedule the wake at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never issued or already retired from the record
+    /// ring (register promptly, like polling).
+    pub fn register_waiter(&mut self, master: MasterId, id: TxnId) -> Cycle {
+        let done = self.record(id).completion;
+        self.master_state(master).waiters.push((id, done));
+        done
+    }
+
+    /// The earliest wake cycle among `master`'s registered waiters.
+    pub fn next_wake(&self, master: MasterId) -> Option<Cycle> {
+        self.masters
+            .get(master.0 as usize)
+            .and_then(|m| m.waiters.iter().map(|&(_, done)| done).min())
+    }
+
+    /// Removes and returns every registered waiter of `master` whose
+    /// transaction has completed by `now`, in registration order.
+    pub fn drain_woken(&mut self, master: MasterId, now: Cycle) -> Vec<(TxnId, Cycle)> {
+        let m = self.master_state(master);
+        let mut woken = Vec::new();
+        m.waiters.retain(|&(id, done)| {
+            if done <= now {
+                woken.push((id, done));
+                false
+            } else {
+                true
+            }
+        });
+        woken
     }
 
     /// Total cycles the data-carrying channel spent busy (the unified bus in
@@ -557,12 +638,23 @@ impl SplitFabric {
         s.put("mean_wait", self.addr_bus.mean_wait());
         s.put("max_wait", self.addr_bus.max_wait() as f64);
         s.put("merges", self.merges() as f64);
+        // Reported for FIFO-consuming masters only: a poll-only master is
+        // expected to let the bounded FIFO recycle (no event is lost for
+        // it), while a draining master's evictions — including any from
+        // before its first drain — are lost wakeups.
+        s.put(
+            "dropped_completions",
+            self.masters
+                .iter()
+                .filter(|m| m.fifo_consumer)
+                .map(|m| m.stats.dropped_completions)
+                .sum::<u64>() as f64,
+        );
         let mut inflight_total = 0.0;
+        // Every attached master gets a row — an all-zeros row for a
+        // configured-but-wedged master is exactly how starvation shows up.
         for (i, m) in self.masters.iter().enumerate() {
             let st = &m.stats;
-            if st.transactions == 0 {
-                continue;
-            }
             s.put(format!("m{i}.transactions"), st.transactions as f64);
             s.put(format!("m{i}.bytes"), st.bytes as f64);
             s.put(format!("m{i}.wait_cycles"), st.wait_cycles as f64);
@@ -572,6 +664,14 @@ impl SplitFabric {
             );
             s.put(format!("m{i}.merges"), st.merges as f64);
             s.put(format!("m{i}.inflight_cycles"), st.inflight_cycles as f64);
+            s.put(
+                format!("m{i}.dropped_completions"),
+                if m.fifo_consumer {
+                    st.dropped_completions as f64
+                } else {
+                    0.0
+                },
+            );
             let span = (st.last_completion - st.first_issue.unwrap_or(Cycle::ZERO)).0;
             s.put(
                 format!("m{i}.overlap"),
@@ -817,6 +917,71 @@ mod tests {
         let drained = f.drain_completions(MasterId(0), Cycle::MAX);
         assert_eq!(drained, vec![(b, f.poll(b))]);
         assert_eq!(f.pending_completions(MasterId(0)), 0);
+    }
+
+    #[test]
+    fn waiters_wake_at_exact_completion_and_never_age_out() {
+        let mut f = SplitFabric::new(FabricConfig::default());
+        let mut d = dram();
+        let a = f.issue(&mut d, read(0, 0, 64), Cycle(0));
+        let wake = f.register_waiter(MasterId(0), a);
+        assert_eq!(wake, f.poll(a), "wake must be the exact completion cycle");
+        assert_eq!(f.next_wake(MasterId(0)), Some(wake));
+        // Mark the master as a FIFO consumer, then flood enough subsequent
+        // transactions to recycle the completion FIFO: the drops are
+        // counted, but the registered waiter must survive regardless.
+        f.drain_completions(MasterId(0), Cycle::ZERO);
+        for i in 0..64u64 {
+            f.issue(&mut d, read(0, 0x10000 + i * 8192, 64), wake);
+        }
+        assert!(f.stats().get("m0.dropped_completions").unwrap() > 0.0);
+        assert_eq!(f.drain_woken(MasterId(0), wake - Cycle(1)), vec![]);
+        assert_eq!(f.drain_woken(MasterId(0), wake), vec![(a, wake)]);
+        assert_eq!(f.next_wake(MasterId(0)), None);
+    }
+
+    #[test]
+    fn attached_master_reports_a_zero_row() {
+        let mut f = SplitFabric::new(FabricConfig::default());
+        let mut d = dram();
+        f.attach(MasterId(1));
+        f.issue(&mut d, read(0, 0, 64), Cycle(0));
+        let s = f.stats();
+        assert_eq!(s.get("m1.transactions"), Some(0.0));
+        assert_eq!(s.get("m1.window_stall_cycles"), Some(0.0));
+        assert_eq!(s.get("m0.transactions"), Some(1.0));
+        assert_eq!(s.get("dropped_completions"), Some(0.0));
+    }
+
+    #[test]
+    fn pre_drain_drops_surface_once_the_master_drains() {
+        let mut f = SplitFabric::new(FabricConfig::default());
+        let mut d = dram();
+        for i in 0..20u64 {
+            f.issue(&mut d, read(0, i * 8192, 64), Cycle(0));
+        }
+        // Poll-only so far: the recycling FIFO loses nothing for this
+        // master, so it reads as lossless.
+        assert_eq!(f.stats().get("m0.dropped_completions"), Some(0.0));
+        // The first drain marks it a FIFO consumer: the earlier evictions
+        // were real losses for it and surface retroactively.
+        f.drain_completions(MasterId(0), Cycle::MAX);
+        assert!(f.stats().get("m0.dropped_completions").unwrap() > 0.0);
+        assert!(f.stats().get("dropped_completions").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn prompt_drains_never_drop_completions() {
+        let mut f = SplitFabric::new(FabricConfig::default());
+        let mut d = dram();
+        let mut t = Cycle(0);
+        for i in 0..64u64 {
+            let id = f.issue(&mut d, read(0, (i % 8) * 8192, 64), t);
+            t = f.next_issue(id);
+            f.drain_completions(MasterId(0), t);
+        }
+        f.drain_completions(MasterId(0), Cycle::MAX);
+        assert_eq!(f.stats().get("m0.dropped_completions"), Some(0.0));
     }
 
     #[test]

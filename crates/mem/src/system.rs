@@ -164,6 +164,24 @@ impl MemorySystem {
         self.fabric.drain_completions(master, upto)
     }
 
+    /// Attaches `master` to the fabric so its stats row is emitted even if
+    /// it never transacts (starvation stays visible).
+    pub fn attach_master(&mut self, master: MasterId) {
+        self.fabric.attach(master);
+    }
+
+    /// Registers a completion waiter for `(master, id)`; returns the exact
+    /// wake cycle for the discrete-event scheduler.
+    pub fn register_waiter(&mut self, master: MasterId, id: TxnId) -> Cycle {
+        self.fabric.register_waiter(master, id)
+    }
+
+    /// Removes and returns `master`'s waiters whose transactions completed
+    /// by `now`.
+    pub fn drain_woken(&mut self, master: MasterId, now: Cycle) -> Vec<(TxnId, Cycle)> {
+        self.fabric.drain_woken(master, now)
+    }
+
     /// Issues a read transaction *and* moves the bytes into `buf`
     /// (functionally, at issue — the completion time says when the data is
     /// architecturally visible to the master).
@@ -246,21 +264,22 @@ impl MemorySystem {
         self.transfer_handshake(master, addr, len, kind, now).0
     }
 
-    /// Like [`transfer`](Self::transfer) but also returns the chain's final
-    /// address handshake — when the master may hand the fabric its next
-    /// sequenced transfer. Masters that stream dependent work (MEMIF line
-    /// fills, CPU cache fills) key off the handshake; blocking callers use
-    /// the completion.
-    pub fn transfer_handshake(
+    /// The shared burst-chaining engine behind both transfer flavors:
+    /// returns `(done, next, tail)` — chain completion, final address
+    /// handshake, and the id of the burst the chain completes with (not
+    /// necessarily the last *issued* one: an MSHR-merged burst rides an
+    /// earlier transaction and may land before its predecessors).
+    fn transfer_chain(
         &mut self,
         master: MasterId,
         addr: PhysAddr,
         len: u64,
         kind: TxnKind,
         now: Cycle,
-    ) -> (Cycle, Cycle) {
+    ) -> (Cycle, Cycle, Option<TxnId>) {
         let mut t = now;
         let mut done = now;
+        let mut tail: Option<TxnId> = None;
         let mut off = 0u64;
         let len = len.max(1);
         while off < len {
@@ -275,8 +294,52 @@ impl MemorySystem {
                 t,
             );
             t = self.fabric.next_issue(id);
-            done = done.max(self.fabric.poll(id));
+            let completion = self.fabric.poll(id);
+            if completion >= done {
+                done = completion;
+                tail = Some(id);
+            }
             off += blen;
+        }
+        (done, t, tail)
+    }
+
+    /// Like [`transfer`](Self::transfer) but also returns the chain's final
+    /// address handshake — when the master may hand the fabric its next
+    /// sequenced transfer. Masters that stream dependent work (MEMIF line
+    /// fills, CPU cache fills) key off the handshake; blocking callers use
+    /// the completion.
+    pub fn transfer_handshake(
+        &mut self,
+        master: MasterId,
+        addr: PhysAddr,
+        len: u64,
+        kind: TxnKind,
+        now: Cycle,
+    ) -> (Cycle, Cycle) {
+        let (done, t, _) = self.transfer_chain(master, addr, len, kind, now);
+        (done, t)
+    }
+
+    /// Like [`transfer_handshake`](Self::transfer_handshake) but also
+    /// registers a completion **waiter** for the burst that completes the
+    /// chain: the returned completion is the exact cycle at which
+    /// [`drain_woken`](Self::drain_woken) will surface the wake. Masters
+    /// whose consumers may park on the transfer (the non-blocking MEMIF's
+    /// line fills) issue through this so the wakeup can never be lost to
+    /// the bounded completion FIFO.
+    pub fn transfer_waited(
+        &mut self,
+        master: MasterId,
+        addr: PhysAddr,
+        len: u64,
+        kind: TxnKind,
+        now: Cycle,
+    ) -> (Cycle, Cycle) {
+        let (done, t, tail) = self.transfer_chain(master, addr, len, kind, now);
+        if let Some(id) = tail {
+            let wake = self.fabric.register_waiter(master, id);
+            debug_assert_eq!(wake, done, "chain tail must complete the chain");
         }
         (done, t)
     }

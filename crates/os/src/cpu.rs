@@ -84,6 +84,10 @@ impl SwExecConfig {
     }
 }
 
+/// Store-buffer depth of the CPU model: outstanding fire-and-forget
+/// store-miss fills beyond which a new store miss waits for the oldest.
+const STORE_BUFFER_DEPTH: usize = 4;
+
 /// How a slice of software execution ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SliceEnd {
@@ -136,6 +140,16 @@ pub struct SwExec {
     tlb: Tlb,
     cache: L1Cache,
     cpu_half_cycles: u64, // CPU cycles pending conversion (2 per fabric cycle)
+    /// Outstanding store-miss line fills `(line base, completion)`: a store
+    /// miss's write-allocate fill is fire-and-forget (the store buffer
+    /// hides it), bounded by [`STORE_BUFFER_DEPTH`]. A later *load* to a
+    /// line still being filled waits for the data — the same wake
+    /// accounting the hardware threads' non-blocking MEMIF uses.
+    store_fills: Vec<(u64, Cycle)>,
+    /// Σ fire-and-forget fill latency.
+    store_fill_latency: u64,
+    /// Of that, cycles later accesses actually waited for.
+    store_fill_stall: u64,
     /// Precomputed per-block compute CPI (CPU cycles) and op counts, indexed
     /// by `BlockId`: the whole block's compute time is charged once at block
     /// entry instead of per yielded op (see `run_slice`).
@@ -180,6 +194,9 @@ impl SwExec {
             tlb: Tlb::new(cfg.tlb),
             cache: L1Cache::new(cfg.cache),
             cpu_half_cycles: 0,
+            store_fills: Vec::new(),
+            store_fill_latency: 0,
+            store_fill_stall: 0,
             block_cpi,
             block_ops,
             entry_charged: false,
@@ -255,12 +272,41 @@ impl SwExec {
     ) -> Result<PhysAddr, Sigsegv> {
         let pa = self.translate(os, mem, va, write, t)?;
         self.charge_cpu(t, self.cfg.costs.mem_issue);
+        let line = self.cache.line_bytes();
+        let base = pa.0 & !(line - 1);
+        // Retire landed store fills, draining their registered fabric
+        // waiters with them so the waiter list stays bounded.
+        mem.drain_woken(self.port.master(), *t);
+        self.store_fills.retain(|&(_, done)| done > *t);
         match self.cache.access(pa, write) {
-            CacheOutcome::Hit => {}
+            CacheOutcome::Hit => {
+                // An in-order load to a line whose fire-and-forget fill is
+                // still in flight waits for the data; stores merge into the
+                // store buffer and proceed.
+                if !write {
+                    if let Some(&(_, done)) = self.store_fills.iter().find(|&&(l, _)| l == base) {
+                        self.store_fill_stall += (done - *t).0;
+                        *t = done;
+                    }
+                }
+            }
             CacheOutcome::Miss { writeback } => {
-                let line = self.cache.line_bytes();
                 let master = self.port.master();
                 let mut issue = *t;
+                if write && self.store_fills.len() >= STORE_BUFFER_DEPTH {
+                    // Full store buffer: wait for the oldest fill to drain.
+                    let earliest = self
+                        .store_fills
+                        .iter()
+                        .map(|&(_, d)| d)
+                        .min()
+                        .expect("full buffer is non-empty");
+                    if earliest > issue {
+                        self.store_fill_stall += (earliest - issue).0;
+                        issue = earliest;
+                    }
+                    self.store_fills.retain(|&(_, d)| d > issue);
+                }
                 if let Some(victim) = writeback {
                     // Writeback-buffer drain: the fill waits only for the
                     // victim's address handshake, not its completion.
@@ -268,14 +314,21 @@ impl SwExec {
                         mem.transfer_handshake(master, victim, line, TxnKind::Write, issue);
                     issue = next;
                 }
-                let (done, _) = mem.transfer_handshake(
-                    master,
-                    PhysAddr(pa.0 & !(line - 1)),
-                    line,
-                    TxnKind::Read,
-                    issue,
-                );
-                *t = done;
+                if write {
+                    // Store miss: the write-allocate fill is fire-and-
+                    // forget behind the store buffer — the CPU moves on at
+                    // the address handshake and the completion waiter rides
+                    // the same fabric wake hook as the MEMIF's fills.
+                    let (done, next) =
+                        mem.transfer_waited(master, PhysAddr(base), line, TxnKind::Read, issue);
+                    self.store_fill_latency += (done - *t).0;
+                    self.store_fills.push((base, done));
+                    *t = next;
+                } else {
+                    let (done, _) =
+                        mem.transfer_handshake(master, PhysAddr(base), line, TxnKind::Read, issue);
+                    *t = done;
+                }
             }
         }
         Ok(pa)
@@ -345,7 +398,19 @@ impl SwExec {
                     self.charge_block(&mut t, to);
                 }
                 InterpEvent::Done { ret } => {
-                    return Ok((t, SliceEnd::Finished { ret }));
+                    // Outstanding fire-and-forget fills drain before the
+                    // thread counts as finished — their registered fabric
+                    // waiters with them (no phantom wakeups survive).
+                    let end = self
+                        .store_fills
+                        .iter()
+                        .map(|&(_, d)| d)
+                        .max()
+                        .map_or(t, |d| d.max(t));
+                    self.store_fill_stall += (end - t).0;
+                    self.store_fills.clear();
+                    mem.drain_woken(self.port.master(), end);
+                    return Ok((end, SliceEnd::Finished { ret }));
                 }
             }
         }
@@ -356,6 +421,13 @@ impl SwExec {
         let mut s = StatSet::new();
         s.put("instrs", self.instrs as f64);
         s.put("faults", self.faults as f64);
+        // Store-miss fill latency hidden behind the store buffer (fire-and-
+        // forget fills minus the cycles later accesses waited for them).
+        s.put(
+            "store_miss_overlap_cycles",
+            self.store_fill_latency
+                .saturating_sub(self.store_fill_stall) as f64,
+        );
         s.absorb("tlb", self.tlb.stats());
         s.absorb("cache", self.cache.stats());
         s

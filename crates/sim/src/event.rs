@@ -342,6 +342,20 @@ impl<M> Scheduler<M> {
         self.schedule_at(self.now + delay, event);
     }
 
+    /// Schedules a wake event at `time`, clamping to the current cycle if
+    /// the moment has already passed.
+    ///
+    /// This is the completion-delivery entry point: wake times come from
+    /// the calendar-analytic memory fabric (a transaction's completion
+    /// cycle is known at issue), and a consumer may only notice it parked
+    /// on a completion *after* simulation time has moved past it — e.g. a
+    /// thread that was descheduled across the completion. A plain
+    /// [`schedule_at`](Self::schedule_at) treats that as a model bug and
+    /// panics; a wake legitimately fires "as soon as possible" instead.
+    pub fn schedule_wake<E: Event<M> + 'static>(&mut self, time: Cycle, event: E) {
+        self.schedule_at(time.max(self.now), event);
+    }
+
     /// Requests that [`run`](Self::run) return before firing further events.
     ///
     /// Intended to be called from inside an event (e.g. when the simulated
@@ -738,6 +752,28 @@ mod tests {
         });
         let mut log = Log::default();
         s.run(&mut log);
+    }
+
+    #[test]
+    fn schedule_wake_clamps_past_times_to_now() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        s.schedule_at(Cycle(10), |m: &mut Log, s: &mut Scheduler<Log>| {
+            m.0.push((s.now().0, "tick"));
+            // A completion at cycle 4 noticed at cycle 10: fires now, not
+            // never (schedule_at would panic).
+            s.schedule_wake(Cycle(4), |m: &mut Log, s: &mut Scheduler<Log>| {
+                m.0.push((s.now().0, "late-wake"));
+            });
+            s.schedule_wake(Cycle(15), |m: &mut Log, s: &mut Scheduler<Log>| {
+                m.0.push((s.now().0, "future-wake"));
+            });
+        });
+        let mut log = Log::default();
+        s.run(&mut log);
+        assert_eq!(
+            log.0,
+            vec![(10, "tick"), (10, "late-wake"), (15, "future-wake")]
+        );
     }
 
     #[test]

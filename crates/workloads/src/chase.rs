@@ -83,6 +83,58 @@ pub fn chase_data(nodes: usize, steps: u64, rng: &mut Xoshiro256ss) -> (Vec<u32>
     (words, acc)
 }
 
+/// One dependent chase hop *plus* one independent streaming vecadd element
+/// per iteration — the canonical hit-under-miss workload: the chase hop's
+/// line fill parks only the *next* hop (its address depends on the loaded
+/// value), while the streaming loads and the store are dependence-free and
+/// retire under the outstanding miss. A blocking interface serializes all
+/// four accesses behind every chase miss; a non-blocking one overlaps
+/// them. Args: `base, a, b, c, n`; returns the final node index.
+pub fn chase_stream_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("chase_stream", 5);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    let base = b.arg(0);
+    let a = b.arg(1);
+    let bb = b.arg(2);
+    let c = b.arg(3);
+    let n = b.arg(4);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let four = b.constant(4);
+    let eight = b.constant(8);
+    b.jump(header);
+    b.switch_to(header);
+    let i = b.phi();
+    let idx = b.phi();
+    let cond = b.cmp(CmpOp::Lt, i, n);
+    b.branch(cond, body, exit);
+    b.switch_to(body);
+    // The chase hop: address depends on the previous hop's loaded value.
+    let off = b.bin(BinOp::Mul, idx, eight);
+    let node = b.bin(BinOp::Add, base, off);
+    let next = b.load(node, Width::W32);
+    // The independent stream: c[i] = a[i] + b[i], indexed by the loop
+    // counter only — never by chase data.
+    let off4 = b.bin(BinOp::Mul, i, four);
+    let aa = b.bin(BinOp::Add, a, off4);
+    let ba = b.bin(BinOp::Add, bb, off4);
+    let ca = b.bin(BinOp::Add, c, off4);
+    let av = b.load(aa, Width::W32);
+    let bv = b.load(ba, Width::W32);
+    let sum = b.bin(BinOp::Add, av, bv);
+    b.store(ca, sum, Width::W32);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.jump(header);
+    b.switch_to(exit);
+    b.ret(Some(idx));
+    b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+    b.set_phi_incoming(idx, &[(entry, zero), (body, next)]);
+    b.finish().expect("chase_stream kernel is well-formed")
+}
+
 /// Builds the `chase` workload: `nodes` nodes, `steps` hops.
 pub fn chase(nodes: usize, steps: u64, seed: u64) -> Workload {
     let mut rng = Xoshiro256ss::new(seed ^ 0xC4A5);

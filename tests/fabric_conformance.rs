@@ -83,7 +83,9 @@ proptest! {
                 "master {} at {:?}: fabric {:?} vs oracle {:?}",
                 m, arrival, fabric_done, oracle_done
             );
-            // Blocking discipline: the master round-trips.
+            // Blocking discipline: the master round-trips (and drains its
+            // completion queue promptly, like every in-tree master).
+            fabric.drain_completions(desc.master, fabric_done);
             clocks[m] = fabric_done;
         }
         prop_assert_eq!(fabric.busy_cycles(), oracle.busy_cycles());
@@ -91,6 +93,9 @@ proptest! {
             fabric.stats().get("transactions"),
             oracle.stats().get("transactions")
         );
+        // A master that drains promptly never loses a completion — a drop
+        // here would be a lost wakeup under event-driven delivery.
+        prop_assert_eq!(fabric.stats().get("dropped_completions"), Some(0.0));
     }
 
     /// Contract 2: no starvation. Master 0 floods full bursts through its
@@ -185,8 +190,9 @@ proptest! {
             let arrival = clocks[m] + txn.3;
             let id = fabric.issue(&mut dram, desc, arrival);
             let done = fabric.poll(id);
-            // Windowed (streaming) issue discipline.
+            // Windowed (streaming) issue discipline, prompt drains.
             clocks[m] = fabric.next_issue(id);
+            fabric.drain_completions(desc.master, clocks[m]);
 
             let key = (desc.master.0, desc.addr.0 / line);
             if let Some(&prev) = last_done.get(&key) {
@@ -198,6 +204,9 @@ proptest! {
             }
             last_done.insert(key, done);
         }
+        // Streaming masters drain at the handshake, well within the
+        // window+slack FIFO depth: nothing may be dropped.
+        prop_assert_eq!(fabric.stats().get("dropped_completions"), Some(0.0));
     }
 }
 
