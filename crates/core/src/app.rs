@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use svmsyn_hls::decode::DecodedKernel;
 use svmsyn_hls::ir::Kernel;
+use svmsyn_hls::VerifyError;
 
 /// How a shared buffer is initialized and mapped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,6 +145,17 @@ pub enum AppError {
     },
     /// The application has no threads.
     NoThreads,
+    /// A thread's kernel failed IR verification. `KernelBuilder::finish`
+    /// verifies on the builder path, but a hand-constructed [`Kernel`] can
+    /// reach the application unchecked — and the simulate-time
+    /// interpreters assume verified IR (a phi missing a predecessor edge
+    /// would panic mid-run). Catch it here, structurally.
+    MalformedKernel {
+        /// Offending thread name.
+        thread: String,
+        /// The verifier's diagnosis.
+        error: VerifyError,
+    },
 }
 
 impl std::fmt::Display for AppError {
@@ -166,6 +178,9 @@ impl std::fmt::Display for AppError {
                 write!(f, "thread {thread}: invalid sync reference {action:?}")
             }
             AppError::NoThreads => write!(f, "application has no threads"),
+            AppError::MalformedKernel { thread, error } => {
+                write!(f, "thread {thread}: malformed kernel: {error}")
+            }
         }
     }
 }
@@ -184,6 +199,12 @@ impl Application {
             return Err(AppError::NoThreads);
         }
         for t in &self.threads {
+            if let Err(error) = svmsyn_hls::verify(&t.kernel) {
+                return Err(AppError::MalformedKernel {
+                    thread: t.name.clone(),
+                    error,
+                });
+            }
             if t.args.len() != t.kernel.num_args as usize {
                 return Err(AppError::ArgCountMismatch {
                     thread: t.name.clone(),
@@ -264,6 +285,20 @@ impl Application {
 #[derive(Debug, Clone)]
 pub struct ApplicationBuilder {
     app: Application,
+    /// Threads awaiting verification + decode at [`build`](Self::build).
+    pending: Vec<PendingThread>,
+}
+
+/// A thread as handed to the builder: kernel not yet verified, so not yet
+/// decoded (the decoder, like the interpreters, assumes verified IR).
+#[derive(Debug, Clone)]
+struct PendingThread {
+    name: String,
+    kernel: Kernel,
+    args: Vec<ArgSpec>,
+    pre: Vec<SyncAction>,
+    post: Vec<SyncAction>,
+    hw_eligible: bool,
 }
 
 impl ApplicationBuilder {
@@ -276,6 +311,7 @@ impl ApplicationBuilder {
                 sync_objects: Vec::new(),
                 threads: Vec::new(),
             },
+            pending: Vec::new(),
         }
     }
 
@@ -325,11 +361,9 @@ impl ApplicationBuilder {
         post: Vec<SyncAction>,
         hw_eligible: bool,
     ) -> Self {
-        let decoded = Arc::new(DecodedKernel::decode(&kernel));
-        self.app.threads.push(ThreadSpec {
+        self.pending.push(PendingThread {
             name: name.into(),
             kernel,
-            decoded,
             args,
             pre,
             post,
@@ -338,12 +372,33 @@ impl ApplicationBuilder {
         self
     }
 
-    /// Validates and returns the application.
+    /// Validates and returns the application. Kernels are verified before
+    /// they are decoded to micro-ops: the decoder and the simulate-time
+    /// interpreters assume verified IR, so a hand-assembled malformed
+    /// kernel must be rejected here rather than panic mid-run.
     ///
     /// # Errors
     ///
     /// Returns [`AppError`] if validation fails.
-    pub fn build(self) -> Result<Application, AppError> {
+    pub fn build(mut self) -> Result<Application, AppError> {
+        for t in self.pending {
+            if let Err(error) = svmsyn_hls::verify(&t.kernel) {
+                return Err(AppError::MalformedKernel {
+                    thread: t.name,
+                    error,
+                });
+            }
+            let decoded = Arc::new(DecodedKernel::decode(&t.kernel));
+            self.app.threads.push(ThreadSpec {
+                name: t.name,
+                kernel: t.kernel,
+                decoded,
+                args: t.args,
+                pre: t.pre,
+                post: t.post,
+                hw_eligible: t.hw_eligible,
+            });
+        }
         self.app.validate()?;
         Ok(self.app)
     }
@@ -422,6 +477,39 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, AppError::BadSyncRef { .. }));
+    }
+
+    #[test]
+    fn hand_built_malformed_kernel_rejected() {
+        use svmsyn_hls::ir::{Block, BlockId, Instr, Op, Terminator, Value};
+        // A phi with no incoming edges in a block with one predecessor:
+        // `KernelBuilder::finish` would reject this, but a hand-assembled
+        // kernel skips that check. The interpreter would panic resolving
+        // the phi mid-simulation; validation must catch it up front.
+        let k = Kernel {
+            name: "bad".into(),
+            num_args: 0,
+            instrs: vec![Instr {
+                op: Op::Phi(vec![]),
+            }],
+            blocks: vec![
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Jump(BlockId(1)),
+                },
+                Block {
+                    instrs: vec![Value(0)],
+                    term: Terminator::Return(None),
+                },
+            ],
+            entry: BlockId(0),
+        };
+        let err = ApplicationBuilder::new("a")
+            .thread("t", k, vec![], false)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AppError::MalformedKernel { .. }));
+        assert!(err.to_string().contains("malformed kernel"));
     }
 
     #[test]

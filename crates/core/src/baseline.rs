@@ -178,7 +178,7 @@ pub fn run_copy_flow(
 
     // Pageable application buffers (input resident, as in the SVM flow).
     let src_va = os.mmap(asid, input.len().max(1) as u64, true, true, &mut mem)?;
-    os.copy_in(asid, src_va, input, &mut mem);
+    os.copy_in(asid, src_va, input, &mut mem)?;
     let dst_va = os.mmap(asid, out_len.max(1), true, true, &mut mem)?;
 
     // Pinned DMA bounce buffers.
@@ -253,7 +253,7 @@ pub fn run_svm_flow(
     let asid = os.create_space(&mut mem)?;
 
     let src_va = os.mmap(asid, input.len().max(1) as u64, true, true, &mut mem)?;
-    os.copy_in(asid, src_va, input, &mut mem);
+    os.copy_in(asid, src_va, input, &mut mem)?;
     let dst_va = os.mmap(asid, out_len.max(1), true, true, &mut mem)?;
 
     let ck = Arc::new(compile(kernel, &platform.hls));

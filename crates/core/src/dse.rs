@@ -16,6 +16,7 @@
 //! bit-identical results to the serial one.
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
@@ -25,7 +26,7 @@ use svmsyn_vm::walker::WalkerConfig;
 
 use crate::app::Application;
 use crate::flow::{synthesize, Placement};
-use crate::platform::Platform;
+use crate::platform::{Platform, PressurePoint};
 use crate::sim::{simulate, SimConfig};
 
 /// The search strategy.
@@ -70,6 +71,10 @@ pub struct DseConfig {
     /// run past its misses. Empty means the platform's configured depth
     /// only.
     pub memif_axis: Vec<u32>,
+    /// Memory-pressure operating points (frame budget, allocation policy,
+    /// swap latency) to sweep as a design axis, crossed with every other
+    /// axis. Empty means the platform's configured pressure point only.
+    pub pressure_axis: Vec<PressurePoint>,
 }
 
 impl Default for DseConfig {
@@ -83,6 +88,7 @@ impl Default for DseConfig {
             walker_axis: Vec::new(),
             fabric_axis: Vec::new(),
             memif_axis: Vec::new(),
+            pressure_axis: Vec::new(),
         }
     }
 }
@@ -98,6 +104,8 @@ pub struct DsePoint {
     pub fabric: FabricConfig,
     /// The MEMIF outstanding-miss depth this point was evaluated with.
     pub miss_depth: u32,
+    /// The memory-pressure operating point this point was evaluated with.
+    pub pressure: PressurePoint,
     /// Fabric usage of the design.
     pub resources: FabricResources,
     /// Simulated makespan.
@@ -119,6 +127,21 @@ pub struct DseResult {
     pub feasible: Vec<DsePoint>,
     /// The non-dominated (LUT, makespan) front, sorted by LUT.
     pub pareto: Vec<DsePoint>,
+    /// Candidates whose evaluation panicked. The panic is caught, the
+    /// candidate is treated as infeasible, and the rest of the sweep
+    /// completes — one broken design point cannot abort hours of search.
+    pub panics: Vec<DsePanic>,
+}
+
+/// One candidate evaluation that panicked during a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsePanic {
+    /// The placement vector whose evaluation panicked (empty if the panic
+    /// escaped candidate evaluation entirely, e.g. a worker-thread bug).
+    pub placements: Vec<Placement>,
+    /// The panic payload, stringified (`<non-string panic>` when the
+    /// payload is not a string).
+    pub message: String,
 }
 
 /// Why exploration failed.
@@ -162,9 +185,34 @@ fn evaluate(
         walker: platform.memif.mmu.walker,
         fabric: platform.mem.fabric.clone(),
         miss_depth: platform.memif.miss_depth,
+        pressure: platform.pressure_point(),
         resources: design.total_resources,
         makespan: outcome.makespan,
     })
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic>".to_string())
+}
+
+/// [`evaluate`] behind a panic boundary: a panicking candidate becomes
+/// `Err(message)` instead of unwinding through the sweep. `AssertUnwindSafe`
+/// is sound because all inputs are borrowed immutably — an unwound
+/// evaluation leaves no state the sweep observes afterwards.
+fn evaluate_guarded(
+    app: &Application,
+    platform: &Platform,
+    placements: &[Placement],
+    sim: &SimConfig,
+) -> Result<Option<DsePoint>, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        evaluate(app, platform, placements, sim)
+    }))
+    .map_err(panic_message)
 }
 
 fn placements_from_mask(app: &Application, eligible: &[usize], mask: u64) -> Vec<Placement> {
@@ -208,6 +256,8 @@ struct Evaluator<'a> {
     memo: Vec<HashMap<Vec<Placement>, Option<DsePoint>>>,
     evaluated: usize,
     cache_hits: usize,
+    /// Candidates whose evaluation panicked (memoized as infeasible).
+    panics: Vec<DsePanic>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -235,12 +285,20 @@ impl<'a> Evaluator<'a> {
                 .flat_map(|p| cfg.fabric_axis.iter().map(|f| p.with_fabric(f.clone())))
                 .collect()
         };
-        let variants: Vec<Platform> = if cfg.memif_axis.is_empty() {
+        let memif_variants: Vec<Platform> = if cfg.memif_axis.is_empty() {
             fabric_variants
         } else {
             fabric_variants
                 .iter()
                 .flat_map(|p| cfg.memif_axis.iter().map(|&d| p.with_miss_depth(d)))
+                .collect()
+        };
+        let variants: Vec<Platform> = if cfg.pressure_axis.is_empty() {
+            memif_variants
+        } else {
+            memif_variants
+                .iter()
+                .flat_map(|p| cfg.pressure_axis.iter().map(|&pt| p.with_pressure(pt)))
                 .collect()
         };
         let memo = vec![HashMap::new(); variants.len()];
@@ -253,6 +311,7 @@ impl<'a> Evaluator<'a> {
             memo,
             evaluated: 0,
             cache_hits: 0,
+            panics: Vec::new(),
         }
     }
 
@@ -260,14 +319,24 @@ impl<'a> Evaluator<'a> {
         &self.variants[self.current]
     }
 
-    /// Evaluates one candidate, consulting the memo table first.
+    /// Evaluates one candidate, consulting the memo table first. A
+    /// panicking evaluation is recorded and memoized as infeasible.
     fn eval_one(&mut self, placements: &[Placement]) -> Option<DsePoint> {
         self.evaluated += 1;
         if let Some(cached) = self.memo[self.current].get(placements) {
             self.cache_hits += 1;
             return cached.clone();
         }
-        let point = evaluate(self.app, self.platform(), placements, &self.sim);
+        let point = match evaluate_guarded(self.app, self.platform(), placements, &self.sim) {
+            Ok(point) => point,
+            Err(message) => {
+                self.panics.push(DsePanic {
+                    placements: placements.to_vec(),
+                    message,
+                });
+                None
+            }
+        };
         self.memo[self.current].insert(placements.to_vec(), point.clone());
         point
     }
@@ -289,7 +358,17 @@ impl<'a> Evaluator<'a> {
 
         if misses.len() <= 1 || self.workers <= 1 {
             for c in misses {
-                let point = evaluate(self.app, &self.variants[variant], c, &self.sim);
+                let point = match evaluate_guarded(self.app, &self.variants[variant], c, &self.sim)
+                {
+                    Ok(point) => point,
+                    Err(message) => {
+                        self.panics.push(DsePanic {
+                            placements: c.clone(),
+                            message,
+                        });
+                        None
+                    }
+                };
                 self.memo[variant].insert(c.clone(), point);
             }
         } else {
@@ -306,7 +385,10 @@ impl<'a> Evaluator<'a> {
             let (app, platform, sim) = (self.app, &self.variants[variant], &self.sim);
             let misses = &misses;
             let next = AtomicUsize::new(0);
-            let results: Vec<(Vec<Placement>, Option<DsePoint>)> = thread::scope(|scope| {
+            // A candidate's evaluation outcome: its placement vector plus
+            // either a point (None = infeasible) or a caught panic message.
+            type Evaluated = (Vec<Placement>, Result<Option<DsePoint>, String>);
+            let results: Vec<Evaluated> = thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(|| {
@@ -314,23 +396,49 @@ impl<'a> Evaluator<'a> {
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(c) = misses.get(i) else { break };
-                                done.push(((*c).clone(), evaluate(app, platform, c, sim)));
+                                done.push(((*c).clone(), evaluate_guarded(app, platform, c, sim)));
                             }
                             done
                         })
                     })
                     .collect();
+                // Candidate panics are caught inside `evaluate_guarded`,
+                // so a worker can only die to a bug outside evaluation;
+                // record even that instead of aborting the sweep (its
+                // claimed-but-unreported candidates re-run next batch).
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("DSE worker panicked"))
+                    .flat_map(|h| match h.join() {
+                        Ok(done) => done,
+                        Err(payload) => {
+                            vec![(Vec::new(), Err(panic_message(payload)))]
+                        }
+                    })
                     .collect()
             });
-            self.memo[variant].extend(results);
+            for (placements, outcome) in results {
+                let point = match outcome {
+                    Ok(point) => point,
+                    Err(message) => {
+                        self.panics.push(DsePanic {
+                            placements: placements.clone(),
+                            message,
+                        });
+                        None
+                    }
+                };
+                if !placements.is_empty() {
+                    self.memo[variant].insert(placements, point);
+                }
+            }
         }
 
+        // A candidate can be missing only if its worker died outside
+        // evaluation; report it infeasible for this batch (it stays
+        // unmemoized, so a later request re-evaluates it).
         candidates
             .iter()
-            .map(|c| self.memo[variant][c].clone())
+            .map(|c| self.memo[variant].get(c).cloned().flatten())
             .collect()
     }
 }
@@ -469,7 +577,7 @@ pub fn explore(
         .ok_or(DseError::NoFeasiblePoint)?;
     // Dedup identical design points before the front (heuristics revisit);
     // the same placement under a different walk-cache geometry, fabric
-    // configuration, or miss depth is a distinct point.
+    // configuration, miss depth, or pressure point is a distinct point.
     let mut unique: Vec<DsePoint> = Vec::new();
     for p in feasible {
         if !unique.iter().any(|q| {
@@ -477,6 +585,7 @@ pub fn explore(
                 && q.walker == p.walker
                 && q.fabric == p.fabric
                 && q.miss_depth == p.miss_depth
+                && q.pressure == p.pressure
         }) {
             unique.push(p);
         }
@@ -488,6 +597,7 @@ pub fn explore(
         cache_hits: ev.cache_hits,
         feasible: unique,
         pareto,
+        panics: ev.panics,
     })
 }
 
@@ -892,6 +1002,85 @@ mod tests {
             .map(|p| (p.fabric.clone(), p.miss_depth))
             .collect();
         assert_eq!(distinct.len(), 4, "every (fabric, miss depth) combination");
+    }
+
+    #[test]
+    fn pressure_axis_explores_operating_points() {
+        let a = app(2, 64);
+        let axis = vec![
+            PressurePoint::default(),
+            PressurePoint {
+                frame_budget: Some(4),
+                ..PressurePoint::default()
+            },
+        ];
+        let r = explore(
+            &a,
+            &Platform::default(),
+            &DseConfig {
+                method: DseMethod::Exhaustive,
+                sim: fast_sim(),
+                pressure_axis: axis.clone(),
+                ..DseConfig::default()
+            },
+        )
+        .unwrap();
+        // 4 placements x 2 pressure points, every point represented.
+        assert_eq!(r.evaluated, 8);
+        for pt in &axis {
+            assert!(
+                r.feasible.iter().any(|p| p.pressure == *pt),
+                "axis point {pt:?} missing from feasible set"
+            );
+        }
+        assert!(axis.contains(&r.best.pressure));
+        // Starving the frame pool costs time: under the tight budget the
+        // all-hardware point cannot beat its unconstrained twin.
+        let all_hw_makespan = |pt: &PressurePoint| {
+            r.feasible
+                .iter()
+                .filter(|p| {
+                    p.pressure == *pt && p.placements.iter().all(|pl| *pl == Placement::Hardware)
+                })
+                .map(|p| p.makespan)
+                .min()
+                .expect("all-hw point per pressure point")
+        };
+        assert!(all_hw_makespan(&axis[1]) >= all_hw_makespan(&axis[0]));
+    }
+
+    #[test]
+    fn panicking_candidate_does_not_abort_sweep() {
+        let a = app(2, 64);
+        // line_bytes below the widest access trips `Memif::new`'s assert,
+        // so every candidate with a hardware thread panics mid-evaluation;
+        // the all-software point survives and wins.
+        let mut platform = Platform::default();
+        platform.memif.line_bytes = 4;
+        for threads in [1, 4] {
+            let r = explore(
+                &a,
+                &platform,
+                &DseConfig {
+                    method: DseMethod::Exhaustive,
+                    sim: fast_sim(),
+                    threads,
+                    ..DseConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.evaluated, 4, "threads={threads}");
+            assert!(r.best.placements.iter().all(|p| *p == Placement::Software));
+            assert_eq!(r.panics.len(), 3, "threads={threads}");
+            for p in &r.panics {
+                assert!(p.placements.contains(&Placement::Hardware));
+                assert!(
+                    p.message.contains("line_bytes"),
+                    "panic payload captured: {}",
+                    p.message
+                );
+            }
+        }
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod report;
 pub mod sim;
 
 pub use app::{Application, ApplicationBuilder, ArgSpec, SyncAction, SyncSpec};
-pub use dse::{explore, DseConfig, DseMethod, DseResult};
+pub use dse::{explore, DseConfig, DseMethod, DsePanic, DseResult};
 pub use flow::{synthesize, Placement, SynthesisError, SystemDesign};
-pub use platform::Platform;
+pub use platform::{Platform, PressurePoint};
 pub use sim::{simulate, SimConfig, SimError, SimOutcome};

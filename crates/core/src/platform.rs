@@ -4,7 +4,34 @@ use svmsyn_hls::fsmd::HlsConfig;
 use svmsyn_hwt::memif::MemifConfig;
 use svmsyn_mem::MemConfig;
 use svmsyn_os::os::OsConfig;
+use svmsyn_os::AllocPolicy;
 use svmsyn_sim::FabricResources;
+
+/// One memory-pressure operating point — the DSE pressure axis: how many
+/// physical frames the OS manages, when anonymous pages get them, and how
+/// fast the swap device moves a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PressurePoint {
+    /// Frame-pool cap (`None` = all of DRAM beyond the reservation).
+    pub frame_budget: Option<u64>,
+    /// Eager vs. lazy anonymous allocation.
+    pub policy: AllocPolicy,
+    /// Swap-device page transfer latency in fabric cycles, charged in each
+    /// direction.
+    pub swap_latency: u64,
+}
+
+impl Default for PressurePoint {
+    /// Unconstrained frames, demand paging, the default swap device.
+    fn default() -> Self {
+        let costs = OsConfig::default().costs;
+        PressurePoint {
+            frame_budget: None,
+            policy: AllocPolicy::default(),
+            swap_latency: costs.swap_in,
+        }
+    }
+}
 
 /// Everything the toolflow needs to know about the target SoC.
 #[derive(Debug, Clone)]
@@ -76,6 +103,28 @@ impl Platform {
         let mut p = self.clone();
         p.memif.miss_depth = depth;
         p
+    }
+
+    /// The same platform at a different memory-pressure operating point —
+    /// the variant constructor behind the DSE pressure axis.
+    pub fn with_pressure(&self, point: PressurePoint) -> Self {
+        let mut p = self.clone();
+        p.os.frame_budget = point.frame_budget;
+        p.os.alloc_policy = point.policy;
+        p.os.costs.swap_in = point.swap_latency;
+        p.os.costs.swap_out = point.swap_latency;
+        p
+    }
+
+    /// The memory-pressure operating point this platform is configured at
+    /// (swap latency reads the swap-in cost; `with_pressure` sets both
+    /// directions from it).
+    pub fn pressure_point(&self) -> PressurePoint {
+        PressurePoint {
+            frame_budget: self.os.frame_budget,
+            policy: self.os.alloc_policy,
+            swap_latency: self.os.costs.swap_in,
+        }
     }
 
     /// A smaller Zynq-7010-class budget, useful to make the DSE budget

@@ -32,15 +32,33 @@ pub struct SimConfig {
     pub quantum: u64,
     /// Hard cap on scheduler events (runaway guard).
     pub max_events: u64,
+    /// Thrash detector: consecutive faults by one hardware thread with no
+    /// memory op issued in between before the run ends with
+    /// [`SimError::Thrashing`] (0 disables). Catches accesses that can
+    /// never complete — e.g. an access spanning two pages under a frame
+    /// budget that holds only one, refaulting forever.
+    pub fault_retry_budget: u32,
+    /// Thrash watchdog: length of the fault-rate window in cycles.
+    pub thrash_window: u64,
+    /// Thrash watchdog: faults within one window before the run ends with
+    /// [`SimError::Thrashing`] (0 disables). Catches runs making so little
+    /// progress per fault that finishing is hopeless — ping-ponging frames
+    /// between threads — long before `max_events`.
+    pub thrash_fault_limit: u32,
 }
 
 impl Default for SimConfig {
     /// 2 k-cycle quanta (fine enough that concurrent threads book the
-    /// shared-bus calendar in near-time-order), 5 M events.
+    /// shared-bus calendar in near-time-order), 5 M events, a 64-retry
+    /// per-access fault budget, and the rate watchdog off (pressure
+    /// scenarios opt in with a limit matched to their fault costs).
     fn default() -> Self {
         SimConfig {
             quantum: 2_000,
             max_events: 5_000_000,
+            fault_retry_budget: 64,
+            thrash_window: 1_000_000,
+            thrash_fault_limit: 0,
         }
     }
 }
@@ -61,7 +79,26 @@ pub enum SimError {
         blocked: Vec<String>,
     },
     /// The event cap was exceeded.
-    EventLimit,
+    EventLimit {
+        /// Simulated cycle at which the cap was hit.
+        cycle: u64,
+        /// Events fired when the cap was hit.
+        events: u64,
+        /// Names of the threads still runnable at the limit.
+        runnable: Vec<String>,
+    },
+    /// The run was fault-bound beyond hope of progress: one access
+    /// refaulted past its retry budget, or the system-wide fault rate
+    /// exceeded the watchdog limit (see [`SimConfig`]).
+    Thrashing {
+        /// The thread charged with the thrash (`"system"` for the
+        /// rate-watchdog trip, which no single thread owns).
+        thread: String,
+        /// Faults observed (per-access streak, or faults in the window).
+        faults: u64,
+        /// Cycles over which they accumulated.
+        window: u64,
+    },
     /// OS-level setup failed (e.g. out of memory for buffers).
     Os(OsError),
 }
@@ -73,7 +110,33 @@ impl std::fmt::Display for SimError {
             SimError::Deadlock { blocked } => {
                 write!(f, "deadlock; blocked threads: {}", blocked.join(", "))
             }
-            SimError::EventLimit => write!(f, "event limit exceeded"),
+            // Stable prefix: external tooling matches on "event limit
+            // exceeded".
+            SimError::EventLimit {
+                cycle,
+                events,
+                runnable,
+            } => {
+                write!(
+                    f,
+                    "event limit exceeded at cycle {cycle} after {events} events; runnable: {}",
+                    if runnable.is_empty() {
+                        "none".to_string()
+                    } else {
+                        runnable.join(", ")
+                    }
+                )
+            }
+            SimError::Thrashing {
+                thread,
+                faults,
+                window,
+            } => {
+                write!(
+                    f,
+                    "thrashing: {thread} took {faults} page faults within {window} cycles"
+                )
+            }
             SimError::Os(e) => write!(f, "os setup failed: {e}"),
         }
     }
@@ -137,6 +200,9 @@ pub struct SimOutcome {
     pub os: Os,
     /// The shared address space.
     pub asid: Asid,
+    /// TLB shootdowns broadcast during the run (one per reclaimed page per
+    /// MMU/CPU-TLB target).
+    pub shootdowns: u64,
 }
 
 impl SimOutcome {
@@ -148,6 +214,17 @@ impl SimOutcome {
             stats.put("makespan", self.makespan.0 as f64);
             stats.absorb("os", self.os.stats());
             stats.absorb("mem", self.mem.stats());
+            // Memory-pressure health: how hard the frame budget squeezed
+            // the run. `shootdowns` counts per-target invalidations (a
+            // broadcast to N MMUs is N shootdowns — the storm, not the
+            // trigger).
+            stats.put("pressure.major_faults", self.os.major_faults() as f64);
+            stats.put("pressure.reclaims", self.os.reclaims() as f64);
+            stats.put("pressure.shootdowns", self.shootdowns as f64);
+            stats.put(
+                "pressure.swap_busy_cycles",
+                self.os.swap.busy_cycles() as f64,
+            );
             // System-wide walker health: the hardware threads' per-level
             // walk-cache hit rates, aggregated over all MMUs. Software
             // threads have no walker and contribute nothing.
@@ -252,6 +329,29 @@ struct SystemState {
     quantum: u64,
     finished: usize,
     error: Option<SimError>,
+    /// Per-hardware-thread consecutive-fault streak `(mem_ops_issued,
+    /// count, first)`; cleared on any step that makes progress.
+    fault_streaks: Vec<Option<(u64, u32, Cycle)>>,
+    /// Per-access fault-retry budget (0 = disabled).
+    retry_budget: u32,
+    /// Per-target TLB shootdowns broadcast so far.
+    shootdowns: u64,
+}
+
+/// Broadcasts the OS's queued reclaim shootdowns to every hardware MMU
+/// (TLB + walk caches) and software CPU TLB — pressure made visible as
+/// invalidation storms.
+fn drain_shootdowns(state: &mut SystemState) {
+    let pending = state.os.take_shootdowns();
+    for (asid, va) in pending {
+        for t in &mut state.threads {
+            match &mut t.body {
+                Body::Hw(hw) => hw.memif_mut().mmu_mut().invalidate_page(asid, va),
+                Body::Sw(sw) => sw.shootdown(asid, va),
+            }
+            state.shootdowns += 1;
+        }
+    }
 }
 
 type Sched = Scheduler<SystemState>;
@@ -348,6 +448,11 @@ enum BodyOutcome {
     Wake(Cycle),
     Finished(Option<i64>, Cycle),
     Fault(Sigsegv),
+    /// One access refaulted past the retry budget: the run is thrashing.
+    Thrash {
+        faults: u64,
+        window: u64,
+    },
 }
 
 fn run_body(state: &mut SystemState, sched: &mut Sched, i: usize) {
@@ -356,24 +461,61 @@ fn run_body(state: &mut SystemState, sched: &mut Sched, i: usize) {
     let asid = state.asid;
     let outcome = {
         let SystemState {
-            mem, os, threads, ..
+            mem,
+            os,
+            threads,
+            fault_streaks,
+            retry_budget,
+            ..
         } = &mut *state;
         let rt = &mut threads[i];
         match &mut rt.body {
             Body::Hw(hw) => match hw.advance(mem, now, quantum) {
-                HwStep::Yielded { now } => BodyOutcome::Reschedule(now),
+                HwStep::Yielded { now } => {
+                    fault_streaks[i] = None;
+                    BodyOutcome::Reschedule(now)
+                }
                 // Event-driven completion delivery: the thread parked a
                 // dependent micro-op on an outstanding miss; the timing
                 // wheel wakes it at the fill's exact completion cycle.
-                HwStep::Parked { wake } => BodyOutcome::Wake(wake),
+                HwStep::Parked { wake } => {
+                    fault_streaks[i] = None;
+                    BodyOutcome::Wake(wake)
+                }
                 HwStep::PageFault { fault, now } => {
-                    let write = fault.access() == Access::Write;
-                    match os.service_fault(asid, fault.va(), write, true, mem, now) {
-                        Ok(done) => BodyOutcome::Reschedule(done),
-                        Err(segv) => BodyOutcome::Fault(segv),
+                    // A fault with no memory op issued since the previous
+                    // one is a retry that lost its frames again (faulted
+                    // issues don't re-count on retry). Past the budget the
+                    // access can never complete — stop instead of spinning
+                    // to max_events.
+                    let issued = hw.mem_ops_issued();
+                    let (count, first) = match &mut fault_streaks[i] {
+                        Some((at, c, f)) if *at == issued => {
+                            *c += 1;
+                            (*c, *f)
+                        }
+                        s => {
+                            *s = Some((issued, 1, now));
+                            (1, now)
+                        }
+                    };
+                    if *retry_budget > 0 && count > *retry_budget {
+                        BodyOutcome::Thrash {
+                            faults: count as u64,
+                            window: (now - first).0,
+                        }
+                    } else {
+                        let write = fault.access() == Access::Write;
+                        match os.service_fault(asid, fault.va(), write, true, mem, now) {
+                            Ok(done) => BodyOutcome::Reschedule(done),
+                            Err(segv) => BodyOutcome::Fault(segv),
+                        }
                     }
                 }
-                HwStep::Finished { ret, now } => BodyOutcome::Finished(ret, now),
+                HwStep::Finished { ret, now } => {
+                    fault_streaks[i] = None;
+                    BodyOutcome::Finished(ret, now)
+                }
             },
             Body::Sw(sw) => {
                 // Reserve a CPU window, then execute inside it.
@@ -399,6 +541,14 @@ fn run_body(state: &mut SystemState, sched: &mut Sched, i: usize) {
             state.error = Some(SimError::Segv {
                 thread: state.threads[i].name.clone(),
                 fault: segv,
+            });
+            sched.halt();
+        }
+        BodyOutcome::Thrash { faults, window } => {
+            state.error = Some(SimError::Thrashing {
+                thread: state.threads[i].name.clone(),
+                faults,
+                window,
             });
             sched.halt();
         }
@@ -435,7 +585,7 @@ pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, Si
     for b in &app.buffers {
         let va = os.mmap(asid, b.len.max(1), true, b.populate, &mut mem)?;
         if !b.init.is_empty() {
-            os.copy_in(asid, va, &b.init, &mut mem);
+            os.copy_in(asid, va, &b.init, &mut mem)?;
         }
         buffer_vas.push(va);
     }
@@ -509,6 +659,7 @@ pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, Si
         });
     }
 
+    let n_threads = threads.len();
     let mut state = SystemState {
         mem,
         os,
@@ -518,7 +669,13 @@ pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, Si
         quantum: cfg.quantum,
         finished: 0,
         error: None,
+        fault_streaks: vec![None; n_threads],
+        retry_budget: cfg.fault_retry_budget,
+        shootdowns: 0,
     };
+    // Setup-time population/copy-in may already have reclaimed under a
+    // tight frame budget; broadcast those shootdowns before anything runs.
+    drain_shootdowns(&mut state);
     // One step event per live thread is in flight at a time, plus wake
     // events: size the slab once so the hot loop never reallocates it.
     let mut sched: Sched = Scheduler::with_capacity(state.threads.len() * 2 + 8);
@@ -526,10 +683,39 @@ pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, Si
         schedule_step(&mut sched, state.threads[i].start, i);
     }
 
+    // Fault-rate watchdog state: faults observed at the window anchor.
+    let mut window_start = Cycle::ZERO;
+    let mut window_base_faults = 0u64;
     while state.error.is_none() && sched.step(&mut state) {
+        drain_shootdowns(&mut state);
         if sched.events_fired() > cfg.max_events {
-            state.error = Some(SimError::EventLimit);
+            state.error = Some(SimError::EventLimit {
+                cycle: sched.now().0,
+                events: sched.events_fired(),
+                runnable: state
+                    .threads
+                    .iter()
+                    .filter(|t| t.phase != Phase::Done)
+                    .map(|t| t.name.clone())
+                    .collect(),
+            });
             break;
+        }
+        if cfg.thrash_fault_limit > 0 {
+            let now = sched.now();
+            let faults = state.os.hw_faults() + state.os.sw_faults();
+            if (now - window_start).0 >= cfg.thrash_window {
+                window_start = now;
+                window_base_faults = faults;
+            } else if faults - window_base_faults > cfg.thrash_fault_limit as u64 {
+                // No single thread owns a system-wide fault storm.
+                state.error = Some(SimError::Thrashing {
+                    thread: "system".to_string(),
+                    faults: faults - window_base_faults,
+                    window: cfg.thrash_window,
+                });
+                break;
+            }
         }
     }
     if let Some(e) = state.error.take() {
@@ -574,6 +760,7 @@ pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, Si
         mem: state.mem,
         os: state.os,
         asid: state.asid,
+        shootdowns: state.shootdowns,
     })
 }
 
@@ -774,6 +961,164 @@ mod tests {
         let a = simulate(&d, &SimConfig::default()).unwrap();
         let b = simulate(&d, &SimConfig::default()).unwrap();
         assert_eq!(a.makespan, b.makespan);
+    }
+
+    /// A platform whose frame pool is capped at `budget` frames total
+    /// (page tables included) — the memory-pressure scenarios below.
+    fn pressured_platform(budget: u64) -> Platform {
+        let mut p = Platform::default();
+        p.os.frame_budget = Some(budget);
+        p
+    }
+
+    #[test]
+    fn overcommitted_hardware_run_completes_via_reclaim_and_swap() {
+        // 2048 elements = 2 src + 2 dst data pages, but the budget holds
+        // the root table, one L2 table, and only 2 data frames: the
+        // working set over-commits physical memory and the run can only
+        // finish through reclaim, swap-out, and major-fault swap-in.
+        let n = 2048u64;
+        let app = scale_app(n);
+        let d = synthesize(&app, &pressured_platform(4), &[Placement::Hardware]).unwrap();
+        let o = simulate(&d, &SimConfig::default()).unwrap();
+        // Results are byte-correct even though every page was evicted
+        // and swapped back at least once along the way.
+        check_scaled(&o, n);
+        let s = o.stats();
+        assert!(s.get("pressure.reclaims").unwrap() >= 1.0, "no reclaims");
+        assert!(
+            s.get("pressure.major_faults").unwrap() >= 1.0,
+            "no major faults"
+        );
+        assert!(
+            s.get("pressure.shootdowns").unwrap() >= 1.0,
+            "no shootdowns"
+        );
+        assert!(s.get("pressure.swap_busy_cycles").unwrap() >= 1.0);
+        // Every reclaim either swapped out a dirty page or dropped a
+        // clean one — the books must balance.
+        assert_eq!(
+            s.get("pressure.reclaims").unwrap(),
+            s.get("os.swap.swap_outs").unwrap() + s.get("os.clean_evictions").unwrap()
+        );
+    }
+
+    #[test]
+    fn overcommitted_run_matches_unpressured_bytes() {
+        let n = 1024u64;
+        let app = scale_app(n);
+        let calm = simulate(
+            &synthesize(&app, &Platform::default(), &[Placement::Hardware]).unwrap(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let pressed = simulate(
+            &synthesize(&app, &pressured_platform(4), &[Placement::Hardware]).unwrap(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let mut a = vec![0u8; (n * 4) as usize];
+        let mut b = vec![0u8; (n * 4) as usize];
+        calm.read_buffer(1, &mut a);
+        pressed.read_buffer(1, &mut b);
+        assert_eq!(a, b);
+        // Pressure costs time: the pressed run cannot be faster.
+        assert!(pressed.makespan >= calm.makespan);
+    }
+
+    #[test]
+    fn overcommitted_software_run_completes_via_reclaim() {
+        let n = 2048u64;
+        let app = scale_app(n);
+        let d = synthesize(&app, &pressured_platform(4), &[Placement::Software]).unwrap();
+        let o = simulate(&d, &SimConfig::default()).unwrap();
+        check_scaled(&o, n);
+        assert!(o.stats().get("pressure.reclaims").unwrap() >= 1.0);
+    }
+
+    /// One W64 load straddling a page boundary: both pages must be
+    /// resident at once for the access to complete.
+    fn straddle_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("straddle", 1);
+        let a = b.arg(0);
+        let v = b.load(a, Width::W64);
+        b.ret(Some(v));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn impossible_access_trips_retry_budget_not_event_limit() {
+        // The budget holds root + L2 + ONE data frame, but the straddling
+        // load needs two pages at once: each retry's fault service evicts
+        // the other half. Without the per-access retry budget this spins
+        // until max_events; with it the run ends in `Thrashing` charged to
+        // the faulting thread.
+        let app = ApplicationBuilder::new("straddle")
+            .buffer("buf", 8192, vec![], false)
+            .thread(
+                "straddler",
+                straddle_kernel(),
+                vec![ArgSpec::Buffer(0, 4092)],
+                true,
+            )
+            .build()
+            .unwrap();
+        let d = synthesize(&app, &pressured_platform(3), &[Placement::Hardware]).unwrap();
+        let err = simulate(&d, &SimConfig::default()).unwrap_err();
+        match &err {
+            SimError::Thrashing { thread, faults, .. } => {
+                assert_eq!(thread, "straddler");
+                assert!(*faults > u64::from(SimConfig::default().fault_retry_budget));
+            }
+            other => panic!("expected Thrashing, got {other:?}"),
+        }
+        assert!(err.to_string().starts_with("thrashing:"));
+    }
+
+    #[test]
+    fn fault_rate_watchdog_trips_as_system_thrash() {
+        // One data frame for a src/dst streaming pair: every load evicts
+        // the dst page, every store evicts the src page. Each access does
+        // complete (so the per-access retry budget never trips), but the
+        // fault rate is one per access — the watchdog calls the run
+        // hopeless long before max_events.
+        let app = scale_app(2048);
+        let d = synthesize(&app, &pressured_platform(3), &[Placement::Hardware]).unwrap();
+        let cfg = SimConfig {
+            thrash_window: 1 << 40,
+            thrash_fault_limit: 16,
+            ..SimConfig::default()
+        };
+        let err = simulate(&d, &cfg).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Thrashing { thread, .. } if thread == "system"),
+            "expected system thrash, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn event_limit_error_names_runnable_threads() {
+        let app = scale_app(512);
+        let d = synthesize(&app, &Platform::default(), &[Placement::Hardware]).unwrap();
+        let cfg = SimConfig {
+            max_events: 10,
+            ..SimConfig::default()
+        };
+        let err = simulate(&d, &cfg).unwrap_err();
+        match &err {
+            SimError::EventLimit {
+                cycle,
+                events,
+                runnable,
+            } => {
+                assert!(*events > 10);
+                assert!(*cycle > 0);
+                assert!(runnable.iter().any(|t| t == "scaler"));
+            }
+            other => panic!("expected EventLimit, got {other:?}"),
+        }
+        // Tooling greps on this prefix; keep it stable.
+        assert!(err.to_string().starts_with("event limit exceeded"));
     }
 
     #[test]

@@ -272,6 +272,9 @@ impl Interp {
     }
 
     fn step<const YIELD_OPS: bool, const TRACK: bool>(&mut self) -> (InterpEvent, u32) {
+        // Driver-contract panics, not workload-reachable: the executors
+        // (HwThread, SwExec) always provide a pending load before stepping
+        // again and stop at `Done`; no kernel content can trigger these.
         match self.state {
             State::AwaitLoad => panic!("next() called with a pending load"),
             State::Finished => panic!("next() called after Done"),
@@ -557,6 +560,11 @@ pub mod reference {
             for &v in &block.instrs {
                 match &kernel.instr(v).op {
                     Op::Phi(incoming) => {
+                        // Unreachable for verified IR: `verify()` rejects
+                        // phi edge sets that differ from the predecessor
+                        // set, and kernels reach interpreters only through
+                        // `KernelBuilder::finish` or application
+                        // validation, both of which verify.
                         let src = incoming
                             .iter()
                             .find(|(p, _)| *p == from)

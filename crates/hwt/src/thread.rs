@@ -173,6 +173,14 @@ impl HwThread {
         self.finished
     }
 
+    /// Memory operations issued so far. A faulted access's retries do not
+    /// re-count, so a value frozen across consecutive faults means the same
+    /// access keeps losing its frames — the signal the simulator's
+    /// per-access thrash detector keys on.
+    pub fn mem_ops_issued(&self) -> u64 {
+        self.mem_ops
+    }
+
     fn charge(&mut self, t: &mut Cycle, cycles: u64) {
         self.compute_cycles += cycles;
         if cycles > 0 {
@@ -314,6 +322,9 @@ impl HwThread {
     /// Panics if called after [`HwStep::Finished`] was returned, or if no
     /// context was bound.
     pub fn advance(&mut self, mem: &mut MemorySystem, now: Cycle, budget: u64) -> HwStep {
+        // Driver-contract assert, not workload-reachable: the simulator
+        // retires a thread from scheduling on `Finished`, so no kernel
+        // content can re-enter a finished thread.
         assert!(
             !self.finished,
             "advance called on a finished hardware thread"
@@ -361,6 +372,9 @@ impl HwThread {
                 }
             }
             match ev {
+                // Internal invariant, not workload-reachable: `next_mem`
+                // folds compute ops into `BlockChange` events by
+                // construction, for any kernel.
                 InterpEvent::Op(_) => unreachable!("next_mem never yields Op"),
                 InterpEvent::BlockChange { from, to } => {
                     let nblocks = self.compiled.kernel.blocks.len();

@@ -293,6 +293,119 @@ impl AddressSpace {
         Ok(())
     }
 
+    /// Whether `va` is covered by a VMA permitting the access (the check
+    /// [`handle_fault`](Self::handle_fault) performs before any page work).
+    pub(crate) fn check_access(&self, va: VirtAddr, write: bool) -> Result<(), Sigsegv> {
+        let vma = self.vma_of(va).ok_or(Sigsegv { va, write })?;
+        if write && !vma.write {
+            return Err(Sigsegv { va, write });
+        }
+        Ok(())
+    }
+
+    /// Whether an L2 table already covers `va` (capacity planning: a minor
+    /// fault without one needs a second frame).
+    pub(crate) fn has_l2(&self, mem: &MemorySystem, va: VirtAddr) -> bool {
+        self.l2_table(mem, va).is_some()
+    }
+
+    /// Physical address of the L2 table covering `va`, if one exists.
+    fn l2_table(&self, mem: &MemorySystem, va: VirtAddr) -> Option<PhysAddr> {
+        let dir = DirEntry::decode(mem.peek_u32(self.root.offset(4 * va.l1_index() as u64)));
+        dir.is_valid()
+            .then(|| PhysAddr::from_frame(dir.table_pfn()))
+    }
+
+    /// Physical address of the leaf PTE slot for `va`, if its L2 exists.
+    fn leaf_slot(&self, mem: &MemorySystem, va: VirtAddr) -> Option<PhysAddr> {
+        self.l2_table(mem, va)
+            .map(|t| t.offset(4 * va.l2_index() as u64))
+    }
+
+    /// The decoded leaf PTE for `va` ([`Pte::INVALID`] if no L2 table is
+    /// present). Unlike [`translate`](Self::translate) this exposes
+    /// not-present states — the fault handler uses it to tell a swapped
+    /// page from a never-mapped one.
+    pub fn leaf_pte(&self, mem: &MemorySystem, va: VirtAddr) -> Pte {
+        match self.leaf_slot(mem, va) {
+            Some(slot) => Pte::decode(mem.peek_u32(slot)),
+            None => Pte::INVALID,
+        }
+    }
+
+    /// Clears the accessed bit of the (present) leaf PTE for `va` — the
+    /// clock hand's second-chance pass.
+    pub(crate) fn clear_accessed(&mut self, mem: &mut MemorySystem, va: VirtAddr) {
+        if let Some(slot) = self.leaf_slot(mem, va) {
+            let pte = Pte::decode(mem.peek_u32(slot));
+            if pte.is_valid() {
+                let flags = PteFlags {
+                    accessed: false,
+                    ..pte.flags()
+                };
+                mem.poke_u32(slot, Pte::leaf(pte.pfn(), flags).encode());
+            }
+        }
+    }
+
+    /// Downgrades the present page at `va` to the swapped encoding
+    /// recording `slot`. The frame itself is released by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` has no L2 table (the page was never mapped).
+    pub(crate) fn swap_out_page(&mut self, mem: &mut MemorySystem, va: VirtAddr, slot: u64) {
+        let leaf = self.leaf_slot(mem, va).expect("swap-out of unmapped page");
+        mem.poke_u32(leaf, Pte::swapped(slot).encode());
+        self.mapped_pages -= 1;
+    }
+
+    /// Drops the present clean page at `va` back to not-present (its
+    /// contents are reproducible by re-zeroing on the next minor fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` has no L2 table.
+    pub(crate) fn evict_page(&mut self, mem: &mut MemorySystem, va: VirtAddr) {
+        let leaf = self.leaf_slot(mem, va).expect("eviction of unmapped page");
+        mem.poke_u32(leaf, Pte::INVALID.encode());
+        self.mapped_pages -= 1;
+    }
+
+    /// Re-installs the leaf for a swapped-in page at `va` in frame `pfn`,
+    /// with the owning VMA's permissions. `write` marks the faulting
+    /// access, setting the dirty bit so a later reclaim writes the page
+    /// back out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Sigsegv`] if `va` left every VMA or the access violates
+    /// the VMA's permissions (the swap slot is then leaked deliberately —
+    /// the process is being killed).
+    pub(crate) fn swap_in_page(
+        &mut self,
+        mem: &mut MemorySystem,
+        va: VirtAddr,
+        pfn: u64,
+        write: bool,
+    ) -> Result<(), Sigsegv> {
+        let vma = *self.vma_of(va).ok_or(Sigsegv { va, write })?;
+        if write && !vma.write {
+            return Err(Sigsegv { va, write });
+        }
+        let leaf = self.leaf_slot(mem, va).expect("swap-in without L2 table");
+        let flags = PteFlags {
+            writable: vma.write,
+            user: true,
+            accessed: true,
+            dirty: write,
+            ..PteFlags::default()
+        };
+        mem.poke_u32(leaf, Pte::leaf(pfn, flags).encode());
+        self.mapped_pages += 1;
+        Ok(())
+    }
+
     /// Functional page-table walk (no timing): the mapping for `va`.
     pub fn translate(&self, mem: &MemorySystem, va: VirtAddr) -> Option<(PhysAddr, PteFlags)> {
         let dir = DirEntry::decode(mem.peek_u32(self.root.offset(4 * va.l1_index() as u64)));
@@ -325,6 +438,13 @@ impl AddressSpace {
         if self.translate(mem, va).is_some() {
             return Ok(FaultResolution::AlreadyPresent);
         }
+        // Swapped pages must be routed through the major-fault path (the
+        // swap device lives on `Os`); zeroing over the entry here would
+        // silently drop the page's contents and leak its slot.
+        debug_assert!(
+            !self.leaf_pte(mem, va).is_swapped(),
+            "minor-fault path reached a swapped page"
+        );
         let frame = match frames.alloc() {
             Ok(f) => f,
             Err(_) => return Err(Sigsegv { va, write }), // OOM-kill, simplified
@@ -337,6 +457,12 @@ impl AddressSpace {
             PteFlags {
                 writable: vma.write,
                 user: true,
+                // Referenced bit: set on fault service (this simulator's
+                // walker does not update it in hardware), cleared by the
+                // reclaim clock hand — every fresh page gets one pass of
+                // second chance. A write fault dirties the page up front.
+                accessed: true,
+                dirty: write,
                 ..PteFlags::default()
             },
             frames,

@@ -27,6 +27,15 @@ pub struct OsCosts {
     pub timeslice: u64,
     /// OSIF FIFO transfer of one call/response word pair (hardware side).
     pub osif_transfer: u64,
+    /// Writing one dirty 4 KiB page out to the swap device (device busy
+    /// time; charged to the reclaiming fault).
+    pub swap_out: u64,
+    /// Reading one 4 KiB page back in from the swap device (device busy
+    /// time; charged to the major fault).
+    pub swap_in: u64,
+    /// CPU-side reclaim overhead per evicted page: clock-hand scan, reverse
+    /// map lookup, PTE downgrade, shootdown issue.
+    pub reclaim_scan: u64,
 }
 
 impl Default for OsCosts {
@@ -41,6 +50,12 @@ impl Default for OsCosts {
             context_switch: 800,
             timeslice: 100_000,
             osif_transfer: 20,
+            // Flash-class swap device: ~200 µs per 4 KiB page at the
+            // 100 MHz fabric clock. Slow enough that thrashing hurts,
+            // fast enough that a handful of major faults is survivable.
+            swap_out: 20_000,
+            swap_in: 20_000,
+            reclaim_scan: 500,
         }
     }
 }
@@ -60,6 +75,19 @@ impl OsCosts {
     /// Cost of one OSIF call handled by the delegate (sync primitives).
     pub fn osif_call_total(&self) -> u64 {
         self.osif_transfer + self.delegate_wakeup + self.syscall
+    }
+
+    /// Extra cost a *major* fault adds on top of the minor-fault total:
+    /// the swap-in transfer replaces page zeroing (the page's contents
+    /// come back from the device, they are not re-zeroed).
+    pub fn major_fault_extra(&self) -> u64 {
+        self.swap_in.saturating_sub(self.page_zero)
+    }
+
+    /// Cost of reclaiming one victim page: the clock scan plus, for dirty
+    /// victims, the swap-out transfer.
+    pub fn reclaim_total(&self, dirty: bool) -> u64 {
+        self.reclaim_scan + if dirty { self.swap_out } else { 0 }
     }
 }
 
@@ -91,5 +119,14 @@ mod tests {
             c.osif_call_total(),
             c.osif_transfer + c.delegate_wakeup + c.syscall
         );
+    }
+
+    #[test]
+    fn swap_costs_are_plausible() {
+        let c = OsCosts::default();
+        assert!(c.swap_in > c.page_zero, "swap-in dominates zeroing");
+        assert_eq!(c.major_fault_extra(), c.swap_in - c.page_zero);
+        assert_eq!(c.reclaim_total(false), c.reclaim_scan);
+        assert_eq!(c.reclaim_total(true), c.reclaim_scan + c.swap_out);
     }
 }

@@ -256,9 +256,23 @@ impl SwExec {
                     self.faults += 1;
                     let done = os.service_fault(self.asid, va, write, false, mem, *t)?;
                     *t = done;
+                    // Fault service may have reclaimed frames. The queued
+                    // shootdowns are broadcast to every thread by the
+                    // simulation loop after this slice; this thread's own
+                    // TLB must drop them *now*, before the slice continues
+                    // translating through stale entries.
+                    for &(asid, sva) in os.pending_shootdowns() {
+                        self.tlb.invalidate_page(asid, sva.vpn());
+                    }
                 }
             }
         }
+    }
+
+    /// Applies a TLB shootdown for one page (the broadcast half of frame
+    /// reclaim; idempotent with the mid-slice drop above).
+    pub fn shootdown(&mut self, asid: Asid, va: VirtAddr) {
+        self.tlb.invalidate_page(asid, va.vpn());
     }
 
     /// Performs a timed, cached data access; returns the physical address.

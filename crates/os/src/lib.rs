@@ -8,6 +8,9 @@
 //!   demand paging, pinned mappings.
 //! * [`costs`] — the OS cost model in fabric cycles (interrupt, delegate,
 //!   fault service — the numbers behind Table 3).
+//! * [`swap`] — the swap device holding reclaimed page contents.
+//! * [`reclaim`] — the resident-page registry walked by the second-chance
+//!   (clock) evictor.
 //! * [`sync`] — mutexes, semaphores, barriers, mailboxes with wait queues,
 //!   shared by software and hardware threads.
 //! * [`sched`] — the multiprocessor CPU pool (FCFS calendars per core).
@@ -36,13 +39,16 @@ pub mod costs;
 pub mod cpu;
 pub mod frame;
 pub mod os;
+pub mod reclaim;
 pub mod sched;
+pub mod swap;
 pub mod sync;
 
 pub use addrspace::{AddressSpace, Backing, FaultResolution, OsError, Sigsegv, Vma};
 pub use costs::OsCosts;
 pub use cpu::{CacheConfig, CpuCosts, L1Cache, SliceEnd, SwExec, SwExecConfig};
 pub use frame::{FrameAllocator, FrameError};
-pub use os::{Os, OsConfig};
+pub use os::{AllocPolicy, Os, OsConfig};
 pub use sched::CpuPool;
+pub use swap::SwapDevice;
 pub use sync::{SyncResult, SyncTable, ThreadId, Wake};

@@ -1,0 +1,113 @@
+//! The resident-page registry behind frame reclaim.
+//!
+//! [`ResidentSet`] is the OS's reverse map: every reclaimable data page
+//! (anonymous, not pinned, never a page-table frame) is recorded as
+//! `frame → (asid, va)` when it is mapped. A clock hand walks the set in
+//! insertion order; the second-chance policy itself (checking and clearing
+//! the PTE accessed bit) lives in [`Os`](crate::os::Os), which owns the
+//! address spaces the PTEs belong to — this module only provides the
+//! mechanical registry operations.
+
+use svmsyn_mem::VirtAddr;
+use svmsyn_vm::tlb::Asid;
+
+/// One reclaimable resident page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resident {
+    /// Physical frame holding the page.
+    pub frame: u64,
+    /// Owning address space.
+    pub asid: Asid,
+    /// Page-aligned virtual address within that space.
+    pub va: VirtAddr,
+}
+
+/// The registry of reclaimable pages with a clock hand.
+#[derive(Debug, Clone, Default)]
+pub struct ResidentSet {
+    pages: Vec<Resident>,
+    hand: usize,
+}
+
+impl ResidentSet {
+    /// An empty registry.
+    pub fn new() -> ResidentSet {
+        ResidentSet::default()
+    }
+
+    /// Number of registered pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Registers a freshly mapped page.
+    pub fn insert(&mut self, r: Resident) {
+        self.pages.push(r);
+    }
+
+    /// The page under the clock hand, if any.
+    pub fn current(&self) -> Option<Resident> {
+        self.pages.get(self.hand).copied()
+    }
+
+    /// Advances the clock hand one position (wrapping).
+    pub fn advance(&mut self) {
+        if !self.pages.is_empty() {
+            self.hand = (self.hand + 1) % self.pages.len();
+        }
+    }
+
+    /// Removes and returns the page under the hand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is empty.
+    pub fn remove_current(&mut self) -> Resident {
+        let r = self.pages.swap_remove(self.hand);
+        if self.hand >= self.pages.len() {
+            self.hand = 0;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(frame: u64) -> Resident {
+        Resident {
+            frame,
+            asid: Asid(1),
+            va: VirtAddr(frame << 12),
+        }
+    }
+
+    #[test]
+    fn hand_wraps_and_removal_keeps_hand_valid() {
+        let mut s = ResidentSet::new();
+        for f in 0..3 {
+            s.insert(page(f));
+        }
+        assert_eq!(s.current().unwrap().frame, 0);
+        s.advance();
+        s.advance();
+        assert_eq!(s.current().unwrap().frame, 2);
+        // Removing the last element must wrap the hand back to 0.
+        let r = s.remove_current();
+        assert_eq!(r.frame, 2);
+        assert_eq!(s.current().unwrap().frame, 0);
+        s.advance();
+        assert_eq!(s.current().unwrap().frame, 1);
+        s.remove_current();
+        s.remove_current();
+        assert!(s.is_empty());
+        assert_eq!(s.current(), None);
+        s.advance(); // no-op on empty
+    }
+}

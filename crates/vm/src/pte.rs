@@ -38,6 +38,10 @@ const BIT_USER: u32 = 1 << 2;
 const BIT_ACCESSED: u32 = 1 << 3;
 const BIT_DIRTY: u32 = 1 << 4;
 const BIT_PINNED: u32 = 1 << 5;
+/// Marks a not-present entry whose page lives on the swap device. Only
+/// meaningful when [`BIT_VALID`] is clear, so it can reuse the write-bit
+/// position of valid entries without ambiguity.
+const BIT_SWAPPED: u32 = 1 << 1;
 const PFN_SHIFT: u32 = 12;
 
 /// A decoded leaf page-table entry.
@@ -76,6 +80,23 @@ impl Pte {
         Pte { raw }
     }
 
+    /// Builds a *swapped* (not-present) entry recording the swap slot the
+    /// page's contents were written to. Swapped entries decode as invalid
+    /// everywhere translation happens — the hardware walker, the walk
+    /// caches, and the functional walk all see an ordinary not-present
+    /// page — but the OS fault handler can distinguish them from
+    /// never-mapped entries and service a major fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not fit in 20 bits.
+    pub fn swapped(slot: u64) -> Pte {
+        assert!(slot < (1 << 20), "swap slot {slot:#x} exceeds 20 bits");
+        Pte {
+            raw: BIT_SWAPPED | ((slot as u32) << PFN_SHIFT),
+        }
+    }
+
     /// Decodes a raw 32-bit entry as read from memory.
     pub fn decode(raw: u32) -> Pte {
         Pte { raw }
@@ -89,6 +110,16 @@ impl Pte {
     /// Whether the entry maps a page.
     pub fn is_valid(self) -> bool {
         self.raw & BIT_VALID != 0
+    }
+
+    /// Whether the entry is a not-present page parked on the swap device.
+    pub fn is_swapped(self) -> bool {
+        self.raw & BIT_VALID == 0 && self.raw & BIT_SWAPPED != 0
+    }
+
+    /// The swap slot (meaningful only if [`is_swapped`](Self::is_swapped)).
+    pub fn swap_slot(self) -> u64 {
+        (self.raw >> PFN_SHIFT) as u64
     }
 
     /// The physical frame number (meaningful only if valid).
@@ -221,5 +252,39 @@ mod tests {
     #[should_panic(expected = "exceeds 20 bits")]
     fn oversized_pfn_panics() {
         Pte::leaf(1 << 20, PteFlags::default());
+    }
+
+    #[test]
+    fn swapped_roundtrip() {
+        for slot in [0u64, 1, 0x345, (1 << 20) - 1] {
+            let pte = Pte::swapped(slot);
+            let back = Pte::decode(pte.encode());
+            assert!(!back.is_valid(), "swapped entries are not present");
+            assert!(back.is_swapped());
+            assert_eq!(back.swap_slot(), slot);
+        }
+    }
+
+    #[test]
+    fn swapped_is_distinct_from_invalid_and_valid() {
+        // Slot 0 must still encode to a nonzero raw word, or it would be
+        // indistinguishable from a never-mapped entry.
+        assert_ne!(Pte::swapped(0).encode(), Pte::INVALID.encode());
+        assert!(!Pte::INVALID.is_swapped());
+        // A valid writable leaf sets bit 1 too; it must not read as swapped.
+        let leaf = Pte::leaf(
+            7,
+            PteFlags {
+                writable: true,
+                ..PteFlags::default()
+            },
+        );
+        assert!(!leaf.is_swapped());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 20 bits")]
+    fn oversized_swap_slot_panics() {
+        Pte::swapped(1 << 20);
     }
 }

@@ -1,0 +1,212 @@
+//! Memory-pressure chaos suite: random tiny frame budgets crossed with
+//! workloads, placements, allocation policies, and swap latencies. Every
+//! run must terminate *structurally* — `Ok` with byte-correct results and
+//! balanced reclaim books, or a typed `SimError` — never a hang or panic.
+
+use proptest::prelude::*;
+use svmsyn::app::{Application, ApplicationBuilder, ArgSpec};
+use svmsyn::flow::{synthesize, Placement};
+use svmsyn::platform::{Platform, PressurePoint};
+use svmsyn::sim::{simulate, SimConfig, SimError};
+use svmsyn_hls::builder::KernelBuilder;
+use svmsyn_hls::ir::{BinOp, CmpOp, Kernel, Width};
+use svmsyn_os::AllocPolicy;
+
+/// `dst[i] = src[i] * 3` for `i in 0..n` — the canonical streaming kernel,
+/// touching two buffers so a tiny frame budget forces src/dst ping-pong.
+fn scale_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("scale", 3);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    let src = b.arg(0);
+    let dst = b.arg(1);
+    let n = b.arg(2);
+    let zero = b.constant(0);
+    b.jump(header);
+    b.switch_to(header);
+    let i = b.phi();
+    let c = b.cmp(CmpOp::Lt, i, n);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let four = b.constant(4);
+    let off = b.bin(BinOp::Mul, i, four);
+    let sa = b.bin(BinOp::Add, src, off);
+    let da = b.bin(BinOp::Add, dst, off);
+    let v = b.load(sa, Width::W32);
+    let three = b.constant(3);
+    let v3 = b.bin(BinOp::Mul, v, three);
+    b.store(da, v3, Width::W32);
+    let one = b.constant(1);
+    let i2 = b.bin(BinOp::Add, i, one);
+    b.jump(header);
+    b.switch_to(exit);
+    b.ret(None);
+    b.set_phi_incoming(i, &[(entry, zero), (body, i2)]);
+    b.finish().unwrap()
+}
+
+fn scale_app(n: u64) -> Application {
+    let init: Vec<u8> = (0..n as u32).flat_map(|i| i.to_le_bytes()).collect();
+    ApplicationBuilder::new("chaos-scale")
+        .buffer("src", n * 4, init, false)
+        .buffer("dst", n * 4, vec![], false)
+        .thread(
+            "scaler",
+            scale_kernel(),
+            vec![
+                ArgSpec::Buffer(0, 0),
+                ArgSpec::Buffer(1, 0),
+                ArgSpec::Value(n as i64),
+            ],
+            true,
+        )
+        .build()
+        .unwrap()
+}
+
+/// A single `W64` load at an arbitrary (possibly page-straddling) offset.
+fn straddle_app(offset: u64) -> Application {
+    let mut b = KernelBuilder::new("peek", 1);
+    let a = b.arg(0);
+    let v = b.load(a, Width::W64);
+    b.ret(Some(v));
+    ApplicationBuilder::new("chaos-straddle")
+        .buffer("buf", 8192, vec![], false)
+        .thread(
+            "peeker",
+            b.finish().unwrap(),
+            vec![ArgSpec::Buffer(0, offset)],
+            true,
+        )
+        .build()
+        .unwrap()
+}
+
+/// On success the run must be byte-correct and the reclaim books must
+/// balance; on failure the error is a typed variant by construction — the
+/// property's real payload is "no panic, no hang, no silent corruption".
+fn check_outcome(result: Result<svmsyn::sim::SimOutcome, SimError>, n: u64) -> Result<(), String> {
+    match result {
+        Ok(o) => {
+            let mut buf = vec![0u8; (n * 4) as usize];
+            o.read_buffer(1, &mut buf);
+            for i in 0..n as usize {
+                let mut w = [0u8; 4];
+                w.copy_from_slice(&buf[i * 4..i * 4 + 4]);
+                prop_assert_eq!(u32::from_le_bytes(w), (i as u32) * 3);
+            }
+            let s = o.stats();
+            let reclaims = s.get("pressure.reclaims").unwrap_or(0.0);
+            let swap_outs = s.get("os.swap.swap_outs").unwrap_or(0.0);
+            let clean = s.get("os.clean_evictions").unwrap_or(0.0);
+            prop_assert_eq!(reclaims, swap_outs + clean);
+        }
+        Err(e) => {
+            prop_assert!(!e.to_string().is_empty());
+            if let SimError::Thrashing { faults, window, .. } = &e {
+                prop_assert!(*faults > 0);
+                prop_assert!(*window < u64::MAX);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The core chaos property: any tiny budget, either placement, either
+    /// allocation policy, any swap latency — the streaming run either
+    /// completes correctly through reclaim/swap or fails with a typed
+    /// error (out of memory when even the page tables don't fit).
+    #[test]
+    fn pressured_scale_terminates_structurally(
+        budget in 1u64..12,
+        pages in 1u64..4,
+        swap_latency in 1u64..30_000,
+        hw in any::<bool>(),
+        eager in any::<bool>(),
+    ) {
+        let n = pages * 256; // 1 KiB..3 KiB per buffer: up to 4 pages live
+        let app = scale_app(n);
+        let platform = Platform::default().with_pressure(PressurePoint {
+            frame_budget: Some(budget),
+            policy: if eager { AllocPolicy::Eager } else { AllocPolicy::Lazy },
+            swap_latency,
+        });
+        let placement = if hw { Placement::Hardware } else { Placement::Software };
+        let design = match synthesize(&app, &platform, &[placement]) {
+            Ok(d) => d,
+            Err(e) => return Err(format!("synthesis must not fail: {e}")),
+        };
+        let cfg = SimConfig {
+            max_events: 2_000_000,
+            ..SimConfig::default()
+        };
+        check_outcome(simulate(&design, &cfg), n)?;
+    }
+
+    /// Page-straddling `W64` loads under budgets that may hold only one
+    /// data frame: the access either completes (budget permits both pages
+    /// at once), the per-access retry budget converts the infinite refault
+    /// loop into `Thrashing`, or fault service reports true OOM as a
+    /// `Segv`/`Os` error — never an `EventLimit` spin.
+    #[test]
+    fn straddling_access_never_spins_to_event_limit(
+        budget in 1u64..6,
+        offset in 4060u64..4093,
+    ) {
+        let app = straddle_app(offset);
+        let mut platform = Platform::default();
+        platform.os.frame_budget = Some(budget);
+        let design = match synthesize(&app, &platform, &[Placement::Hardware]) {
+            Ok(d) => d,
+            Err(e) => return Err(format!("synthesis must not fail: {e}")),
+        };
+        match simulate(&design, &SimConfig::default()) {
+            Ok(_) => {}
+            Err(SimError::Thrashing { thread, faults, .. }) => {
+                prop_assert_eq!(thread, "peeker".to_string());
+                prop_assert!(faults > 0);
+            }
+            // Budgets too small for the page tables (setup) or for even a
+            // single data frame (fault service, surfaced as a segv).
+            Err(SimError::Os(_)) | Err(SimError::Segv { .. }) => {}
+            Err(other) => return Err(format!("expected Thrashing/Os/Segv, got {other:?}")),
+        }
+    }
+
+    /// With the fault-rate watchdog armed, a frame-starved run ends either
+    /// `Ok` (it made it under the wire) or `Thrashing` attributed to the
+    /// faulting thread or to `"system"` — and an `Ok` run still keeps its
+    /// books balanced.
+    #[test]
+    fn watchdog_attributes_thrash_or_run_completes(
+        limit in 8u32..64,
+        pages in 1u64..4,
+        hw in any::<bool>(),
+    ) {
+        let n = pages * 256;
+        let app = scale_app(n);
+        let mut platform = Platform::default();
+        platform.os.frame_budget = Some(3); // root + L2 + one data frame
+        let placement = if hw { Placement::Hardware } else { Placement::Software };
+        let design = match synthesize(&app, &platform, &[placement]) {
+            Ok(d) => d,
+            Err(e) => return Err(format!("synthesis must not fail: {e}")),
+        };
+        let cfg = SimConfig {
+            max_events: 2_000_000,
+            thrash_window: 1 << 40,
+            thrash_fault_limit: limit,
+            ..SimConfig::default()
+        };
+        match simulate(&design, &cfg) {
+            Err(SimError::Thrashing { thread, faults, .. }) => {
+                prop_assert!(thread == "scaler" || thread == "system");
+                prop_assert!(faults > 0);
+            }
+            other => check_outcome(other, n)?,
+        }
+    }
+}

@@ -140,6 +140,41 @@ impl Harness {
         self.shootdown(space, vpn);
     }
 
+    /// Parks a mapped page on the swap device: rewrites the leaf slot with
+    /// the swapped encoding (slot number = vpn here) and shoots down every
+    /// MMU, exactly as the OS's reclaim path does. No-op when the page is
+    /// not currently mapped.
+    fn swap_out(&mut self, space: usize, vpn: u64) {
+        let slot = self.leaf_slot(space, vpn);
+        let pte = Pte::decode(self.mem.peek_u32(slot));
+        if !pte.is_valid() {
+            return;
+        }
+        self.mem.poke_u32(slot, Pte::swapped(vpn).encode());
+        self.shootdown(space, vpn);
+    }
+
+    /// Re-materializes a swapped page at a fresh frame: rewrites a valid
+    /// leaf and shoots down, as the OS's major-fault swap-in does. No-op
+    /// unless the slot currently holds a swapped entry.
+    fn swap_in(&mut self, space: usize, vpn: u64, writable: bool, user: bool) {
+        let slot = self.leaf_slot(space, vpn);
+        let pte = Pte::decode(self.mem.peek_u32(slot));
+        if !pte.is_swapped() {
+            return;
+        }
+        let flags = PteFlags {
+            writable,
+            user,
+            ..PteFlags::default()
+        };
+        self.mem.poke_u32(
+            slot,
+            Pte::leaf(0x500 + vpn + 0x40 * space as u64, flags).encode(),
+        );
+        self.shootdown(space, vpn);
+    }
+
     /// TLB/walk-cache shootdown on every MMU, as the OS does after any
     /// page-table mutation.
     fn shootdown(&mut self, space: usize, vpn: u64) {
@@ -255,7 +290,7 @@ impl Harness {
 /// Applies one generated operation. `sel` packs the op kind and the acting
 /// thread; `bits` seeds flags and access kinds.
 fn apply_op(h: &mut Harness, sel: u8, space: usize, vpn: u64, bits: u8) -> Result<(), String> {
-    let t = (sel as usize / 8) % THREADS;
+    let t = (sel as usize / 10) % THREADS;
     let writable = bits & 1 != 0;
     let user = !bits.is_multiple_of(4); // mostly user pages, some kernel ones
     let access = if bits & 2 != 0 {
@@ -263,7 +298,7 @@ fn apply_op(h: &mut Harness, sel: u8, space: usize, vpn: u64, bits: u8) -> Resul
     } else {
         Access::Read
     };
-    match sel % 8 {
+    match sel % 10 {
         0 => h.map(
             space,
             vpn,
@@ -274,10 +309,12 @@ fn apply_op(h: &mut Harness, sel: u8, space: usize, vpn: u64, bits: u8) -> Resul
         1 => h.unmap(space, vpn),
         2 => h.protect(space, vpn, writable, user),
         3 => h.bind(t, space),
+        8 => h.swap_out(space, vpn),
+        9 => h.swap_in(space, vpn, writable, user),
         4..=6 => {
             // Translate against the thread's current context (rebinding
             // first on a subset of ops keeps ASID mixes interesting).
-            if sel % 8 == 4 {
+            if sel % 10 == 4 {
                 h.bind(t, space);
             }
             h.check_translate(t, vpn, access)?;
@@ -321,12 +358,14 @@ fn real_mmu_configs() -> Vec<MmuConfig> {
 
 proptest! {
     /// The real MMU agrees with the naive oracle on every translation and
-    /// fault across arbitrary map/unmap/protect/translate/burst
-    /// interleavings over multiple ASIDs and threads — and its bus traffic
-    /// is exactly what the walker cost model predicts.
+    /// fault across arbitrary map/unmap/protect/swap-out/swap-in/translate/
+    /// burst interleavings over multiple ASIDs and threads — and its bus
+    /// traffic is exactly what the walker cost model predicts. Swapped
+    /// leaves decode not-present everywhere, so both models must fault
+    /// identically on a parked page after its shootdown.
     #[test]
     fn real_mmu_matches_slow_oracle(
-        ops in prop::collection::vec((0u8..16, 0u8..3, 0u64..32, any::<u8>()), 1..80),
+        ops in prop::collection::vec((0u8..20, 0u8..3, 0u64..32, any::<u8>()), 1..80),
         cfg_sel in 0u8..3,
     ) {
         let cfg = real_mmu_configs()[cfg_sel as usize];
@@ -380,6 +419,29 @@ fn two_threads_share_tables_but_pay_their_own_walks() {
         .map(|m| m.stats().get("walker.walks").unwrap_or(0.0))
         .sum();
     assert_eq!(walks, 8.0, "no cross-thread TLB sharing");
+    h.check_bus_reads().unwrap();
+}
+
+#[test]
+fn swapped_page_faults_identically_then_returns_after_swap_in() {
+    // The reclaim lifecycle as the MMUs see it: a hot translation, the page
+    // parked on the swap device (swapped PTE + shootdown), both models
+    // faulting on the now-not-present page — from both threads, so the
+    // broadcast reached every MMU — then a swap-in restoring service at a
+    // different frame.
+    let mut h = Harness::new(MmuConfig::default());
+    h.map(0, 7, 0x123, true, true);
+    h.bind(1, 0);
+    h.check_translate(0, 7, Access::Write).unwrap();
+    h.check_translate(1, 7, Access::Read).unwrap();
+    h.swap_out(0, 7);
+    // Stale translations were shot down everywhere: a swapped leaf decodes
+    // invalid, so real MMU and oracle must agree on the fault.
+    h.check_translate(0, 7, Access::Write).unwrap();
+    h.check_translate(1, 7, Access::Read).unwrap();
+    h.swap_in(0, 7, true, true);
+    h.check_translate(0, 7, Access::Write).unwrap();
+    h.check_translate(1, 7, Access::Read).unwrap();
     h.check_bus_reads().unwrap();
 }
 
