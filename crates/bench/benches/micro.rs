@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use svmsyn::dse::{explore, DseConfig, DseMethod};
 use svmsyn::platform::Platform;
-use svmsyn::sim::SimConfig;
+use svmsyn::sim::{Sim, SimConfig};
 use svmsyn_bench::{hw_design, run_checked};
 use svmsyn_hls::decode::DecodedKernel;
 use svmsyn_hls::fsmd::{compile, HlsConfig};
@@ -492,6 +492,41 @@ fn bench_pressure_reclaim(runs: u64) -> f64 {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint serialization: full snapshot + validated restore round-trips of
+// a mid-run pressured system (warmed caches, TLBs, swap state, pending
+// events all in the image) — the cost a `checkpoint_every` pause or a chaos
+// kill-and-resume pays per checkpoint.
+// ---------------------------------------------------------------------------
+
+fn bench_snapshot_roundtrip(rounds: u64) -> f64 {
+    let w = vecadd(2048, 5);
+    let mut platform = Platform::default();
+    platform.os.frame_budget = Some(4);
+    let design = hw_design(&w, &platform);
+    let cfg = SimConfig::default();
+    let mut sim = Sim::new(&design, &cfg).expect("bench setup");
+    // Park mid-run, deep in reclaim/swap territory, so the image carries a
+    // fully warmed system rather than a near-empty boot state.
+    sim.run_until(Cycle(100_000)).expect("bench warmup");
+    // Sanity once, outside the timed loop: the round-trip must be exact.
+    let cp = sim.snapshot();
+    let restored = Sim::restore(&design, &cfg, &cp).expect("bench restore");
+    assert_eq!(
+        restored.snapshot().as_bytes(),
+        cp.as_bytes(),
+        "snapshot bench round-trip is not bit-exact"
+    );
+    let secs = time(|| {
+        for _ in 0..rounds {
+            let cp = sim.snapshot();
+            let restored = Sim::restore(&design, &cfg, &cp).expect("bench restore");
+            black_box(restored.now());
+        }
+    });
+    rounds as f64 / secs
+}
+
+// ---------------------------------------------------------------------------
 // DSE sweep: serial vs. parallel exhaustive search (simulation in the loop).
 // ---------------------------------------------------------------------------
 
@@ -689,6 +724,11 @@ fn main() {
         value: bench_pressure_reclaim(if smoke { 2 } else { 20 }),
         unit: "runs/s",
     });
+    results.push(Result {
+        name: "snapshot_roundtrip_per_sec",
+        value: bench_snapshot_roundtrip(if smoke { 5 } else { 200 }),
+        unit: "roundtrips/s",
+    });
 
     let serial = dse_sweep_secs(1);
     let parallel = dse_sweep_secs(0);
@@ -779,6 +819,14 @@ fn main() {
                 .iter()
                 .any(|r| r.name == "pressure_reclaim_runs_per_sec"),
             "pressure_reclaim_runs_per_sec missing from the benchmark set"
+        );
+        // CI contract: the checkpoint entry must exist — its harness
+        // already asserted internally that the round-trip is bit-exact.
+        assert!(
+            results
+                .iter()
+                .any(|r| r.name == "snapshot_roundtrip_per_sec"),
+            "snapshot_roundtrip_per_sec missing from the benchmark set"
         );
         println!("\nsmoke mode: baseline not written");
         return;

@@ -18,6 +18,9 @@
 //!   completion on the deterministic event scheduler.
 //! * [`dse`] — [`dse::explore`]: HW/SW partitioning (exhaustive, greedy,
 //!   annealing) with simulation-in-the-loop evaluation.
+//! * [`checkpoint`] — versioned, checksummed snapshot images
+//!   ([`checkpoint::Checkpoint`]), snapshot-fork pressure sweeps, and the
+//!   divergence bisector.
 //! * [`baseline`] — the copy-based DMA accelerator flow the SVM approach is
 //!   compared against (Figure 4).
 //! * [`report`] — text tables for the experiment harnesses.
@@ -56,6 +59,7 @@
 
 pub mod app;
 pub mod baseline;
+pub mod checkpoint;
 pub mod dse;
 pub mod flow;
 pub mod platform;
@@ -63,7 +67,11 @@ pub mod report;
 pub mod sim;
 
 pub use app::{Application, ApplicationBuilder, ArgSpec, SyncAction, SyncSpec};
+pub use checkpoint::{
+    bisect_divergence, digest_at, fork_swap_sweep, BisectSide, Checkpoint, Divergence, ForkArm,
+    ForkError,
+};
 pub use dse::{explore, DseConfig, DseMethod, DsePanic, DseResult};
 pub use flow::{synthesize, Placement, SynthesisError, SystemDesign};
 pub use platform::{Platform, PressurePoint};
-pub use sim::{simulate, SimConfig, SimError, SimOutcome};
+pub use sim::{simulate, RunProgress, Sim, SimConfig, SimError, SimOutcome, SNAPSHOT_VERSION};

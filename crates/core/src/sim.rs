@@ -18,11 +18,18 @@ use svmsyn_os::cpu::{SliceEnd, SwExec, SwExecConfig};
 use svmsyn_os::os::Os;
 use svmsyn_os::sync::{SyncResult, ThreadId, Wake};
 use svmsyn_sim::{Cycle, Scheduler, StatSet};
+use svmsyn_snap::{Snap, SnapError, SnapReader, SnapWriter};
 use svmsyn_vm::mmu::Access;
 use svmsyn_vm::tlb::Asid;
 
 use crate::app::{SyncAction, SyncSpec};
+use crate::checkpoint::{design_fingerprint, Checkpoint};
 use crate::flow::{Placement, SystemDesign};
+
+/// Snapshot image format version this binary writes and understands.
+/// Bumped whenever the payload layout changes; images from other versions
+/// are rejected at restore with [`SnapError::Version`].
+pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// Simulation options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +52,10 @@ pub struct SimConfig {
     /// progress per fault that finishing is hopeless — ping-ponging frames
     /// between threads — long before `max_events`.
     pub thrash_fault_limit: u32,
+    /// Graceful interruption: when non-zero, [`Sim::run`] pauses after this
+    /// many scheduler events and returns a resumable [`Checkpoint`]
+    /// ([`simulate`] resumes transparently). `0` disables pausing.
+    pub checkpoint_every: u64,
 }
 
 impl Default for SimConfig {
@@ -59,6 +70,7 @@ impl Default for SimConfig {
             fault_retry_budget: 64,
             thrash_window: 1_000_000,
             thrash_fault_limit: 0,
+            checkpoint_every: 0,
         }
     }
 }
@@ -78,7 +90,10 @@ pub enum SimError {
         /// Names of the blocked threads.
         blocked: Vec<String>,
     },
-    /// The event cap was exceeded.
+    /// The event cap was exceeded. Carries a checkpoint of the run at the
+    /// limit: callers can raise `max_events` and resume instead of losing
+    /// the work ([`None`] only for checkpoints that failed to assemble,
+    /// which no current path produces).
     EventLimit {
         /// Simulated cycle at which the cap was hit.
         cycle: u64,
@@ -86,6 +101,8 @@ pub enum SimError {
         events: u64,
         /// Names of the threads still runnable at the limit.
         runnable: Vec<String>,
+        /// The run, frozen at the limit — resume with a raised budget.
+        checkpoint: Option<Checkpoint>,
     },
     /// The run was fault-bound beyond hope of progress: one access
     /// refaulted past its retry budget, or the system-wide fault rate
@@ -98,9 +115,15 @@ pub enum SimError {
         faults: u64,
         /// Cycles over which they accumulated.
         window: u64,
+        /// The run, frozen at the trip with the faulting thread re-armed —
+        /// resume with a raised retry budget or watchdog limit.
+        checkpoint: Option<Checkpoint>,
     },
     /// OS-level setup failed (e.g. out of memory for buffers).
     Os(OsError),
+    /// A checkpoint image was rejected at restore (corrupt, truncated,
+    /// version-mismatched, or from a different design).
+    Snapshot(SnapError),
 }
 
 impl std::fmt::Display for SimError {
@@ -116,6 +139,7 @@ impl std::fmt::Display for SimError {
                 cycle,
                 events,
                 runnable,
+                ..
             } => {
                 write!(
                     f,
@@ -131,6 +155,7 @@ impl std::fmt::Display for SimError {
                 thread,
                 faults,
                 window,
+                ..
             } => {
                 write!(
                     f,
@@ -138,15 +163,46 @@ impl std::fmt::Display for SimError {
                 )
             }
             SimError::Os(e) => write!(f, "os setup failed: {e}"),
+            SimError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    /// The wrapped cause for the two composing variants, so `?`-chained
+    /// callers can walk to the underlying [`OsError`] / [`SnapError`].
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Os(e) => Some(e),
+            SimError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<OsError> for SimError {
     fn from(e: OsError) -> Self {
         SimError::Os(e)
+    }
+}
+
+impl From<SnapError> for SimError {
+    fn from(e: SnapError) -> Self {
+        SimError::Snapshot(e)
+    }
+}
+
+impl SimError {
+    /// The resumable checkpoint attached to a budget-exhaustion error
+    /// ([`EventLimit`][Self::EventLimit] / [`Thrashing`][Self::Thrashing]),
+    /// if any: restore it with a raised budget and continue the run.
+    pub fn checkpoint(&self) -> Option<&Checkpoint> {
+        match self {
+            SimError::EventLimit { checkpoint, .. } | SimError::Thrashing { checkpoint, .. } => {
+                checkpoint.as_ref()
+            }
+            _ => None,
+        }
     }
 }
 
@@ -336,6 +392,15 @@ struct SystemState {
     retry_budget: u32,
     /// Per-target TLB shootdowns broadcast so far.
     shootdowns: u64,
+    /// Mirror of every scheduler-resident step event `(fire time, insertion
+    /// sequence, thread)`. The scheduler's closures cannot be serialized,
+    /// but every event in this system is "step thread `i` at cycle `t`", so
+    /// the snapshot records this registry instead and restore re-schedules
+    /// equivalent closures in original insertion order. Each closure
+    /// unregisters its own entry as it fires.
+    pending_steps: Vec<(Cycle, u64, u32)>,
+    /// Monotonic insertion counter backing `pending_steps` ordering.
+    next_step_seq: u64,
 }
 
 /// Broadcasts the OS's queued reclaim shootdowns to every hardware MMU
@@ -356,17 +421,38 @@ fn drain_shootdowns(state: &mut SystemState) {
 
 type Sched = Scheduler<SystemState>;
 
-fn schedule_step(sched: &mut Sched, at: Cycle, i: usize) {
+/// Drops `seq` from the pending-step mirror (as its event fires). Order in
+/// the mirror is irrelevant — snapshot sorts by `(time, seq)` — so the
+/// removal is a swap.
+fn unregister_step(state: &mut SystemState, seq: u64) {
+    if let Some(idx) = state.pending_steps.iter().position(|&(_, s, _)| s == seq) {
+        state.pending_steps.swap_remove(idx);
+    }
+}
+
+fn schedule_step(state: &mut SystemState, sched: &mut Sched, at: Cycle, i: usize) {
+    let seq = state.next_step_seq;
+    state.next_step_seq += 1;
+    state.pending_steps.push((at, seq, i as u32));
     sched.schedule_at(at, move |state: &mut SystemState, sched: &mut Sched| {
+        unregister_step(state, seq);
         step_thread(state, sched, i)
     });
 }
 
 /// Completion delivery for a parked thread: wakes it at the fill's exact
 /// completion cycle (clamped to `now` if the completion already elapsed
-/// while the thread was descheduled — `schedule_wake`'s contract).
-fn schedule_wake_step(sched: &mut Sched, wake: Cycle, i: usize) {
+/// while the thread was descheduled — `schedule_wake`'s contract). The
+/// mirror records the *clamped* time: that is the cycle the wheel actually
+/// holds, and the one restore must re-schedule at.
+fn schedule_wake_step(state: &mut SystemState, sched: &mut Sched, wake: Cycle, i: usize) {
+    let seq = state.next_step_seq;
+    state.next_step_seq += 1;
+    state
+        .pending_steps
+        .push((wake.max(sched.now()), seq, i as u32));
     sched.schedule_wake(wake, move |state: &mut SystemState, sched: &mut Sched| {
+        unregister_step(state, seq);
         step_thread(state, sched, i)
     });
 }
@@ -382,7 +468,7 @@ fn apply_wakes(state: &mut SystemState, sched: &mut Sched, wakes: &[Wake], at: C
     for w in wakes {
         let j = w.thread().0 as usize;
         let cost = wake_cost(state, j);
-        schedule_step(sched, at + cost, j);
+        schedule_step(state, sched, at + cost, j);
     }
 }
 
@@ -396,7 +482,7 @@ fn handle_sync(state: &mut SystemState, sched: &mut Sched, i: usize, k: usize, i
     if k >= actions.len() {
         if is_pre {
             state.threads[i].phase = Phase::Run;
-            schedule_step(sched, now, i);
+            schedule_step(state, sched, now, i);
         } else {
             state.threads[i].phase = Phase::Done;
             state.threads[i].end = Some(now);
@@ -436,7 +522,7 @@ fn handle_sync(state: &mut SystemState, sched: &mut Sched, i: usize, k: usize, i
     };
     apply_wakes(state, sched, &wakes, t);
     match result {
-        SyncResult::Proceed { .. } => schedule_step(sched, t, i),
+        SyncResult::Proceed { .. } => schedule_step(state, sched, t, i),
         SyncResult::Block => { /* the waker reschedules us */ }
     }
 }
@@ -529,13 +615,13 @@ fn run_body(state: &mut SystemState, sched: &mut Sched, i: usize) {
         }
     };
     match outcome {
-        BodyOutcome::Reschedule(at) => schedule_step(sched, at, i),
-        BodyOutcome::Wake(wake) => schedule_wake_step(sched, wake, i),
+        BodyOutcome::Reschedule(at) => schedule_step(state, sched, at, i),
+        BodyOutcome::Wake(wake) => schedule_wake_step(state, sched, wake, i),
         BodyOutcome::Finished(ret, at) => {
             let rt = &mut state.threads[i];
             rt.ret = ret;
             rt.phase = Phase::Post(0);
-            schedule_step(sched, at, i);
+            schedule_step(state, sched, at, i);
         }
         BodyOutcome::Fault(segv) => {
             state.error = Some(SimError::Segv {
@@ -545,10 +631,18 @@ fn run_body(state: &mut SystemState, sched: &mut Sched, i: usize) {
             sched.halt();
         }
         BodyOutcome::Thrash { faults, window } => {
+            // Re-arm the faulting thread at `now` before halting: the
+            // checkpoint attached to this error then has a runnable thread,
+            // so restoring it under a raised `fault_retry_budget` (or
+            // watchdog limit) retries the access instead of wedging. The
+            // fault streak is preserved in the snapshot, so a resume under
+            // the *same* budget deterministically trips again.
+            schedule_step(state, sched, now, i);
             state.error = Some(SimError::Thrashing {
                 thread: state.threads[i].name.clone(),
                 faults,
                 window,
+                checkpoint: None,
             });
             sched.halt();
         }
@@ -567,201 +661,631 @@ fn step_thread(state: &mut SystemState, sched: &mut Sched, i: usize) {
     }
 }
 
-/// Simulates a synthesized design to completion.
-///
-/// # Errors
-///
-/// Returns [`SimError`] on setup failure, segmentation fault, deadlock, or
-/// event-cap overflow.
-pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, SimError> {
-    let app = &design.app;
-    let platform = &design.platform;
-    let mut mem = MemorySystem::new(platform.mem.clone());
-    let mut os = Os::new(&platform.os, &mem);
-    let asid = os.create_space(&mut mem)?;
+/// What one [`Sim::run`] call produced.
+#[derive(Debug)]
+pub enum RunProgress {
+    /// No events remain: every thread finished, or the rest are blocked —
+    /// [`Sim::finish`] tells the two apart.
+    Complete,
+    /// `checkpoint_every` events elapsed since the last pause. The run can
+    /// be resumed by calling [`Sim::run`] again on this instance, or later
+    /// — in another process — via [`Sim::restore`] of the checkpoint.
+    Paused(Checkpoint),
+}
 
-    // Buffers.
-    let mut buffer_vas = Vec::with_capacity(app.buffers.len());
-    for b in &app.buffers {
-        let va = os.mmap(asid, b.len.max(1), true, b.populate, &mut mem)?;
-        if !b.init.is_empty() {
-            os.copy_in(asid, va, &b.init, &mut mem)?;
-        }
-        buffer_vas.push(va);
+/// A live full-system simulation: the state machine behind [`simulate`],
+/// exposed so callers can interrupt, snapshot, restore, and resume runs.
+///
+/// Determinism contract: a restored `Sim` replays the exact event sequence
+/// the original would have run — same final buffers, same cycle counts,
+/// same counters — and `snapshot` is a pure function of logical state, so
+/// `restore(snapshot(s))` re-snapshots to byte-identical images.
+pub struct Sim<'d> {
+    design: &'d SystemDesign,
+    cfg: SimConfig,
+    state: SystemState,
+    sched: Sched,
+    buffer_vas: Vec<VirtAddr>,
+    /// Fault-rate watchdog: window anchor cycle.
+    window_start: Cycle,
+    /// Fault-rate watchdog: faults observed at the window anchor.
+    window_base_faults: u64,
+    /// Events fired at the last `checkpoint_every` pause.
+    last_pause_events: u64,
+}
+
+impl std::fmt::Debug for Sim<'_> {
+    /// Position summary only — the full state is megabytes of Debug noise.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.sched.now())
+            .field("events_fired", &self.sched.events_fired())
+            .field("pending", &self.sched.pending())
+            .field("finished", &self.state.finished)
+            .finish_non_exhaustive()
     }
+}
 
-    // Sync objects.
-    let sync_ids: Vec<u32> = app
-        .sync_objects
-        .iter()
-        .map(|s| match s {
-            SyncSpec::Mutex => os.sync.create_mutex(),
-            SyncSpec::Semaphore(n) => os.sync.create_sem(*n),
-            SyncSpec::Barrier(n) => os.sync.create_barrier(*n),
-            SyncSpec::Mbox(c) => os.sync.create_mbox(*c),
-        })
-        .collect();
+impl<'d> Sim<'d> {
+    /// Boots the OS, maps the application's buffers, and instantiates every
+    /// thread, ready to [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Os`] when setup fails (e.g. out of memory for
+    /// buffers).
+    pub fn new(design: &'d SystemDesign, cfg: &SimConfig) -> Result<Sim<'d>, SimError> {
+        let app = &design.app;
+        let platform = &design.platform;
+        let mut mem = MemorySystem::new(platform.mem.clone());
+        let mut os = Os::new(&platform.os, &mem);
+        let asid = os.create_space(&mut mem)?;
 
-    // Threads.
-    let root = os.space(asid).root();
-    let mut threads = Vec::with_capacity(app.threads.len());
-    for (i, spec) in app.threads.iter().enumerate() {
-        let args: Vec<i64> = spec
-            .args
+        // Buffers.
+        let mut buffer_vas = Vec::with_capacity(app.buffers.len());
+        for b in &app.buffers {
+            let va = os.mmap(asid, b.len.max(1), true, b.populate, &mut mem)?;
+            if !b.init.is_empty() {
+                os.copy_in(asid, va, &b.init, &mut mem)?;
+            }
+            buffer_vas.push(va);
+        }
+
+        // Sync objects.
+        let sync_ids: Vec<u32> = app
+            .sync_objects
             .iter()
-            .map(|a| match a {
-                crate::app::ArgSpec::Buffer(bi, off) => (buffer_vas[*bi].0 + off) as i64,
-                crate::app::ArgSpec::Value(v) => *v,
+            .map(|s| match s {
+                SyncSpec::Mutex => os.sync.create_mutex(),
+                SyncSpec::Semaphore(n) => os.sync.create_sem(*n),
+                SyncSpec::Barrier(n) => os.sync.create_barrier(*n),
+                SyncSpec::Mbox(c) => os.sync.create_mbox(*c),
             })
             .collect();
-        let master = MasterId(i as u16 + 1);
-        // Attach every configured master up front: a thread that wedges
-        // before its first transaction still gets its (all-zero) fabric
-        // stats row, so starvation is visible instead of silent.
-        mem.attach_master(master);
-        let body = match design.placements[i] {
-            Placement::Hardware => {
-                let ck = design.threads[i]
-                    .compiled
-                    .clone()
-                    .expect("hardware thread must have a compiled kernel");
-                let mut hw = HwThread::new(
-                    ck,
+
+        // Threads.
+        let root = os.space(asid).root();
+        let mut threads = Vec::with_capacity(app.threads.len());
+        for (i, spec) in app.threads.iter().enumerate() {
+            let args: Vec<i64> = spec
+                .args
+                .iter()
+                .map(|a| match a {
+                    crate::app::ArgSpec::Buffer(bi, off) => (buffer_vas[*bi].0 + off) as i64,
+                    crate::app::ArgSpec::Value(v) => *v,
+                })
+                .collect();
+            let master = MasterId(i as u16 + 1);
+            // Attach every configured master up front: a thread that wedges
+            // before its first transaction still gets its (all-zero) fabric
+            // stats row, so starvation is visible instead of silent.
+            mem.attach_master(master);
+            let body = match design.placements[i] {
+                Placement::Hardware => {
+                    let ck = design.threads[i]
+                        .compiled
+                        .clone()
+                        .expect("hardware thread must have a compiled kernel");
+                    let mut hw = HwThread::new(
+                        ck,
+                        &args,
+                        &HwThreadConfig {
+                            memif: platform.memif,
+                        },
+                        master,
+                    );
+                    hw.set_context(asid, root);
+                    Body::Hw(hw)
+                }
+                Placement::Software => Body::Sw(SwExec::new(
+                    ThreadId(i as u32),
+                    asid,
+                    Arc::clone(&spec.decoded),
                     &args,
-                    &HwThreadConfig {
-                        memif: platform.memif,
-                    },
-                    master,
-                );
-                hw.set_context(asid, root);
-                Body::Hw(hw)
-            }
-            Placement::Software => Body::Sw(SwExec::new(
-                ThreadId(i as u32),
-                asid,
-                Arc::clone(&spec.decoded),
-                &args,
-                SwExecConfig::with_master(master),
-            )),
+                    SwExecConfig::with_master(master),
+                )),
+            };
+            // Thread spawn is serialized through the parent (one syscall
+            // each).
+            let start = Cycle(i as u64 * os.costs.syscall);
+            threads.push(ThreadRt {
+                name: spec.name.clone(),
+                placement: design.placements[i],
+                body,
+                pre: spec.pre.clone(),
+                post: spec.post.clone(),
+                phase: Phase::Pre(0),
+                start,
+                end: None,
+                ret: None,
+            });
+        }
+
+        let n_threads = threads.len();
+        let mut state = SystemState {
+            mem,
+            os,
+            asid,
+            threads,
+            sync_ids,
+            quantum: cfg.quantum,
+            finished: 0,
+            error: None,
+            fault_streaks: vec![None; n_threads],
+            retry_budget: cfg.fault_retry_budget,
+            shootdowns: 0,
+            pending_steps: Vec::new(),
+            next_step_seq: 0,
         };
-        // Thread spawn is serialized through the parent (one syscall each).
-        let start = Cycle(i as u64 * os.costs.syscall);
-        threads.push(ThreadRt {
-            name: spec.name.clone(),
-            placement: design.placements[i],
-            body,
-            pre: spec.pre.clone(),
-            post: spec.post.clone(),
-            phase: Phase::Pre(0),
-            start,
-            end: None,
-            ret: None,
-        });
-    }
-
-    let n_threads = threads.len();
-    let mut state = SystemState {
-        mem,
-        os,
-        asid,
-        threads,
-        sync_ids,
-        quantum: cfg.quantum,
-        finished: 0,
-        error: None,
-        fault_streaks: vec![None; n_threads],
-        retry_budget: cfg.fault_retry_budget,
-        shootdowns: 0,
-    };
-    // Setup-time population/copy-in may already have reclaimed under a
-    // tight frame budget; broadcast those shootdowns before anything runs.
-    drain_shootdowns(&mut state);
-    // One step event per live thread is in flight at a time, plus wake
-    // events: size the slab once so the hot loop never reallocates it.
-    let mut sched: Sched = Scheduler::with_capacity(state.threads.len() * 2 + 8);
-    for i in 0..state.threads.len() {
-        schedule_step(&mut sched, state.threads[i].start, i);
-    }
-
-    // Fault-rate watchdog state: faults observed at the window anchor.
-    let mut window_start = Cycle::ZERO;
-    let mut window_base_faults = 0u64;
-    while state.error.is_none() && sched.step(&mut state) {
+        // Setup-time population/copy-in may already have reclaimed under a
+        // tight frame budget; broadcast those shootdowns before anything
+        // runs.
         drain_shootdowns(&mut state);
-        if sched.events_fired() > cfg.max_events {
-            state.error = Some(SimError::EventLimit {
-                cycle: sched.now().0,
-                events: sched.events_fired(),
-                runnable: state
+        // One step event per live thread is in flight at a time, plus wake
+        // events: size the slab once so the hot loop never reallocates it.
+        let mut sched: Sched = Scheduler::with_capacity(state.threads.len() * 2 + 8);
+        for i in 0..state.threads.len() {
+            let start = state.threads[i].start;
+            schedule_step(&mut state, &mut sched, start, i);
+        }
+
+        Ok(Sim {
+            design,
+            cfg: *cfg,
+            state,
+            sched,
+            buffer_vas,
+            window_start: Cycle::ZERO,
+            window_base_faults: 0,
+            last_pause_events: 0,
+        })
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.sched.now()
+    }
+
+    /// Scheduler events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.sched.events_fired()
+    }
+
+    /// The live OS (counters, swap, resident registry) — read-only.
+    pub fn os(&self) -> &Os {
+        &self.state.os
+    }
+
+    /// Post-event bookkeeping: shootdown broadcast, event cap, fault-rate
+    /// watchdog. Returns `false` when the run must stop (an error was set).
+    fn after_step(&mut self) -> bool {
+        drain_shootdowns(&mut self.state);
+        if self.sched.events_fired() > self.cfg.max_events {
+            // Snapshot *before* setting the error: the image never contains
+            // an error state, only the resumable position at the limit.
+            let checkpoint = self.snapshot();
+            self.state.error = Some(SimError::EventLimit {
+                cycle: self.sched.now().0,
+                events: self.sched.events_fired(),
+                runnable: self
+                    .state
+                    .threads
+                    .iter()
+                    .filter(|t| t.phase != Phase::Done)
+                    .map(|t| t.name.clone())
+                    .collect(),
+                checkpoint: Some(checkpoint),
+            });
+            return false;
+        }
+        if self.cfg.thrash_fault_limit > 0 {
+            let now = self.sched.now();
+            let faults = self.state.os.hw_faults() + self.state.os.sw_faults();
+            if (now - self.window_start).0 >= self.cfg.thrash_window {
+                self.window_start = now;
+                self.window_base_faults = faults;
+            } else if faults - self.window_base_faults > self.cfg.thrash_fault_limit as u64 {
+                // No single thread owns a system-wide fault storm. The
+                // watchdog trips between events, so the pending steps are
+                // intact and the checkpoint resumes under a raised limit.
+                let checkpoint = self.snapshot();
+                self.state.error = Some(SimError::Thrashing {
+                    thread: "system".to_string(),
+                    faults: faults - self.window_base_faults,
+                    window: self.cfg.thrash_window,
+                    checkpoint: Some(checkpoint),
+                });
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Attaches a checkpoint to a budget-exhaustion error raised *inside*
+    /// an event (the per-access thrash trip), where the snapshot could not
+    /// be taken at error-construction time.
+    fn attach_checkpoint(&self, e: SimError) -> SimError {
+        match e {
+            SimError::Thrashing {
+                thread,
+                faults,
+                window,
+                checkpoint: None,
+            } => {
+                let checkpoint = self.snapshot();
+                SimError::Thrashing {
+                    thread,
+                    faults,
+                    window,
+                    checkpoint: Some(checkpoint),
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Runs until completion, an error, or (with `checkpoint_every` set) a
+    /// periodic pause.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on segmentation fault or budget exhaustion;
+    /// [`SimError::EventLimit`] and [`SimError::Thrashing`] carry a
+    /// resumable checkpoint of the run at the trip point.
+    pub fn run(&mut self) -> Result<RunProgress, SimError> {
+        while self.state.error.is_none() && self.sched.step(&mut self.state) {
+            if !self.after_step() {
+                break;
+            }
+            if self.cfg.checkpoint_every > 0
+                && self.sched.events_fired() - self.last_pause_events >= self.cfg.checkpoint_every
+            {
+                self.last_pause_events = self.sched.events_fired();
+                return Ok(RunProgress::Paused(self.snapshot()));
+            }
+        }
+        if let Some(e) = self.state.error.take() {
+            return Err(self.attach_checkpoint(e));
+        }
+        Ok(RunProgress::Complete)
+    }
+
+    /// Runs while the next event's timestamp is at most `until`, stopping
+    /// between events. Returns `true` while later events remain — the
+    /// chaos harness's "kill at cycle `c`" primitive and the bisector's
+    /// probe-advance.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run`](Self::run); `checkpoint_every` pauses do
+    /// not apply here.
+    pub fn run_until(&mut self, until: Cycle) -> Result<bool, SimError> {
+        while self.state.error.is_none() {
+            match self.sched.peek_time() {
+                Some(t) if t <= until => {}
+                Some(_) => return Ok(true),
+                None => return Ok(false),
+            }
+            if !self.sched.step(&mut self.state) {
+                break;
+            }
+            if !self.after_step() {
+                break;
+            }
+        }
+        if let Some(e) = self.state.error.take() {
+            return Err(self.attach_checkpoint(e));
+        }
+        Ok(self.sched.pending() > 0)
+    }
+
+    /// Serializes the complete simulator state — scheduler position and
+    /// pending events, memory image, fabric transactions, caches, TLBs,
+    /// walk caches, interpreter tables, OS state, per-thread metrics — into
+    /// a versioned, checksummed, fingerprinted image.
+    ///
+    /// The bytes are a pure function of logical state: re-snapshotting a
+    /// restored run yields the identical image.
+    pub fn snapshot(&self) -> Checkpoint {
+        let mut w = SnapWriter::new();
+        // Scheduler position.
+        w.put_u64(self.sched.now().0);
+        w.put_u64(self.sched.events_fired());
+        w.put_u64(self.sched.events_scheduled());
+        // Fault-rate watchdog anchor.
+        w.put_u64(self.window_start.0);
+        w.put_u64(self.window_base_faults);
+        // Address-space layout.
+        let vas: Vec<u64> = self.buffer_vas.iter().map(|v| v.0).collect();
+        vas.save(&mut w);
+        let s = &self.state;
+        s.mem.save_state(&mut w);
+        s.os.save_state(&mut w);
+        s.asid.save(&mut w);
+        s.sync_ids.save(&mut w);
+        w.put_u64(s.finished as u64);
+        s.fault_streaks.save(&mut w);
+        w.put_u64(s.shootdowns);
+        // Per-thread runtime state. Names, placements, and sync scripts are
+        // design-side and re-supplied at restore.
+        for t in &s.threads {
+            match &t.body {
+                Body::Sw(sw) => {
+                    w.put_u8(0);
+                    sw.save_state(&mut w);
+                }
+                Body::Hw(hw) => {
+                    w.put_u8(1);
+                    hw.save_state(&mut w);
+                }
+            }
+            let (tag, k) = match t.phase {
+                Phase::Pre(k) => (0u8, k as u64),
+                Phase::Run => (1, 0),
+                Phase::Post(k) => (2, k as u64),
+                Phase::Done => (3, 0),
+            };
+            w.put_u8(tag);
+            w.put_u64(k);
+            t.start.save(&mut w);
+            t.end.save(&mut w);
+            t.ret.save(&mut w);
+        }
+        // The event mirror, sorted into firing order `(time, insertion
+        // seq)`: the live Vec's order depends on swap-remove history, which
+        // is not logical state.
+        w.put_u64(s.next_step_seq);
+        let mut steps = s.pending_steps.clone();
+        steps.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        steps.save(&mut w);
+        Checkpoint::from_bytes(svmsyn_snap::write_image(
+            SNAPSHOT_VERSION,
+            design_fingerprint(self.design),
+            &w.into_bytes(),
+        ))
+    }
+
+    /// Rebuilds a simulation from a checkpoint image, validated end to end:
+    /// magic, version, checksum, design fingerprint, then every field
+    /// range. Config-side values (`quantum`, budgets, OS costs) come from
+    /// `cfg` and the design, which is what lets a resumed run continue
+    /// under raised budgets or adjusted pressure costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Snapshot`] describing exactly what was rejected
+    /// — never panics, never silently misparses.
+    pub fn restore(
+        design: &'d SystemDesign,
+        cfg: &SimConfig,
+        checkpoint: &Checkpoint,
+    ) -> Result<Sim<'d>, SimError> {
+        Sim::restore_inner(design, cfg, checkpoint).map_err(SimError::Snapshot)
+    }
+
+    fn restore_inner(
+        design: &'d SystemDesign,
+        cfg: &SimConfig,
+        checkpoint: &Checkpoint,
+    ) -> Result<Sim<'d>, SnapError> {
+        let (fingerprint, payload) =
+            svmsyn_snap::read_image(checkpoint.as_bytes(), SNAPSHOT_VERSION)?;
+        let expected = design_fingerprint(design);
+        if fingerprint != expected {
+            return Err(SnapError::DesignMismatch {
+                found: fingerprint,
+                expected,
+            });
+        }
+        let r = &mut SnapReader::new(payload);
+        let now = Cycle(r.take_u64()?);
+        let fired = r.take_u64()?;
+        let scheduled = r.take_u64()?;
+        let window_start = Cycle(r.take_u64()?);
+        let window_base_faults = r.take_u64()?;
+        let buffer_vas: Vec<VirtAddr> = Vec::<u64>::load(r)?.into_iter().map(VirtAddr).collect();
+        let platform = &design.platform;
+        let mem = MemorySystem::restore_state(&platform.mem, r)?;
+        let os = Os::restore_state(&platform.os, r)?;
+        let asid = Asid::load(r)?;
+        let sync_ids = Vec::<u32>::load(r)?;
+        let finished = r.take_u64()? as usize;
+        let fault_streaks = Vec::<Option<(u64, u32, Cycle)>>::load(r)?;
+        let shootdowns = r.take_u64()?;
+
+        let app = &design.app;
+        let mut threads = Vec::with_capacity(app.threads.len());
+        for (i, spec) in app.threads.iter().enumerate() {
+            let master = MasterId(i as u16 + 1);
+            let tag = r.take_u8()?;
+            let body = match (tag, design.placements[i]) {
+                (0, Placement::Software) => Body::Sw(SwExec::restore_state(
+                    Arc::clone(&spec.decoded),
+                    SwExecConfig::with_master(master),
+                    r,
+                )?),
+                (1, Placement::Hardware) => {
+                    let ck = design.threads[i]
+                        .compiled
+                        .clone()
+                        .ok_or(SnapError::Corrupt(
+                            "hardware thread without compiled kernel",
+                        ))?;
+                    Body::Hw(HwThread::restore_state(
+                        ck,
+                        &HwThreadConfig {
+                            memif: platform.memif,
+                        },
+                        master,
+                        r,
+                    )?)
+                }
+                _ => return Err(SnapError::Corrupt("thread body tag vs placement")),
+            };
+            let ptag = r.take_u8()?;
+            let k = r.take_u64()? as usize;
+            let phase = match ptag {
+                0 if k <= spec.pre.len() => Phase::Pre(k),
+                1 => Phase::Run,
+                2 if k <= spec.post.len() => Phase::Post(k),
+                3 => Phase::Done,
+                _ => return Err(SnapError::Corrupt("thread phase")),
+            };
+            let start = Cycle::load(r)?;
+            let end = Option::<Cycle>::load(r)?;
+            let ret = Option::<i64>::load(r)?;
+            threads.push(ThreadRt {
+                name: spec.name.clone(),
+                placement: design.placements[i],
+                body,
+                pre: spec.pre.clone(),
+                post: spec.post.clone(),
+                phase,
+                start,
+                end,
+                ret,
+            });
+        }
+
+        let next_step_seq = r.take_u64()?;
+        let mut steps = Vec::<(Cycle, u64, u32)>::load(r)?;
+        if r.remaining() != 0 {
+            return Err(SnapError::Corrupt("trailing bytes after payload"));
+        }
+        if finished > threads.len() {
+            return Err(SnapError::Corrupt("finished-thread count"));
+        }
+        if fault_streaks.len() != threads.len() {
+            return Err(SnapError::Corrupt("fault-streak table size"));
+        }
+        if steps.len() as u64 > scheduled {
+            return Err(SnapError::Corrupt("pending-step count"));
+        }
+        for &(at, seq, t) in &steps {
+            if t as usize >= threads.len() {
+                return Err(SnapError::Corrupt("pending-step thread index"));
+            }
+            if at < now {
+                return Err(SnapError::Corrupt("pending-step fire time"));
+            }
+            if seq >= next_step_seq {
+                return Err(SnapError::Corrupt("pending-step sequence"));
+            }
+        }
+
+        let mut state = SystemState {
+            mem,
+            os,
+            asid,
+            threads,
+            sync_ids,
+            quantum: cfg.quantum,
+            finished,
+            error: None,
+            fault_streaks,
+            retry_budget: cfg.fault_retry_budget,
+            shootdowns,
+            pending_steps: Vec::with_capacity(steps.len()),
+            next_step_seq,
+        };
+        // Rebuild the wheel: rewind the counters to the checkpoint minus
+        // the events about to be re-added, then re-schedule in original
+        // insertion order — `(time, seq)` — so same-cycle FIFO order (and
+        // therefore the entire future event sequence) is reproduced
+        // exactly.
+        let mut sched: Sched = Scheduler::with_capacity(state.threads.len() * 2 + 8);
+        sched.restore_meta(now, fired, scheduled - steps.len() as u64);
+        steps.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        for &(at, seq, t) in &steps {
+            let i = t as usize;
+            state.pending_steps.push((at, seq, t));
+            sched.schedule_at(at, move |state: &mut SystemState, sched: &mut Sched| {
+                unregister_step(state, seq);
+                step_thread(state, sched, i)
+            });
+        }
+
+        Ok(Sim {
+            design,
+            cfg: *cfg,
+            state,
+            sched,
+            buffer_vas,
+            window_start,
+            window_base_faults,
+            last_pause_events: fired,
+        })
+    }
+
+    /// Consumes the simulation and assembles the outcome. Call after
+    /// [`run`](Self::run) returns [`RunProgress::Complete`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] when threads remain blocked on
+    /// synchronization (the no-events-left completion's failure shape).
+    pub fn finish(mut self) -> Result<SimOutcome, SimError> {
+        if let Some(e) = self.state.error.take() {
+            return Err(self.attach_checkpoint(e));
+        }
+        if self.state.finished < self.state.threads.len() {
+            return Err(SimError::Deadlock {
+                blocked: self
+                    .state
                     .threads
                     .iter()
                     .filter(|t| t.phase != Phase::Done)
                     .map(|t| t.name.clone())
                     .collect(),
             });
-            break;
         }
-        if cfg.thrash_fault_limit > 0 {
-            let now = sched.now();
-            let faults = state.os.hw_faults() + state.os.sw_faults();
-            if (now - window_start).0 >= cfg.thrash_window {
-                window_start = now;
-                window_base_faults = faults;
-            } else if faults - window_base_faults > cfg.thrash_fault_limit as u64 {
-                // No single thread owns a system-wide fault storm.
-                state.error = Some(SimError::Thrashing {
-                    thread: "system".to_string(),
-                    faults: faults - window_base_faults,
-                    window: cfg.thrash_window,
-                });
-                break;
-            }
-        }
-    }
-    if let Some(e) = state.error.take() {
-        return Err(e);
-    }
-    if state.finished < state.threads.len() {
-        return Err(SimError::Deadlock {
-            blocked: state
-                .threads
-                .iter()
-                .filter(|t| t.phase != Phase::Done)
-                .map(|t| t.name.clone())
-                .collect(),
-        });
-    }
 
-    let makespan = state
-        .threads
-        .iter()
-        .filter_map(|t| t.end)
-        .max()
-        .unwrap_or(Cycle::ZERO);
-    let threads = state
-        .threads
-        .into_iter()
-        .map(|t| ThreadMetrics {
-            name: t.name,
-            placement: t.placement,
-            start: t.start,
-            end: t.end.expect("all threads finished"),
-            ret: t.ret,
-            body: t.body,
+        let makespan = self
+            .state
+            .threads
+            .iter()
+            .filter_map(|t| t.end)
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        let threads = self
+            .state
+            .threads
+            .into_iter()
+            .map(|t| ThreadMetrics {
+                name: t.name,
+                placement: t.placement,
+                start: t.start,
+                end: t.end.expect("all threads finished"),
+                ret: t.ret,
+                body: t.body,
+                stats: OnceCell::new(),
+            })
+            .collect();
+
+        Ok(SimOutcome {
+            makespan,
+            threads,
             stats: OnceCell::new(),
+            buffer_vas: self.buffer_vas,
+            mem: self.state.mem,
+            os: self.state.os,
+            asid: self.state.asid,
+            shootdowns: self.state.shootdowns,
         })
-        .collect();
+    }
+}
 
-    Ok(SimOutcome {
-        makespan,
-        threads,
-        stats: OnceCell::new(),
-        buffer_vas,
-        mem: state.mem,
-        os: state.os,
-        asid: state.asid,
-        shootdowns: state.shootdowns,
-    })
+/// Simulates a synthesized design to completion (resuming transparently
+/// through any `checkpoint_every` pauses).
+///
+/// # Errors
+///
+/// Returns [`SimError`] on setup failure, segmentation fault, deadlock, or
+/// budget exhaustion — the budget errors carry a resumable checkpoint.
+pub fn simulate(design: &SystemDesign, cfg: &SimConfig) -> Result<SimOutcome, SimError> {
+    let mut sim = Sim::new(design, cfg)?;
+    while !matches!(sim.run()?, RunProgress::Complete) {}
+    sim.finish()
 }
 
 #[cfg(test)]
@@ -1110,6 +1634,7 @@ mod tests {
                 cycle,
                 events,
                 runnable,
+                ..
             } => {
                 assert!(*events > 10);
                 assert!(*cycle > 0);
@@ -1161,5 +1686,133 @@ mod tests {
         let o = simulate(&d, &SimConfig::default()).unwrap();
         assert_eq!(o.threads.len(), 2);
         assert!(o.stats().get("os.sync_contended").unwrap() >= 1.0);
+    }
+
+    /// Drives a restored simulation to completion.
+    fn resume_to_end(mut sim: Sim<'_>) -> SimOutcome {
+        while !matches!(sim.run().unwrap(), RunProgress::Complete) {}
+        sim.finish().unwrap()
+    }
+
+    #[test]
+    fn event_limit_checkpoint_resumes_under_raised_budget() {
+        let app = scale_app(512);
+        let d = synthesize(&app, &Platform::default(), &[Placement::Hardware]).unwrap();
+        let reference = simulate(&d, &SimConfig::default()).unwrap();
+
+        let tight = SimConfig {
+            max_events: 10,
+            ..SimConfig::default()
+        };
+        let err = simulate(&d, &tight).unwrap_err();
+        let cp = err.checkpoint().expect("EventLimit carries a checkpoint");
+        // Raise the budget and continue exactly where the limit tripped.
+        let o = resume_to_end(Sim::restore(&d, &SimConfig::default(), cp).unwrap());
+        check_scaled(&o, 512);
+        assert_eq!(o.makespan, reference.makespan);
+        assert_eq!(o.shootdowns, reference.shootdowns);
+    }
+
+    #[test]
+    fn watchdog_thrash_checkpoint_resumes_with_watchdog_relaxed() {
+        let app = scale_app(2048);
+        let d = synthesize(&app, &pressured_platform(3), &[Placement::Hardware]).unwrap();
+        let reference = simulate(&d, &SimConfig::default()).unwrap();
+
+        let cfg = SimConfig {
+            thrash_window: 1 << 40,
+            thrash_fault_limit: 16,
+            ..SimConfig::default()
+        };
+        let err = simulate(&d, &cfg).unwrap_err();
+        assert!(matches!(&err, SimError::Thrashing { thread, .. } if thread == "system"));
+        let cp = err.checkpoint().expect("Thrashing carries a checkpoint");
+        // The watchdog only aborts — it never alters the event sequence —
+        // so resuming without it replays the uninterrupted run's tail.
+        let o = resume_to_end(Sim::restore(&d, &SimConfig::default(), cp).unwrap());
+        check_scaled(&o, 2048);
+        assert_eq!(o.makespan, reference.makespan);
+    }
+
+    #[test]
+    fn per_access_thrash_rearms_and_trips_again_on_resume() {
+        let app = ApplicationBuilder::new("straddle")
+            .buffer("buf", 8192, vec![], false)
+            .thread(
+                "straddler",
+                straddle_kernel(),
+                vec![ArgSpec::Buffer(0, 4092)],
+                true,
+            )
+            .build()
+            .unwrap();
+        let d = synthesize(&app, &pressured_platform(3), &[Placement::Hardware]).unwrap();
+        let err = simulate(&d, &SimConfig::default()).unwrap_err();
+        let cp = match &err {
+            SimError::Thrashing {
+                thread, checkpoint, ..
+            } => {
+                assert_eq!(thread, "straddler");
+                checkpoint.clone().expect("Thrashing carries a checkpoint")
+            }
+            other => panic!("expected Thrashing, got {other:?}"),
+        };
+        // The faulting access re-arms at the trip point: resuming under the
+        // same budget deterministically trips the same error again, and a
+        // raised budget would keep retrying instead of wedging silently.
+        let mut resumed = Sim::restore(&d, &SimConfig::default(), &cp).unwrap();
+        let again = loop {
+            match resumed.run() {
+                Ok(RunProgress::Paused(_)) => continue,
+                Ok(RunProgress::Complete) => panic!("impossible access completed"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(&again, SimError::Thrashing { thread, .. } if thread == "straddler"));
+    }
+
+    #[test]
+    fn checkpoint_every_pauses_and_simulate_resumes_transparently() {
+        let app = scale_app(512);
+        let d = synthesize(&app, &Platform::default(), &[Placement::Hardware]).unwrap();
+        let reference = simulate(&d, &SimConfig::default()).unwrap();
+
+        let cfg = SimConfig {
+            checkpoint_every: 8,
+            ..SimConfig::default()
+        };
+        // The paused run, hand-resumed across every pause.
+        let mut sim = Sim::new(&d, &cfg).unwrap();
+        let mut pauses = 0usize;
+        let o = loop {
+            match sim.run().unwrap() {
+                RunProgress::Paused(cp) => {
+                    pauses += 1;
+                    assert!(!cp.is_empty());
+                }
+                RunProgress::Complete => break sim.finish().unwrap(),
+            }
+        };
+        assert!(pauses >= 2, "expected repeated pauses, got {pauses}");
+        check_scaled(&o, 512);
+        assert_eq!(o.makespan, reference.makespan);
+        // And `simulate` itself resumes through pauses transparently.
+        let o2 = simulate(&d, &cfg).unwrap();
+        assert_eq!(o2.makespan, reference.makespan);
+    }
+
+    #[test]
+    fn restore_then_resnapshot_is_byte_identical() {
+        let app = scale_app(512);
+        let d = synthesize(&app, &Platform::default(), &[Placement::Hardware]).unwrap();
+        let cfg = SimConfig::default();
+        let mut sim = Sim::new(&d, &cfg).unwrap();
+        let end = simulate(&d, &cfg).unwrap().makespan;
+        assert!(sim.run_until(Cycle(end.0 / 2)).unwrap());
+        let cp = sim.snapshot();
+        let restored = Sim::restore(&d, &cfg, &cp).unwrap();
+        assert_eq!(restored.now(), sim.now());
+        assert_eq!(restored.events_fired(), sim.events_fired());
+        assert_eq!(restored.snapshot().as_bytes(), cp.as_bytes());
     }
 }

@@ -468,6 +468,142 @@ impl Interp {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl svmsyn_snap::Snap for InterpEvent {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        match *self {
+            InterpEvent::Op(class) => {
+                w.put_u8(0);
+                class.save(w);
+            }
+            InterpEvent::Load { addr, width } => {
+                w.put_u8(1);
+                w.put_u64(addr);
+                width.save(w);
+            }
+            InterpEvent::Store { addr, width, value } => {
+                w.put_u8(2);
+                w.put_u64(addr);
+                width.save(w);
+                w.put_u64(value);
+            }
+            InterpEvent::BlockChange { from, to } => {
+                w.put_u8(3);
+                from.save(w);
+                to.save(w);
+            }
+            InterpEvent::Done { ret } => {
+                w.put_u8(4);
+                ret.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(match r.take_u8()? {
+            0 => InterpEvent::Op(OpClass::load(r)?),
+            1 => InterpEvent::Load {
+                addr: r.take_u64()?,
+                width: Width::load(r)?,
+            },
+            2 => InterpEvent::Store {
+                addr: r.take_u64()?,
+                width: Width::load(r)?,
+                value: r.take_u64()?,
+            },
+            3 => InterpEvent::BlockChange {
+                from: BlockId::load(r)?,
+                to: BlockId::load(r)?,
+            },
+            4 => InterpEvent::Done {
+                ret: Option::load(r)?,
+            },
+            _ => return Err(svmsyn_snap::SnapError::Corrupt("interp-event tag")),
+        })
+    }
+}
+
+impl Interp {
+    /// Serializes the machine registers: the value table, program counter,
+    /// pending load (if any), run state, step accounting, and dependence
+    /// poison. The decoded program is *not* captured — it is a pure function
+    /// of the design and is re-supplied at restore.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        self.vals.save(w);
+        w.put_u32(self.pc);
+        self.pending_load.save(w);
+        w.put_u8(match self.state {
+            State::Running => 0,
+            State::AwaitLoad => 1,
+            State::Finished => 2,
+        });
+        w.put_u64(self.steps);
+        w.put_u64(self.step_limit);
+        // Emptiness is meaningful: the poison table is lazily allocated on
+        // the first `next_mem_dep` call, so an empty vector must round-trip
+        // as empty to keep re-snapshots byte-identical.
+        self.poison.save(w);
+        w.put_u32(self.ctrl_poison);
+    }
+
+    /// Rebuilds an interpreter captured by [`save_state`](Self::save_state)
+    /// over the design's decoded program.
+    pub fn restore_state(
+        prog: Arc<DecodedKernel>,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let vals: Vec<i64> = Vec::load(r)?;
+        if vals.len() != prog.nvals() {
+            return Err(SnapError::Corrupt("interpreter value-table size"));
+        }
+        let pc = r.take_u32()?;
+        // `pc == uops.len()` is legitimate: the counter is saved already
+        // advanced past the yielding uop, so a `Ret` as the final uop
+        // parks a finished interpreter exactly one past the end.
+        if (pc as usize) > prog.uops().len() {
+            return Err(SnapError::Corrupt("interpreter program counter"));
+        }
+        let pending_load: Option<(u32, Width)> = Snap::load(r)?;
+        if let Some((dst, _)) = pending_load {
+            if dst as usize >= vals.len() {
+                return Err(SnapError::Corrupt("pending-load destination"));
+            }
+        }
+        let state = match r.take_u8()? {
+            0 => State::Running,
+            1 => State::AwaitLoad,
+            2 => State::Finished,
+            _ => return Err(SnapError::Corrupt("interpreter state tag")),
+        };
+        if pending_load.is_some() != (state == State::AwaitLoad) {
+            return Err(SnapError::Corrupt("pending load vs interpreter state"));
+        }
+        let steps = r.take_u64()?;
+        let step_limit = r.take_u64()?;
+        let poison: Vec<u32> = Vec::load(r)?;
+        if !poison.is_empty() && poison.len() != vals.len().max(1) {
+            return Err(SnapError::Corrupt("poison table size"));
+        }
+        let ctrl_poison = r.take_u32()?;
+        Ok(Interp {
+            prog,
+            vals,
+            pc,
+            pending_load,
+            state,
+            steps,
+            step_limit,
+            poison,
+            ctrl_poison,
+        })
+    }
+}
+
 /// The retained IR-walking interpreter, kept as the differential oracle.
 pub mod reference {
     use std::sync::Arc;

@@ -75,6 +75,60 @@ impl Width {
     }
 }
 
+impl svmsyn_snap::Snap for BlockId {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u32(self.0);
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(BlockId(r.take_u32()?))
+    }
+}
+
+impl svmsyn_snap::Snap for OpClass {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u8(match self {
+            OpClass::Free => 0,
+            OpClass::Alu => 1,
+            OpClass::Mul => 2,
+            OpClass::Div => 3,
+            OpClass::Mem => 4,
+        });
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(match r.take_u8()? {
+            0 => OpClass::Free,
+            1 => OpClass::Alu,
+            2 => OpClass::Mul,
+            3 => OpClass::Div,
+            4 => OpClass::Mem,
+            _ => return Err(svmsyn_snap::SnapError::Corrupt("op-class tag")),
+        })
+    }
+}
+
+impl svmsyn_snap::Snap for Width {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u8(match self {
+            Width::W8 => 0,
+            Width::W16 => 1,
+            Width::W32 => 2,
+            Width::W64 => 3,
+        });
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(match r.take_u8()? {
+            0 => Width::W8,
+            1 => Width::W16,
+            2 => Width::W32,
+            3 => Width::W64,
+            _ => return Err(svmsyn_snap::SnapError::Corrupt("access-width tag")),
+        })
+    }
+}
+
 /// Two-operand arithmetic/logic operations (64-bit two's complement).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {

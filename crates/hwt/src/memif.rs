@@ -702,6 +702,66 @@ impl Memif {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl Memif {
+    /// Serializes the interface's dynamic state: the MMU (TLB + walk
+    /// caches + bound context), the burst cache, the outstanding-fill
+    /// window, and the counters. Geometry and mode are design-side and
+    /// re-supplied at restore.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        self.mmu.save_state(w);
+        self.cache.save_state(w);
+        w.put_u64(self.loads);
+        w.put_u64(self.stores);
+        w.put_u64(self.faults);
+        w.put_u64(self.flush_writebacks);
+        self.outstanding.save(w);
+        w.put_u64(self.hit_under_miss);
+        w.put_u64(self.fill_latency_cycles);
+        w.put_u64(self.miss_stall_cycles);
+        w.put_u64(self.mshr_stall_cycles);
+    }
+
+    /// Rebuilds an interface captured by [`save_state`](Self::save_state)
+    /// under the design's MEMIF config and bus-master identity.
+    pub fn restore_state(
+        cfg: MemifConfig,
+        master: MasterId,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let mmu = Mmu::restore_state(cfg.mmu, master, r)?;
+        let cache = L1Cache::restore_state(cfg.cache_config(), r)?;
+        let loads = r.take_u64()?;
+        let stores = r.take_u64()?;
+        let faults = r.take_u64()?;
+        let flush_writebacks = r.take_u64()?;
+        let outstanding: Vec<(u64, Cycle)> = Vec::load(r)?;
+        if outstanding.len() > cfg.miss_depth as usize {
+            return Err(SnapError::Corrupt("outstanding-fill window depth"));
+        }
+        Ok(Memif {
+            cfg,
+            mmu,
+            port: FabricPort::new(master),
+            cache,
+            loads,
+            stores,
+            faults,
+            flush_writebacks,
+            outstanding,
+            hit_under_miss: r.take_u64()?,
+            fill_latency_cycles: r.take_u64()?,
+            miss_stall_cycles: r.take_u64()?,
+            mshr_stall_cycles: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

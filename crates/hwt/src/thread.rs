@@ -431,6 +431,105 @@ impl HwThread {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl svmsyn_snap::Snap for Pending {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        match *self {
+            Pending::Load { va, width } => {
+                w.put_u8(0);
+                w.put_u64(va.0);
+                width.save(w);
+            }
+            Pending::Store { va, width, raw } => {
+                w.put_u8(1);
+                w.put_u64(va.0);
+                width.save(w);
+                w.put_u64(raw);
+            }
+        }
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(match r.take_u8()? {
+            0 => Pending::Load {
+                va: VirtAddr(r.take_u64()?),
+                width: Width::load(r)?,
+            },
+            1 => Pending::Store {
+                va: VirtAddr(r.take_u64()?),
+                width: Width::load(r)?,
+                raw: r.take_u64()?,
+            },
+            _ => return Err(svmsyn_snap::SnapError::Corrupt("pending-access tag")),
+        })
+    }
+}
+
+impl HwThread {
+    /// Serializes the thread's dynamic state: interpreter registers, MEMIF
+    /// (MMU + burst cache + fill window), control position, the
+    /// faulted-access retry slot, the dependence-fill ring, and the parked
+    /// micro-op. The compiled kernel and configuration are design-side and
+    /// re-supplied at restore.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        self.interp.save_state(w);
+        self.memif.save_state(w);
+        self.cur_block.save(w);
+        w.put_bool(self.started);
+        self.pending.save(w);
+        w.put_bool(self.finished);
+        w.put_u64(self.mem_ops);
+        w.put_u64(self.compute_cycles);
+        w.put_u64(self.mem_credit);
+        w.put_u64(self.hidden_mem_cycles);
+        self.dep_fills.save(w);
+        w.put_u32(self.next_token);
+        self.last_fill_done.save(w);
+        self.parked.save(w);
+        w.put_u64(self.miss_parks);
+    }
+
+    /// Rebuilds a thread captured by [`save_state`](Self::save_state) over
+    /// the design's compiled kernel, configuration, and bus-master
+    /// identity.
+    pub fn restore_state(
+        compiled: Arc<CompiledKernel>,
+        cfg: &HwThreadConfig,
+        master: MasterId,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let interp = Interp::restore_state(Arc::clone(&compiled.decoded), r)?;
+        let memif = Memif::restore_state(cfg.memif, master, r)?;
+        let cur_block = BlockId::load(r)?;
+        if cur_block.0 as usize >= compiled.kernel.blocks.len() {
+            return Err(SnapError::Corrupt("hardware-thread block id"));
+        }
+        Ok(HwThread {
+            compiled,
+            interp,
+            memif,
+            cur_block,
+            started: r.take_bool()?,
+            pending: Option::load(r)?,
+            finished: r.take_bool()?,
+            mem_ops: r.take_u64()?,
+            compute_cycles: r.take_u64()?,
+            mem_credit: r.take_u64()?,
+            hidden_mem_cycles: r.take_u64()?,
+            dep_fills: Vec::load(r)?,
+            next_token: r.take_u32()?,
+            last_fill_done: Cycle::load(r)?,
+            parked: Option::load(r)?,
+            miss_parks: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

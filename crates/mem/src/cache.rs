@@ -240,6 +240,48 @@ impl L1Cache {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl L1Cache {
+    /// Serializes tags, LRU stamps, dirty bits and counters. Geometry is
+    /// config; the recent-slot memo is a pure probe accelerator (it never
+    /// changes hit/miss outcomes or victim choice) and is not captured.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        self.tags.save(w);
+        self.stamps.save(w);
+        self.dirty.save(w);
+        w.put_u64(self.clock);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.writebacks);
+    }
+
+    /// Rebuilds a cache captured by [`save_state`](Self::save_state) under
+    /// the design's `cfg`.
+    pub fn restore_state(
+        cfg: CacheConfig,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let mut c = L1Cache::new(cfg);
+        let lines = c.tags.len();
+        c.tags = Box::<[u64]>::load(r)?;
+        c.stamps = Box::<[u64]>::load(r)?;
+        c.dirty = Box::<[bool]>::load(r)?;
+        if c.tags.len() != lines || c.stamps.len() != lines || c.dirty.len() != lines {
+            return Err(SnapError::Corrupt("cache line-array length"));
+        }
+        c.clock = r.take_u64()?;
+        c.hits = r.take_u64()?;
+        c.misses = r.take_u64()?;
+        c.writebacks = r.take_u64()?;
+        Ok(c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -167,6 +167,49 @@ impl Dram {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl Dram {
+    /// Serializes per-bank open rows, calendars and hit/miss counters plus
+    /// the aggregate counters; geometry comes from config at restore.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        w.put_u64(self.accesses);
+        w.put_u64(self.bytes);
+        w.put_usize(self.banks.len());
+        for b in &self.banks {
+            b.open_row.save(w);
+            b.cal.save(w);
+            w.put_u64(b.hits);
+            w.put_u64(b.misses);
+        }
+    }
+
+    /// Rebuilds a DRAM model captured by [`save_state`](Self::save_state)
+    /// under the design's `cfg`.
+    pub fn restore_state(
+        cfg: DramConfig,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let mut d = Dram::new(cfg);
+        d.accesses = r.take_u64()?;
+        d.bytes = r.take_u64()?;
+        if r.take_len()? != d.banks.len() {
+            return Err(SnapError::Corrupt("dram bank count"));
+        }
+        for b in &mut d.banks {
+            b.open_row = Option::<u64>::load(r)?;
+            b.cal = svmsyn_sim::FcfsResource::load(r)?;
+            b.hits = r.take_u64()?;
+            b.misses = r.take_u64()?;
+        }
+        Ok(d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

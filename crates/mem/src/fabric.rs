@@ -699,6 +699,132 @@ impl SplitFabric {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+use svmsyn_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for TxnId {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TxnId(r.take_u64()?))
+    }
+}
+
+impl Snap for MasterId {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u16(self.0);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MasterId(r.take_u16()?))
+    }
+}
+
+impl Snap for TxnRecord {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.id);
+        self.completion.save(w);
+        self.next_issue.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TxnRecord {
+            id: r.take_u64()?,
+            completion: Cycle::load(r)?,
+            next_issue: Cycle::load(r)?,
+        })
+    }
+}
+
+impl Snap for MasterStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.transactions);
+        w.put_u64(self.bytes);
+        w.put_u64(self.wait_cycles);
+        w.put_u64(self.window_stall_cycles);
+        w.put_u64(self.merges);
+        w.put_u64(self.inflight_cycles);
+        w.put_u64(self.dropped_completions);
+        self.first_issue.save(w);
+        self.last_completion.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MasterStats {
+            transactions: r.take_u64()?,
+            bytes: r.take_u64()?,
+            wait_cycles: r.take_u64()?,
+            window_stall_cycles: r.take_u64()?,
+            merges: r.take_u64()?,
+            inflight_cycles: r.take_u64()?,
+            dropped_completions: r.take_u64()?,
+            first_issue: Option::<Cycle>::load(r)?,
+            last_completion: Cycle::load(r)?,
+        })
+    }
+}
+
+impl Snap for MasterState {
+    fn save(&self, w: &mut SnapWriter) {
+        self.window_ring.save(w);
+        w.put_u64(self.issued);
+        self.completions.save(w);
+        w.put_bool(self.fifo_consumer);
+        self.waiters.save(w);
+        self.stats.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MasterState {
+            window_ring: Vec::<Cycle>::load(r)?,
+            issued: r.take_u64()?,
+            completions: std::collections::VecDeque::load(r)?,
+            fifo_consumer: r.take_bool()?,
+            waiters: Vec::load(r)?,
+            stats: MasterStats::load(r)?,
+        })
+    }
+}
+
+impl SplitFabric {
+    /// Serializes the arbiter state: channel calendars, per-master windows,
+    /// completion FIFOs and waiters, the MSHR file, in-flight line records,
+    /// and the bounded transaction-record ring. The configuration is *not*
+    /// captured — restore re-supplies it from the design.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.addr_bus.save(w);
+        self.data_bus.save(w);
+        self.masters.save(w);
+        self.mshrs.save(w);
+        self.inflight_lines.save(w);
+        self.records.save(w);
+        w.put_u64(self.next_id);
+    }
+
+    /// Rebuilds a fabric captured by [`save_state`](Self::save_state) under
+    /// configuration `cfg` (which must be the design's — channel widths and
+    /// window depths are config, not state).
+    pub fn restore_state(cfg: FabricConfig, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut f = SplitFabric::new(cfg);
+        f.addr_bus = FcfsResource::load(r)?;
+        f.data_bus = FcfsResource::load(r)?;
+        f.masters = Vec::load(r)?;
+        f.mshrs = Vec::load(r)?;
+        f.inflight_lines = Vec::load(r)?;
+        f.records = Vec::load(r)?;
+        if f.records.len() != RECORD_RING {
+            return Err(SnapError::Corrupt("fabric record ring length"));
+        }
+        for m in &f.masters {
+            if m.window_ring.len() != f.cfg.window.max(1) as usize {
+                return Err(SnapError::Corrupt("fabric window ring length"));
+            }
+        }
+        f.next_id = r.take_u64()?;
+        Ok(f)
+    }
+}
+
 /// Simulated end-to-end cycles for the canonical two-master overlap
 /// scenario: two independent masters each streaming `reads` bank-strided
 /// 64 B reads. The issue discipline follows the configuration — a blocking

@@ -261,6 +261,51 @@ impl SparseMemory {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl SparseMemory {
+    /// Serializes the memory image: total size, then every materialized
+    /// frame's `(frame number, page bytes)`, **sorted by frame number** —
+    /// `HashMap` iteration order is nondeterministic and must never leak
+    /// into the byte-stable snapshot format. The lookup memo is a pure
+    /// performance cache (it never changes access results) and is not
+    /// captured.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u64(self.size);
+        let mut frames: Vec<u64> = self.index.keys().copied().collect();
+        frames.sort_unstable();
+        w.put_usize(frames.len());
+        for f in frames {
+            w.put_u64(f);
+            w.put_raw(&self.pages[self.index[&f] as usize]);
+        }
+    }
+
+    /// Rebuilds a memory image captured by [`save_state`](Self::save_state).
+    pub fn restore_state(
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::SnapError;
+        let size = r.take_u64()?;
+        if size == 0 || size & PAGE_MASK != 0 {
+            return Err(SnapError::Corrupt("memory size not page-aligned"));
+        }
+        let mut m = SparseMemory::new(size);
+        let n = r.take_len()?;
+        for _ in 0..n {
+            let frame = r.take_u64()?;
+            if frame >= size >> PAGE_SHIFT {
+                return Err(SnapError::Corrupt("frame number beyond memory size"));
+            }
+            let bytes = r.take_raw(PAGE_SIZE as usize)?;
+            m.frame_mut(frame).copy_from_slice(bytes);
+        }
+        Ok(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

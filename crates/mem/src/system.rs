@@ -482,6 +482,45 @@ impl MemorySystem {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl MemorySystem {
+    /// Serializes the whole memory path: backing store, fabric arbiter,
+    /// DRAM banks, and the access counters.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        self.store.save_state(w);
+        self.fabric.save_state(w);
+        self.dram.save_state(w);
+        w.put_u64(self.reads);
+        w.put_u64(self.writes);
+    }
+
+    /// Rebuilds a memory system captured by
+    /// [`save_state`](Self::save_state) under the design's `cfg`.
+    pub fn restore_state(
+        cfg: &MemConfig,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::SnapError;
+        let store = SparseMemory::restore_state(r)?;
+        if store.size() != cfg.size_bytes {
+            return Err(SnapError::Corrupt("memory size differs from config"));
+        }
+        let fabric = SplitFabric::restore_state(cfg.fabric.clone(), r)?;
+        let dram = Dram::restore_state(cfg.dram.clone(), r)?;
+        Ok(MemorySystem {
+            store,
+            fabric,
+            dram,
+            max_burst: cfg.max_burst_bytes,
+            reads: r.take_u64()?,
+            writes: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -531,6 +531,76 @@ impl AddressSpace {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl svmsyn_snap::Snap for Vma {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u64(self.start.0);
+        w.put_u64(self.len);
+        w.put_bool(self.write);
+        match self.backing {
+            Backing::Anonymous => w.put_u8(0),
+            Backing::Pinned { base } => {
+                w.put_u8(1);
+                w.put_u64(base.0);
+            }
+        }
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        let start = VirtAddr(r.take_u64()?);
+        let len = r.take_u64()?;
+        let write = r.take_bool()?;
+        let backing = match r.take_u8()? {
+            0 => Backing::Anonymous,
+            1 => Backing::Pinned {
+                base: PhysAddr(r.take_u64()?),
+            },
+            _ => return Err(svmsyn_snap::SnapError::Corrupt("vma backing tag")),
+        };
+        Ok(Vma {
+            start,
+            len,
+            write,
+            backing,
+        })
+    }
+}
+
+impl AddressSpace {
+    /// Serializes the space's metadata. The page tables themselves live in
+    /// simulated DRAM and travel with the memory image, so only the root
+    /// pointer is recorded here.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        self.asid.save(w);
+        w.put_u64(self.root.0);
+        self.vmas.save(w);
+        w.put_u64(self.next_mmap);
+        w.put_u64(self.minor_faults);
+        w.put_u64(self.mapped_pages);
+    }
+
+    /// Rebuilds a space captured by [`save_state`](Self::save_state). No
+    /// frames are allocated: the root table already exists in the restored
+    /// memory image.
+    pub fn restore_state(
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::Snap;
+        Ok(AddressSpace {
+            asid: Asid::load(r)?,
+            root: PhysAddr(r.take_u64()?),
+            vmas: Vec::load(r)?,
+            next_mmap: r.take_u64()?,
+            minor_faults: r.take_u64()?,
+            mapped_pages: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -448,6 +448,93 @@ impl SwExec {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl SwExec {
+    /// Serializes the runtime machine: interpreter registers, private TLB
+    /// and L1 state, CPU-cycle carry, the store-fill window, and the retire
+    /// counters. The decoded kernel, costs, and cache/TLB geometry are
+    /// design-side and re-supplied at restore; `block_cpi`/`block_ops` are
+    /// decode-time constants of kernel × costs and are recomputed.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        self.tid.save(w);
+        self.asid.save(w);
+        self.interp.save_state(w);
+        self.tlb.save_state(w);
+        self.cache.save_state(w);
+        w.put_u64(self.cpu_half_cycles);
+        self.store_fills.save(w);
+        w.put_u64(self.store_fill_latency);
+        w.put_u64(self.store_fill_stall);
+        w.put_bool(self.entry_charged);
+        w.put_u64(self.instrs);
+        w.put_u64(self.faults);
+    }
+
+    /// Rebuilds a software thread captured by
+    /// [`save_state`](Self::save_state) over the design's decoded `kernel`
+    /// and execution config.
+    pub fn restore_state(
+        kernel: Arc<DecodedKernel>,
+        cfg: SwExecConfig,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let tid = ThreadId::load(r)?;
+        let asid = Asid::load(r)?;
+        let interp = Interp::restore_state(Arc::clone(&kernel), r)?;
+        let tlb = Tlb::restore_state(cfg.tlb, r)?;
+        let cache = L1Cache::restore_state(cfg.cache, r)?;
+        let cpu_half_cycles = r.take_u64()?;
+        if cpu_half_cycles >= 2 {
+            return Err(SnapError::Corrupt("cpu half-cycle carry"));
+        }
+        let store_fills: Vec<(u64, Cycle)> = Vec::load(r)?;
+        if store_fills.len() > STORE_BUFFER_DEPTH {
+            return Err(SnapError::Corrupt("store-fill window depth"));
+        }
+        let store_fill_latency = r.take_u64()?;
+        let store_fill_stall = r.take_u64()?;
+        let entry_charged = r.take_bool()?;
+        let instrs = r.take_u64()?;
+        let faults = r.take_u64()?;
+        // Recompute the per-block cost tables exactly as `new` does.
+        let nblocks = kernel.num_blocks();
+        let mut block_cpi = Vec::with_capacity(nblocks);
+        let mut block_ops = Vec::with_capacity(nblocks);
+        for b in 0..nblocks {
+            let mix = kernel.block_mix(svmsyn_hls::ir::BlockId(b as u32));
+            block_cpi.push(
+                mix.alu as u64 * cfg.costs.alu
+                    + mix.mul as u64 * cfg.costs.mul
+                    + mix.div as u64 * cfg.costs.div,
+            );
+            block_ops.push(mix.ops());
+        }
+        Ok(SwExec {
+            tid,
+            asid,
+            interp,
+            cfg,
+            port: FabricPort::new(cfg.master),
+            tlb,
+            cache,
+            cpu_half_cycles,
+            store_fills,
+            store_fill_latency,
+            store_fill_stall,
+            block_cpi,
+            block_ops,
+            entry_charged,
+            instrs,
+            faults,
+        })
+    }
+}
+
 fn read_raw(mem: &MemorySystem, pa: PhysAddr, width: Width) -> u64 {
     let mut b = [0u8; 8];
     mem.dump(pa, &mut b[..width.bytes() as usize]);

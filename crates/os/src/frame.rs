@@ -151,6 +151,36 @@ impl FrameAllocator {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl svmsyn_snap::Snap for FrameAllocator {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u64(self.low_next);
+        w.put_u64(self.high_next);
+        self.free_list.save(w);
+        w.put_u64(self.allocated);
+        w.put_u64(self.high_water);
+        w.put_u64(self.total);
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        let fa = FrameAllocator {
+            low_next: r.take_u64()?,
+            high_next: r.take_u64()?,
+            free_list: Vec::load(r)?,
+            allocated: r.take_u64()?,
+            high_water: r.take_u64()?,
+            total: r.take_u64()?,
+        };
+        if fa.low_next > fa.high_next || fa.total == 0 {
+            return Err(svmsyn_snap::SnapError::Corrupt("frame allocator bounds"));
+        }
+        Ok(fa)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -486,6 +486,81 @@ impl Os {
         s.absorb("swap", self.swap.stats());
         s
     }
+
+    // ------------------------------------------------------------------
+    // Checkpoint serialization.
+    // ------------------------------------------------------------------
+
+    /// Serializes the OS's full runtime state: allocator, sync objects,
+    /// CPU calendars, swap contents, address spaces, resident registry,
+    /// queued shootdowns and counters. The cost model and policies are
+    /// config-side and re-read from the design at restore — which is what
+    /// lets a restored run continue under adjusted pressure parameters.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        self.frames.save(w);
+        self.sync.save_state(w);
+        self.cpus.save_state(w);
+        self.swap.save_state(w);
+        w.put_usize(self.spaces.len());
+        for s in &self.spaces {
+            s.save_state(w);
+        }
+        self.residents.save(w);
+        w.put_usize(self.pending_shootdowns.len());
+        for &(asid, va) in &self.pending_shootdowns {
+            asid.save(w);
+            w.put_u64(va.0);
+        }
+        w.put_u64(self.hw_faults);
+        w.put_u64(self.sw_faults);
+        w.put_u64(self.major_faults);
+        w.put_u64(self.reclaims);
+        w.put_u64(self.clean_evictions);
+        w.put_u64(self.segv);
+    }
+
+    /// Rebuilds an OS captured by [`save_state`](Self::save_state) under
+    /// the design's `cfg`. The memory image (page tables, page contents)
+    /// must already have been restored into `mem`'s store.
+    pub fn restore_state(
+        cfg: &OsConfig,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Os, svmsyn_snap::SnapError> {
+        use svmsyn_snap::Snap;
+        let mut os = Os {
+            costs: cfg.costs,
+            frames: FrameAllocator::load(r)?,
+            sync: SyncTable::restore_state(r)?,
+            cpus: CpuPool::restore_state(cfg.cores, cfg.costs.context_switch, r)?,
+            swap: SwapDevice::restore_state(r)?,
+            spaces: Vec::new(),
+            residents: ResidentSet::new(),
+            alloc_policy: cfg.alloc_policy,
+            pending_shootdowns: Vec::new(),
+            hw_faults: 0,
+            sw_faults: 0,
+            major_faults: 0,
+            reclaims: 0,
+            clean_evictions: 0,
+            segv: 0,
+        };
+        for _ in 0..r.take_len()? {
+            os.spaces.push(AddressSpace::restore_state(r)?);
+        }
+        os.residents = ResidentSet::load(r)?;
+        for _ in 0..r.take_len()? {
+            let asid = Asid::load(r)?;
+            os.pending_shootdowns.push((asid, VirtAddr(r.take_u64()?)));
+        }
+        os.hw_faults = r.take_u64()?;
+        os.sw_faults = r.take_u64()?;
+        os.major_faults = r.take_u64()?;
+        os.reclaims = r.take_u64()?;
+        os.clean_evictions = r.take_u64()?;
+        os.segv = r.take_u64()?;
+        Ok(os)
+    }
 }
 
 #[cfg(test)]

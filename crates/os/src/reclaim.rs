@@ -76,6 +76,42 @@ impl ResidentSet {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl svmsyn_snap::Snap for Resident {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u64(self.frame);
+        self.asid.save(w);
+        w.put_u64(self.va.0);
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(Resident {
+            frame: r.take_u64()?,
+            asid: Asid::load(r)?,
+            va: VirtAddr(r.take_u64()?),
+        })
+    }
+}
+
+impl svmsyn_snap::Snap for ResidentSet {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        self.pages.save(w);
+        w.put_usize(self.hand);
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        let pages: Vec<Resident> = Vec::load(r)?;
+        let hand = r.take_usize()?;
+        if hand >= pages.len().max(1) {
+            return Err(svmsyn_snap::SnapError::Corrupt("resident-set clock hand"));
+        }
+        Ok(ResidentSet { pages, hand })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

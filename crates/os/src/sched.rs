@@ -104,6 +104,42 @@ impl CpuPool {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl CpuPool {
+    /// Serializes per-core calendars and thread affinities plus the
+    /// counters. Core count and context-switch cost are config-side and
+    /// re-supplied at restore.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        self.cores.save(w);
+        self.last_thread.save(w);
+        w.put_u64(self.switches);
+        w.put_u64(self.slices);
+    }
+
+    /// Rebuilds a pool captured by [`save_state`](Self::save_state) under
+    /// the design's core count and context-switch cost.
+    pub fn restore_state(
+        cores: usize,
+        context_switch: u64,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let mut p = CpuPool::new(cores, context_switch);
+        p.cores = Vec::load(r)?;
+        p.last_thread = Vec::load(r)?;
+        if p.cores.len() != cores || p.last_thread.len() != cores {
+            return Err(SnapError::Corrupt("cpu pool core count"));
+        }
+        p.switches = r.take_u64()?;
+        p.slices = r.take_u64()?;
+        Ok(p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,6 +111,62 @@ impl SwapDevice {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl SwapDevice {
+    /// Serializes every slot (live page contents or a tombstone), the free
+    /// list and the counters. Slot indices are positional, so the encoding
+    /// preserves them exactly.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        w.put_usize(self.slots.len());
+        for s in &self.slots {
+            match s {
+                None => w.put_bool(false),
+                Some(page) => {
+                    w.put_bool(true);
+                    w.put_raw(page);
+                }
+            }
+        }
+        self.free.save(w);
+        w.put_u64(self.swap_outs);
+        w.put_u64(self.swap_ins);
+        w.put_u64(self.busy_cycles);
+    }
+
+    /// Rebuilds a device captured by [`save_state`](Self::save_state).
+    pub fn restore_state(
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let n = r.take_len()?;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            slots.push(if r.take_bool()? {
+                Some(r.take_raw(PAGE_SIZE as usize)?.to_vec())
+            } else {
+                None
+            });
+        }
+        let free: Vec<u64> = Vec::load(r)?;
+        for &f in &free {
+            if f as usize >= slots.len() || slots[f as usize].is_some() {
+                return Err(SnapError::Corrupt("swap free list"));
+            }
+        }
+        Ok(SwapDevice {
+            slots,
+            free,
+            swap_outs: r.take_u64()?,
+            swap_ins: r.take_u64()?,
+            busy_cycles: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -289,6 +289,101 @@ impl SyncTable {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl svmsyn_snap::Snap for ThreadId {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u32(self.0);
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(ThreadId(r.take_u32()?))
+    }
+}
+
+impl SyncTable {
+    /// Serializes every object's full state machine — owners, counts, queued
+    /// values, and wait queues in FIFO order — plus the counters.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        w.put_usize(self.mutexes.len());
+        for m in &self.mutexes {
+            m.owner.save(w);
+            m.waiters.save(w);
+        }
+        w.put_usize(self.sems.len());
+        for s in &self.sems {
+            w.put_i64(s.count);
+            s.waiters.save(w);
+        }
+        w.put_usize(self.barriers.len());
+        for b in &self.barriers {
+            w.put_u32(b.needed);
+            b.waiting.save(w);
+        }
+        w.put_usize(self.mboxes.len());
+        for m in &self.mboxes {
+            w.put_usize(m.capacity);
+            m.queue.save(w);
+            m.getters.save(w);
+            m.putters.save(w);
+        }
+        w.put_u64(self.contended_acquires);
+        w.put_u64(self.operations);
+    }
+
+    /// Rebuilds a table captured by [`save_state`](Self::save_state).
+    pub fn restore_state(
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let mut t = SyncTable::new();
+        for _ in 0..r.take_len()? {
+            t.mutexes.push(MutexState {
+                owner: Option::load(r)?,
+                waiters: VecDeque::load(r)?,
+            });
+        }
+        for _ in 0..r.take_len()? {
+            t.sems.push(SemState {
+                count: r.take_i64()?,
+                waiters: VecDeque::load(r)?,
+            });
+        }
+        for _ in 0..r.take_len()? {
+            let needed = r.take_u32()?;
+            if needed == 0 {
+                return Err(SnapError::Corrupt("zero-party barrier"));
+            }
+            t.barriers.push(BarrierState {
+                needed,
+                waiting: Vec::load(r)?,
+            });
+        }
+        for _ in 0..r.take_len()? {
+            let capacity = r.take_usize()?;
+            if capacity == 0 {
+                return Err(SnapError::Corrupt("zero-capacity mailbox"));
+            }
+            let mbox = MboxState {
+                capacity,
+                queue: VecDeque::load(r)?,
+                getters: VecDeque::load(r)?,
+                putters: VecDeque::load(r)?,
+            };
+            if mbox.queue.len() > mbox.capacity {
+                return Err(SnapError::Corrupt("overfull mailbox"));
+            }
+            t.mboxes.push(mbox);
+        }
+        t.contended_acquires = r.take_u64()?;
+        t.operations = r.take_u64()?;
+        Ok(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

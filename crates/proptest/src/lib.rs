@@ -7,9 +7,11 @@
 //! `any::<bool>()`.
 //!
 //! Semantics: each test body runs for a fixed number of deterministic cases
-//! (seeded per test name), and a failed `prop_assert*` aborts the case with
-//! a panic that reports the case number. There is no shrinking — failures
-//! reproduce exactly because generation is deterministic.
+//! (seeded per test name, overridable with the `PROPTEST_SEED` environment
+//! variable — see [`resolve_seed`]), and a failed `prop_assert*` aborts the
+//! case with a panic that reports the case number and the root seed. There
+//! is no shrinking — failures reproduce exactly from the printed seed
+//! because generation is deterministic.
 
 use std::ops::Range;
 
@@ -43,6 +45,30 @@ pub fn fnv(s: &str) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// The root seed a property test runs under: `PROPTEST_SEED` (decimal or
+/// `0x`-prefixed hex) when set, else a stable per-test default derived from
+/// the test's name. Every failure message prints this value — re-running
+/// with `PROPTEST_SEED=<printed value>` replays the identical case
+/// sequence, so a failure reproduces from the printed seed alone.
+///
+/// # Panics
+///
+/// Panics when `PROPTEST_SEED` is set but not a valid integer: a typo'd
+/// seed silently falling back to the default would fake a reproduction.
+pub fn resolve_seed(test_name: &str) -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("PROPTEST_SEED is not a valid u64: {s:?}"))
+        }
+        Err(_) => 0x5EED_CAFE ^ fnv(test_name),
+    }
 }
 
 /// A value generator. The `proptest!` macro calls [`Strategy::generate`] on
@@ -156,7 +182,9 @@ pub mod prop {
 
 /// Everything the tests import.
 pub mod prelude {
-    pub use crate::{any, fnv, prop, prop_assert, prop_assert_eq, proptest, Rng, Strategy};
+    pub use crate::{
+        any, fnv, prop, prop_assert, prop_assert_eq, proptest, resolve_seed, Rng, Strategy,
+    };
 }
 
 /// Defines deterministic property tests. See the crate docs for the
@@ -171,7 +199,8 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 const CASES: u64 = 64;
-                let mut seed_rng = $crate::Rng::new(0x5EED_CAFE ^ $crate::fnv(stringify!($name)));
+                let root_seed = $crate::resolve_seed(stringify!($name));
+                let mut seed_rng = $crate::Rng::new(root_seed);
                 for case in 0..CASES {
                     let mut case_rng = $crate::Rng::new(seed_rng.next_u64());
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut case_rng);)+
@@ -181,7 +210,11 @@ macro_rules! proptest {
                         ::std::result::Result::Ok(())
                     })();
                     if let ::std::result::Result::Err(msg) = outcome {
-                        panic!("property {} failed on case {case}: {msg}", stringify!($name));
+                        panic!(
+                            "property {} failed on case {case} (seed {root_seed:#018x}; \
+                             reproduce with PROPTEST_SEED={root_seed:#x}): {msg}",
+                            stringify!($name)
+                        );
                     }
                 }
             }
@@ -269,5 +302,16 @@ mod tests {
             prop_assert!(x < 100);
             prop_assert_eq!(flips.len(), flips.len());
         }
+    }
+
+    #[test]
+    fn default_seed_is_stable_per_test_name() {
+        // No PROPTEST_SEED in the test environment: the default must be a
+        // pure function of the name (this value is what failures print).
+        assert_eq!(
+            resolve_seed("some_property"),
+            0x5EED_CAFE ^ fnv("some_property")
+        );
+        assert_ne!(resolve_seed("a"), resolve_seed("b"));
     }
 }

@@ -272,6 +272,30 @@ impl<M> Scheduler<M> {
         s
     }
 
+    /// Rewinds a *fresh, empty* scheduler to a checkpointed position: sets
+    /// the current time and the fired/scheduled counters without firing
+    /// anything. The caller then re-schedules the checkpoint's pending
+    /// events in their original insertion order (each re-schedule bumps the
+    /// `scheduled` counter again, so pass the checkpoint value minus the
+    /// number of events about to be re-added), reproducing same-cycle FIFO
+    /// order exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are already pending — restoring into a scheduler
+    /// that has live events would interleave two timelines.
+    pub fn restore_meta(&mut self, now: Cycle, fired: u64, scheduled: u64) {
+        assert!(
+            self.pending == 0,
+            "restore_meta requires an empty scheduler"
+        );
+        self.now = now;
+        self.base = now.0;
+        self.fired = fired;
+        self.scheduled = scheduled;
+        self.halted = false;
+    }
+
     /// The current simulation time (the timestamp of the event being fired,
     /// or of the last event fired).
     pub fn now(&self) -> Cycle {

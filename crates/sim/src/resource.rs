@@ -114,6 +114,27 @@ impl FcfsResource {
     }
 }
 
+impl svmsyn_snap::Snap for FcfsResource {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_str(&self.name);
+        w.put_u64(self.next_free.0);
+        w.put_u64(self.busy);
+        w.put_u64(self.ops);
+        w.put_u64(self.max_wait);
+        w.put_u64(self.total_wait);
+    }
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(FcfsResource {
+            name: r.take_str()?,
+            next_free: Cycle(r.take_u64()?),
+            busy: r.take_u64()?,
+            ops: r.take_u64()?,
+            max_wait: r.take_u64()?,
+            total_wait: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

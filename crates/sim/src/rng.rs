@@ -46,6 +46,16 @@ impl Xoshiro256ss {
         Xoshiro256ss { s }
     }
 
+    /// The raw 256-bit generator state, for checkpoint serialization.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a previously captured [`state`](Self::state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Xoshiro256ss { s }
+    }
+
     /// Next uniformly distributed 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -99,6 +109,21 @@ impl Xoshiro256ss {
         let mut v: Vec<usize> = (0..n).collect();
         self.shuffle(&mut v);
         v
+    }
+}
+
+impl svmsyn_snap::Snap for Xoshiro256ss {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        for word in self.state() {
+            w.put_u64(word);
+        }
+    }
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.take_u64()?;
+        }
+        Ok(Xoshiro256ss::from_state(s))
     }
 }
 

@@ -120,6 +120,15 @@ impl fmt::Display for Cycle {
     }
 }
 
+impl svmsyn_snap::Snap for Cycle {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(Cycle(r.take_u64()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -402,6 +402,52 @@ impl Mmu {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl Mmu {
+    /// Serializes the TLB, the walker, the bound context and the counters.
+    /// The config and the fabric master id are design-side and re-supplied
+    /// at restore.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        self.tlb.save_state(w);
+        self.walker.save_state(w);
+        match self.context {
+            None => w.put_bool(false),
+            Some((asid, root)) => {
+                w.put_bool(true);
+                asid.save(w);
+                w.put_u64(root.0);
+            }
+        }
+        w.put_u64(self.translations);
+        w.put_u64(self.faults);
+    }
+
+    /// Rebuilds an MMU captured by [`save_state`](Self::save_state) under
+    /// the design's `cfg`, acting as bus master `master`.
+    pub fn restore_state(
+        cfg: MmuConfig,
+        master: MasterId,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::Snap;
+        let mut m = Mmu::new(cfg, master);
+        m.tlb = Tlb::restore_state(cfg.tlb, r)?;
+        m.walker = PageTableWalker::restore_state(cfg.walker, r)?;
+        m.context = if r.take_bool()? {
+            Some((Asid::load(r)?, PhysAddr(r.take_u64()?)))
+        } else {
+            None
+        };
+        m.translations = r.take_u64()?;
+        m.faults = r.take_u64()?;
+        Ok(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

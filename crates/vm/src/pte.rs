@@ -201,6 +201,55 @@ impl DirEntry {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl svmsyn_snap::Snap for Pte {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u32(self.encode());
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(Pte::decode(r.take_u32()?))
+    }
+}
+
+impl svmsyn_snap::Snap for DirEntry {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u32(self.encode());
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(DirEntry::decode(r.take_u32()?))
+    }
+}
+
+impl svmsyn_snap::Snap for PteFlags {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        let bits = (self.writable as u8)
+            | (self.user as u8) << 1
+            | (self.accessed as u8) << 2
+            | (self.dirty as u8) << 3
+            | (self.pinned as u8) << 4;
+        w.put_u8(bits);
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        let bits = r.take_u8()?;
+        if bits & !0x1f != 0 {
+            return Err(svmsyn_snap::SnapError::Corrupt("pte flag bits"));
+        }
+        Ok(PteFlags {
+            writable: bits & 1 != 0,
+            user: bits & 2 != 0,
+            accessed: bits & 4 != 0,
+            dirty: bits & 8 != 0,
+            pinned: bits & 16 != 0,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -359,6 +359,74 @@ impl Tlb {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl svmsyn_snap::Snap for Asid {
+    fn save(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_u16(self.0);
+    }
+
+    fn load(r: &mut svmsyn_snap::SnapReader<'_>) -> Result<Self, svmsyn_snap::SnapError> {
+        Ok(Asid(r.take_u16()?))
+    }
+}
+
+impl Tlb {
+    /// Serializes every entry (tag, mapping, stamp), the occupancy counter,
+    /// the LRU clock, the replacement PRNG and the stat counters. Geometry
+    /// is config.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        w.put_usize(self.entries.len());
+        for e in self.entries.iter() {
+            w.put_bool(e.valid);
+            e.asid.save(w);
+            w.put_u64(e.vpn);
+            w.put_u64(e.pfn);
+            e.flags.save(w);
+            w.put_u64(e.stamp);
+        }
+        w.put_u64(self.clock);
+        self.rng.save(w);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.evictions);
+        w.put_u64(self.invalidations);
+    }
+
+    /// Rebuilds a TLB captured by [`save_state`](Self::save_state) under the
+    /// design's `cfg`. The occupancy counter is recomputed from the restored
+    /// entries rather than trusted from the image.
+    pub fn restore_state(
+        cfg: TlbConfig,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let mut t = Tlb::new(cfg);
+        if r.take_len()? != t.entries.len() {
+            return Err(SnapError::Corrupt("tlb entry count"));
+        }
+        for e in t.entries.iter_mut() {
+            e.valid = r.take_bool()?;
+            e.asid = Asid::load(r)?;
+            e.vpn = r.take_u64()?;
+            e.pfn = r.take_u64()?;
+            e.flags = crate::pte::PteFlags::load(r)?;
+            e.stamp = r.take_u64()?;
+        }
+        t.valid_count = t.entries.iter().filter(|e| e.valid).count();
+        t.clock = r.take_u64()?;
+        t.rng = svmsyn_sim::Xoshiro256ss::load(r)?;
+        t.hits = r.take_u64()?;
+        t.misses = r.take_u64()?;
+        t.evictions = r.take_u64()?;
+        t.invalidations = r.take_u64()?;
+        Ok(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

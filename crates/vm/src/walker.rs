@@ -646,6 +646,85 @@ impl PageTableWalker {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint serialization.
+// ----------------------------------------------------------------------
+
+impl PageTableWalker {
+    /// Serializes both walk-cache levels (decoded entries re-encoded through
+    /// the PTE codec), the L1 FIFO cursor and the counters. Geometry is
+    /// config.
+    pub fn save_state(&self, w: &mut svmsyn_snap::SnapWriter) {
+        use svmsyn_snap::Snap;
+        w.put_usize(self.l1_cache.len());
+        for c in self.l1_cache.iter() {
+            w.put_bool(c.valid);
+            c.asid.save(w);
+            w.put_u32(c.l1);
+            c.dir.save(w);
+        }
+        w.put_usize(self.l1_next);
+        w.put_usize(self.l2_cache.len());
+        for c in self.l2_cache.iter() {
+            w.put_bool(c.valid);
+            c.asid.save(w);
+            w.put_u64(c.vpn);
+            c.pte.save(w);
+            w.put_u64(c.pte_addr.0);
+        }
+        w.put_u64(self.walks);
+        w.put_u64(self.l1_reads);
+        w.put_u64(self.l2_reads);
+        w.put_u64(self.l1_hits);
+        w.put_u64(self.l2_hits);
+        w.put_u64(self.dir_coalesced);
+        w.put_u64(self.no_table_faults);
+        w.put_u64(self.not_present_faults);
+    }
+
+    /// Rebuilds a walker captured by [`save_state`](Self::save_state) under
+    /// the design's `cfg`.
+    pub fn restore_state(
+        cfg: WalkerConfig,
+        r: &mut svmsyn_snap::SnapReader<'_>,
+    ) -> Result<Self, svmsyn_snap::SnapError> {
+        use svmsyn_snap::{Snap, SnapError};
+        let mut w = PageTableWalker::new(cfg);
+        if r.take_len()? != w.l1_cache.len() {
+            return Err(SnapError::Corrupt("walker l1 cache size"));
+        }
+        for c in w.l1_cache.iter_mut() {
+            c.valid = r.take_bool()?;
+            c.asid = Asid::load(r)?;
+            c.l1 = r.take_u32()?;
+            c.dir = DirEntry::load(r)?;
+        }
+        w.l1_next = r.take_usize()?;
+        if w.l1_next >= w.l1_cache.len().max(1) {
+            return Err(SnapError::Corrupt("walker l1 cursor"));
+        }
+        if r.take_len()? != w.l2_cache.len() {
+            return Err(SnapError::Corrupt("walker l2 cache size"));
+        }
+        for c in w.l2_cache.iter_mut() {
+            c.valid = r.take_bool()?;
+            c.asid = Asid::load(r)?;
+            c.vpn = r.take_u64()?;
+            c.pte = Pte::load(r)?;
+            c.pte_addr = PhysAddr(r.take_u64()?);
+        }
+        w.walks = r.take_u64()?;
+        w.l1_reads = r.take_u64()?;
+        w.l2_reads = r.take_u64()?;
+        w.l1_hits = r.take_u64()?;
+        w.l2_hits = r.take_u64()?;
+        w.dir_coalesced = r.take_u64()?;
+        w.no_table_faults = r.take_u64()?;
+        w.not_present_faults = r.take_u64()?;
+        Ok(w)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,6 +2,10 @@
 //! workloads, placements, allocation policies, and swap latencies. Every
 //! run must terminate *structurally* — `Ok` with byte-correct results and
 //! balanced reclaim books, or a typed `SimError` — never a hang or panic.
+//!
+//! Reproducing failures: every property failure prints its root seed; set
+//! `PROPTEST_SEED=<printed value>` to replay the identical case sequence
+//! (generation is fully deterministic, so the seed alone suffices).
 
 use proptest::prelude::*;
 use svmsyn::app::{Application, ApplicationBuilder, ArgSpec};

@@ -1,0 +1,272 @@
+//! Snapshot/restore conformance: `restore(snapshot(s))` must be
+//! bit-identical — same re-snapshot bytes, same clock, same event count —
+//! at an arbitrary cycle of any workload × placement × pressure-policy
+//! combination, and damaged images must be rejected with typed errors,
+//! never a panic or a silent misparse.
+//!
+//! Reproducing failures: every property failure prints its root seed; set
+//! `PROPTEST_SEED=<printed value>` to replay the identical case sequence.
+
+use proptest::prelude::*;
+use svmsyn::flow::{synthesize, Placement, SystemDesign};
+use svmsyn::platform::{Platform, PressurePoint};
+use svmsyn::sim::{Sim, SimConfig, SimError, SNAPSHOT_VERSION};
+use svmsyn::Checkpoint;
+use svmsyn_os::AllocPolicy;
+use svmsyn_sim::Cycle;
+use svmsyn_snap::SnapError;
+use svmsyn_workloads::small_suite;
+
+const SUITE_LEN: usize = 8;
+
+/// One synthesized design from the small workload suite under a generated
+/// pressure point. Returns `None` when the combination cannot synthesize
+/// (it never should — the suite is hardware-eligible by construction).
+fn build_design(
+    wl: usize,
+    hw: bool,
+    budget_sel: u64,
+    eager: bool,
+    swap_latency: u64,
+) -> Option<(SystemDesign, &'static str)> {
+    let suite = small_suite(0x5EED);
+    assert_eq!(suite.len(), SUITE_LEN, "SUITE_LEN drifted from small_suite");
+    let w = &suite[wl % suite.len()];
+    let platform = Platform::default().with_pressure(PressurePoint {
+        // `None` = unpressured; small budgets force reclaim/swap so the
+        // snapshot lands mid-walk / mid-fill / mid-reclaim / mid-shootdown.
+        frame_budget: match budget_sel {
+            0 => None,
+            1 => Some(6),
+            2 => Some(8),
+            _ => Some(12),
+        },
+        policy: if eager {
+            AllocPolicy::Eager
+        } else {
+            AllocPolicy::Lazy
+        },
+        swap_latency,
+    });
+    let placement = if hw {
+        Placement::Hardware
+    } else {
+        Placement::Software
+    };
+    let name: &'static str = match wl % SUITE_LEN {
+        0 => "vecadd",
+        1 => "saxpy",
+        2 => "matmul",
+        3 => "sobel",
+        4 => "histogram",
+        5 => "spmv",
+        6 => "chase",
+        _ => "oesort",
+    };
+    synthesize(&w.app, &platform, &[placement])
+        .ok()
+        .map(|d| (d, name))
+}
+
+proptest! {
+    /// The core roundtrip property: pause anywhere, snapshot, restore —
+    /// the restored simulation is at the same cycle, has fired the same
+    /// number of events, and re-snapshots to the byte-identical image.
+    #[test]
+    fn restore_is_bit_identical_at_random_cycle(
+        wl in 0usize..SUITE_LEN,
+        hw in any::<bool>(),
+        budget_sel in 0u64..4,
+        eager in any::<bool>(),
+        swap_latency in 100u64..20_000,
+        cut in 1u64..200_000,
+    ) {
+        let Some((design, name)) = build_design(wl, hw, budget_sel, eager, swap_latency) else {
+            return Err("synthesis must not fail for the small suite".to_string());
+        };
+        let cfg = SimConfig { max_events: 2_000_000, ..SimConfig::default() };
+        let mut sim = match Sim::new(&design, &cfg) {
+            Ok(s) => s,
+            // Tiny budgets can refuse setup (OOM for page tables) — a
+            // typed error, which is all this property asks of setup.
+            Err(SimError::Os(_)) => return Ok(()),
+            Err(e) => return Err(format!("{name}: setup failed oddly: {e}")),
+        };
+        match sim.run_until(Cycle(cut)) {
+            Ok(_) => {}
+            // The run may thrash before the cut under a starved budget;
+            // budget errors carry their own checkpoint, exercised below.
+            Err(e) => {
+                prop_assert!(
+                    matches!(e, SimError::Thrashing { .. } | SimError::Segv { .. } | SimError::Os(_)),
+                    "{name}: unexpected pre-cut error: {e}"
+                );
+                return Ok(());
+            }
+        }
+        let cp = sim.snapshot();
+        let restored = match Sim::restore(&design, &cfg, &cp) {
+            Ok(r) => r,
+            Err(e) => return Err(format!("{name}: restore rejected a fresh snapshot: {e}")),
+        };
+        prop_assert_eq!(restored.now(), sim.now());
+        prop_assert_eq!(restored.events_fired(), sim.events_fired());
+        prop_assert!(
+            restored.snapshot().as_bytes() == cp.as_bytes(),
+            "{name}: re-snapshot differs at cycle {} ({} bytes)", sim.now().0, cp.len()
+        );
+    }
+
+    /// Damage property: flipping any single byte of a valid image makes
+    /// restore fail with a typed error — never `Ok`, never a panic.
+    #[test]
+    fn any_single_bitflip_is_rejected(
+        pos_frac in 0u64..10_000,
+        bit in 0u8..8,
+    ) {
+        let (design, _) = build_design(0, true, 0, false, 1000)
+            .ok_or("synthesis must not fail".to_string())?;
+        let cfg = SimConfig::default();
+        let mut sim = Sim::new(&design, &cfg).map_err(|e| e.to_string())?;
+        sim.run_until(Cycle(5_000)).map_err(|e| e.to_string())?;
+        let cp = sim.snapshot();
+        let mut bytes = cp.as_bytes().to_vec();
+        let pos = (pos_frac as usize * bytes.len()) / 10_000;
+        bytes[pos] ^= 1 << bit;
+        if bytes == cp.as_bytes() {
+            return Ok(()); // degenerate: xor with 0 cannot happen, but be safe
+        }
+        match Sim::restore(&design, &cfg, &Checkpoint::from_bytes(bytes)) {
+            Ok(_) => Err(format!("flip at byte {pos} bit {bit} restored successfully")),
+            Err(SimError::Snapshot(_)) => Ok(()),
+            Err(e) => Err(format!("expected SimError::Snapshot, got {e:?}")),
+        }?;
+    }
+
+    /// Truncation property: every proper prefix of a valid image is
+    /// rejected with a typed error.
+    #[test]
+    fn any_truncation_is_rejected(len_frac in 0u64..10_000) {
+        let (design, _) = build_design(1, false, 0, false, 1000)
+            .ok_or("synthesis must not fail".to_string())?;
+        let cfg = SimConfig::default();
+        let mut sim = Sim::new(&design, &cfg).map_err(|e| e.to_string())?;
+        sim.run_until(Cycle(5_000)).map_err(|e| e.to_string())?;
+        let cp = sim.snapshot();
+        let keep = (len_frac as usize * (cp.len() - 1)) / 10_000;
+        let cut = Checkpoint::from_bytes(cp.as_bytes()[..keep].to_vec());
+        match Sim::restore(&design, &cfg, &cut) {
+            Ok(_) => Err(format!("prefix of {keep}/{} bytes restored successfully", cp.len())),
+            Err(SimError::Snapshot(_)) => Ok(()),
+            Err(e) => Err(format!("expected SimError::Snapshot, got {e:?}")),
+        }?;
+    }
+}
+
+/// A mid-run checkpoint of a small unpressured hardware run, plus its
+/// design (the suite's vecadd).
+fn sample_checkpoint() -> (SystemDesign, SimConfig, Checkpoint) {
+    let (design, _) = build_design(0, true, 0, false, 1000).unwrap();
+    let cfg = SimConfig::default();
+    let mut sim = Sim::new(&design, &cfg).unwrap();
+    assert!(
+        sim.run_until(Cycle(5_000)).unwrap(),
+        "run finished before the cut"
+    );
+    let cp = sim.snapshot();
+    (design, cfg, cp)
+}
+
+#[test]
+fn bad_magic_is_rejected_as_bad_magic() {
+    let (design, cfg, cp) = sample_checkpoint();
+    let mut bytes = cp.as_bytes().to_vec();
+    bytes[0] = b'X';
+    let err = Sim::restore(&design, &cfg, &Checkpoint::from_bytes(bytes)).unwrap_err();
+    assert!(matches!(err, SimError::Snapshot(SnapError::BadMagic)));
+}
+
+#[test]
+fn version_mismatch_is_rejected_with_both_versions() {
+    let (design, cfg, cp) = sample_checkpoint();
+    let mut bytes = cp.as_bytes().to_vec();
+    // The version field sits at offset 8..12 (little-endian u32).
+    bytes[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+    let err = Sim::restore(&design, &cfg, &Checkpoint::from_bytes(bytes)).unwrap_err();
+    match err {
+        SimError::Snapshot(SnapError::Version { found, expected }) => {
+            assert_eq!(found, SNAPSHOT_VERSION + 1);
+            assert_eq!(expected, SNAPSHOT_VERSION);
+        }
+        other => panic!("expected Version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_corruption_is_rejected_as_checksum_mismatch() {
+    let (design, cfg, cp) = sample_checkpoint();
+    let mut bytes = cp.as_bytes().to_vec();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    let err = Sim::restore(&design, &cfg, &Checkpoint::from_bytes(bytes)).unwrap_err();
+    assert!(
+        matches!(err, SimError::Snapshot(SnapError::Checksum { .. })),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn empty_and_tiny_images_are_rejected_as_truncated() {
+    let (design, cfg, _) = sample_checkpoint();
+    for len in [0usize, 1, 8, 27] {
+        let err = Sim::restore(&design, &cfg, &Checkpoint::from_bytes(vec![0u8; len])).unwrap_err();
+        assert!(
+            matches!(err, SimError::Snapshot(SnapError::Truncated { .. })),
+            "len {len}: got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn foreign_design_is_rejected_as_design_mismatch() {
+    let (design_a, cfg, cp) = sample_checkpoint();
+    // A genuinely different design: another workload entirely.
+    let (design_b, _) = build_design(2, true, 0, false, 1000).unwrap();
+    let err = Sim::restore(&design_b, &cfg, &cp).unwrap_err();
+    assert!(
+        matches!(err, SimError::Snapshot(SnapError::DesignMismatch { .. })),
+        "got {err:?}"
+    );
+    // And the checkpoint still restores fine into its own design.
+    assert!(Sim::restore(&design_a, &cfg, &cp).is_ok());
+}
+
+#[test]
+fn checkpoint_survives_disk_roundtrip() {
+    let (design, cfg, cp) = sample_checkpoint();
+    let path = std::env::temp_dir().join("svmsyn_snapshot_roundtrip_test.ckpt");
+    cp.write_to(&path).unwrap();
+    let back = Checkpoint::read_from(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(back.as_bytes(), cp.as_bytes());
+    assert!(Sim::restore(&design, &cfg, &back).is_ok());
+}
+
+/// Satellite audit: `SimError` is a real `std::error::Error` — every
+/// variant Displays non-empty, and wrapper variants expose their cause
+/// through `source()`.
+#[test]
+fn sim_error_source_chain_and_display() {
+    use std::error::Error as _;
+
+    let (design, cfg, cp) = sample_checkpoint();
+    let mut bytes = cp.as_bytes().to_vec();
+    bytes[0] = b'X';
+    let err = Sim::restore(&design, &cfg, &Checkpoint::from_bytes(bytes)).unwrap_err();
+    assert!(!err.to_string().is_empty());
+    let src = err.source().expect("Snapshot must expose its SnapError");
+    assert_eq!(src.to_string(), SnapError::BadMagic.to_string());
+
+    // SnapError itself terminates the chain.
+    assert!(src.source().is_none());
+}
