@@ -527,6 +527,44 @@ fn bench_snapshot_roundtrip(rounds: u64) -> f64 {
 }
 
 // ---------------------------------------------------------------------------
+// SimPoint-style sampled simulation on the longest suite workload (the
+// pointer chase): the profile (BBV collection + clustering + checkpoint
+// retention) is prepared outside the timed region, then `estimate()` —
+// restore-and-replay of only the sampled windows — is timed against the
+// full run. The *simulated-cycle* speedup (full cycles / cycles actually
+// simulated) is deterministic and host-load-independent; the PR's
+// acceptance bar pins it ≥ 3x.
+// ---------------------------------------------------------------------------
+
+fn bench_sampled_vs_full(runs: u64) -> (f64, f64) {
+    use svmsyn::{SampleConfig, SampledRun};
+    let w = &svmsyn_workloads::default_suite(2024)[6]; // chase
+    let platform = Platform::default();
+    let design = hw_design(w, &platform);
+    let sim_cfg = SimConfig::default();
+    let run = SampledRun::new(&design, &sim_cfg);
+    let scfg = SampleConfig {
+        interval_events: 100,
+        ..SampleConfig::default()
+    };
+    let (profile, _) = run.profile(&scfg).expect("sampling bench profiles");
+    let secs = time(|| {
+        for _ in 0..runs.max(1) {
+            black_box(run.estimate(&profile).expect("sampling bench estimates"));
+        }
+    });
+    let est = run.estimate(&profile).expect("sampling bench estimates");
+    assert!(
+        est.cycles_simulated > 0 && est.cycles_simulated < est.cycles_full,
+        "sampling bench degenerated to a full replay"
+    );
+    (
+        runs.max(1) as f64 / secs,
+        est.cycles_full as f64 / est.cycles_simulated as f64,
+    )
+}
+
+// ---------------------------------------------------------------------------
 // DSE sweep: serial vs. parallel exhaustive search (simulation in the loop).
 // ---------------------------------------------------------------------------
 
@@ -730,6 +768,18 @@ fn main() {
         unit: "roundtrips/s",
     });
 
+    let (est_runs, sampled_speedup) = bench_sampled_vs_full(if smoke { 2 } else { 20 });
+    results.push(Result {
+        name: "sampled_estimate_runs_per_sec",
+        value: est_runs,
+        unit: "runs/s",
+    });
+    results.push(Result {
+        name: "sampled_vs_full_speedup",
+        value: sampled_speedup,
+        unit: "x",
+    });
+
     let serial = dse_sweep_secs(1);
     let parallel = dse_sweep_secs(0);
     results.push(Result {
@@ -827,6 +877,18 @@ fn main() {
                 .iter()
                 .any(|r| r.name == "snapshot_roundtrip_per_sec"),
             "snapshot_roundtrip_per_sec missing from the benchmark set"
+        );
+        // CI contract: the sampled-simulation entry must exist and its
+        // *simulated-cycle* speedup (deterministic, host-load-independent)
+        // must clear the PR's 3x acceptance bar on the longest workload.
+        let sampled = results
+            .iter()
+            .find(|r| r.name == "sampled_vs_full_speedup")
+            .expect("sampled_vs_full_speedup missing from the benchmark set");
+        assert!(
+            sampled.value >= 3.0,
+            "sampled-vs-full speedup {:.2}x below the 3x bar",
+            sampled.value
         );
         println!("\nsmoke mode: baseline not written");
         return;

@@ -24,6 +24,9 @@
 //! * [`baseline`] — the copy-based DMA accelerator flow the SVM approach is
 //!   compared against (Figure 4).
 //! * [`report`] — text tables for the experiment harnesses.
+//! * [`sample`] — SimPoint-style sampled simulation: BBV phase profiling,
+//!   deterministic k-means clustering, and checkpoint-fast-forwarded
+//!   window simulation with per-stat confidence intervals.
 //!
 //! # Example
 //!
@@ -64,6 +67,7 @@ pub mod dse;
 pub mod flow;
 pub mod platform;
 pub mod report;
+pub mod sample;
 pub mod sim;
 
 pub use app::{Application, ApplicationBuilder, ArgSpec, SyncAction, SyncSpec};
@@ -74,4 +78,5 @@ pub use checkpoint::{
 pub use dse::{explore, DseConfig, DseMethod, DsePanic, DseResult};
 pub use flow::{synthesize, Placement, SynthesisError, SystemDesign};
 pub use platform::{Platform, PressurePoint};
+pub use sample::{SampleConfig, SampleProfile, SampledEstimate, SampledRun, StatEstimate};
 pub use sim::{simulate, RunProgress, Sim, SimConfig, SimError, SimOutcome, SNAPSHOT_VERSION};

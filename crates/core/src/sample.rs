@@ -1,0 +1,1024 @@
+//! SimPoint-style sampled simulation with measured error bars.
+//!
+//! Long runs are estimated from a handful of simulated windows instead of
+//! the whole event stream, in three steps:
+//!
+//! 1. **Phase profiling** — one instrumented full run, paused every
+//!    [`SampleConfig::interval_events`] scheduler events, collects a
+//!    basic-block vector (BBV) per interval: how often each static basic
+//!    block was entered, L1-normalized so interval length cancels out.
+//!    Intervals with similar BBVs execute similar code — they are the same
+//!    *phase* — and their per-interval costs cluster tightly.
+//! 2. **Clustering** — dependency-free k-means over the BBVs with a
+//!    deterministic seeded RNG ([`Xoshiro256ss`]); `k` is chosen by a
+//!    BIC-style score so single-phase workloads collapse to one cluster
+//!    instead of being force-split. Each phase elects representatives:
+//!    its medoid plus seeded random extras (at least two where the phase
+//!    has two members, so a variance estimate exists).
+//! 3. **Extrapolation** — [`SampledRun::estimate`] restores the boundary
+//!    checkpoint of each representative interval, simulates exactly that
+//!    window, and scales the measured per-interval counter deltas by the
+//!    phase populations. The partial tail interval is simulated exactly.
+//!    Every estimate carries a confidence interval from the stratified
+//!    sampling variance, so the error is *measured*, not assumed.
+//!
+//! Only additive counters are extrapolated (the [`COUNTER_KEYS`]
+//! whitelist); ratio stats such as `vm.l1_walk_hit_rate` are re-derived
+//! from estimated numerator and denominator with conservatively widened
+//! bars. Gauges (`os.frames_allocated`, per-thread breakdowns) are not
+//! estimable from samples and are deliberately absent.
+
+use std::collections::BTreeMap;
+
+use svmsyn_sim::{StatSet, Xoshiro256ss};
+
+use crate::checkpoint::Checkpoint;
+use crate::flow::SystemDesign;
+use crate::report::Table;
+use crate::sim::{RunProgress, Sim, SimConfig, SimError, SimOutcome};
+
+/// Additive system-wide counters the estimator extrapolates. Each must be
+/// a monotone sum over scheduler events so that per-interval deltas add up
+/// to the full-run total (the property the stratified estimator relies
+/// on). Keys must exist in [`SimOutcome::stats`] / [`Sim::live_stats`].
+pub const COUNTER_KEYS: &[&str] = &[
+    "makespan",
+    "os.hw_faults",
+    "os.sw_faults",
+    "pressure.major_faults",
+    "pressure.reclaims",
+    "pressure.shootdowns",
+    "pressure.swap_busy_cycles",
+    "vm.walks",
+    "vm.l1_walk_hits",
+    "vm.l2_walk_hits",
+    "memif.hit_under_miss",
+    "memif.miss_overlap_cycles",
+    "memif.miss_parks",
+    "fabric.merges",
+    "fabric.inflight_cycles",
+    "fabric.data_busy_cycles",
+];
+
+/// Ratio stats re-derived from extrapolated counters: `(key, numerator,
+/// denominator)`. The CI is the interval quotient `[lo/hi', hi/lo']` —
+/// conservative, never tighter than the counter bars it derives from.
+pub const RATIO_KEYS: &[(&str, &str, &str)] = &[
+    ("vm.l1_walk_hit_rate", "vm.l1_walk_hits", "vm.walks"),
+    ("vm.l2_walk_hit_rate", "vm.l2_walk_hits", "vm.walks"),
+    (
+        "fabric.outstanding_mean",
+        "fabric.inflight_cycles",
+        "makespan",
+    ),
+    (
+        "fabric.data_utilization",
+        "fabric.data_busy_cycles",
+        "makespan",
+    ),
+];
+
+/// Knobs for profiling, clustering and estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleConfig {
+    /// Interval length in scheduler events (the unit
+    /// [`SimConfig::checkpoint_every`] counts). Smaller intervals resolve
+    /// finer phase structure but cost more checkpoints.
+    pub interval_events: u64,
+    /// Upper bound on the number of phases k-means may use.
+    pub max_phases: usize,
+    /// Representatives simulated per phase (clamped to at least 2 where
+    /// the phase has 2+ members, so every phase gets a variance estimate,
+    /// and to the phase population).
+    pub samples_per_phase: usize,
+    /// Weight of the performance features appended to each BBV: the
+    /// interval's cycle length plus the deltas of a few key counters
+    /// (walks, fabric occupancy and data cycles, reclaims), each
+    /// normalized to its run mean. The BBV alone is blind to *cost*
+    /// phases — identical code that walks the page table every k-th
+    /// interval, or whose memory overlap ramps while latency stays
+    /// hidden, has an identical normalized BBV — so measured cost rides
+    /// along as extra clustering dimensions. 0 disables them
+    /// (pure-SimPoint code signature).
+    pub duration_weight: f64,
+    /// Seed for clustering initialization and representative picks. Equal
+    /// seeds produce byte-identical [`SampledEstimate::report`]s.
+    pub seed: u64,
+    /// Half-width multiplier: the reported bar is `z * stderr`.
+    pub confidence_z: f64,
+    /// Lloyd iteration cap per k-means run.
+    pub kmeans_iters: usize,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            interval_events: 512,
+            max_phases: 8,
+            samples_per_phase: 3,
+            duration_weight: 1.0,
+            seed: 0x5EED_CAFE,
+            // z = 3 on a stratified stderr: wide enough that the
+            // conformance suite's containment check holds across every
+            // workload, narrow enough to stay useful (a few percent).
+            confidence_z: 3.0,
+            kmeans_iters: 24,
+        }
+    }
+}
+
+/// One phase: the intervals k-means grouped together and the subset the
+/// plan simulates.
+#[derive(Debug, Clone)]
+pub struct SamplePhase {
+    /// Member interval indices, ascending.
+    pub members: Vec<usize>,
+    /// Representative interval indices (subset of `members`), ascending.
+    /// First elected is always the medoid.
+    pub sampled: Vec<usize>,
+}
+
+/// The product of the profiling pass: phase structure, the sampling plan,
+/// and the boundary checkpoints the estimator fast-forwards from.
+pub struct SampleProfile {
+    /// The configuration the profile was collected under; [`SampledRun`]
+    /// replays intervals with the same `interval_events`.
+    pub cfg: SampleConfig,
+    /// Number of complete intervals (the tail rides separately).
+    pub intervals: usize,
+    /// Events in the final partial interval (`< cfg.interval_events`).
+    pub tail_events: u64,
+    /// Phases, ordered by first member interval.
+    pub phases: Vec<SamplePhase>,
+    /// Ground-truth makespan of the profiled run (cycles), kept for
+    /// coverage reporting only — estimated *means* always come from
+    /// replayed sampled windows, never from profiled counters.
+    pub profiled_makespan: u64,
+    /// Total events of the profiled run.
+    pub profiled_events: u64,
+    /// Within-phase variance of each counter's per-interval delta,
+    /// indexed `[phase][COUNTER_KEYS position]`, measured over all phase
+    /// members during profiling. Feeds the stratified error bars: the
+    /// sample variance of 3–4 replayed windows is itself too noisy to
+    /// certify a width (a plateau phase whose picks agree exactly would
+    /// claim zero), while the profile knows the true dispersion.
+    pub phase_var: Vec<Vec<f64>>,
+    /// Start-of-interval checkpoints, keyed by interval index, for every
+    /// sampled interval except 0 (which starts from [`Sim::new`]) plus
+    /// key `intervals` = start of the tail. Unsampled boundaries are
+    /// dropped at the end of profiling.
+    checkpoints: BTreeMap<usize, Checkpoint>,
+}
+
+impl std::fmt::Debug for SampleProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampleProfile")
+            .field("intervals", &self.intervals)
+            .field("tail_events", &self.tail_events)
+            .field("phases", &self.phases)
+            .field("checkpoints", &self.checkpoints.keys())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SampleProfile {
+    /// Interval indices the plan simulates, ascending and deduplicated.
+    pub fn sampled_intervals(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .phases
+            .iter()
+            .flat_map(|p| p.sampled.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// A point estimate with a symmetric error bar: `value ± half_width`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatEstimate {
+    /// The extrapolated value.
+    pub value: f64,
+    /// Half-width of the confidence interval (`z * stderr`; exactly 0 for
+    /// fully-enumerated strata and the tail).
+    pub half_width: f64,
+}
+
+impl StatEstimate {
+    /// Lower bar edge.
+    pub fn lo(&self) -> f64 {
+        self.value - self.half_width
+    }
+
+    /// Upper bar edge.
+    pub fn hi(&self) -> f64 {
+        self.value + self.half_width
+    }
+
+    /// Whether `truth` falls inside the bar (with a relative epsilon for
+    /// float round-off in exact, zero-width estimates).
+    pub fn contains(&self, truth: f64) -> bool {
+        let slack = 1e-6 * self.value.abs().max(1.0);
+        (truth - self.value).abs() <= self.half_width + slack
+    }
+
+    /// `|truth - value| / max(|truth|, 1)` — the conformance suite's
+    /// relative-error metric.
+    pub fn rel_error(&self, truth: f64) -> f64 {
+        (truth - self.value).abs() / truth.abs().max(1.0)
+    }
+}
+
+/// A full-run estimate extrapolated from sampled windows.
+#[derive(Debug, Clone)]
+pub struct SampledEstimate {
+    /// Per-stat estimates with error bars ([`COUNTER_KEYS`] plus
+    /// [`RATIO_KEYS`]), deterministically ordered.
+    pub stats: BTreeMap<String, StatEstimate>,
+    /// Cycles actually simulated by the estimator (sampled windows plus
+    /// the exact tail) — the numerator of [`coverage`](Self::coverage).
+    pub cycles_simulated: u64,
+    /// Full-run cycles (profiled ground-truth makespan).
+    pub cycles_full: u64,
+    /// Windows simulated (sampled intervals; the tail adds one more when
+    /// non-empty).
+    pub intervals_simulated: usize,
+    /// Complete intervals in the full run.
+    pub intervals_total: usize,
+    /// Number of phases in the plan.
+    pub phases: usize,
+    /// The clustering/sampling seed (for reproduction).
+    pub seed: u64,
+    /// Interval length in events.
+    pub interval_events: u64,
+}
+
+impl SampledEstimate {
+    /// Looks up one stat's estimate.
+    pub fn get(&self, key: &str) -> Option<StatEstimate> {
+        self.stats.get(key).copied()
+    }
+
+    /// Fraction of the full run's cycles the estimator simulated.
+    pub fn coverage(&self) -> f64 {
+        self.cycles_simulated as f64 / self.cycles_full.max(1) as f64
+    }
+
+    /// Deterministic textual report: equal seeds and equal designs render
+    /// byte-identical strings (the DSE-memo determinism contract).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sampled run: seed=0x{:016x} phases={} intervals={}x{} events\n",
+            self.seed, self.phases, self.intervals_total, self.interval_events
+        ));
+        out.push_str(&format!(
+            "simulated {} of {} intervals + tail: {} of {} cycles ({:.1}% coverage)\n",
+            self.intervals_simulated,
+            self.intervals_total,
+            self.cycles_simulated,
+            self.cycles_full,
+            100.0 * self.coverage()
+        ));
+        let mut t = Table::new("estimate", &["stat", "value", "±", "rel ±"]);
+        for (k, e) in &self.stats {
+            let rel = if e.value.abs() > 1e-12 {
+                format!("{:.2}%", 100.0 * e.half_width / e.value.abs())
+            } else {
+                "-".to_string()
+            };
+            t.row_owned(vec![
+                k.clone(),
+                format!("{:.3}", e.value),
+                format!("{:.3}", e.half_width),
+                rel,
+            ]);
+        }
+        out.push_str(&t.to_string());
+        out
+    }
+}
+
+/// Squared Euclidean distance between two BBVs.
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// One Lloyd's-algorithm run at fixed `k`. Returns `(assignment, rss)`.
+/// Deterministic: seeded initialization, lowest-index tie-breaks, empty
+/// clusters re-seeded with the globally farthest point.
+fn kmeans(bbvs: &[Vec<f64>], k: usize, iters: usize, rng: &mut Xoshiro256ss) -> (Vec<usize>, f64) {
+    let n = bbvs.len();
+    debug_assert!(k >= 1 && k <= n);
+    let dim = bbvs[0].len();
+    // Farthest-point (k-means++-style) initialization: a seeded random
+    // first center, then each next center is the point farthest from the
+    // chosen set (lowest index on ties). Random init can drop both seeds
+    // of a 2-means run into the same dense blob and never escape — the
+    // elbow rule then sees no gain and under-clusters.
+    let mut centers: Vec<Vec<f64>> = vec![bbvs[rng.range(n as u64) as usize].clone()];
+    while centers.len() < k {
+        let far = (0..n)
+            .max_by(|&a, &b| {
+                let da = centers
+                    .iter()
+                    .map(|c| dist2(&bbvs[a], c))
+                    .fold(f64::INFINITY, f64::min);
+                let db = centers
+                    .iter()
+                    .map(|c| dist2(&bbvs[b], c))
+                    .fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).unwrap().then(b.cmp(&a))
+            })
+            .unwrap();
+        centers.push(bbvs[far].clone());
+    }
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters {
+        // Assign: nearest center, lowest index on ties.
+        let mut changed = false;
+        for (i, v) in bbvs.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let d = dist2(v, center);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        // Update: centroid of members; an empty cluster steals the point
+        // farthest from its current center (deterministic max).
+        let mut counts = vec![0usize; k];
+        let mut sums = vec![vec![0.0; dim]; k];
+        for (i, v) in bbvs.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for (s, x) in sums[assign[i]].iter_mut().zip(v) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = dist2(&bbvs[a], &centers[assign[a]]);
+                        let db = dist2(&bbvs[b], &centers[assign[b]]);
+                        da.partial_cmp(&db).unwrap().then(b.cmp(&a))
+                    })
+                    .unwrap();
+                centers[c] = bbvs[far].clone();
+            } else {
+                for (s, sum) in centers[c].iter_mut().zip(&sums[c]) {
+                    *s = sum / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let rss: f64 = bbvs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| dist2(v, &centers[assign[i]]))
+        .sum();
+    (assign, rss)
+}
+
+/// Clusters interval BBVs into phases: grows `k` from 1 toward
+/// `max_phases` and stops at the elbow — the first `k` whose refinement
+/// recovers less than 5% of the total (`k = 1`) dispersion. Distinct
+/// phases collapse the residual almost entirely, so they are always worth
+/// a cluster; near-duplicate BBVs never justify a split, so a single-
+/// phase workload stays one phase. Mild over-clustering is benign (more
+/// samples, tighter bars); under-clustering inflates in-phase variance,
+/// which the error bars then report honestly.
+fn cluster_phases(bbvs: &[Vec<f64>], cfg: &SampleConfig) -> Vec<Vec<usize>> {
+    let n = bbvs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let kmax = cfg.max_phases.max(1).min(n);
+    // A fresh stream per k: scoring k=3 must not perturb k=4's picks.
+    let run = |k: usize| {
+        let mut rng = Xoshiro256ss::new(cfg.seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        kmeans(bbvs, k, cfg.kmeans_iters, &mut rng)
+    };
+    let (mut assign, mut rss) = run(1);
+    let total = rss;
+    let min_gain = 0.05 * total;
+    for k in 2..=kmax {
+        if rss <= 1e-12 {
+            break;
+        }
+        let (next_assign, next_rss) = run(k);
+        if rss - next_rss < min_gain {
+            break;
+        }
+        assign = next_assign;
+        rss = next_rss;
+    }
+    // Group members per cluster, drop empties, order phases by first
+    // member so phase identity is stable run to run.
+    let k = assign.iter().max().unwrap() + 1;
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &c) in assign.iter().enumerate() {
+        groups[c].push(i);
+    }
+    groups.retain(|g| !g.is_empty());
+
+    // Outlier post-pass: an interval far from its phase centroid is a
+    // one-off event (a stall whose counter signature matches neither
+    // neighbor cluster) that the elbow rule won't spend a whole cluster
+    // on. Left in place it poisons the stratum mean, so promote the
+    // worst offenders to singleton phases — singletons are simulated
+    // exactly and contribute zero variance. Cost dims are z-scored, so
+    // a squared distance of 2 is a ~1.4-sigma departure on one axis.
+    const OUTLIER_DIST2: f64 = 2.0;
+    const OUTLIER_CAP: usize = 8;
+    let dim = bbvs.first().map_or(0, Vec::len);
+    let mut outliers: Vec<(f64, usize)> = Vec::new();
+    for g in &groups {
+        if g.len() < 2 {
+            continue;
+        }
+        let mut centroid = vec![0.0; dim];
+        for &i in g {
+            for (c, x) in centroid.iter_mut().zip(&bbvs[i]) {
+                *c += x;
+            }
+        }
+        for c in &mut centroid {
+            *c /= g.len() as f64;
+        }
+        for &i in g {
+            let d = dist2(&bbvs[i], &centroid);
+            if d > OUTLIER_DIST2 {
+                outliers.push((d, i));
+            }
+        }
+    }
+    outliers.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    outliers.truncate(OUTLIER_CAP);
+    for &(_, i) in &outliers {
+        for g in &mut groups {
+            g.retain(|&m| m != i);
+        }
+        groups.push(vec![i]);
+    }
+
+    groups.retain(|g| !g.is_empty());
+    groups.sort_by_key(|g| g[0]);
+    groups
+}
+
+/// Elects each phase's representatives: the medoid (member closest to the
+/// phase centroid, lowest index on ties) plus seeded-random extras up to
+/// `min(max(samples_per_phase, 2), population)`.
+fn elect_representatives(
+    bbvs: &[Vec<f64>],
+    groups: Vec<Vec<usize>>,
+    cfg: &SampleConfig,
+) -> Vec<SamplePhase> {
+    let dim = bbvs.first().map_or(0, Vec::len);
+    groups
+        .into_iter()
+        .map(|members| {
+            let mut centroid = vec![0.0; dim];
+            for &i in &members {
+                for (c, x) in centroid.iter_mut().zip(&bbvs[i]) {
+                    *c += x;
+                }
+            }
+            for c in &mut centroid {
+                *c /= members.len() as f64;
+            }
+            let medoid = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    dist2(&bbvs[a], &centroid)
+                        .partial_cmp(&dist2(&bbvs[b], &centroid))
+                        .unwrap()
+                        .then(a.cmp(&b))
+                })
+                .unwrap();
+            // Representatives at the midpoints of `want` equal strata
+            // across the phase, plus the medoid. Midpoints track
+            // monotone cost drift (e.g. fabric occupancy ramping while
+            // the code signature stays flat) like endpoint-spread picks
+            // do, but skip the phase edges, where transition intervals
+            // are systematically atypical of the stratum.
+            let want = cfg.samples_per_phase.max(2).min(members.len());
+            let mut sampled: Vec<usize> = (0..want)
+                .map(|j| members[(2 * j + 1) * members.len() / (2 * want)])
+                .collect();
+            if !sampled.contains(&medoid) {
+                // The medoid rides along as an extra sample rather than
+                // displacing a spread pick — displacement can collapse
+                // the picks onto one side of a periodic alternation.
+                sampled.push(medoid);
+            }
+            sampled.sort_unstable();
+            sampled.dedup();
+            SamplePhase { members, sampled }
+        })
+        .collect()
+}
+
+/// The sampled-simulation driver: profiles once, then estimates from
+/// sampled windows.
+pub struct SampledRun<'d> {
+    design: &'d SystemDesign,
+    cfg: SimConfig,
+}
+
+impl<'d> SampledRun<'d> {
+    /// A driver over `design` with base simulation options `cfg`
+    /// (`checkpoint_every` is overridden internally by the interval
+    /// length).
+    pub fn new(design: &'d SystemDesign, cfg: &SimConfig) -> Self {
+        SampledRun { design, cfg: *cfg }
+    }
+
+    fn run_cfg(&self, scfg: &SampleConfig) -> SimConfig {
+        SimConfig {
+            checkpoint_every: scfg.interval_events.max(1),
+            ..self.cfg
+        }
+    }
+
+    /// The profiling pass: one instrumented full run collecting per-
+    /// interval BBVs and boundary checkpoints, then clustering and
+    /// representative election. Returns the profile *and* the profiled
+    /// run's outcome — pausing never perturbs the event sequence, so the
+    /// outcome doubles as free ground truth for validation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] of the underlying full run.
+    pub fn profile(&self, scfg: &SampleConfig) -> Result<(SampleProfile, SimOutcome), SimError> {
+        let run_cfg = self.run_cfg(scfg);
+        let mut sim = Sim::new(self.design, &run_cfg)?;
+        sim.enable_block_profile();
+        // The counters (by name) that join the clustering features: the
+        // dims whose phases the BBV cannot see (stall cost, memory
+        // overlap, reclaim storms). Deltas of *all* counters are
+        // recorded per interval regardless — the estimator's error bars
+        // use the measured within-phase variances.
+        const FEATURE_KEYS: &[&str] = &[
+            "makespan",
+            "vm.walks",
+            "fabric.inflight_cycles",
+            "fabric.data_busy_cycles",
+            "memif.hit_under_miss",
+            "memif.miss_overlap_cycles",
+            "pressure.reclaims",
+        ];
+        let feature_idx: Vec<usize> = FEATURE_KEYS
+            .iter()
+            .map(|k| {
+                COUNTER_KEYS
+                    .iter()
+                    .position(|c| c == k)
+                    .expect("feature key is a counter")
+            })
+            .collect();
+        let mut prev_bbv = sim.bbv_snapshot();
+        let mut prev_events = 0u64;
+        let mut prev_cost = sim.live_stats();
+        let mut bbvs: Vec<Vec<f64>> = Vec::new();
+        let mut costs: Vec<Vec<f64>> = Vec::new();
+        let mut boundary_cps: Vec<Checkpoint> = Vec::new();
+        while let RunProgress::Paused(cp) = sim.run()? {
+            let bbv = sim.bbv_snapshot();
+            let mut delta: Vec<f64> = bbv
+                .iter()
+                .zip(&prev_bbv)
+                .map(|(a, b)| (a - b) as f64)
+                .collect();
+            let norm: f64 = delta.iter().sum();
+            if norm > 0.0 {
+                for d in &mut delta {
+                    *d /= norm;
+                }
+            }
+            bbvs.push(delta);
+            let cost = sim.live_stats();
+            costs.push(
+                COUNTER_KEYS
+                    .iter()
+                    .map(|k| cost.get(k).unwrap_or(0.0) - prev_cost.get(k).unwrap_or(0.0))
+                    .collect(),
+            );
+            boundary_cps.push(cp);
+            prev_bbv = bbv;
+            prev_events = sim.events_fired();
+            prev_cost = cost;
+        }
+        let profiled_events = sim.events_fired();
+        let tail_events = profiled_events - prev_events;
+        let outcome = sim.finish()?;
+        let intervals = bbvs.len();
+
+        // Clustering features: the normalized BBV plus (optionally) each
+        // cost-signature dimension z-scored across intervals — equal-code
+        // intervals that cost very differently must not share a phase,
+        // and z-scoring keeps one spiky counter from drowning the rest.
+        let nf = intervals.max(1) as f64;
+        let mut mean_cost = vec![0.0; feature_idx.len()];
+        for c in &costs {
+            for (m, &kx) in mean_cost.iter_mut().zip(&feature_idx) {
+                *m += c[kx] / nf;
+            }
+        }
+        let mut sd_cost = vec![0.0; feature_idx.len()];
+        for c in &costs {
+            for ((s, &kx), m) in sd_cost.iter_mut().zip(&feature_idx).zip(&mean_cost) {
+                *s += (c[kx] - m) * (c[kx] - m) / nf;
+            }
+        }
+        for s in &mut sd_cost {
+            *s = s.sqrt();
+        }
+        let features: Vec<Vec<f64>> = bbvs
+            .iter()
+            .zip(&costs)
+            .map(|(bbv, cost)| {
+                let mut f = bbv.clone();
+                if scfg.duration_weight > 0.0 {
+                    for ((&kx, &m), &s) in feature_idx.iter().zip(&mean_cost).zip(&sd_cost) {
+                        if s > 0.0 {
+                            f.push(scfg.duration_weight * (cost[kx] - m) / s);
+                        }
+                    }
+                }
+                f
+            })
+            .collect();
+
+        // Interval 0 is warmup — first-touch faults, cold TLBs, cold
+        // caches — and never representative of anything later, so it is
+        // pinned as its own exactly-simulated phase and excluded from
+        // clustering. The rest cluster normally (indices shifted by 1).
+        let mut phases: Vec<SamplePhase> = Vec::new();
+        if intervals > 0 {
+            phases.push(SamplePhase {
+                members: vec![0],
+                sampled: vec![0],
+            });
+            let rest = &features[1..];
+            let groups = cluster_phases(rest, scfg);
+            let mut elected = elect_representatives(rest, groups, scfg);
+            for p in &mut elected {
+                for i in &mut p.members {
+                    *i += 1;
+                }
+                for i in &mut p.sampled {
+                    *i += 1;
+                }
+            }
+            phases.extend(elected);
+        }
+
+        // Within-phase variance of every counter, measured over *all*
+        // phase members (n−1 divisor; singletons get zero). The
+        // estimator's stratified error bars use these in place of the
+        // sample variance of 3–4 windows, whose own noise — a plateau
+        // phase whose picks happen to agree exactly — would otherwise
+        // certify false zero-width bars.
+        let phase_var: Vec<Vec<f64>> = phases
+            .iter()
+            .map(|p| {
+                let n = p.members.len() as f64;
+                (0..COUNTER_KEYS.len())
+                    .map(|kx| {
+                        if p.members.len() < 2 {
+                            return 0.0;
+                        }
+                        let mean = p.members.iter().map(|&i| costs[i][kx]).sum::<f64>() / n;
+                        p.members
+                            .iter()
+                            .map(|&i| {
+                                let d = costs[i][kx] - mean;
+                                d * d
+                            })
+                            .sum::<f64>()
+                            / (n - 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Keep only the checkpoints the plan needs: start-of-interval for
+        // each sampled interval (boundary i-1), plus the tail start.
+        let mut checkpoints = BTreeMap::new();
+        let mut needed: Vec<usize> = phases
+            .iter()
+            .flat_map(|p| p.sampled.iter().copied())
+            .filter(|&i| i > 0)
+            .collect();
+        if intervals > 0 {
+            needed.push(intervals);
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        // Consume from the back so each checkpoint moves, not clones.
+        for i in needed.into_iter().rev() {
+            checkpoints.insert(i, boundary_cps.remove(i - 1));
+        }
+
+        Ok((
+            SampleProfile {
+                cfg: *scfg,
+                intervals,
+                tail_events,
+                phases,
+                profiled_makespan: outcome.makespan.0,
+                profiled_events,
+                phase_var,
+                checkpoints,
+            },
+            outcome,
+        ))
+    }
+
+    /// The estimation pass: simulates only the sampled windows (restoring
+    /// each from its boundary checkpoint) plus the exact tail, and
+    /// extrapolates full-run stats with stratified error bars.
+    ///
+    /// For each counter, `total = Σ_p N_p · mean_p + tail` with `mean_p`
+    /// measured from the replayed windows, and
+    /// `Var = Σ_p N_p² · (σ_p²/m_p) · (1 − m_p/N_p)` (finite-population
+    /// corrected) with `σ_p²` the within-phase variance recorded by the
+    /// profiling pass ([`SampleProfile::phase_var`]); the bar is
+    /// `± z·√Var`. Fully-enumerated phases and the tail contribute zero
+    /// variance — a short run degrades to an exact replay with
+    /// zero-width bars.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised while replaying a window.
+    pub fn estimate(&self, profile: &SampleProfile) -> Result<SampledEstimate, SimError> {
+        let scfg = &profile.cfg;
+        let run_cfg = self.run_cfg(scfg);
+        let mut cycles_simulated = 0u64;
+
+        // Measure each sampled window: restore its boundary, run exactly
+        // one interval (the checkpoint_every pause), diff live stats.
+        let sampled = profile.sampled_intervals();
+        let mut deltas: BTreeMap<usize, BTreeMap<&'static str, f64>> = BTreeMap::new();
+        for &i in &sampled {
+            let mut sim = if i == 0 {
+                Sim::new(self.design, &run_cfg)?
+            } else {
+                Sim::restore(self.design, &run_cfg, &profile.checkpoints[&i])?
+            };
+            let before = sim.live_stats();
+            let c0 = sim.now().0;
+            // Determinism makes this pause exactly interval i's end; a
+            // Complete here means the design diverged from its profile.
+            let progress = sim.run()?;
+            debug_assert!(
+                matches!(progress, RunProgress::Paused(_)),
+                "sampled window {i} completed early: profile is stale"
+            );
+            let after = sim.live_stats();
+            cycles_simulated += sim.now().0.saturating_sub(c0);
+            deltas.insert(i, stat_deltas(&before, &after));
+        }
+
+        // The tail is simulated exactly from the last boundary.
+        let mut sim = if profile.intervals == 0 {
+            Sim::new(self.design, &run_cfg)?
+        } else {
+            Sim::restore(
+                self.design,
+                &run_cfg,
+                &profile.checkpoints[&profile.intervals],
+            )?
+        };
+        let before = sim.live_stats();
+        let c0 = sim.now().0;
+        loop {
+            // By construction the tail holds fewer events than one
+            // interval, so the first run() completes; the loop guards
+            // against a stale profile.
+            if let RunProgress::Complete = sim.run()? {
+                break;
+            }
+        }
+        let outcome = sim.finish()?;
+        let tail = stat_deltas(&before, outcome.stats());
+        cycles_simulated += outcome.makespan.0.saturating_sub(c0);
+
+        // Stratified extrapolation per counter.
+        let z = scfg.confidence_z;
+        let extrapolated = profile
+            .phases
+            .iter()
+            .any(|p| p.sampled.len() < p.members.len());
+        let mut stats: BTreeMap<String, StatEstimate> = BTreeMap::new();
+        for (kx, &key) in COUNTER_KEYS.iter().enumerate() {
+            let mut total = tail[key];
+            let mut var = 0.0;
+            for (pi, phase) in profile.phases.iter().enumerate() {
+                let n_p = phase.members.len() as f64;
+                let xs: Vec<f64> = phase.sampled.iter().map(|&i| deltas[&i][key]).collect();
+                let m = xs.len() as f64;
+                let mean = xs.iter().sum::<f64>() / m;
+                total += n_p * mean;
+                if phase.members.len() > xs.len() {
+                    let s2 = profile.phase_var[pi][kx];
+                    var += n_p * n_p * (s2 / m) * (1.0 - m / n_p);
+                }
+            }
+            let mut half_width = z * var.sqrt();
+            if extrapolated {
+                // A zero or tiny sample variance does not certify zero
+                // error: a phase whose 3 samples agree exactly can still
+                // hide a few-cycle wobble — or a handful of discrete
+                // faults — in its unsampled members. Whenever any phase
+                // was genuinely extrapolated, the bar keeps a Poisson-
+                // style resolution floor of z·√total: sampling cannot
+                // resolve sub-√N structure in a counting process. For
+                // large counters this stays well under 1% (√N/N), so the
+                // bars remain tight; fully-enumerated runs keep their
+                // exact zero width.
+                half_width = half_width.max(z * total.abs().sqrt());
+            }
+            stats.insert(
+                key.to_string(),
+                StatEstimate {
+                    value: total,
+                    half_width,
+                },
+            );
+        }
+
+        // Ratios from counter estimates, with interval-quotient bars.
+        for &(key, num_key, den_key) in RATIO_KEYS {
+            let num = stats[num_key];
+            let den = stats[den_key];
+            let clamp = key == "fabric.data_utilization";
+            stats.insert(key.to_string(), ratio_estimate(num, den, clamp));
+        }
+
+        Ok(SampledEstimate {
+            stats,
+            cycles_simulated,
+            cycles_full: profile.profiled_makespan,
+            intervals_simulated: sampled.len(),
+            intervals_total: profile.intervals,
+            phases: profile.phases.len(),
+            seed: scfg.seed,
+            interval_events: scfg.interval_events,
+        })
+    }
+}
+
+/// Per-interval counter deltas `after - before` over [`COUNTER_KEYS`].
+fn stat_deltas(before: &StatSet, after: &StatSet) -> BTreeMap<&'static str, f64> {
+    COUNTER_KEYS
+        .iter()
+        .map(|&k| {
+            (
+                k,
+                after.get(k).unwrap_or(0.0) - before.get(k).unwrap_or(0.0),
+            )
+        })
+        .collect()
+}
+
+/// `num/den` with the conservative interval quotient `[lo/hi', hi/lo']`
+/// folded into a symmetric bar. A zero denominator estimate yields 0 (the
+/// same convention as the ground-truth rates); a denominator bar crossing
+/// zero yields a bar as wide as the value itself (no information).
+fn ratio_estimate(num: StatEstimate, den: StatEstimate, clamp_to_one: bool) -> StatEstimate {
+    if den.value <= 0.0 {
+        return StatEstimate {
+            value: 0.0,
+            half_width: 0.0,
+        };
+    }
+    let mut value = num.value / den.value;
+    if clamp_to_one {
+        value = value.min(1.0);
+    }
+    let d_lo = den.lo();
+    if d_lo <= 0.0 {
+        return StatEstimate {
+            value,
+            half_width: value.abs().max(1.0),
+        };
+    }
+    let mut lo = num.lo().max(0.0) / den.hi();
+    let mut hi = num.hi() / d_lo;
+    if clamp_to_one {
+        lo = lo.min(1.0);
+        hi = hi.min(1.0);
+    }
+    let half_width = (value - lo).max(hi - value).max(0.0);
+    StatEstimate { value, half_width }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_is_deterministic_and_groups_obvious_clusters() {
+        let mut bbvs = Vec::new();
+        for i in 0..8 {
+            let jitter = i as f64 * 1e-3;
+            bbvs.push(vec![1.0 - jitter, jitter, 0.0]);
+        }
+        for i in 0..8 {
+            let jitter = i as f64 * 1e-3;
+            bbvs.push(vec![0.0, jitter, 1.0 - jitter]);
+        }
+        let cfg = SampleConfig::default();
+        let a = cluster_phases(&bbvs, &cfg);
+        let b = cluster_phases(&bbvs, &cfg);
+        assert_eq!(a, b, "clustering must be deterministic");
+        assert_eq!(a.len(), 2, "two well-separated clusters: {a:?}");
+        assert_eq!(a[0], (0..8).collect::<Vec<_>>());
+        assert_eq!(a[1], (8..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_phase_collapses_to_one_cluster() {
+        let bbvs = vec![vec![0.5, 0.5]; 10];
+        let groups = cluster_phases(&bbvs, &SampleConfig::default());
+        assert_eq!(groups.len(), 1, "identical BBVs are one phase: {groups:?}");
+    }
+
+    #[test]
+    fn representatives_start_with_medoid_and_respect_population() {
+        let bbvs = vec![vec![1.0, 0.0]; 5];
+        let phases = elect_representatives(
+            &bbvs,
+            vec![vec![0, 1, 2, 3, 4]],
+            &SampleConfig {
+                samples_per_phase: 3,
+                ..SampleConfig::default()
+            },
+        );
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].sampled.len(), 3);
+        for s in &phases[0].sampled {
+            assert!(phases[0].members.contains(s));
+        }
+        // Singleton phase: exactly one representative.
+        let phases = elect_representatives(&bbvs, vec![vec![2]], &SampleConfig::default());
+        assert_eq!(phases[0].sampled, vec![2]);
+    }
+
+    #[test]
+    fn ratio_bars_are_conservative() {
+        let num = StatEstimate {
+            value: 50.0,
+            half_width: 5.0,
+        };
+        let den = StatEstimate {
+            value: 100.0,
+            half_width: 10.0,
+        };
+        let r = ratio_estimate(num, den, false);
+        assert!((r.value - 0.5).abs() < 1e-12);
+        // True ratio from any contained num/den must be inside the bar.
+        assert!(r.contains(45.0 / 110.0));
+        assert!(r.contains(55.0 / 90.0));
+        // Zero denominator: the ground-truth convention.
+        let z = ratio_estimate(
+            num,
+            StatEstimate {
+                value: 0.0,
+                half_width: 0.0,
+            },
+            false,
+        );
+        assert_eq!(z.value, 0.0);
+        // Clamped utilization's point estimate never exceeds 1, and a
+        // saturated ground truth stays inside the bar.
+        let u = ratio_estimate(
+            StatEstimate {
+                value: 120.0,
+                half_width: 30.0,
+            },
+            StatEstimate {
+                value: 100.0,
+                half_width: 1.0,
+            },
+            true,
+        );
+        assert!(u.value <= 1.0);
+        assert!(u.contains(1.0));
+    }
+}

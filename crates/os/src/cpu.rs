@@ -220,6 +220,17 @@ impl SwExec {
         self.instrs
     }
 
+    /// Turns on the interpreter's per-block entry counting (BBV phase
+    /// profiling). Instrumentation only — snapshot images are unaffected.
+    pub fn enable_block_profile(&mut self) {
+        self.interp.enable_block_profile();
+    }
+
+    /// Per-block entry counters (empty unless profiling is enabled).
+    pub fn block_visits(&self) -> &[u64] {
+        self.interp.block_visits()
+    }
+
     fn charge_cpu(&mut self, t: &mut Cycle, cpu_cycles: u64) {
         self.cpu_half_cycles += cpu_cycles;
         let fabric = self.cpu_half_cycles / 2;

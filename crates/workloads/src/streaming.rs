@@ -115,6 +115,47 @@ pub fn vecadd(n: u64, seed: u64) -> Workload {
     }
 }
 
+/// Builds a fan-out `vecadd` workload: `threads` identical hardware-
+/// eligible threads, each adding its own `n`-element slice of the shared
+/// inputs into its slice of the shared output. All masters contend for
+/// the same memory fabric, which makes this the natural microbenchmark
+/// for fabric-saturation sweeps (outstanding window × master count).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn fanout_vecadd(threads: usize, n: u64, seed: u64) -> Workload {
+    assert!(threads > 0, "at least one thread");
+    let total = threads as u64 * n;
+    let mut rng = Xoshiro256ss::new(seed ^ 0xFA40);
+    let a: Vec<i32> = (0..total).map(|_| rng.next_u32() as i32 >> 8).collect();
+    let b: Vec<i32> = (0..total).map(|_| rng.next_u32() as i32 >> 8).collect();
+    let expected: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_add(*y)).collect();
+    let mut builder = ApplicationBuilder::new("fanout-vecadd")
+        .buffer("a", total * 4, i32s_to_bytes(&a), false)
+        .buffer("b", total * 4, i32s_to_bytes(&b), false)
+        .buffer("dst", total * 4, vec![], false);
+    for t in 0..threads {
+        let off = t as u64 * n * 4;
+        builder = builder.thread(
+            format!("t{t}"),
+            vecadd_kernel(),
+            vec![
+                ArgSpec::Buffer(0, off),
+                ArgSpec::Buffer(1, off),
+                ArgSpec::Buffer(2, off),
+                ArgSpec::Value(n as i64),
+            ],
+            true,
+        );
+    }
+    Workload {
+        name: format!("fanout-vecadd-x{threads}"),
+        app: builder.build().expect("fanout-vecadd app is valid"),
+        expected: vec![(2, i32s_to_bytes(&expected))],
+    }
+}
+
 /// Builds the `saxpy` workload for `n` elements.
 pub fn saxpy(n: u64, seed: u64) -> Workload {
     let mut rng = Xoshiro256ss::new(seed ^ 0x5A5A);

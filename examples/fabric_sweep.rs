@@ -1,0 +1,65 @@
+//! Fabric-saturation sweep (the Figure 6 axis): how far does widening the
+//! per-master outstanding window get you as master count grows, and where
+//! does the shared data channel saturate?
+//!
+//! Sweeps outstanding window × hardware-thread count over the fan-out
+//! `vecadd` microbenchmark (every master streams its own slice through the
+//! one fabric) and prints makespan, mean outstanding transactions, and
+//! data-channel utilization per point. Utilization → 1.0 reads as "the
+//! channel is the bottleneck; more window or more masters buys nothing".
+//!
+//! Run with `cargo run --release --example fabric_sweep`.
+
+use svmsyn::flow::{synthesize, Placement};
+use svmsyn::platform::Platform;
+use svmsyn::report::{fmt_cycles, fmt_ratio, Table};
+use svmsyn::sim::{simulate, SimConfig};
+use svmsyn_mem::FabricConfig;
+use svmsyn_workloads::streaming::fanout_vecadd;
+
+/// One sweep point: simulate `threads` hardware vecadd masters under a
+/// `window`-deep outstanding fabric and return
+/// `(makespan, outstanding_mean, data_utilization)`.
+fn sweep_point(window: u32, threads: usize, n: u64) -> (u64, f64, f64) {
+    let w = fanout_vecadd(threads, n, 0xFAB);
+    let platform = Platform::default().with_fabric(FabricConfig {
+        window,
+        ..FabricConfig::default()
+    });
+    let placements = vec![Placement::Hardware; threads];
+    let design = synthesize(&w.app, &platform, &placements).expect("sweep point synthesizes");
+    let outcome = simulate(&design, &SimConfig::default()).expect("sweep point simulates");
+    w.verify(&outcome).expect("sweep point computes correctly");
+    let stats = outcome.stats();
+    (
+        outcome.makespan.0,
+        stats.get("fabric.outstanding_mean").unwrap_or(0.0),
+        stats.get("fabric.data_utilization").unwrap_or(0.0),
+    )
+}
+
+/// Builds the saturation table for the given axes.
+pub fn saturation_table(windows: &[u32], thread_counts: &[usize], n: u64) -> Table {
+    let mut table = Table::new(
+        "fabric saturation: outstanding window x hardware threads",
+        &["window", "threads", "makespan", "outstanding", "data util"],
+    );
+    for &window in windows {
+        for &threads in thread_counts {
+            let (makespan, outstanding, util) = sweep_point(window, threads, n);
+            table.row_owned(vec![
+                window.to_string(),
+                threads.to_string(),
+                fmt_cycles(makespan),
+                format!("{outstanding:.2}"),
+                fmt_ratio(util),
+            ]);
+        }
+    }
+    table
+}
+
+fn main() {
+    let table = saturation_table(&[1, 2, 4, 8], &[1, 2, 4], 1024);
+    print!("{table}");
+}

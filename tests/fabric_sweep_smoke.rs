@@ -1,0 +1,58 @@
+//! Smoke test for the fabric-saturation sweep (`examples/fabric_sweep.rs`):
+//! a miniature of the same sweep must run end to end, compute correct
+//! output bytes at every point, and show the physically expected shape —
+//! more masters contending for one fabric never shrinks the makespan, and
+//! widening the outstanding window never grows it.
+
+use svmsyn::flow::{synthesize, Placement};
+use svmsyn::platform::Platform;
+use svmsyn::sim::{simulate, SimConfig};
+use svmsyn_mem::FabricConfig;
+use svmsyn_workloads::streaming::fanout_vecadd;
+
+fn sweep_point(window: u32, threads: usize, n: u64) -> (u64, f64) {
+    let w = fanout_vecadd(threads, n, 0xFAB);
+    let platform = Platform::default().with_fabric(FabricConfig {
+        window,
+        ..FabricConfig::default()
+    });
+    let placements = vec![Placement::Hardware; threads];
+    let design = synthesize(&w.app, &platform, &placements).expect("sweep point synthesizes");
+    let outcome = simulate(&design, &SimConfig::default()).expect("sweep point simulates");
+    w.verify(&outcome).expect("sweep point computes correctly");
+    let util = outcome
+        .stats()
+        .get("fabric.data_utilization")
+        .expect("fabric.data_utilization is reported");
+    (outcome.makespan.0, util)
+}
+
+#[test]
+fn fabric_sweep_runs_and_saturates_sanely() {
+    let n = 256;
+    let mut by_point = std::collections::BTreeMap::new();
+    for window in [1u32, 4] {
+        for threads in [1usize, 2, 4] {
+            let (makespan, util) = sweep_point(window, threads, n);
+            assert!(makespan > 0, "w{window} t{threads}: empty run");
+            assert!(
+                (0.0..=1.0).contains(&util),
+                "w{window} t{threads}: utilization {util} out of range"
+            );
+            by_point.insert((window, threads), makespan);
+        }
+    }
+    for window in [1u32, 4] {
+        assert!(
+            by_point[&(window, 1)] <= by_point[&(window, 2)]
+                && by_point[&(window, 2)] <= by_point[&(window, 4)],
+            "window {window}: adding masters shrank the makespan: {by_point:?}"
+        );
+    }
+    for threads in [1usize, 2, 4] {
+        assert!(
+            by_point[&(4, threads)] <= by_point[&(1, threads)],
+            "threads {threads}: widening the window slowed the run: {by_point:?}"
+        );
+    }
+}

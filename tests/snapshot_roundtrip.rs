@@ -252,6 +252,68 @@ fn checkpoint_survives_disk_roundtrip() {
     assert!(Sim::restore(&design, &cfg, &back).is_ok());
 }
 
+#[test]
+fn read_from_zero_length_file_loads_then_restore_rejects_truncated() {
+    let (design, cfg, _) = sample_checkpoint();
+    let path = std::env::temp_dir().join("svmsyn_snapshot_zero_len_test.ckpt");
+    std::fs::write(&path, b"").unwrap();
+    // Loading is pure I/O — contents are validated at restore, so an
+    // empty file loads fine…
+    let cp = Checkpoint::read_from(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(cp.is_empty());
+    // …and restore then rejects it with a typed error, never a panic.
+    let err = Sim::restore(&design, &cfg, &cp).unwrap_err();
+    assert!(
+        matches!(err, SimError::Snapshot(SnapError::Truncated { .. })),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn read_from_truncated_at_every_header_boundary_is_typed() {
+    let (design, cfg, cp) = sample_checkpoint();
+    let path = std::env::temp_dir().join("svmsyn_snapshot_truncation_test.ckpt");
+    // Header layout: magic (8) | version (4) | fingerprint (8) |
+    // payload_len (8), then payload, then a checksum trailer (8). Cut the
+    // on-disk image at each field edge, one byte past, one byte short of
+    // the minimum viable image, at the minimum itself (payload missing),
+    // and mid-payload. Every cut must load (I/O is not validation) and
+    // then fail restore with a typed snapshot error.
+    for cut in [8usize, 9, 12, 20, 28, 35, 36, cp.len() / 2] {
+        let bytes = &cp.as_bytes()[..cut];
+        std::fs::write(&path, bytes).unwrap();
+        let loaded = Checkpoint::read_from(&path).unwrap();
+        assert_eq!(
+            loaded.as_bytes(),
+            bytes,
+            "cut {cut}: disk roundtrip drifted"
+        );
+        let err = Sim::restore(&design, &cfg, &loaded).unwrap_err();
+        match err {
+            SimError::Snapshot(SnapError::Truncated { .. }) => {}
+            // A mid-payload cut may be caught by the checksum first —
+            // still typed, still never a panic.
+            SimError::Snapshot(SnapError::Checksum { .. }) if cut > 36 => {}
+            other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn read_from_directory_path_is_io_error() {
+    let dir = std::env::temp_dir();
+    let err = Checkpoint::read_from(&dir).unwrap_err();
+    // Reading a directory is an I/O error surfaced as such, not a panic
+    // and not a silently empty checkpoint.
+    assert_ne!(err.kind(), std::io::ErrorKind::NotFound, "got {err:?}");
+
+    let missing = dir.join("svmsyn_snapshot_no_such_file.ckpt");
+    let err = Checkpoint::read_from(&missing).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound, "got {err:?}");
+}
+
 /// Satellite audit: `SimError` is a real `std::error::Error` — every
 /// variant Displays non-empty, and wrapper variants expose their cause
 /// through `source()`.
