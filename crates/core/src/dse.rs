@@ -14,17 +14,32 @@
 //! placement vector: a configuration the search revisits is never
 //! re-simulated. Simulation is deterministic, so the parallel sweep returns
 //! bit-identical results to the serial one.
+//!
+//! Below the in-process memo sits an optional **second-level cache**: a
+//! persistent content-addressed [`ResultStore`] ([`DseConfig::store`] or
+//! [`explore_with_store`]). A memo miss probes the store before simulating,
+//! and every fresh evaluation is published back, so identical evaluation
+//! requests — across processes, sweeps, and tenants — pay the simulation
+//! cost once. Store keys are canonical snap encodings of
+//! `(app fingerprint, platform fingerprint, variant, placements)` hashed
+//! with fnv1a-64 (see [`crate::fingerprint`]); panicking candidates are
+//! never published, so a transient environment failure cannot poison the
+//! shared store.
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use svmsyn_mem::FabricConfig;
 use svmsyn_sim::{Cycle, FabricResources, Xoshiro256ss};
+use svmsyn_snap::{SnapError, SnapReader, SnapWriter};
+use svmsyn_store::ResultStore;
 use svmsyn_vm::walker::WalkerConfig;
 
 use crate::app::Application;
+use crate::fingerprint::{app_fingerprint, platform_fingerprint};
 use crate::flow::{synthesize, Placement};
 use crate::platform::{Platform, PressurePoint};
 use crate::sim::{simulate, SimConfig};
@@ -75,6 +90,12 @@ pub struct DseConfig {
     /// swap latency) to sweep as a design axis, crossed with every other
     /// axis. Empty means the platform's configured pressure point only.
     pub pressure_axis: Vec<PressurePoint>,
+    /// Root directory of a persistent content-addressed result store to
+    /// consult below the in-process memo (memo miss → store probe →
+    /// simulate → publish). `None` disables persistence. To share one open
+    /// store handle across many explorations, use [`explore_with_store`]
+    /// instead.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for DseConfig {
@@ -89,6 +110,7 @@ impl Default for DseConfig {
             fabric_axis: Vec::new(),
             memif_axis: Vec::new(),
             pressure_axis: Vec::new(),
+            store: None,
         }
     }
 }
@@ -123,6 +145,13 @@ pub struct DseResult {
     /// Of `evaluated`, how many were served from the memo table without a
     /// simulation.
     pub cache_hits: usize,
+    /// Memo misses served from the persistent result store without a
+    /// simulation (always 0 when no store is configured).
+    pub store_hits: usize,
+    /// Memo misses the store could not answer — each one cost a real
+    /// simulation, then was published back (always 0 when no store is
+    /// configured).
+    pub store_misses: usize,
     /// All feasible evaluated points.
     pub feasible: Vec<DsePoint>,
     /// The non-dominated (LUT, makespan) front, sorted by LUT.
@@ -154,6 +183,9 @@ pub enum DseError {
         /// Eligible thread count.
         eligible: usize,
     },
+    /// The configured result store could not be opened (the message is the
+    /// underlying store error, stringified to keep this type `Clone + Eq`).
+    Store(String),
 }
 
 impl std::fmt::Display for DseError {
@@ -166,6 +198,7 @@ impl std::fmt::Display for DseError {
                     "{eligible} eligible threads is too many for exhaustive search"
                 )
             }
+            DseError::Store(msg) => write!(f, "result store unavailable: {msg}"),
         }
     }
 }
@@ -215,6 +248,109 @@ fn evaluate_guarded(
     .map_err(panic_message)
 }
 
+/// Version tag of the store key layout. Bumped whenever the key encoding
+/// below changes shape, so old records simply stop matching instead of
+/// being misinterpreted.
+const STORE_KEY_VERSION: u32 = 1;
+
+/// The canonical store-key prefix for one `(app, platform variant, sim)`
+/// combination: everything but the placement vector. Appending the
+/// placements (one byte each) completes a key.
+///
+/// The platform fingerprint already covers the walker/fabric/memif/pressure
+/// variant (variants are materialized as whole platforms), but the variant
+/// axes are also encoded explicitly so the key is self-describing — the key
+/// layout is `(app, platform, variant, placements)` exactly as the store
+/// contract states, not an implementation coincidence of the fingerprint.
+///
+/// `SimConfig::checkpoint_every` is deliberately excluded: periodic
+/// checkpoint pauses are transparent to results (`simulate` resumes
+/// bit-identically — the checkpoint/restore suite proves it), so two runs
+/// differing only in pause cadence must share records.
+fn store_key_prefix(app_fp: u64, variant: &Platform, sim: &SimConfig) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_u32(STORE_KEY_VERSION);
+    w.put_u64(app_fp);
+    w.put_u64(platform_fingerprint(variant));
+    // Variant axes, explicit.
+    w.put_usize(variant.memif.mmu.walker.l1_entries);
+    w.put_usize(variant.memif.mmu.walker.l2_entries);
+    w.put_u64(variant.mem.fabric.width_bytes);
+    w.put_u64(variant.mem.fabric.arb_cycles);
+    w.put_u32(variant.mem.fabric.window);
+    w.put_u32(variant.mem.fabric.mshrs);
+    w.put_u64(variant.mem.fabric.mshr_line_bytes);
+    w.put_u32(variant.memif.miss_depth);
+    let pressure = variant.pressure_point();
+    match pressure.frame_budget {
+        None => w.put_u8(0),
+        Some(n) => {
+            w.put_u8(1);
+            w.put_u64(n);
+        }
+    }
+    w.put_u8(match pressure.policy {
+        svmsyn_os::AllocPolicy::Lazy => 0,
+        svmsyn_os::AllocPolicy::Eager => 1,
+    });
+    w.put_u64(pressure.swap_latency);
+    // Simulation options that can change results.
+    w.put_u64(sim.quantum);
+    w.put_u64(sim.max_events);
+    w.put_u32(sim.fault_retry_budget);
+    w.put_u64(sim.thrash_window);
+    w.put_u32(sim.thrash_fault_limit);
+    w.into_bytes()
+}
+
+/// Encodes an evaluation outcome for the store. Only what the key does not
+/// already determine is stored: feasibility, resource usage, makespan. The
+/// full [`DsePoint`] is reconstructed from the key's context on read.
+fn encode_store_value(point: &Option<DsePoint>) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    match point {
+        None => w.put_u8(0),
+        Some(p) => {
+            w.put_u8(1);
+            w.put_u64(p.resources.lut);
+            w.put_u64(p.resources.ff);
+            w.put_u64(p.resources.dsp);
+            w.put_u64(p.resources.bram36);
+            w.put_u64(p.makespan.0);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a store value back into an evaluation outcome, reattaching the
+/// variant context the key encodes. A malformed value yields `Err` and the
+/// caller treats the probe as a miss (re-simulate + republish heals it).
+fn decode_store_value(
+    bytes: &[u8],
+    variant: &Platform,
+    placements: &[Placement],
+) -> Result<Option<DsePoint>, SnapError> {
+    let mut r = SnapReader::new(bytes);
+    match r.take_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(DsePoint {
+            placements: placements.to_vec(),
+            walker: variant.memif.mmu.walker,
+            fabric: variant.mem.fabric.clone(),
+            miss_depth: variant.memif.miss_depth,
+            pressure: variant.pressure_point(),
+            resources: FabricResources {
+                lut: r.take_u64()?,
+                ff: r.take_u64()?,
+                dsp: r.take_u64()?,
+                bram36: r.take_u64()?,
+            },
+            makespan: Cycle(r.take_u64()?),
+        })),
+        _ => Err(SnapError::Corrupt("store value tag")),
+    }
+}
+
 fn placements_from_mask(app: &Application, eligible: &[usize], mask: u64) -> Vec<Placement> {
     let mut p = vec![Placement::Software; app.threads.len()];
     for (bit, &t) in eligible.iter().enumerate() {
@@ -254,14 +390,26 @@ struct Evaluator<'a> {
     workers: usize,
     /// One memo table per walk-cache variant, keyed by placement vector.
     memo: Vec<HashMap<Vec<Placement>, Option<DsePoint>>>,
+    /// The persistent second-level cache, if configured.
+    store: Option<&'a ResultStore>,
+    /// Per-variant canonical key prefix (empty when no store): key =
+    /// prefix ++ one byte per placement.
+    key_prefix: Vec<Vec<u8>>,
     evaluated: usize,
     cache_hits: usize,
+    store_hits: usize,
+    store_misses: usize,
     /// Candidates whose evaluation panicked (memoized as infeasible).
     panics: Vec<DsePanic>,
 }
 
 impl<'a> Evaluator<'a> {
-    fn new(app: &'a Application, platform: &'a Platform, cfg: &DseConfig) -> Self {
+    fn new(
+        app: &'a Application,
+        platform: &'a Platform,
+        cfg: &DseConfig,
+        store: Option<&'a ResultStore>,
+    ) -> Self {
         let workers = if cfg.threads == 0 {
             thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -302,6 +450,15 @@ impl<'a> Evaluator<'a> {
                 .collect()
         };
         let memo = vec![HashMap::new(); variants.len()];
+        let key_prefix = if store.is_some() {
+            let app_fp = app_fingerprint(app);
+            variants
+                .iter()
+                .map(|v| store_key_prefix(app_fp, v, &cfg.sim))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Evaluator {
             app,
             variants,
@@ -309,9 +466,61 @@ impl<'a> Evaluator<'a> {
             sim: cfg.sim,
             workers,
             memo,
+            store,
+            key_prefix,
             evaluated: 0,
             cache_hits: 0,
+            store_hits: 0,
+            store_misses: 0,
             panics: Vec::new(),
+        }
+    }
+
+    /// The full store key for one candidate under one variant.
+    fn store_key(&self, variant: usize, placements: &[Placement]) -> Vec<u8> {
+        let mut key = self.key_prefix[variant].clone();
+        for p in placements {
+            key.push(match p {
+                Placement::Software => 0,
+                Placement::Hardware => 1,
+            });
+        }
+        key
+    }
+
+    /// Probes the store for a memo-missed candidate. `Some(outcome)` is a
+    /// store hit (outcome may still be "infeasible"); `None` means the
+    /// caller must simulate. Malformed values read back as misses.
+    fn store_probe(
+        &mut self,
+        variant: usize,
+        placements: &[Placement],
+    ) -> Option<Option<DsePoint>> {
+        let store = self.store?;
+        let key = self.store_key(variant, placements);
+        let outcome = store
+            .get(&key)
+            .and_then(|v| decode_store_value(&v, &self.variants[variant], placements).ok());
+        match outcome {
+            Some(point) => {
+                self.store_hits += 1;
+                Some(point)
+            }
+            None => {
+                self.store_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Publishes a freshly simulated outcome. Best-effort: a full disk or
+    /// permission error costs persistence, not the sweep. Panicked
+    /// candidates never reach here — a transient crash must not be
+    /// republished to every future consumer as "infeasible".
+    fn store_publish(&self, variant: usize, placements: &[Placement], point: &Option<DsePoint>) {
+        if let Some(store) = self.store {
+            let key = self.store_key(variant, placements);
+            let _ = store.put(&key, &encode_store_value(point));
         }
     }
 
@@ -327,8 +536,15 @@ impl<'a> Evaluator<'a> {
             self.cache_hits += 1;
             return cached.clone();
         }
+        if let Some(stored) = self.store_probe(self.current, placements) {
+            self.memo[self.current].insert(placements.to_vec(), stored.clone());
+            return stored;
+        }
         let point = match evaluate_guarded(self.app, self.platform(), placements, &self.sim) {
-            Ok(point) => point,
+            Ok(point) => {
+                self.store_publish(self.current, placements, &point);
+                point
+            }
             Err(message) => {
                 self.panics.push(DsePanic {
                     placements: placements.to_vec(),
@@ -347,20 +563,41 @@ impl<'a> Evaluator<'a> {
     fn eval_batch(&mut self, candidates: &[Vec<Placement>]) -> Vec<Option<DsePoint>> {
         self.evaluated += candidates.len();
         let variant = self.current;
-        let mut misses: Vec<&Vec<Placement>> = Vec::new();
+        let mut memo_misses: Vec<&Vec<Placement>> = Vec::new();
         let mut seen: HashSet<&Vec<Placement>> = HashSet::new();
         for c in candidates {
             if !self.memo[variant].contains_key(c) && seen.insert(c) {
-                misses.push(c);
+                memo_misses.push(c);
             }
         }
-        self.cache_hits += candidates.len() - misses.len();
+        self.cache_hits += candidates.len() - memo_misses.len();
+
+        // Second-level cache: probe the persistent store for every memo
+        // miss before spending a simulation on it. Probes are cheap disk
+        // reads, so they stay on this thread; only real simulations fan
+        // out to the worker pool below.
+        let mut misses: Vec<&Vec<Placement>> = Vec::new();
+        if self.store.is_some() {
+            for c in memo_misses {
+                match self.store_probe(variant, c) {
+                    Some(stored) => {
+                        self.memo[variant].insert(c.clone(), stored);
+                    }
+                    None => misses.push(c),
+                }
+            }
+        } else {
+            misses = memo_misses;
+        }
 
         if misses.len() <= 1 || self.workers <= 1 {
             for c in misses {
                 let point = match evaluate_guarded(self.app, &self.variants[variant], c, &self.sim)
                 {
-                    Ok(point) => point,
+                    Ok(point) => {
+                        self.store_publish(variant, c, &point);
+                        point
+                    }
                     Err(message) => {
                         self.panics.push(DsePanic {
                             placements: c.clone(),
@@ -418,7 +655,13 @@ impl<'a> Evaluator<'a> {
             });
             for (placements, outcome) in results {
                 let point = match outcome {
-                    Ok(point) => point,
+                    Ok(point) => {
+                        // Publish on the coordinating thread after the join:
+                        // the store handle is shared, and panicked outcomes
+                        // (the Err arm) must never be persisted.
+                        self.store_publish(variant, &placements, &point);
+                        point
+                    }
                     Err(message) => {
                         self.panics.push(DsePanic {
                             placements: placements.clone(),
@@ -445,17 +688,45 @@ impl<'a> Evaluator<'a> {
 
 /// Explores the placement space and returns the best feasible design point.
 ///
+/// When [`DseConfig::store`] is set, a private [`ResultStore`] handle is
+/// opened for the duration of the call; to share one open handle across
+/// many explorations (the sweep-service pattern) use [`explore_with_store`].
+///
 /// # Errors
 ///
-/// Returns [`DseError`] when no feasible point exists or the exhaustive
-/// space is too large.
+/// Returns [`DseError`] when no feasible point exists, the exhaustive
+/// space is too large, or the configured store cannot be opened.
 pub fn explore(
     app: &Application,
     platform: &Platform,
     cfg: &DseConfig,
 ) -> Result<DseResult, DseError> {
+    match &cfg.store {
+        None => explore_with_store(app, platform, cfg, None),
+        Some(root) => {
+            let store = ResultStore::open(root).map_err(|e| DseError::Store(e.to_string()))?;
+            explore_with_store(app, platform, cfg, Some(&store))
+        }
+    }
+}
+
+/// [`explore`] against a caller-owned [`ResultStore`] handle (pass `None`
+/// to run purely in-memory; `cfg.store` is ignored here). The handle is
+/// internally synchronized, so one store can serve many concurrent
+/// explorations.
+///
+/// # Errors
+///
+/// Returns [`DseError`] when no feasible point exists or the exhaustive
+/// space is too large.
+pub fn explore_with_store(
+    app: &Application,
+    platform: &Platform,
+    cfg: &DseConfig,
+    store: Option<&ResultStore>,
+) -> Result<DseResult, DseError> {
     let eligible = app.hw_eligible();
-    let mut ev = Evaluator::new(app, platform, cfg);
+    let mut ev = Evaluator::new(app, platform, cfg, store);
     let mut feasible: Vec<DsePoint> = Vec::new();
 
     // The walk-cache axis: run the placement search once per walker
@@ -595,6 +866,8 @@ pub fn explore(
         best,
         evaluated: ev.evaluated,
         cache_hits: ev.cache_hits,
+        store_hits: ev.store_hits,
+        store_misses: ev.store_misses,
         feasible: unique,
         pareto,
         panics: ev.panics,
@@ -1081,6 +1354,109 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn store_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "svmsyn-dse-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    #[test]
+    fn warm_store_serves_repeat_exploration_from_disk() {
+        let a = app(2, 64);
+        let root = store_root("warm");
+        let cfg = DseConfig {
+            method: DseMethod::Exhaustive,
+            sim: fast_sim(),
+            store: Some(root.clone()),
+            ..DseConfig::default()
+        };
+        let cold = explore(&a, &Platform::default(), &cfg).unwrap();
+        assert_eq!(cold.store_hits, 0);
+        assert_eq!(
+            cold.store_misses, 4,
+            "every candidate missed the empty store"
+        );
+
+        // Fresh process simulation: a new explore (new memo) over the same
+        // store must answer everything from disk, bit-identically.
+        let warm = explore(&a, &Platform::default(), &cfg).unwrap();
+        assert_eq!(warm.store_hits, 4);
+        assert_eq!(warm.store_misses, 0);
+        assert_eq!(warm.best, cold.best);
+        assert_eq!(warm.feasible, cold.feasible);
+        assert_eq!(warm.pareto, cold.pareto);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn store_distinguishes_sim_and_platform_but_not_checkpoint_cadence() {
+        let a = app(1, 64);
+        let root = store_root("keys");
+        let store = svmsyn_store::ResultStore::open(&root).unwrap();
+        let cfg = DseConfig {
+            method: DseMethod::Exhaustive,
+            sim: fast_sim(),
+            ..DseConfig::default()
+        };
+        let platform = Platform::default();
+        explore_with_store(&a, &platform, &cfg, Some(&store)).unwrap();
+
+        // A different quantum changes event interleaving: distinct keys.
+        let other_sim = DseConfig {
+            sim: SimConfig {
+                quantum: fast_sim().quantum / 2,
+                ..fast_sim()
+            },
+            ..cfg.clone()
+        };
+        let r = explore_with_store(&a, &platform, &other_sim, Some(&store)).unwrap();
+        assert_eq!(r.store_hits, 0, "different sim options must not collide");
+
+        // A different platform variant: distinct keys.
+        let r = explore_with_store(&a, &platform.with_miss_depth(1), &cfg, Some(&store)).unwrap();
+        assert_eq!(r.store_hits, 0, "different platform must not collide");
+
+        // checkpoint_every is result-transparent (simulate resumes
+        // bit-identically), so it is excluded from the key: full hits.
+        let paused = DseConfig {
+            sim: SimConfig {
+                checkpoint_every: 10_000,
+                ..fast_sim()
+            },
+            ..cfg
+        };
+        let r = explore_with_store(&a, &platform, &paused, Some(&store)).unwrap();
+        assert_eq!(r.store_misses, 0, "pause cadence must share records");
+        assert_eq!(r.store_hits, r.evaluated - r.cache_hits);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn panicking_candidates_are_not_published() {
+        let a = app(1, 64);
+        let root = store_root("panic");
+        let mut platform = Platform::default();
+        platform.memif.line_bytes = 4; // HW candidates panic in Memif::new
+        let cfg = DseConfig {
+            method: DseMethod::Exhaustive,
+            sim: fast_sim(),
+            store: Some(root.clone()),
+            ..DseConfig::default()
+        };
+        let first = explore(&a, &platform, &cfg).unwrap();
+        assert_eq!(first.panics.len(), 1);
+        // Only the surviving all-software evaluation was persisted; the
+        // panicked candidate must stay unpublished and re-run next time.
+        let second = explore(&a, &platform, &cfg).unwrap();
+        assert_eq!(second.store_hits, 1);
+        assert_eq!(second.store_misses, 1);
+        assert_eq!(second.panics.len(), 1);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

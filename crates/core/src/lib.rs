@@ -23,6 +23,8 @@
 //!   divergence bisector.
 //! * [`baseline`] — the copy-based DMA accelerator flow the SVM approach is
 //!   compared against (Figure 4).
+//! * [`fingerprint`] — canonical content hashes of applications and
+//!   platforms: the key material of the content-addressed result store.
 //! * [`report`] — text tables for the experiment harnesses.
 //! * [`sample`] — SimPoint-style sampled simulation: BBV phase profiling,
 //!   deterministic k-means clustering, and checkpoint-fast-forwarded
@@ -64,6 +66,7 @@ pub mod app;
 pub mod baseline;
 pub mod checkpoint;
 pub mod dse;
+pub mod fingerprint;
 pub mod flow;
 pub mod platform;
 pub mod report;
@@ -75,7 +78,8 @@ pub use checkpoint::{
     bisect_divergence, digest_at, fork_swap_sweep, BisectSide, Checkpoint, Divergence, ForkArm,
     ForkError,
 };
-pub use dse::{explore, DseConfig, DseMethod, DsePanic, DseResult};
+pub use dse::{explore, explore_with_store, DseConfig, DseError, DseMethod, DsePanic, DseResult};
+pub use fingerprint::{app_fingerprint, platform_fingerprint};
 pub use flow::{synthesize, Placement, SynthesisError, SystemDesign};
 pub use platform::{Platform, PressurePoint};
 pub use sample::{SampleConfig, SampleProfile, SampledEstimate, SampledRun, StatEstimate};

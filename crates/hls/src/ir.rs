@@ -418,6 +418,142 @@ impl Kernel {
     pub fn is_empty(&self) -> bool {
         self.instrs.is_empty()
     }
+
+    /// Writes a canonical binary encoding of the kernel into `w`.
+    ///
+    /// Every field that affects synthesis or execution is encoded with fixed
+    /// tags and little-endian scalars — the bytes are a pure function of the
+    /// kernel's content, so two processes that build the same kernel produce
+    /// identical encodings. This is what content-addressed store keys hash;
+    /// there is no matching decoder because the store never needs to
+    /// reconstruct a kernel from its key.
+    pub fn encode_canonical(&self, w: &mut svmsyn_snap::SnapWriter) {
+        w.put_str(&self.name);
+        w.put_u16(self.num_args);
+        w.put_usize(self.instrs.len());
+        for instr in &self.instrs {
+            encode_op(&instr.op, w);
+        }
+        w.put_usize(self.blocks.len());
+        for block in &self.blocks {
+            w.put_usize(block.instrs.len());
+            for v in &block.instrs {
+                w.put_u32(v.0);
+            }
+            encode_terminator(&block.term, w);
+        }
+        w.put_u32(self.entry.0);
+    }
+}
+
+fn encode_op(op: &Op, w: &mut svmsyn_snap::SnapWriter) {
+    match op {
+        Op::Const(v) => {
+            w.put_u8(0);
+            w.put_i64(*v);
+        }
+        Op::Arg(n) => {
+            w.put_u8(1);
+            w.put_u16(*n);
+        }
+        Op::Bin(op, a, b) => {
+            w.put_u8(2);
+            w.put_u8(binop_tag(*op));
+            w.put_u32(a.0);
+            w.put_u32(b.0);
+        }
+        Op::Cmp(op, a, b) => {
+            w.put_u8(3);
+            w.put_u8(cmpop_tag(*op));
+            w.put_u32(a.0);
+            w.put_u32(b.0);
+        }
+        Op::Select(c, a, b) => {
+            w.put_u8(4);
+            w.put_u32(c.0);
+            w.put_u32(a.0);
+            w.put_u32(b.0);
+        }
+        Op::Load { addr, width } => {
+            w.put_u8(5);
+            w.put_u32(addr.0);
+            svmsyn_snap::Snap::save(width, w);
+        }
+        Op::Store { addr, value, width } => {
+            w.put_u8(6);
+            w.put_u32(addr.0);
+            w.put_u32(value.0);
+            svmsyn_snap::Snap::save(width, w);
+        }
+        Op::Phi(incoming) => {
+            w.put_u8(7);
+            w.put_usize(incoming.len());
+            for (block, v) in incoming {
+                w.put_u32(block.0);
+                w.put_u32(v.0);
+            }
+        }
+    }
+}
+
+fn encode_terminator(term: &Terminator, w: &mut svmsyn_snap::SnapWriter) {
+    match term {
+        Terminator::Jump(b) => {
+            w.put_u8(0);
+            w.put_u32(b.0);
+        }
+        Terminator::Branch {
+            cond,
+            then_to,
+            else_to,
+        } => {
+            w.put_u8(1);
+            w.put_u32(cond.0);
+            w.put_u32(then_to.0);
+            w.put_u32(else_to.0);
+        }
+        Terminator::Return(v) => {
+            w.put_u8(2);
+            match v {
+                Some(v) => {
+                    w.put_u8(1);
+                    w.put_u32(v.0);
+                }
+                None => w.put_u8(0),
+            }
+        }
+    }
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+        BinOp::Sra => 10,
+        BinOp::Min => 11,
+        BinOp::Max => 12,
+    }
+}
+
+fn cmpop_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+        CmpOp::Ult => 6,
+        CmpOp::Ule => 7,
+    }
 }
 
 impl fmt::Display for Kernel {

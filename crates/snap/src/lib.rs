@@ -19,6 +19,10 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+pub mod hash;
+
+pub use hash::{fnv1a, Fnv1a};
+
 /// Typed failure from decoding a snapshot image or payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapError {
@@ -459,16 +463,6 @@ impl<T: Snap + Default + Copy, const N: usize> Snap for [T; N] {
     }
 }
 
-/// FNV-1a 64-bit hash — the image checksum and fingerprint primitive.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// Image magic: "SVMSNAP" + format byte.
 pub const MAGIC: [u8; 8] = *b"SVMSNAP\0";
 
@@ -484,12 +478,12 @@ const TRAILER_LEN: usize = 8;
 pub fn write_image(version: u32, fingerprint: u64, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&version.to_le_bytes());
-    out.extend_from_slice(&fingerprint.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    hash::write_u32_le(&mut out, version);
+    hash::write_u64_le(&mut out, fingerprint);
+    hash::write_u64_le(&mut out, payload.len() as u64);
     out.extend_from_slice(payload);
     let sum = fnv1a(&out);
-    out.extend_from_slice(&sum.to_le_bytes());
+    hash::write_u64_le(&mut out, sum);
     out
 }
 
@@ -508,15 +502,15 @@ pub fn read_image(image: &[u8], expected_version: u32) -> Result<(u64, &[u8]), S
     if image[..8] != MAGIC {
         return Err(SnapError::BadMagic);
     }
-    let version = u32::from_le_bytes(image[8..12].try_into().unwrap());
+    let version = hash::read_u32_le(image, 8).expect("length checked above");
     if version != expected_version {
         return Err(SnapError::Version {
             found: version,
             expected: expected_version,
         });
     }
-    let fingerprint = u64::from_le_bytes(image[12..20].try_into().unwrap());
-    let payload_len = u64::from_le_bytes(image[20..28].try_into().unwrap());
+    let fingerprint = hash::read_u64_le(image, 12).expect("length checked above");
+    let payload_len = hash::read_u64_le(image, 20).expect("length checked above");
     let body_len = image.len() - HEADER_LEN - TRAILER_LEN;
     if payload_len != body_len as u64 {
         return Err(SnapError::Truncated {
@@ -527,7 +521,7 @@ pub fn read_image(image: &[u8], expected_version: u32) -> Result<(u64, &[u8]), S
         });
     }
     let sum_offset = image.len() - TRAILER_LEN;
-    let found = u64::from_le_bytes(image[sum_offset..].try_into().unwrap());
+    let found = hash::read_u64_le(image, sum_offset).expect("length checked above");
     let computed = fnv1a(&image[..sum_offset]);
     if found != computed {
         return Err(SnapError::Checksum { found, computed });

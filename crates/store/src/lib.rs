@@ -1,0 +1,476 @@
+//! # svmsyn-store — disk-backed content-addressed results
+//!
+//! A persistent second-level cache for DSE evaluations. The in-process memo
+//! in `svmsyn::dse` dies with the run; this store keys the same results by
+//! the *content* of the evaluation request — fnv1a-64 digest of a canonical
+//! snap-encoded key `(app fingerprint, platform fingerprint, variant,
+//! placements)` — and persists them to disk, so repeat traffic across
+//! processes, sweeps, and tenants turns into cache hits.
+//!
+//! ## On-disk layout
+//!
+//! One record file per key, sharded by the top byte of the digest:
+//!
+//! ```text
+//! <root>/
+//!   3f/
+//!     3fa81c90d2e45b17.rec
+//!   c2/
+//!     c29e....rec
+//! ```
+//!
+//! A record is the snapshot container (`svmsyn_snap::write_image`:
+//! magic | version | digest | payload-len | payload | fnv1a checksum) whose
+//! payload is the full key followed by the value, both length-prefixed. The
+//! embedded key is compared on every read, so a digest collision degrades
+//! to a miss rather than serving the wrong result.
+//!
+//! ## Invariants
+//!
+//! * **Atomic publish**: records are written to a `.tmp` sibling and
+//!   renamed into place; a reader never observes a half-written record and
+//!   a crash leaves at worst a stray `.tmp` (ignored and overwritten by the
+//!   next publish).
+//! * **Corruption is a miss, never a panic**: bit flips, truncations, and
+//!   version skew surface as typed [`StoreError`]s from [`ResultStore::try_get`];
+//!   the convenience [`ResultStore::get`] maps them to a counted miss and
+//!   drops the index entry so the caller re-simulates and republishes.
+//! * **Last write wins**: `put` on an existing key atomically replaces the
+//!   record. Values are deterministic functions of their key here, so
+//!   replacement is idempotent in practice.
+//!
+//! The store is generic bytes → bytes: it knows nothing about DSE types, so
+//! the key/value schema lives with the caller (`svmsyn::dse`) and the store
+//! never needs to rev when that schema does — the caller revs its key
+//! version field instead.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use svmsyn_snap::{fnv1a, SnapError, SnapReader, SnapWriter};
+
+/// On-disk record format version (the snapshot-container version field).
+/// Bumped when the record payload layout changes; older records then read
+/// back as typed [`SnapError::Version`] misses.
+pub const STORE_VERSION: u32 = 1;
+
+/// Record file extension.
+const REC_EXT: &str = "rec";
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem-level failure (root not creatable, rename failed, …).
+    Io(std::io::Error),
+    /// A record failed container validation: truncated, bad magic, bad
+    /// checksum, or written by a different format version.
+    Snap(SnapError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Snap(e) => write!(f, "store record invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<SnapError> for StoreError {
+    fn from(e: SnapError) -> Self {
+        StoreError::Snap(e)
+    }
+}
+
+/// Running counters for one store handle's session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Probes answered from disk.
+    pub hits: u64,
+    /// Probes with no (valid) record on disk.
+    pub misses: u64,
+    /// Misses caused by a record that existed but failed validation.
+    pub corrupt: u64,
+    /// Records published this session.
+    pub published: u64,
+    /// Record bytes read from disk.
+    pub bytes_read: u64,
+    /// Record bytes written to disk.
+    pub bytes_written: u64,
+    /// Records currently indexed.
+    pub entries: u64,
+    /// Indexed records neither hit nor published this session — the cold
+    /// tail an eviction policy would reclaim first.
+    pub evictable: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// digest → touched-this-session (hit or published).
+    index: HashMap<u64, bool>,
+    hits: u64,
+    misses: u64,
+    corrupt: u64,
+    published: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+/// A disk-backed content-addressed result store. Cheap to share: all
+/// mutation happens behind an internal mutex, so one handle can serve a
+/// whole worker pool (`&ResultStore` is `Send + Sync`).
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `root` and loads the
+    /// index of existing records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the root cannot be created or read.
+    pub fn open(root: impl Into<PathBuf>) -> Result<ResultStore, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let mut index = HashMap::new();
+        for shard in fs::read_dir(&root)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(shard.path())? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some(REC_EXT) {
+                    continue; // stray .tmp from a crashed publish, etc.
+                }
+                if let Some(digest) = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                {
+                    index.insert(digest, false);
+                }
+            }
+        }
+        Ok(ResultStore {
+            root,
+            inner: Mutex::new(Inner {
+                index,
+                ..Inner::default()
+            }),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().index.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn record_path(&self, digest: u64) -> PathBuf {
+        self.root
+            .join(format!("{:02x}", digest >> 56))
+            .join(format!("{digest:016x}.{REC_EXT}"))
+    }
+
+    /// Looks up `key`, treating every failure mode as a miss: no record,
+    /// unreadable record, failed checksum/version/magic, or embedded-key
+    /// mismatch (digest collision). A corrupt record is dropped from the
+    /// index so the caller's re-simulate + [`put`](Self::put) heals it.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        match self.try_get(key) {
+            Ok(found) => found,
+            Err(_) => {
+                let digest = fnv1a(key);
+                let mut inner = self.inner.lock().unwrap();
+                inner.index.remove(&digest);
+                inner.corrupt += 1;
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key`, surfacing record validation failures as typed
+    /// errors instead of misses (the index entry is kept; [`get`](Self::get)
+    /// is the self-healing path).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Snap`] when a record exists but fails container
+    /// validation (truncation, bit flip, version skew); [`StoreError::Io`]
+    /// when it cannot be read at all.
+    pub fn try_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let digest = fnv1a(key);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if !inner.index.contains_key(&digest) {
+                inner.misses += 1;
+                return Ok(None);
+            }
+        }
+        let image = match fs::read(self.record_path(digest)) {
+            Ok(image) => image,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Index is stale (record deleted externally): a plain miss.
+                let mut inner = self.inner.lock().unwrap();
+                inner.index.remove(&digest);
+                inner.misses += 1;
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (embedded_digest, payload) = svmsyn_snap::read_image(&image, STORE_VERSION)?;
+        if embedded_digest != digest {
+            return Err(SnapError::Corrupt("record digest mismatch").into());
+        }
+        let mut r = SnapReader::new(payload);
+        let stored_key = r.take_bytes()?;
+        if stored_key != key {
+            // fnv1a collision: the slot belongs to a different key. Miss.
+            let mut inner = self.inner.lock().unwrap();
+            inner.misses += 1;
+            return Ok(None);
+        }
+        let value = r.take_bytes()?.to_vec();
+        let mut inner = self.inner.lock().unwrap();
+        inner.index.insert(digest, true);
+        inner.hits += 1;
+        inner.bytes_read += image.len() as u64;
+        Ok(Some(value))
+    }
+
+    /// Publishes `value` under `key` atomically: the record is fully
+    /// written and checksummed in a `.tmp` sibling, then renamed into
+    /// place. An existing record for the key is replaced (last write wins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the shard directory, temp file, or
+    /// rename fails.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let digest = fnv1a(key);
+        let mut payload = SnapWriter::new();
+        payload.put_bytes(key);
+        payload.put_bytes(value);
+        let image = svmsyn_snap::write_image(STORE_VERSION, digest, &payload.into_bytes());
+
+        let path = self.record_path(digest);
+        let shard = path.parent().expect("record path has a shard parent");
+        fs::create_dir_all(shard)?;
+        let tmp = path.with_extension("tmp");
+        // The index mutex is held across write + rename: one handle is
+        // shared by a worker pool, and serializing the publish keeps the
+        // single .tmp name per digest race-free within this process.
+        let mut inner = self.inner.lock().unwrap();
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&image)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        inner.index.insert(digest, true);
+        inner.published += 1;
+        inner.bytes_written += image.len() as u64;
+        Ok(())
+    }
+
+    /// A snapshot of this handle's counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().unwrap();
+        StoreStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            corrupt: inner.corrupt,
+            published: inner.published,
+            bytes_read: inner.bytes_read,
+            bytes_written: inner.bytes_written,
+            entries: inner.index.len() as u64,
+            evictable: inner.index.values().filter(|touched| !**touched).count() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("svmsyn-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    #[test]
+    fn roundtrip_and_stats() {
+        let root = tmp_root("roundtrip");
+        let store = ResultStore::open(&root).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.get(b"missing"), None);
+        store.put(b"key-1", b"value-1").unwrap();
+        assert_eq!(store.get(b"key-1").unwrap(), b"value-1");
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictable, 0);
+        assert!(stats.bytes_written > 0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn persists_across_handles_and_tracks_evictable() {
+        let root = tmp_root("reopen");
+        {
+            let store = ResultStore::open(&root).unwrap();
+            store.put(b"alpha", b"1").unwrap();
+            store.put(b"beta", b"2").unwrap();
+        }
+        let store = ResultStore::open(&root).unwrap();
+        assert_eq!(store.len(), 2);
+        // Nothing touched yet: everything is evictable.
+        assert_eq!(store.stats().evictable, 2);
+        assert_eq!(store.get(b"alpha").unwrap(), b"1");
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.evictable, 1); // beta never touched
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn records_are_sharded_by_digest_prefix() {
+        let root = tmp_root("shard");
+        let store = ResultStore::open(&root).unwrap();
+        store.put(b"k", b"v").unwrap();
+        let digest = fnv1a(b"k");
+        let expected = root
+            .join(format!("{:02x}", digest >> 56))
+            .join(format!("{digest:016x}.rec"));
+        assert!(expected.is_file());
+        // No stray temp files after a publish.
+        assert!(!expected.with_extension("tmp").exists());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let root = tmp_root("overwrite");
+        let store = ResultStore::open(&root).unwrap();
+        store.put(b"k", b"old").unwrap();
+        store.put(b"k", b"new").unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(b"k").unwrap(), b"new");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_typed_then_healed() {
+        let root = tmp_root("corrupt");
+        let store = ResultStore::open(&root).unwrap();
+        store.put(b"k", b"v").unwrap();
+        let path = store.record_path(fnv1a(b"k"));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        // Typed path: container validation fails (which variant depends on
+        // which field the flip landed in), index entry retained.
+        match store.try_get(b"k") {
+            Err(StoreError::Snap(_)) => {}
+            other => panic!("expected a typed record error, got {other:?}"),
+        }
+        assert_eq!(store.len(), 1);
+
+        // Self-healing path: miss, entry dropped, republish restores.
+        assert_eq!(store.get(b"k"), None);
+        assert_eq!(store.stats().corrupt, 1);
+        assert_eq!(store.len(), 0);
+        store.put(b"k", b"v").unwrap();
+        assert_eq!(store.get(b"k").unwrap(), b"v");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let root = tmp_root("version");
+        let store = ResultStore::open(&root).unwrap();
+        let mut payload = SnapWriter::new();
+        payload.put_bytes(b"k");
+        payload.put_bytes(b"v");
+        let digest = fnv1a(b"k");
+        let image = svmsyn_snap::write_image(STORE_VERSION + 1, digest, &payload.into_bytes());
+        let path = store.record_path(digest);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &image).unwrap();
+
+        // The record is on disk but not indexed (written behind the
+        // handle's back): reopen to index it.
+        let store = ResultStore::open(&root).unwrap();
+        match store.try_get(b"k") {
+            Err(StoreError::Snap(SnapError::Version { found, expected })) => {
+                assert_eq!(found, STORE_VERSION + 1);
+                assert_eq!(expected, STORE_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+        assert_eq!(store.get(b"k"), None);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let root = tmp_root("truncate");
+        let store = ResultStore::open(&root).unwrap();
+        store
+            .put(b"k", b"a value long enough to truncate meaningfully")
+            .unwrap();
+        let path = store.record_path(fnv1a(b"k"));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        match store.try_get(b"k") {
+            Err(StoreError::Snap(SnapError::Truncated { .. } | SnapError::Checksum { .. })) => {}
+            other => panic!("expected truncation/checksum error, got {other:?}"),
+        }
+        assert_eq!(store.get(b"k"), None);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stale_index_entry_is_a_plain_miss() {
+        let root = tmp_root("stale");
+        let store = ResultStore::open(&root).unwrap();
+        store.put(b"k", b"v").unwrap();
+        fs::remove_file(store.record_path(fnv1a(b"k"))).unwrap();
+        assert_eq!(store.try_get(b"k").unwrap(), None);
+        assert_eq!(store.len(), 0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}
