@@ -251,7 +251,7 @@ fn evaluate_guarded(
 /// Version tag of the store key layout. Bumped whenever the key encoding
 /// below changes shape, so old records simply stop matching instead of
 /// being misinterpreted.
-const STORE_KEY_VERSION: u32 = 1;
+const STORE_KEY_VERSION: u32 = 2;
 
 /// The canonical store-key prefix for one `(app, platform variant, sim)`
 /// combination: everything but the placement vector. Appending the
@@ -300,6 +300,12 @@ fn store_key_prefix(app_fp: u64, variant: &Platform, sim: &SimConfig) -> Vec<u8>
     w.put_u32(sim.fault_retry_budget);
     w.put_u64(sim.thrash_window);
     w.put_u32(sim.thrash_fault_limit);
+    // The sharded engine produces identical makespans (the conformance
+    // suite proves it), but error-path edges — event-limit trip points,
+    // thrash attribution — depend on the shard plan, so records are keyed
+    // per plan rather than risking a stale infeasibility verdict.
+    w.put_u32(sim.shards);
+    w.put_u64(sim.shard_window);
     w.into_bytes()
 }
 
@@ -410,11 +416,10 @@ impl<'a> Evaluator<'a> {
         cfg: &DseConfig,
         store: Option<&'a ResultStore>,
     ) -> Self {
-        let workers = if cfg.threads == 0 {
-            thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            cfg.threads
-        };
+        // Each candidate evaluation occupies `sim.shards` host threads
+        // while a window executes, so the worker pool shrinks to keep
+        // `workers × shards` within the host budget.
+        let workers = crate::budget::worker_budget(cfg.threads, cfg.sim.shards as usize);
         // The variant list is the cross product of the walk-cache and
         // fabric axes; an empty axis contributes the platform's own value.
         let walker_variants: Vec<Platform> = if cfg.walker_axis.is_empty() {

@@ -64,6 +64,7 @@
 
 pub mod app;
 pub mod baseline;
+pub mod budget;
 pub mod checkpoint;
 pub mod dse;
 pub mod fingerprint;
@@ -71,9 +72,11 @@ pub mod flow;
 pub mod platform;
 pub mod report;
 pub mod sample;
+pub mod shard;
 pub mod sim;
 
 pub use app::{Application, ApplicationBuilder, ArgSpec, SyncAction, SyncSpec};
+pub use budget::{host_cores, worker_budget};
 pub use checkpoint::{
     bisect_divergence, digest_at, fork_swap_sweep, BisectSide, Checkpoint, Divergence, ForkArm,
     ForkError,
@@ -83,4 +86,7 @@ pub use fingerprint::{app_fingerprint, platform_fingerprint};
 pub use flow::{synthesize, Placement, SynthesisError, SystemDesign};
 pub use platform::{Platform, PressurePoint};
 pub use sample::{SampleConfig, SampleProfile, SampledEstimate, SampledRun, StatEstimate};
-pub use sim::{simulate, RunProgress, Sim, SimConfig, SimError, SimOutcome, SNAPSHOT_VERSION};
+pub use shard::{planned_shards, simulate_sharded, ExecMode, ShardedSim};
+pub use sim::{
+    simulate, RunProgress, ShardSyncStats, Sim, SimConfig, SimError, SimOutcome, SNAPSHOT_VERSION,
+};

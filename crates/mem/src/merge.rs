@@ -1,0 +1,411 @@
+//! Window-barrier fold/refresh machinery for the sharded simulation core.
+//!
+//! The sharded simulator gives every shard a full replica of the
+//! [`MemorySystem`] and lets the replicas diverge for one conservative
+//! lookahead window at a time. At each window barrier the coordinator calls
+//! into this module to reconcile the replicas against a **canonical** system
+//! (the one that entered the window):
+//!
+//! * [`fold_and_refresh_calendars`] — merges the FCFS calendar *positions*
+//!   (fabric address/data channels, per-bank DRAM calendars and open rows)
+//!   conservatively: work booked concurrently on different replicas is
+//!   serialized after the furthest-ahead replica, so no replica ever sees a
+//!   calendar earlier than the canonical one. Counters are left strictly
+//!   per-replica-cumulative and reconciled only at the final merge.
+//! * [`fold_stores`] / [`refresh_stores`] — propagate byte contents through
+//!   the dirty-frame journals: each shard's touched frames are three-way
+//!   merged into the canonical store (byte-level, against the canonical
+//!   pre-fold image), and the canonical store's accumulated dirty frames are
+//!   broadcast back to every replica before the next window.
+//! * [`counter_base`] / [`merged_memory`] — build the outcome-facing
+//!   [`MemorySystem`]: canonical bytes and calendars, plus every replica's
+//!   counter *deltas* since its base, with per-master fabric state taken
+//!   from the shard that owns the master.
+//!
+//! Everything here is deterministic in shard order, so the parallel run and
+//! the sequential single-wheel oracle produce bit-identical merges.
+
+use svmsyn_sim::FcfsResource;
+
+use crate::addr::PAGE_SIZE;
+use crate::fabric::MasterId;
+use crate::system::MemorySystem;
+
+/// Per-shard calendar positions captured at the last refresh; the fold uses
+/// the busy-counter deltas against these to know how much *new* work each
+/// replica booked during the window.
+#[derive(Debug, Clone)]
+pub struct CalendarBase {
+    addr_busy: u64,
+    data_busy: u64,
+    banks_busy: Vec<u64>,
+}
+
+/// Captures a replica's calendar busy counters (call after every refresh).
+pub fn calendar_base(mem: &MemorySystem) -> CalendarBase {
+    CalendarBase {
+        addr_busy: mem.fabric.addr_bus.busy_cycles(),
+        data_busy: mem.fabric.data_bus.busy_cycles(),
+        banks_busy: mem.dram.banks.iter().map(|b| b.cal.busy_cycles()).collect(),
+    }
+}
+
+/// Conservative merge of one calendar across replicas: the furthest-ahead
+/// replica keeps its position and every other replica's newly booked busy
+/// cycles queue behind it. Returns `(merged next_free, winner shard)` where
+/// the winner is the replica with the greatest `next_free` among those that
+/// booked work (ties break to the lower shard index); `None` when no replica
+/// booked anything (the canonical position stands).
+fn fold_one_calendar<'a>(
+    cals: impl Iterator<Item = (&'a FcfsResource, u64)>,
+) -> (Option<(svmsyn_sim::Cycle, usize)>, u64) {
+    let mut winner: Option<(svmsyn_sim::Cycle, usize)> = None;
+    let mut total_delta = 0u64;
+    let mut winner_delta = 0u64;
+    for (s, (cal, base_busy)) in cals.enumerate() {
+        let delta = cal.busy_cycles() - base_busy;
+        total_delta += delta;
+        if delta > 0 && winner.is_none_or(|(nf, _)| cal.next_free() > nf) {
+            winner = Some((cal.next_free(), s));
+            winner_delta = delta;
+        }
+    }
+    (winner, total_delta - winner_delta)
+}
+
+/// Folds every replica's calendar positions into the canonical system and
+/// pushes the merged positions back out to all replicas, then re-captures
+/// `bases` for the next window. Counters are not touched.
+pub fn fold_and_refresh_calendars(
+    canon: &mut MemorySystem,
+    shards: &mut [&mut MemorySystem],
+    bases: &mut [CalendarBase],
+) {
+    assert_eq!(shards.len(), bases.len());
+    // Fabric address channel.
+    let (winner, rest) = fold_one_calendar(
+        shards
+            .iter()
+            .zip(bases.iter())
+            .map(|(m, b)| (&m.fabric.addr_bus, b.addr_busy)),
+    );
+    if let Some((nf, _)) = winner {
+        canon.fabric.addr_bus.set_next_free(nf + rest);
+    }
+    // Fabric data channel.
+    let (winner, rest) = fold_one_calendar(
+        shards
+            .iter()
+            .zip(bases.iter())
+            .map(|(m, b)| (&m.fabric.data_bus, b.data_busy)),
+    );
+    if let Some((nf, _)) = winner {
+        canon.fabric.data_bus.set_next_free(nf + rest);
+    }
+    // DRAM banks: calendar position plus the open-row register, which
+    // follows the winning replica (the one whose row buffer state is the
+    // latest in merged time).
+    let n_banks = canon.dram.banks.len();
+    for bank in 0..n_banks {
+        let (winner, rest) = fold_one_calendar(
+            shards
+                .iter()
+                .zip(bases.iter())
+                .map(|(m, b)| (&m.dram.banks[bank].cal, b.banks_busy[bank])),
+        );
+        if let Some((nf, s)) = winner {
+            canon.dram.banks[bank].cal.set_next_free(nf + rest);
+            canon.dram.banks[bank].open_row = shards[s].dram.banks[bank].open_row;
+        }
+    }
+    // Refresh: every replica adopts the canonical positions and re-bases.
+    for (mem, base) in shards.iter_mut().zip(bases.iter_mut()) {
+        mem.fabric
+            .addr_bus
+            .set_next_free(canon.fabric.addr_bus.next_free());
+        mem.fabric
+            .data_bus
+            .set_next_free(canon.fabric.data_bus.next_free());
+        for bank in 0..n_banks {
+            mem.dram.banks[bank]
+                .cal
+                .set_next_free(canon.dram.banks[bank].cal.next_free());
+            mem.dram.banks[bank].open_row = canon.dram.banks[bank].open_row;
+        }
+        base.addr_busy = mem.fabric.addr_bus.busy_cycles();
+        base.data_busy = mem.fabric.data_bus.busy_cycles();
+        for (bank, busy) in base.banks_busy.iter_mut().enumerate() {
+            *busy = mem.dram.banks[bank].cal.busy_cycles();
+        }
+    }
+}
+
+/// Three-way merges every replica's dirty frames into the canonical store.
+///
+/// Shards are folded in index order. The first replica to touch a frame
+/// copies it wholesale (after the canonical pre-fold image is stashed as the
+/// merge base); later replicas only apply the bytes they changed relative to
+/// that base. Two replicas writing the *same* byte differently is a data
+/// race in the simulated program; the higher shard index deterministically
+/// wins, mirroring an arbitrary but fixed hardware write order.
+///
+/// The canonical store's own journal picks up every folded frame, so the
+/// next [`refresh_stores`] broadcast covers them automatically.
+pub fn fold_stores(canon: &mut MemorySystem, shards: &mut [&mut MemorySystem]) {
+    let mut bases: std::collections::HashMap<u64, Option<Box<[u8]>>> =
+        std::collections::HashMap::new();
+    for mem in shards.iter_mut() {
+        for frame in mem.store.take_journal() {
+            let shard_bytes: &[u8] = mem
+                .store
+                .frame(frame)
+                .expect("journaled frame is materialized");
+            match bases.entry(frame) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(canon.store.frame(frame).map(Box::from));
+                    canon.store.frame_mut(frame).copy_from_slice(shard_bytes);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let dst = canon.store.frame_mut(frame);
+                    match e.get() {
+                        Some(base) => {
+                            for i in 0..PAGE_SIZE as usize {
+                                if shard_bytes[i] != base[i] {
+                                    dst[i] = shard_bytes[i];
+                                }
+                            }
+                        }
+                        None => {
+                            // Canonical frame was unmaterialized: base is all
+                            // zeroes, so every nonzero byte is a shard write.
+                            for i in 0..PAGE_SIZE as usize {
+                                if shard_bytes[i] != 0 {
+                                    dst[i] = shard_bytes[i];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Broadcasts the canonical store's accumulated dirty frames (folds from the
+/// last barrier plus any OS writes made during barrier-time fault service)
+/// to every replica, then clears the replica journals so the next fold sees
+/// only genuinely new writes.
+pub fn refresh_stores(canon: &mut MemorySystem, shards: &mut [&mut MemorySystem]) {
+    let frames = canon.store.take_journal();
+    for frame in &frames {
+        let bytes: Box<[u8]> = canon
+            .store
+            .frame(*frame)
+            .expect("canonical dirty frame is materialized")
+            .into();
+        for mem in shards.iter_mut() {
+            mem.store.frame_mut(*frame).copy_from_slice(&bytes);
+        }
+    }
+    for mem in shards.iter_mut() {
+        mem.store.take_journal();
+    }
+}
+
+/// A replica's cumulative counters at shard creation; [`merged_memory`]
+/// absorbs each replica's progress *since* this base so boot-time work (which
+/// every replica inherited from the canonical clone) is counted exactly once.
+#[derive(Debug, Clone)]
+pub struct CounterBase {
+    reads: u64,
+    writes: u64,
+    addr_bus: FcfsResource,
+    data_bus: FcfsResource,
+    banks: Vec<(FcfsResource, u64, u64)>,
+    dram_accesses: u64,
+    dram_bytes: u64,
+}
+
+/// Captures a replica's counter state (call once, right after cloning the
+/// canonical system into the replica).
+pub fn counter_base(mem: &MemorySystem) -> CounterBase {
+    CounterBase {
+        reads: mem.reads,
+        writes: mem.writes,
+        addr_bus: mem.fabric.addr_bus.clone(),
+        data_bus: mem.fabric.data_bus.clone(),
+        banks: mem
+            .dram
+            .banks
+            .iter()
+            .map(|b| (b.cal.clone(), b.hits, b.misses))
+            .collect(),
+        dram_accesses: mem.dram.accesses,
+        dram_bytes: mem.dram.bytes,
+    }
+}
+
+/// Builds the outcome-facing memory system: canonical bytes and calendar
+/// positions, all replicas' counter deltas, and per-master fabric state taken
+/// from the owning shard (`owner_of_master[id]`; ids beyond the table default
+/// to shard 0). Deterministic in shard order.
+pub fn merged_memory(
+    canon: &MemorySystem,
+    shards: &[&MemorySystem],
+    bases: &[CounterBase],
+    owner_of_master: &[usize],
+) -> MemorySystem {
+    assert_eq!(shards.len(), bases.len());
+    let mut out = canon.clone();
+    for (mem, base) in shards.iter().zip(bases.iter()) {
+        out.reads += mem.reads - base.reads;
+        out.writes += mem.writes - base.writes;
+        out.fabric
+            .addr_bus
+            .absorb_counter_deltas(&base.addr_bus, &mem.fabric.addr_bus);
+        out.fabric
+            .data_bus
+            .absorb_counter_deltas(&base.data_bus, &mem.fabric.data_bus);
+        out.dram.accesses += mem.dram.accesses - base.dram_accesses;
+        out.dram.bytes += mem.dram.bytes - base.dram_bytes;
+        for (bank, (cal, hits, misses)) in base.banks.iter().enumerate() {
+            let cur = &mem.dram.banks[bank];
+            out.dram.banks[bank]
+                .cal
+                .absorb_counter_deltas(cal, &cur.cal);
+            out.dram.banks[bank].hits += cur.hits - hits;
+            out.dram.banks[bank].misses += cur.misses - misses;
+        }
+    }
+    let owner = |id: usize| owner_of_master.get(id).copied().unwrap_or(0);
+    // Per-master state: whole-state copy from the owning shard — only the
+    // owner ever issues on a master, so its replica is the sole authority.
+    let n_masters = shards
+        .iter()
+        .map(|m| m.fabric.masters.len())
+        .max()
+        .unwrap_or(0)
+        .max(out.fabric.masters.len());
+    for id in 0..n_masters {
+        let src = shards[owner(id)];
+        if id < src.fabric.masters.len() {
+            *out.fabric.master_state(MasterId(id as u16)) = src.fabric.masters[id].clone();
+        }
+    }
+    // MSHRs: union of every replica's in-flight lines, deduplicated exactly,
+    // newest completions kept up to the configured capacity.
+    let mut mshrs: Vec<(u64, svmsyn_sim::Cycle)> = Vec::new();
+    for mem in shards {
+        for e in &mem.fabric.mshrs {
+            if !mshrs.contains(e) {
+                mshrs.push(*e);
+            }
+        }
+    }
+    mshrs.sort_unstable_by_key(|&(line, done)| (done, line));
+    let cap = out.fabric.config().mshrs as usize;
+    if mshrs.len() > cap {
+        mshrs.drain(..mshrs.len() - cap);
+    }
+    out.fabric.mshrs = mshrs;
+    // In-flight line tracking: owner-partitioned, concatenated in shard
+    // order (each entry names its master, and only the owner's copy of an
+    // inherited entry is taken, so nothing duplicates).
+    out.fabric.inflight_lines.clear();
+    for (s, mem) in shards.iter().enumerate() {
+        for e in &mem.fabric.inflight_lines {
+            if owner(e.0 .0 as usize) == s {
+                out.fabric.inflight_lines.push(*e);
+            }
+        }
+    }
+    // Transaction records: per ring slot, the youngest id wins (lanes are
+    // disjoint, so ids order issues globally).
+    for mem in shards {
+        for (slot, rec) in mem.fabric.records.iter().enumerate() {
+            if let Some(rec) = rec {
+                let keep = out.fabric.records[slot].is_none_or(|cur| rec.id > cur.id);
+                if keep {
+                    out.fabric.records[slot] = Some(*rec);
+                }
+            }
+        }
+        out.fabric.next_id = out.fabric.next_id.max(mem.fabric.next_id);
+    }
+    out.fabric.id_stride = 1;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+    use crate::system::MemConfig;
+    use svmsyn_sim::Cycle;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(MemConfig {
+            size_bytes: 1 << 20,
+            ..MemConfig::default()
+        })
+    }
+
+    #[test]
+    fn store_fold_three_way_merges_disjoint_writes() {
+        let mut canon = sys();
+        canon.poke_u32(PhysAddr(0), 0x1111_1111);
+        canon.enable_store_journal();
+        canon.take_store_journal();
+        let mut a = canon.clone();
+        let mut b = canon.clone();
+        // Disjoint bytes of the same frame from two replicas.
+        a.poke_u32(PhysAddr(8), 0xAAAA_AAAA);
+        b.poke_u32(PhysAddr(16), 0xBBBB_BBBB);
+        fold_stores(&mut canon, &mut [&mut a, &mut b]);
+        assert_eq!(canon.peek_u32(PhysAddr(0)), 0x1111_1111);
+        assert_eq!(canon.peek_u32(PhysAddr(8)), 0xAAAA_AAAA);
+        assert_eq!(canon.peek_u32(PhysAddr(16)), 0xBBBB_BBBB);
+        // Refresh pushes the merged frame back to both replicas.
+        refresh_stores(&mut canon, &mut [&mut a, &mut b]);
+        assert_eq!(a.peek_u32(PhysAddr(16)), 0xBBBB_BBBB);
+        assert_eq!(b.peek_u32(PhysAddr(8)), 0xAAAA_AAAA);
+    }
+
+    #[test]
+    fn calendar_fold_serializes_concurrent_work() {
+        let mut canon = sys();
+        canon.enable_store_journal();
+        let mut a = canon.clone();
+        let mut b = canon.clone();
+        let mut bases = vec![calendar_base(&a), calendar_base(&b)];
+        // Both replicas book address-channel work in the same window.
+        a.fabric.addr_bus.acquire(Cycle(0), 10);
+        b.fabric.addr_bus.acquire(Cycle(0), 25);
+        fold_and_refresh_calendars(&mut canon, &mut [&mut a, &mut b], &mut bases);
+        // Winner is b (next_free 25); a's 10 cycles queue behind it.
+        assert_eq!(canon.fabric.addr_bus.next_free(), Cycle(35));
+        assert_eq!(a.fabric.addr_bus.next_free(), Cycle(35));
+        assert_eq!(b.fabric.addr_bus.next_free(), Cycle(35));
+        // No work in the next window leaves the position unchanged.
+        fold_and_refresh_calendars(&mut canon, &mut [&mut a, &mut b], &mut bases);
+        assert_eq!(canon.fabric.addr_bus.next_free(), Cycle(35));
+    }
+
+    #[test]
+    fn merged_memory_counts_boot_work_once() {
+        let mut canon = sys();
+        canon.attach_master(MasterId(1));
+        canon.attach_master(MasterId(2));
+        // Boot-time timed traffic, inherited by both replicas.
+        canon.read(MasterId(1), PhysAddr(0), &mut [0u8; 64], Cycle(0));
+        let boot_reads = canon.stats().get("reads").unwrap();
+        canon.enable_store_journal();
+        let a = canon.clone();
+        let mut b = canon.clone();
+        let bases = vec![counter_base(&a), counter_base(&b)];
+        b.read(MasterId(2), PhysAddr(4096), &mut [0u8; 64], Cycle(100));
+        let merged = merged_memory(&canon, &[&a, &b], &bases, &[0, 0, 1]);
+        assert_eq!(merged.stats().get("reads").unwrap(), boot_reads + 1.0);
+        assert!(merged.fabric_next_txn_id() >= b.fabric_next_txn_id());
+    }
+}

@@ -293,8 +293,9 @@ pub struct SweepService {
 }
 
 impl SweepService {
-    /// Creates a service with `workers` pool threads (`0` = one per host
-    /// core) over an optional caller-opened store handle — one handle,
+    /// Creates a service with `workers` pool threads (`0` = auto-sized
+    /// from the host cores and the queued jobs' shard counts at drain
+    /// time) over an optional caller-opened store handle — one handle,
     /// shared by every worker and every job, so cross-job overlap turns
     /// into cache hits. Returns the service plus the progress-event
     /// receiver; drop the receiver if you don't care about streaming.
@@ -303,11 +304,6 @@ impl SweepService {
         store: Option<ResultStore>,
     ) -> (SweepService, mpsc::Receiver<ProgressEvent>) {
         let (events, rx) = mpsc::channel();
-        let workers = if workers == 0 {
-            thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            workers
-        };
         (
             SweepService {
                 jobs: Vec::new(),
@@ -344,7 +340,10 @@ impl SweepService {
     ///
     /// Parallelism composes multiplicatively with the DSE engine's own
     /// batch workers — keep `SweepJob::dse.threads` at 1 when the service
-    /// pool already saturates the host.
+    /// pool already saturates the host. Jobs running sharded simulations
+    /// (`SweepJob::dse.sim.shards > 1`) multiply the same way, so the pool
+    /// is budgeted down with [`svmsyn::worker_budget`] against the widest
+    /// shard count in the queue.
     pub fn drain(self) -> ServeReport {
         let SweepService {
             jobs,
@@ -356,7 +355,14 @@ impl SweepService {
         let results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; total_cells(&jobs)]);
         let cell_base = cell_offsets(&jobs);
         let next_job = AtomicUsize::new(0);
-        let pool = workers.min(jobs.len()).max(1);
+        let widest_shards = jobs
+            .iter()
+            .map(|j| j.dse.sim.shards as usize)
+            .max()
+            .unwrap_or(1);
+        let pool = svmsyn::worker_budget(workers, widest_shards)
+            .min(jobs.len())
+            .max(1);
 
         thread::scope(|scope| {
             for _ in 0..pool {

@@ -66,8 +66,12 @@ const INLINE_WORDS: usize = INLINE_EVENT_BYTES / 8;
 
 type CallFn<M> = unsafe fn(*mut MaybeUninit<u64>, &mut M, &mut Scheduler<M>);
 type DropFn = unsafe fn(*mut MaybeUninit<u64>);
-/// The stored closure may be `!Send`; this marker keeps auto-traits honest.
-type NotSendMarker<M> = PhantomData<Box<dyn FnOnce(&mut M)>>;
+/// Every stored closure is `Send` (the schedule methods require it), so the
+/// erased storage is `Send` too — which is what lets a whole scheduler (a
+/// shard's wheel) migrate to a worker thread between lookahead windows. The
+/// marker states that contract where the type erasure would otherwise hide
+/// it from auto-trait inference.
+type SendMarker<M> = PhantomData<Box<dyn FnOnce(&mut M) + Send>>;
 
 /// Type-erased event storage: a small inline buffer plus hand-rolled call
 /// and drop function pointers. The event type `E` is known at `schedule_at`
@@ -77,7 +81,7 @@ struct SmallEvent<M> {
     data: [MaybeUninit<u64>; INLINE_WORDS],
     call: CallFn<M>,
     drop_fn: DropFn,
-    _marker: NotSendMarker<M>,
+    _marker: SendMarker<M>,
 }
 
 unsafe fn call_inline<M, E: Event<M>>(
@@ -114,7 +118,7 @@ unsafe fn drop_boxed<E>(data: *mut MaybeUninit<u64>) {
 }
 
 impl<M> SmallEvent<M> {
-    fn new<E: Event<M> + 'static>(event: E) -> Self {
+    fn new<E: Event<M> + Send + 'static>(event: E) -> Self {
         let mut data = [MaybeUninit::<u64>::uninit(); INLINE_WORDS];
         if size_of::<E>() <= size_of::<[u64; INLINE_WORDS]>()
             && align_of::<E>() <= align_of::<u64>()
@@ -339,7 +343,7 @@ impl<M> Scheduler<M> {
     ///
     /// Panics if `time` is in the past (`time < self.now()`): a model that
     /// schedules into the past is broken and must be fixed, not tolerated.
-    pub fn schedule_at<E: Event<M> + 'static>(&mut self, time: Cycle, event: E) {
+    pub fn schedule_at<E: Event<M> + Send + 'static>(&mut self, time: Cycle, event: E) {
         assert!(
             time >= self.now,
             "event scheduled into the past: {time} < now {}",
@@ -362,7 +366,7 @@ impl<M> Scheduler<M> {
     }
 
     /// Schedules `event` to fire `delay` cycles from now.
-    pub fn schedule_in<E: Event<M> + 'static>(&mut self, delay: Cycle, event: E) {
+    pub fn schedule_in<E: Event<M> + Send + 'static>(&mut self, delay: Cycle, event: E) {
         self.schedule_at(self.now + delay, event);
     }
 
@@ -376,7 +380,7 @@ impl<M> Scheduler<M> {
     /// thread that was descheduled across the completion. A plain
     /// [`schedule_at`](Self::schedule_at) treats that as a model bug and
     /// panics; a wake legitimately fires "as soon as possible" instead.
-    pub fn schedule_wake<E: Event<M> + 'static>(&mut self, time: Cycle, event: E) {
+    pub fn schedule_wake<E: Event<M> + Send + 'static>(&mut self, time: Cycle, event: E) {
         self.schedule_at(time.max(self.now), event);
     }
 
@@ -879,13 +883,13 @@ mod tests {
 
     #[test]
     fn pending_events_are_dropped_cleanly() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let dropped: Rc<RefCell<u32>> = Rc::default();
-        struct Tracker(Rc<RefCell<u32>>);
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let dropped: Arc<AtomicU32> = Arc::default();
+        struct Tracker(Arc<AtomicU32>);
         impl Drop for Tracker {
             fn drop(&mut self) {
-                *self.0.borrow_mut() += 1;
+                self.0.fetch_add(1, Ordering::Relaxed);
             }
         }
         {
@@ -904,7 +908,11 @@ mod tests {
             });
             assert_eq!(s.pending(), 2);
         }
-        assert_eq!(*dropped.borrow(), 2, "unfired events must drop their state");
+        assert_eq!(
+            dropped.load(Ordering::Relaxed),
+            2,
+            "unfired events must drop their state"
+        );
     }
 
     #[test]
@@ -943,7 +951,7 @@ mod tests {
     fn cross_check(initial: &[(u64, u32)], respawn: fn(u64, u32) -> Option<(u64, u32)>) {
         type Trace = Vec<(u64, u32)>;
 
-        type WheelEvent = Box<dyn FnOnce(&mut Trace, &mut Scheduler<Trace>)>;
+        type WheelEvent = Box<dyn FnOnce(&mut Trace, &mut Scheduler<Trace>) + Send>;
         type HeapEvent = Box<dyn FnOnce(&mut Trace, &mut reference::HeapScheduler<Trace>)>;
 
         fn wheel_event(id: u32, respawn: fn(u64, u32) -> Option<(u64, u32)>) -> WheelEvent {

@@ -30,7 +30,7 @@ fn child_delay(id: u32, k: u8) -> u64 {
 
 const RESPAWN_BOUND: u32 = 4_000;
 
-type WheelEvent = Box<dyn FnOnce(&mut SchedTrace, &mut Scheduler<SchedTrace>)>;
+type WheelEvent = Box<dyn FnOnce(&mut SchedTrace, &mut Scheduler<SchedTrace>) + Send>;
 type HeapEvent = Box<dyn FnOnce(&mut SchedTrace, &mut HeapScheduler<SchedTrace>)>;
 
 fn wheel_prog_event(id: u32, fanout: u8) -> WheelEvent {

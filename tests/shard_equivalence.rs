@@ -1,0 +1,306 @@
+//! Shard-conformance suite: the parallel sharded engine must be
+//! **bit-identical** to its sequential single-wheel oracle — same
+//! makespan, same full stats set, same output bytes, same shootdown
+//! count — across workloads, placements, and shard counts, including
+//! memory-pressure runs with reclaim shootdowns. Host-thread interleaving
+//! must be invisible.
+//!
+//! A second, weaker contract holds across *shard plans*: for race-free
+//! workloads (every thread writes a disjoint slice), the computed outputs
+//! and return values match the serial engine's at every shard count —
+//! sharding changes timing (conservative window clamping) but never
+//! results.
+
+use svmsyn::flow::{synthesize, Placement, SystemDesign};
+use svmsyn::platform::{Platform, PressurePoint};
+use svmsyn::sim::{simulate, SimConfig, SimOutcome};
+use svmsyn::{planned_shards, simulate_sharded, ExecMode, SyncAction, SyncSpec};
+use svmsyn_os::AllocPolicy;
+use svmsyn_workloads::streaming::fanout_vecadd;
+use svmsyn_workloads::Workload;
+
+fn cfg(shards: u32) -> SimConfig {
+    SimConfig {
+        max_events: 50_000_000,
+        shards,
+        ..SimConfig::default()
+    }
+}
+
+fn read_buffers(design: &SystemDesign, outcome: &SimOutcome) -> Vec<Vec<u8>> {
+    design
+        .app
+        .buffers
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let mut buf = vec![0u8; b.len as usize];
+            outcome.read_buffer(i, &mut buf);
+            buf
+        })
+        .collect()
+}
+
+/// Asserts the full bit-identity contract between two outcomes of the
+/// same design.
+fn assert_identical(name: &str, a: &SimOutcome, b: &SimOutcome, design: &SystemDesign) {
+    assert_eq!(a.makespan, b.makespan, "{name}: makespan differs");
+    assert_eq!(a.shootdowns, b.shootdowns, "{name}: shootdowns differ");
+    assert_eq!(a.sync, b.sync, "{name}: sync stats differ");
+    assert_eq!(a.stats(), b.stats(), "{name}: stats differ");
+    for (i, (ta, tb)) in a.threads.iter().zip(&b.threads).enumerate() {
+        assert_eq!(ta.ret, tb.ret, "{name}: thread {i} return value differs");
+        assert_eq!(ta.start, tb.start, "{name}: thread {i} start differs");
+        assert_eq!(ta.end, tb.end, "{name}: thread {i} end differs");
+        assert_eq!(
+            ta.stats(),
+            tb.stats(),
+            "{name}: thread {i} ({}) stats differ",
+            ta.name
+        );
+    }
+    assert_eq!(
+        read_buffers(design, a),
+        read_buffers(design, b),
+        "{name}: output bytes differ"
+    );
+}
+
+/// Runs one design in both execution modes at `shards` and checks the
+/// parallel run against the oracle; returns the oracle outcome.
+fn parallel_vs_oracle(name: &str, design: &SystemDesign, shards: u32) -> SimOutcome {
+    let cfg = cfg(shards);
+    let oracle = simulate_sharded(design, &cfg, ExecMode::SingleWheel)
+        .unwrap_or_else(|e| panic!("{name}: oracle ({shards} shards) failed: {e}"));
+    let parallel = simulate_sharded(design, &cfg, ExecMode::Parallel)
+        .unwrap_or_else(|e| panic!("{name}: parallel ({shards} shards) failed: {e}"));
+    assert_identical(&format!("{name} x{shards}"), &parallel, &oracle, design);
+    let sync = oracle
+        .sync
+        .as_ref()
+        .expect("sharded runs report sync stats");
+    assert!(sync.windows > 0, "{name}: no windows accounted");
+    oracle
+}
+
+/// All-hardware fan-out across 2..=4 shards: every shard count's parallel
+/// run is bit-identical to its oracle, and results match the serial
+/// engine at every plan.
+#[test]
+fn fanout_hw_parallel_matches_oracle_and_serial() {
+    let w = fanout_vecadd(4, 192, 0xA11CE);
+    let design = synthesize(&w.app, &Platform::default(), &[Placement::Hardware; 4]).unwrap();
+    let serial = simulate(&design, &cfg(1)).unwrap();
+    assert!(
+        serial.sync.is_none(),
+        "serial runs must not report sync stats"
+    );
+    w.verify(&serial).unwrap();
+    let serial_bufs = read_buffers(&design, &serial);
+    let serial_rets: Vec<_> = serial.threads.iter().map(|t| t.ret).collect();
+    for shards in 2u32..=4 {
+        assert_eq!(planned_shards(&design, &cfg(shards)), shards as usize);
+        let outcome = parallel_vs_oracle(&w.name, &design, shards);
+        w.verify(&outcome)
+            .unwrap_or_else(|e| panic!("{} x{shards}: wrong output: {e}", w.name));
+        assert_eq!(
+            read_buffers(&design, &outcome),
+            serial_bufs,
+            "{} x{shards}: outputs differ from serial",
+            w.name
+        );
+        let rets: Vec<_> = outcome.threads.iter().map(|t| t.ret).collect();
+        assert_eq!(rets, serial_rets, "{} x{shards}: returns differ", w.name);
+    }
+}
+
+/// Mixed placement: a software thread (pinned to shard 0 with the OS)
+/// alongside hardware threads on the other shards.
+#[test]
+fn mixed_sw_hw_parallel_matches_oracle() {
+    let w = fanout_vecadd(4, 128, 0xB0B);
+    let placements = [
+        Placement::Software,
+        Placement::Hardware,
+        Placement::Hardware,
+        Placement::Hardware,
+    ];
+    let design = synthesize(&w.app, &Platform::default(), &placements).unwrap();
+    for shards in [2u32, 3] {
+        let outcome = parallel_vs_oracle(&w.name, &design, shards);
+        w.verify(&outcome)
+            .unwrap_or_else(|e| panic!("{} x{shards}: wrong output: {e}", w.name));
+    }
+}
+
+/// Memory pressure: a frame budget small enough to force reclaim and
+/// shootdown broadcasts mid-run. All threads are hardware (software under
+/// pressure is planner-forced serial), so faults are serviced at barriers
+/// and shootdowns cross shards — the bit-identity contract must survive
+/// both.
+#[test]
+fn pressure_with_shootdowns_matches_oracle() {
+    let w = fanout_vecadd(3, 512, 0x9E55);
+    let platform = Platform::default().with_pressure(PressurePoint {
+        frame_budget: Some(6),
+        policy: AllocPolicy::Lazy,
+        swap_latency: 800,
+    });
+    let design = synthesize(&w.app, &platform, &[Placement::Hardware; 3]).unwrap();
+    for shards in [2u32, 3] {
+        let outcome = parallel_vs_oracle(&w.name, &design, shards);
+        w.verify(&outcome)
+            .unwrap_or_else(|e| panic!("{} x{shards}: wrong output: {e}", w.name));
+        assert!(
+            outcome.shootdowns > 0,
+            "{} x{shards}: pressure run produced no shootdowns — test lost its teeth",
+            w.name
+        );
+    }
+}
+
+/// A sync-object workload: a start barrier, a mutex-protected critical
+/// section, and a mailbox handoff chain in the post phase. All sync
+/// traffic runs on the coordinator's control queue; the windows between
+/// must still be bit-identical.
+fn synced_workload() -> Workload {
+    let w = fanout_vecadd(4, 96, 0x57AC);
+    let mut b = svmsyn::ApplicationBuilder::new("synced-fanout")
+        .sync(SyncSpec::Barrier(4))
+        .sync(SyncSpec::Mutex)
+        .sync(SyncSpec::Mbox(2));
+    for buf in &w.app.buffers {
+        b = b.buffer(buf.name.clone(), buf.len, buf.init.clone(), buf.populate);
+    }
+    for (i, t) in w.app.threads.iter().enumerate() {
+        let pre = vec![
+            SyncAction::BarrierWait(0),
+            SyncAction::MutexLock(1),
+            SyncAction::MutexUnlock(1),
+        ];
+        // A ring of mailbox handoffs: t0 puts, t1 gets then puts, ...
+        let post = if i == 0 {
+            vec![SyncAction::MboxPut(2, 7)]
+        } else if i < 3 {
+            vec![SyncAction::MboxGet(2), SyncAction::MboxPut(2, 7 + i as u64)]
+        } else {
+            vec![SyncAction::MboxGet(2)]
+        };
+        b = b.thread_full(
+            t.name.clone(),
+            t.kernel.clone(),
+            t.args.clone(),
+            pre,
+            post,
+            true,
+        );
+    }
+    Workload {
+        name: "synced-fanout".into(),
+        app: b.build().unwrap(),
+        expected: w.expected,
+    }
+}
+
+#[test]
+fn sync_objects_parallel_matches_oracle() {
+    let w = synced_workload();
+    let design = synthesize(&w.app, &Platform::default(), &[Placement::Hardware; 4]).unwrap();
+    let serial = simulate(&design, &cfg(1)).unwrap();
+    w.verify(&serial).unwrap();
+    for shards in [2u32, 4] {
+        let outcome = parallel_vs_oracle(&w.name, &design, shards);
+        w.verify(&outcome)
+            .unwrap_or_else(|e| panic!("{} x{shards}: wrong output: {e}", w.name));
+    }
+}
+
+/// An explicit lookahead override must not change results, only window
+/// accounting.
+#[test]
+fn window_override_preserves_identity() {
+    let w = fanout_vecadd(2, 128, 0xD00F);
+    let design = synthesize(&w.app, &Platform::default(), &[Placement::Hardware; 2]).unwrap();
+    let mut bufs = Vec::new();
+    for window in [0u64, 64, 1024, 100_000] {
+        let cfg = SimConfig {
+            shards: 2,
+            shard_window: window,
+            ..cfg(2)
+        };
+        let oracle = simulate_sharded(&design, &cfg, ExecMode::SingleWheel).unwrap();
+        let parallel = simulate_sharded(&design, &cfg, ExecMode::Parallel).unwrap();
+        assert_identical(&format!("window={window}"), &parallel, &oracle, &design);
+        w.verify(&parallel).unwrap();
+        bufs.push(read_buffers(&design, &parallel));
+    }
+    // Different window lengths change sync accounting, never the outputs.
+    assert!(bufs.windows(2).all(|p| p[0] == p[1]));
+}
+
+/// Planner policy: software under a frame budget is forced serial; shard
+/// requests clamp to the thread count; the serial plan never dispatches
+/// to the sharded engine.
+#[test]
+fn planner_forces_serial_for_sw_under_pressure() {
+    let w = fanout_vecadd(2, 64, 0xF00);
+    let pressured = Platform::default().with_pressure(PressurePoint {
+        frame_budget: Some(16),
+        policy: AllocPolicy::Lazy,
+        swap_latency: 500,
+    });
+    let mixed = [Placement::Software, Placement::Hardware];
+    let d_pressured = synthesize(&w.app, &pressured, &mixed).unwrap();
+    assert_eq!(planned_shards(&d_pressured, &cfg(4)), 1);
+    // The same placements without pressure shard fine.
+    let d_free = synthesize(&w.app, &Platform::default(), &mixed).unwrap();
+    assert_eq!(
+        planned_shards(&d_free, &cfg(4)),
+        2,
+        "clamped to thread count"
+    );
+    // All-hardware under pressure also shards fine.
+    let d_hw = synthesize(&w.app, &pressured, &[Placement::Hardware; 2]).unwrap();
+    assert_eq!(planned_shards(&d_hw, &cfg(2)), 2);
+    // shards = 1 (the default) never leaves the serial engine.
+    assert_eq!(planned_shards(&d_free, &SimConfig::default()), 1);
+}
+
+/// The degenerate 1-shard coordinator run agrees with the serial engine's
+/// results (it is its own oracle: one shard, windows in sequence).
+#[test]
+fn single_shard_coordinator_matches_serial_results() {
+    let w = fanout_vecadd(2, 96, 0x1DEA);
+    let design = synthesize(&w.app, &Platform::default(), &[Placement::Hardware; 2]).unwrap();
+    let serial = simulate(&design, &cfg(1)).unwrap();
+    let coord = simulate_sharded(&design, &cfg(1), ExecMode::Parallel).unwrap();
+    w.verify(&coord).unwrap();
+    assert_eq!(
+        read_buffers(&design, &coord),
+        read_buffers(&design, &serial),
+        "1-shard coordinator outputs differ from serial"
+    );
+}
+
+/// Sync counters are well-formed: windows advance, crossings cover at
+/// least one fault or finish per thread, and barrier wait is bounded by
+/// `windows × window_len × shards`.
+#[test]
+fn sync_stats_are_well_formed() {
+    let w = fanout_vecadd(4, 128, 0xCAFE);
+    let design = synthesize(&w.app, &Platform::default(), &[Placement::Hardware; 4]).unwrap();
+    let outcome = simulate_sharded(&design, &cfg(4), ExecMode::Parallel).unwrap();
+    let sync = outcome.sync.as_ref().unwrap();
+    assert!(sync.windows > 0);
+    assert!(
+        sync.crossings >= 4,
+        "each thread must cross at least once (its finish)"
+    );
+    let stats = outcome.stats();
+    assert_eq!(stats.get("sync.windows"), Some(sync.windows as f64));
+    assert_eq!(stats.get("sync.crossings"), Some(sync.crossings as f64));
+    assert_eq!(
+        stats.get("sync.barrier_wait_cycles"),
+        Some(sync.barrier_wait_cycles as f64)
+    );
+}
